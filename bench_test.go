@@ -1,0 +1,334 @@
+package vbench
+
+import (
+	"fmt"
+	"testing"
+
+	"vbench/internal/codec"
+	"vbench/internal/corpus"
+	"vbench/internal/harness"
+	"vbench/internal/perf"
+	"vbench/internal/scoring"
+	"vbench/internal/service"
+	"vbench/internal/uarch"
+)
+
+// Benchmark harness: one testing.B benchmark per table and figure of
+// the paper. Each iteration regenerates the corresponding result at a
+// reduced scale (1/16 resolution, 0.4-second clips) so the full bench
+// suite completes in minutes; `cmd/figures -scale 8 -duration 1`
+// produces the report-quality run recorded in EXPERIMENTS.md.
+
+const (
+	benchScale    = 16
+	benchDuration = 0.4
+)
+
+func benchRunner() *harness.Runner {
+	return harness.NewRunner(benchScale, benchDuration)
+}
+
+// BenchmarkFig1GrowthGap renders the upload-vs-CPU growth series.
+func BenchmarkFig1GrowthGap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := harness.Figure1()
+		if len(t.Rows) != 11 {
+			b.Fatal("bad figure 1")
+		}
+	}
+}
+
+// BenchmarkFig2RateDistortion sweeps bitrate for the three software
+// encoder families on one HD clip (PSNR curve + speed curve).
+func BenchmarkFig2RateDistortion(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		_, points, err := r.Figure2("funny", []float64{0.5, 2, 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(points) != 9 {
+			b.Fatal("bad point count")
+		}
+	}
+}
+
+// BenchmarkFig4Coverage builds the corpus model and the per-suite
+// coverage comparison.
+func BenchmarkFig4Coverage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Figure4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// uarchPoints is shared by the figure 5/6/7 benchmarks.
+func uarchPoints(b *testing.B, r *harness.Runner) []harness.UArchPoint {
+	b.Helper()
+	points, err := r.UArchStudy([]corpus.Suite{corpus.SuiteVBench})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return points
+}
+
+// BenchmarkFig5MPKI runs the cache/branch characterization across the
+// vbench suite and fits the entropy trends.
+func BenchmarkFig5MPKI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		points := uarchPoints(b, r)
+		if _, err := harness.Figure5(points); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6TopDown computes the Top-Down distribution per suite.
+func BenchmarkFig6TopDown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		points := uarchPoints(b, r)
+		if _, err := harness.Figure6(points); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7SIMDFraction computes scalar/AVX2 cycle fractions
+// against entropy.
+func BenchmarkFig7SIMDFraction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		points := uarchPoints(b, r)
+		if _, err := harness.Figure7(points); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8ISALadder times the ISA-ladder analysis.
+func BenchmarkFig8ISALadder(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		if _, _, err := r.Figure8("girl"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9GPUScatter derives the GPU S/B and Q/B scatter from
+// the VOD and Live runs on a subset of clips.
+func BenchmarkFig9GPUScatter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		vod, err := scenarioRows(r, scoring.VOD)
+		if err != nil {
+			b.Fatal(err)
+		}
+		live, err := scenarioRows(r, scoring.Live)
+		if err != nil {
+			b.Fatal(err)
+		}
+		t := harness.Figure9(vod, live)
+		if len(t.Rows) == 0 {
+			b.Fatal("empty figure 9")
+		}
+	}
+}
+
+// scenarioRows evaluates the hardware encoders on a 4-clip subset for
+// the scatter benchmarks.
+func scenarioRows(r *harness.Runner, s scoring.Scenario) ([]harness.ScenarioRow, error) {
+	var rows []harness.ScenarioRow
+	for _, name := range []string{"desktop", "girl", "hall", "chicken"} {
+		c, err := corpus.ClipByName(name)
+		if err != nil {
+			return nil, err
+		}
+		row := harness.ScenarioRow{Clip: c, Scores: map[string]scoring.Score{}}
+		for _, encName := range []string{"NVENC", "QSV"} {
+			eng := map[string]*Encoder{"NVENC": NVENC(), "QSV": QSV()}[encName]
+			score, _, err := r.EvaluateQualityConstrained(s, c, eng, codec.RCBitrate)
+			if err != nil {
+				return nil, err
+			}
+			row.Scores[encName] = score
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// BenchmarkTable2Selection runs the corpus clustering selection.
+func BenchmarkTable2Selection(b *testing.B) {
+	model := corpus.NewModel()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sel, err := model.Select(15, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(sel) != 15 {
+			b.Fatal("bad selection")
+		}
+	}
+}
+
+// BenchmarkTable2Entropy measures the entropy of the vbench clips.
+func BenchmarkTable2Entropy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		if _, err := r.Table2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3VOD reproduces the VOD study (hardware encoders,
+// quality-constrained bisection) on a 4-clip subset per iteration.
+func BenchmarkTable3VOD(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		if _, err := scenarioRows(r, scoring.VOD); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4Live reproduces the Live study on the subset.
+func BenchmarkTable4Live(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		if _, err := scenarioRows(r, scoring.Live); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable5Popular reproduces the Popular study (x265/vp9
+// two-pass, quality-constrained) on two clips per iteration.
+func BenchmarkTable5Popular(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		for _, name := range []string{"presentation", "girl"} {
+			c, err := corpus.ClipByName(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, eng := range []*Encoder{X265(PresetSlow), VP9(PresetSlow)} {
+				if _, _, err := r.EvaluateQualityConstrained(scoring.Popular, c, eng, codec.RCTwoPass); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkEncodeMedium measures raw encoder throughput (wall clock),
+// the engine-level number the modeled speeds stand on.
+func BenchmarkEncodeMedium(b *testing.B) {
+	clip, err := corpus.ClipByName("girl")
+	if err != nil {
+		b.Fatal(err)
+	}
+	seq, err := clip.Generate(benchScale, benchDuration)
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc := X264(PresetMedium)
+	b.SetBytes(seq.PixelCount())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := enc.Encode(seq, Config{RC: RCConstQP, QP: 28}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecode measures decoder throughput.
+func BenchmarkDecode(b *testing.B) {
+	clip, err := corpus.ClipByName("girl")
+	if err != nil {
+		b.Fatal(err)
+	}
+	seq, err := clip.Generate(benchScale, benchDuration)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := X264(PresetMedium).Encode(seq, Config{RC: RCConstQP, QP: 28})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(seq.PixelCount())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(res.Bitstream); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUArchAnalyze measures the µarch trace simulation itself.
+func BenchmarkUArchAnalyze(b *testing.B) {
+	clip, err := corpus.ClipByName("girl")
+	if err != nil {
+		b.Fatal(err)
+	}
+	seq, err := clip.Generate(benchScale, benchDuration)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := X264(PresetMedium).Encode(seq, Config{RC: RCConstQP, QP: 28})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := uarch.Analyze(&res.Counters, uarch.Options{
+			NativeWidth: clip.Width, NativeHeight: clip.Height, SearchRange: 16,
+			ISA: perf.ISAAVX2, Seed: 1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSliceParallelEncode measures the wall-clock effect of
+// slice-parallel encoding (the codec's multi-core path). The speedup
+// tracks GOMAXPROCS: on a single-core machine the slices=4 run shows
+// only the (small) coordination overhead.
+func BenchmarkSliceParallelEncode(b *testing.B) {
+	clip, err := corpus.ClipByName("hall")
+	if err != nil {
+		b.Fatal(err)
+	}
+	seq, err := clip.Generate(8, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc := X264(PresetMedium)
+	for _, slices := range []int{1, 4} {
+		b.Run(fmt.Sprintf("slices=%d", slices), func(b *testing.B) {
+			b.SetBytes(seq.PixelCount())
+			for i := 0; i < b.N; i++ {
+				if _, err := enc.Encode(seq, Config{RC: RCConstQP, QP: 28, Slices: slices}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkServiceSimulation measures the discrete-event service
+// simulator end to end.
+func BenchmarkServiceSimulation(b *testing.B) {
+	cfg := service.DefaultConfig()
+	cfg.Uploads = 10
+	for i := 0; i < b.N; i++ {
+		if _, err := service.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+// Command corpusgen runs the vbench video-selection methodology: it
+// builds the synthetic corpus model, clusters its categories with
+// weighted k-means (Section 4.1 of the paper), prints the selected
+// representative categories next to the published Table 2 set, renders
+// the Figure 4 coverage comparison, and can materialize the benchmark
+// clips as Y4M files.
+//
+// Usage:
+//
+//	corpusgen                      # selection + coverage report
+//	corpusgen -k 15 -seed 7        # choose cluster count / seed
+//	corpusgen -out clips -scale 8  # also write the 15 clips as .y4m
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"vbench/internal/corpus"
+	"vbench/internal/harness"
+	"vbench/internal/tables"
+	"vbench/internal/video"
+)
+
+// vwrite serializes a sequence as Y4M.
+var vwrite = video.WriteY4M
+
+func main() {
+	k := flag.Int("k", 15, "number of video categories to select")
+	seed := flag.Uint64("seed", 1, "clustering seed")
+	out := flag.String("out", "", "directory to write the vbench clips as .y4m (empty = skip)")
+	scale := flag.Int("scale", 8, "linear resolution divisor for clip generation")
+	duration := flag.Float64("duration", corpus.DurationSeconds, "clip duration in seconds")
+	flag.Parse()
+
+	model := corpus.NewModel()
+	fmt.Printf("corpus model: %d categories across %d resolutions x %d framerates\n\n",
+		len(model.Categories), len(corpus.StandardResolutions), len(corpus.StandardFrameRates))
+
+	selected, err := model.Select(*k, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	t := tables.New(fmt.Sprintf("Selected categories (weighted k-means, k=%d)", *k),
+		"Kpixels", "fps", "entropy", "corpus weight %")
+	for _, c := range selected {
+		t.AddRowf(c.KPixels, c.FPS, c.Entropy, c.Weight*100)
+	}
+	t.AddNote("compare with Table 2: 410-8294 Kpixel, entropy 0.2-7.7 across 4 resolutions")
+	fmt.Println(t)
+
+	cov, err := harness.Figure4()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(cov)
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatal(err)
+		}
+		for _, clip := range corpus.VBenchClips() {
+			seq, err := clip.Generate(*scale, *duration)
+			if err != nil {
+				fatal(err)
+			}
+			path := filepath.Join(*out, clip.Name+".y4m")
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := vwrite(f, seq); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s (%dx%d, %d frames)\n", path, seq.Width(), seq.Height(), len(seq.Frames))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "corpusgen:", err)
+	os.Exit(1)
+}

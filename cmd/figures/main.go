@@ -1,0 +1,157 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation from the reproduction, printing paper-vs-measured values
+// where the paper published numbers.
+//
+// Usage:
+//
+//	figures               # everything (can take a while)
+//	figures -fig 2        # one figure
+//	figures -table 5      # one table
+//	figures -scale 8 -duration 1 -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"vbench/internal/corpus"
+	"vbench/internal/harness"
+	"vbench/internal/tables"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to render (1,2,4,5,6,7,8,9); 0 = none unless -all")
+	table := flag.Int("table", 0, "table to render (2,3,4,5); 0 = none unless -all")
+	all := flag.Bool("all", false, "render every table and figure")
+	scale := flag.Int("scale", 8, "linear resolution divisor")
+	duration := flag.Float64("duration", 1.0, "clip duration in seconds")
+	verbose := flag.Bool("v", false, "print per-encode progress")
+	outdir := flag.String("outdir", "", "also write each table as .txt and .csv into this directory")
+	flag.Parse()
+	if *outdir != "" {
+		if err := os.MkdirAll(*outdir, 0o755); err != nil {
+			check(err)
+		}
+	}
+	emitDir = *outdir
+
+	if *fig == 0 && *table == 0 {
+		*all = true
+	}
+
+	r := harness.NewRunner(*scale, *duration)
+	if *verbose {
+		r.Progress = os.Stderr
+	}
+
+	wantFig := func(n int) bool { return *all || *fig == n }
+	wantTable := func(n int) bool { return *all || *table == n }
+
+	if wantFig(1) {
+		emit(harness.Figure1())
+	}
+	if wantTable(2) {
+		t, err := r.Table2()
+		check(err)
+		emit(t)
+	}
+	if wantFig(2) {
+		t, _, err := r.Figure2("funny", nil)
+		check(err)
+		emit(t)
+	}
+	if wantFig(4) {
+		t, err := harness.Figure4()
+		check(err)
+		emit(t)
+	}
+
+	var vodRows, liveRows []harness.ScenarioRow
+	if wantTable(3) || wantFig(9) {
+		t, rows, err := r.Table3()
+		check(err)
+		vodRows = rows
+		if wantTable(3) {
+			emit(t)
+		}
+	}
+	if wantTable(4) || wantFig(9) {
+		t, rows, err := r.Table4()
+		check(err)
+		liveRows = rows
+		if wantTable(4) {
+			emit(t)
+		}
+	}
+	if wantTable(5) {
+		t, _, err := r.Table5()
+		check(err)
+		emit(t)
+	}
+	if wantFig(9) {
+		emit(harness.Figure9(vodRows, liveRows))
+	}
+
+	if wantFig(5) || wantFig(6) || wantFig(7) {
+		points, err := r.UArchStudy([]corpus.Suite{
+			corpus.SuiteCoverage, corpus.SuiteVBench, corpus.SuiteNetflix,
+			corpus.SuiteXiph, corpus.SuiteSPEC17,
+		})
+		check(err)
+		if wantFig(5) {
+			t, err := harness.Figure5(points)
+			check(err)
+			emit(t)
+		}
+		if wantFig(6) {
+			t, err := harness.Figure6(points)
+			check(err)
+			emit(t)
+		}
+		if wantFig(7) {
+			t, err := harness.Figure7(points)
+			check(err)
+			emit(t)
+		}
+	}
+	if wantFig(8) {
+		t, _, err := r.Figure8("girl")
+		check(err)
+		emit(t)
+	}
+}
+
+// emitDir, when set, receives each table as <slug>.txt and <slug>.csv.
+var emitDir string
+
+// emit prints a table and optionally persists it.
+func emit(t *tables.Table) {
+	fmt.Println(t)
+	if emitDir == "" {
+		return
+	}
+	slug := strings.ToLower(t.Title)
+	if i := strings.IndexAny(slug, ":("); i > 0 {
+		slug = slug[:i]
+	}
+	slug = strings.TrimSpace(slug)
+	slug = strings.ReplaceAll(slug, " ", "-")
+	txt, err := os.Create(filepath.Join(emitDir, slug+".txt"))
+	check(err)
+	check(t.Render(txt))
+	check(txt.Close())
+	csv, err := os.Create(filepath.Join(emitDir, slug+".csv"))
+	check(err)
+	check(t.RenderCSV(csv))
+	check(csv.Close())
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}

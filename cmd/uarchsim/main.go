@@ -1,0 +1,84 @@
+// Command uarchsim runs the microarchitectural characterization study
+// of the paper (Section 5): it encodes the requested video suites
+// under the VOD reference configuration, expands the work counters
+// into instruction/branch/data traces, drives the cache and branch
+// simulators, and prints Figures 5, 6, 7, and 8.
+//
+// Usage:
+//
+//	uarchsim                             # vbench + coverage suites
+//	uarchsim -suites vbench,netflix,xiph # choose suites
+//	uarchsim -fig 8 -clip girl           # the ISA ladder only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vbench/internal/corpus"
+	"vbench/internal/harness"
+)
+
+func main() {
+	suitesFlag := flag.String("suites", "vbench,coverage", "comma-separated suites: vbench,coverage,netflix,xiph,spec2017,spec2006")
+	scale := flag.Int("scale", 8, "linear resolution divisor")
+	duration := flag.Float64("duration", 1.0, "clip duration in seconds")
+	fig := flag.Int("fig", 0, "render a single figure (5,6,7,8); 0 = all")
+	clip := flag.String("clip", "girl", "clip for the Figure 8 ISA ladder")
+	verbose := flag.Bool("v", false, "print per-encode progress")
+	flag.Parse()
+
+	r := harness.NewRunner(*scale, *duration)
+	if *verbose {
+		r.Progress = os.Stderr
+	}
+
+	var suites []corpus.Suite
+	for _, s := range strings.Split(*suitesFlag, ",") {
+		suites = append(suites, corpus.Suite(strings.TrimSpace(s)))
+	}
+
+	if *fig == 8 || *fig == 0 {
+		t, _, err := r.Figure8(*clip)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(t)
+		if *fig == 8 {
+			return
+		}
+	}
+
+	points, err := r.UArchStudy(suites)
+	if err != nil {
+		fatal(err)
+	}
+	if *fig == 5 || *fig == 0 {
+		t, err := harness.Figure5(points)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(t)
+	}
+	if *fig == 6 || *fig == 0 {
+		t, err := harness.Figure6(points)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(t)
+	}
+	if *fig == 7 || *fig == 0 {
+		t, err := harness.Figure7(points)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(t)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "uarchsim:", err)
+	os.Exit(1)
+}

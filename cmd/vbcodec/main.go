@@ -1,0 +1,165 @@
+// Command vbcodec is a standalone encoder/decoder CLI for the vbench
+// codec ("VBC1" bitstream): it transcodes Y4M files, mirroring the
+// role ffmpeg plays in the paper's methodology.
+//
+// Usage:
+//
+//	vbcodec encode -i in.y4m -o out.vbc -preset medium -qp 23
+//	vbcodec encode -i in.y4m -o out.vbc -bitrate 2000000 -twopass
+//	vbcodec decode -i out.vbc -o roundtrip.y4m
+//	vbcodec info   -i out.vbc
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"vbench/internal/codec"
+	"vbench/internal/codec/profiles"
+	"vbench/internal/metrics"
+	"vbench/internal/video"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "encode":
+		encode(os.Args[2:])
+	case "decode":
+		decode(os.Args[2:])
+	case "info":
+		info(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: vbcodec encode|decode|info [flags]")
+	os.Exit(2)
+}
+
+func encode(args []string) {
+	fs := flag.NewFlagSet("encode", flag.ExitOnError)
+	in := fs.String("i", "", "input .y4m file")
+	out := fs.String("o", "", "output .vbc bitstream")
+	preset := fs.String("preset", "medium", "effort preset (ultrafast..placebo)")
+	qp := fs.Int("qp", 23, "constant quantizer (used without -bitrate)")
+	bitrate := fs.Float64("bitrate", 0, "target bitrate in bits/s (enables ABR)")
+	twopass := fs.Bool("twopass", false, "two-pass rate control (with -bitrate)")
+	keyint := fs.Int("keyint", 0, "key-frame interval in frames (0 = first frame only)")
+	slices := fs.Int("slices", 1, "independent slices per frame (parallel encoding)")
+	stats := fs.Bool("stats", true, "print encode statistics")
+	fs.Parse(args)
+	if *in == "" || *out == "" {
+		fatal(fmt.Errorf("encode needs -i and -o"))
+	}
+
+	p, err := codec.ParsePreset(*preset)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	seq, err := video.ReadY4M(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := codec.Config{RC: codec.RCConstQP, QP: *qp, KeyInterval: *keyint, Slices: *slices}
+	if *bitrate > 0 {
+		cfg = codec.Config{RC: codec.RCBitrate, BitrateBPS: *bitrate, KeyInterval: *keyint, Slices: *slices}
+		if *twopass {
+			cfg.RC = codec.RCTwoPass
+		}
+	}
+	eng := profiles.X264(p)
+	res, err := eng.Encode(seq, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, res.Bitstream, 0o644); err != nil {
+		fatal(err)
+	}
+	if *stats {
+		psnr, _ := metrics.SequencePSNR(seq, res.Recon)
+		br, _ := metrics.Bitrate(int64(len(res.Bitstream)), seq.Width(), seq.Height(), seq.Duration())
+		speed, _ := metrics.Speed(seq.PixelCount(), res.Seconds)
+		fmt.Printf("encoded %d frames %dx%d: %d bytes\n", len(seq.Frames), seq.Width(), seq.Height(), len(res.Bitstream))
+		fmt.Printf("  quality  %.2f dB PSNR\n", psnr)
+		fmt.Printf("  bitrate  %.3f bit/pixel/s (%.0f bit/s)\n", br, float64(len(res.Bitstream))*8/seq.Duration())
+		fmt.Printf("  speed    %.2f Mpixel/s (modeled, %s)\n", speed, eng.Model.Name)
+	}
+}
+
+func decode(args []string) {
+	fs := flag.NewFlagSet("decode", flag.ExitOnError)
+	in := fs.String("i", "", "input .vbc bitstream")
+	out := fs.String("o", "", "output .y4m file")
+	fs.Parse(args)
+	if *in == "" || *out == "" {
+		fatal(fmt.Errorf("decode needs -i and -o"))
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		fatal(err)
+	}
+	seq, _, err := codec.Decode(data)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	if err := video.WriteY4M(f, seq); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("decoded %d frames %dx%d to %s\n", len(seq.Frames), seq.Width(), seq.Height(), *out)
+}
+
+func info(args []string) {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	in := fs.String("i", "", "input .vbc bitstream")
+	fs.Parse(args)
+	if *in == "" {
+		fatal(fmt.Errorf("info needs -i"))
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		fatal(err)
+	}
+	seq, counters, err := codec.Decode(data)
+	if err != nil {
+		fatal(err)
+	}
+	out := map[string]interface{}{
+		"frames":      len(seq.Frames),
+		"width":       seq.Width(),
+		"height":      seq.Height(),
+		"framerate":   seq.FrameRate,
+		"bytes":       len(data),
+		"macroblocks": counters.MBTotal,
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vbcodec:", err)
+	os.Exit(1)
+}

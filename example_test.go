@@ -1,0 +1,56 @@
+package vbench_test
+
+import (
+	"fmt"
+
+	"vbench"
+)
+
+// Encoding one benchmark clip and verifying the decode loop.
+func Example() {
+	clip, err := vbench.ClipByName("bike")
+	if err != nil {
+		panic(err)
+	}
+	seq, err := clip.Generate(16, 0.3) // 1/16 scale, 0.3 s
+	if err != nil {
+		panic(err)
+	}
+	enc := vbench.X264(vbench.PresetVeryFast)
+	res, err := enc.Encode(seq, vbench.Config{RC: vbench.RCConstQP, QP: 28})
+	if err != nil {
+		panic(err)
+	}
+	dec, err := vbench.Decode(res.Bitstream)
+	if err != nil {
+		panic(err)
+	}
+	match := true
+	for i := range dec.Frames {
+		if !dec.Frames[i].Equal(res.Recon.Frames[i]) {
+			match = false
+		}
+	}
+	fmt.Println("frames:", len(dec.Frames), "bit-exact:", match)
+	// Output: frames: 9 bit-exact: true
+}
+
+// Scoring a candidate transcode under the VOD scenario (Table 1).
+func ExampleEvaluateScenario() {
+	reference := vbench.Measurement{SpeedMPS: 10, BitratePPS: 1.0, PSNR: 40}
+	candidate := vbench.Measurement{SpeedMPS: 80, BitratePPS: 1.25, PSNR: 40.1}
+	score, err := vbench.EvaluateScenario(vbench.VOD, candidate, reference, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("valid=%v S=%.1f B=%.1f score=%.1f\n",
+		score.Valid, score.Ratios.S, score.Ratios.B, score.Value)
+	// Output: valid=true S=8.0 B=0.8 score=6.4
+}
+
+// The 15 benchmark videos of Table 2.
+func ExampleClips() {
+	clips := vbench.Clips()
+	fmt.Println(len(clips), "clips, first:", clips[0].Name, "last:", clips[len(clips)-1].Name)
+	// Output: 15 clips, first: cat last: chicken
+}

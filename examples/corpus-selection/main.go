@@ -1,0 +1,54 @@
+// Corpus-selection: run the paper's video-selection methodology end
+// to end (Section 4.1).
+//
+// The corpus model stands in for six months of production transcode
+// logs: thousands of (resolution, framerate, entropy) categories
+// weighted by transcoding time. Weighted k-means over the linearized
+// feature space picks k cluster centroids; each cluster is represented
+// by its heaviest member category (the mode). The result is a compact
+// benchmark that is representative (modes carry real weight) while
+// covering the space (every category belongs to some cluster).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vbench/internal/cluster"
+	"vbench/internal/corpus"
+)
+
+func main() {
+	model := corpus.NewModel()
+	fmt.Printf("corpus model: %d categories\n", len(model.Categories))
+
+	// How concentrated is the corpus? (The paper: 36 res×fps cells
+	// cover >95% of uploads.)
+	var totalW float64
+	for _, c := range model.Categories {
+		totalW += c.Weight
+	}
+	fmt.Printf("total category weight: %.3f (normalized)\n\n", totalW)
+
+	for _, k := range []int{5, 15, 30} {
+		selected, err := model.Select(k, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Weight captured by the selected categories' clusters.
+		res, err := cluster.KMeans(model.Features(), model.Weights(), cluster.Config{K: k, Restarts: 8, Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("k=%-3d inertia=%.4f  selected categories:\n", k, res.Inertia)
+		for _, c := range selected {
+			fmt.Printf("    %5d Kpixel  %2d fps  entropy %6.2f  (weight %.2f%%)\n",
+				c.KPixels, c.FPS, c.Entropy, c.Weight*100)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("Compare k=15 with the published Table 2: four resolution tiers")
+	fmt.Println("(480p/720p/1080p/4K) and entropies spanning slideshows (~0.2)")
+	fmt.Println("to high-motion content (~8) — the structure k-means recovers here.")
+}

@@ -1,0 +1,78 @@
+// Livestream: pick a transcoding configuration for a live event.
+//
+// The Live scenario's hard constraint is real time: the transcoder
+// must sustain the stream's output pixel rate. This example walks the
+// software preset ladder until it meets real time (reproducing the
+// paper's observation that software must shed effort — and therefore
+// quality/bitrate — as resolution grows) and compares the result with
+// the fixed-function hardware encoders, which the paper finds are "an
+// unqualified win" for live streaming.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vbench"
+)
+
+func main() {
+	clip, err := vbench.ClipByName("chicken") // a 4K live stream
+	if err != nil {
+		log.Fatal(err)
+	}
+	seq, err := clip.Generate(8, 1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The stream must be transcoded at least this fast (native
+	// resolution; vbench speeds are per-pixel normalized).
+	realTime := float64(clip.Width*clip.Height) * clip.FrameRate / 1e6
+	targetBPS := 0.5 * float64(seq.Width()*seq.Height()) // service ladder point
+
+	fmt.Printf("live stream: %s (%dx%d @%.0f fps) — need ≥ %.1f Mpixel/s\n\n",
+		clip.Name, clip.Width, clip.Height, clip.FrameRate, realTime)
+
+	type option struct {
+		name string
+		enc  *vbench.Encoder
+	}
+	options := []option{
+		{"x264 slow", vbench.X264(vbench.PresetSlow)},
+		{"x264 medium", vbench.X264(vbench.PresetMedium)},
+		{"x264 veryfast", vbench.X264(vbench.PresetVeryFast)},
+		{"x264 ultrafast", vbench.X264(vbench.PresetUltraFast)},
+		{"NVENC", vbench.NVENC()},
+		{"QSV", vbench.QSV()},
+	}
+
+	var chosen *option
+	for i := range options {
+		o := &options[i]
+		res, err := o.enc.Encode(seq, vbench.Config{RC: vbench.RCBitrate, BitrateBPS: targetBPS})
+		if err != nil {
+			log.Fatal(err)
+		}
+		speed := float64(seq.PixelCount()) / res.Seconds / 1e6
+		psnr, err := vbench.PSNR(seq, res.Recon)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ok := speed >= realTime
+		mark := " "
+		if ok {
+			mark = "*"
+		}
+		fmt.Printf("%s %-15s %8.1f Mpixel/s  %.2f dB  %6d bytes  real-time=%v\n",
+			mark, o.name, speed, psnr, len(res.Bitstream), ok)
+		if ok && chosen == nil {
+			chosen = o
+		}
+	}
+	if chosen == nil {
+		log.Fatal("no configuration meets real time")
+	}
+	fmt.Printf("\nselected: %s — the first option down the effort ladder that holds real time.\n", chosen.name)
+	fmt.Println("Note how hardware encoders clear the bar with an order of magnitude to spare,")
+	fmt.Println("while software sheds quality to keep up — the paper's Live finding.")
+}

@@ -1,0 +1,99 @@
+// Popular-pipeline: simulate the multi-pass transcoding flow of a
+// video sharing infrastructure (Figure 3 of the paper).
+//
+// Every upload is first transcoded to the universal format, then to
+// the distribution ladder (VOD). Watch traffic follows a power law
+// with exponential cutoff; when a video turns out to be popular, the
+// service re-transcodes it at high effort with a stronger encoder —
+// extra compute that is amortized across many playbacks while the
+// bitrate savings are multiplied across them. This example quantifies
+// that trade.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vbench"
+	"vbench/internal/corpus"
+)
+
+func main() {
+	clip, err := vbench.ClipByName("funny") // a clip that goes viral
+	if err != nil {
+		log.Fatal(err)
+	}
+	seq, err := clip.Generate(8, 1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pixPerSec := float64(seq.Width() * seq.Height())
+
+	// --- Pass 1: Upload (universal format) — fast, constant quality.
+	upload := vbench.X264(vbench.PresetVeryFast)
+	upRes, err := upload.Encode(seq, vbench.Config{RC: vbench.RCConstQP, QP: 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("upload transcode:   %7d bytes (temporary universal copy)\n", len(upRes.Bitstream))
+
+	// --- Pass 2: VOD ladder — two-pass at the service bitrate.
+	targetBPS := 0.5 * pixPerSec
+	vod := vbench.X264(vbench.PresetMedium)
+	vodRes, err := vod.Encode(seq, vbench.Config{RC: vbench.RCTwoPass, BitrateBPS: targetBPS})
+	if err != nil {
+		log.Fatal(err)
+	}
+	vodPSNR, err := vbench.PSNR(seq, vodRes.Recon)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("VOD transcode:      %7d bytes at %.2f dB (served while cold)\n",
+		len(vodRes.Bitstream), vodPSNR)
+
+	// --- Watch traffic: power law with exponential cutoff.
+	pop := corpus.DefaultPopularity()
+	const corpusSize = 100000
+	topShare := pop.WatchShare(corpusSize/100, corpusSize)
+	fmt.Printf("\npopularity model:   top 1%% of videos draw %.1f%% of watch time\n", topShare*100)
+
+	// --- The video goes hot: Popular re-transcode at maximum effort,
+	// constrained to beat the VOD copy on BOTH bitrate and quality.
+	popular := vbench.X265(vbench.PresetVerySlow)
+	var best *vbench.Result
+	for _, bps := range []float64{targetBPS * 0.97, targetBPS * 0.93, targetBPS * 0.88} {
+		res, err := popular.Encode(seq, vbench.Config{RC: vbench.RCTwoPass, BitrateBPS: bps})
+		if err != nil {
+			log.Fatal(err)
+		}
+		psnr, err := vbench.PSNR(seq, res.Recon)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if psnr >= vodPSNR && len(res.Bitstream) < len(vodRes.Bitstream) {
+			best = res
+		}
+	}
+	if best == nil {
+		fmt.Println("popular re-transcode could not beat the VOD copy on both axes (constraint miss)")
+		return
+	}
+	bestPSNR, err := vbench.PSNR(seq, best.Recon)
+	if err != nil {
+		log.Fatal(err)
+	}
+	saved := len(vodRes.Bitstream) - len(best.Bitstream)
+	fmt.Printf("popular transcode:  %7d bytes at %.2f dB (x265-class, veryslow)\n",
+		len(best.Bitstream), bestPSNR)
+	fmt.Printf("                    B=%.2f, Q=%.3f — both ≥ 1, the Popular constraint\n",
+		float64(len(vodRes.Bitstream))/float64(len(best.Bitstream)),
+		bestPSNR/vodPSNR)
+
+	// --- Amortization arithmetic.
+	extraCompute := best.Seconds + 0 // high-effort encode time (modeled)
+	playbacks := 1_000_000.0
+	egressSavedGB := float64(saved) * playbacks / 1e9
+	fmt.Printf("\nat %.0fM playbacks: one-off %.1fs of extra compute saves %.1f GB of egress\n",
+		playbacks/1e6, extraCompute, egressSavedGB)
+	fmt.Println("— the savings multiply across playbacks while the cost is paid once (Section 2.5).")
+}

@@ -1,0 +1,61 @@
+// Quickstart: synthesize a benchmark clip, transcode it with the
+// reference software encoder, measure the three vbench dimensions,
+// and verify the bitstream decodes bit-exactly.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vbench"
+)
+
+func main() {
+	// 1. Pick a benchmark clip and synthesize it at 1/8 scale.
+	clip, err := vbench.ClipByName("girl")
+	if err != nil {
+		log.Fatal(err)
+	}
+	seq, err := clip.Generate(8, 1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("clip %q: %dx%d @%.0f fps, %d frames (native %dx%d, paper entropy %.1f)\n",
+		clip.Name, seq.Width(), seq.Height(), seq.FrameRate, len(seq.Frames),
+		clip.Width, clip.Height, clip.PaperEntropy)
+
+	// 2. Transcode with the reference encoder at constant quality.
+	enc := vbench.X264(vbench.PresetMedium)
+	res, err := enc.Encode(seq, vbench.Config{RC: vbench.RCConstQP, QP: 23})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Measure the three vbench dimensions.
+	psnr, err := vbench.PSNR(seq, res.Recon)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bitrate, err := vbench.Bitrate(int64(len(res.Bitstream)), seq.Width(), seq.Height(), seq.Duration())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compressed to %d bytes\n", len(res.Bitstream))
+	fmt.Printf("  quality  %.2f dB PSNR\n", psnr)
+	fmt.Printf("  bitrate  %.3f bit/pixel/s\n", bitrate)
+	fmt.Printf("  speed    %.2f Mpixel/s (modeled on %s)\n",
+		float64(seq.PixelCount())/res.Seconds/1e6, enc.Model.Name)
+
+	// 4. Decode and confirm the decoder reproduces the encoder's
+	// reconstruction exactly — the codec's defining invariant.
+	dec, err := vbench.Decode(res.Bitstream)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range dec.Frames {
+		if !dec.Frames[i].Equal(res.Recon.Frames[i]) {
+			log.Fatalf("frame %d: decode mismatch", i)
+		}
+	}
+	fmt.Printf("decode verified: %d frames bit-identical to the encoder reconstruction\n", len(dec.Frames))
+}

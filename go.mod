@@ -1,0 +1,3 @@
+module vbench
+
+go 1.22

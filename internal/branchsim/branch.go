@@ -1,0 +1,154 @@
+// Package branchsim implements branch predictor models (two-bit
+// counters and gshare) used by the µarch study to reproduce the
+// paper's branch-misprediction trends (Figure 5, middle): transcoding
+// complex video exercises more data-dependent branches whose outcomes
+// resist history-based prediction.
+package branchsim
+
+import "fmt"
+
+// Predictor is a branch direction predictor.
+type Predictor interface {
+	// Predict returns the predicted direction for the branch at pc.
+	Predict(pc uint64) bool
+	// Update trains the predictor with the actual outcome.
+	Update(pc uint64, taken bool)
+	// Name labels the predictor.
+	Name() string
+}
+
+// counter is a 2-bit saturating counter: 0,1 predict not-taken.
+type counter uint8
+
+func (c counter) taken() bool { return c >= 2 }
+
+func (c counter) update(taken bool) counter {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+// Bimodal is a table of 2-bit counters indexed by PC.
+type Bimodal struct {
+	table []counter
+	mask  uint64
+}
+
+// NewBimodal builds a bimodal predictor with 2^bits entries.
+func NewBimodal(bits uint) (*Bimodal, error) {
+	if bits == 0 || bits > 24 {
+		return nil, fmt.Errorf("branchsim: invalid table bits %d", bits)
+	}
+	n := 1 << bits
+	t := make([]counter, n)
+	for i := range t {
+		t[i] = 2 // weakly taken
+	}
+	return &Bimodal{table: t, mask: uint64(n - 1)}, nil
+}
+
+// Predict returns the predicted direction.
+func (b *Bimodal) Predict(pc uint64) bool { return b.table[(pc>>2)&b.mask].taken() }
+
+// Update trains the counter.
+func (b *Bimodal) Update(pc uint64, taken bool) {
+	i := (pc >> 2) & b.mask
+	b.table[i] = b.table[i].update(taken)
+}
+
+// Name labels the predictor.
+func (b *Bimodal) Name() string { return "bimodal" }
+
+// GShare XORs global history into the table index, capturing
+// correlated patterns (the predictor class of the paper's hardware).
+type GShare struct {
+	table   []counter
+	mask    uint64
+	history uint64
+	bits    uint
+}
+
+// NewGShare builds a gshare predictor with 2^bits entries and
+// bits of global history.
+func NewGShare(bits uint) (*GShare, error) {
+	if bits == 0 || bits > 24 {
+		return nil, fmt.Errorf("branchsim: invalid table bits %d", bits)
+	}
+	n := 1 << bits
+	t := make([]counter, n)
+	for i := range t {
+		t[i] = 2
+	}
+	return &GShare{table: t, mask: uint64(n - 1), bits: bits}, nil
+}
+
+func (g *GShare) index(pc uint64) uint64 { return ((pc >> 2) ^ g.history) & g.mask }
+
+// Predict returns the predicted direction.
+func (g *GShare) Predict(pc uint64) bool { return g.table[g.index(pc)].taken() }
+
+// Update trains the counter and shifts the outcome into history.
+func (g *GShare) Update(pc uint64, taken bool) {
+	i := g.index(pc)
+	g.table[i] = g.table[i].update(taken)
+	g.history = (g.history << 1) & g.mask
+	if taken {
+		g.history |= 1
+	}
+}
+
+// Name labels the predictor.
+func (g *GShare) Name() string { return "gshare" }
+
+// Stats runs a predictor over a trace and reports mispredictions.
+type Stats struct {
+	Branches    int64
+	Mispredicts int64
+}
+
+// MispredictRate returns mispredictions per branch.
+func (s Stats) MispredictRate() float64 {
+	if s.Branches == 0 {
+		return 0
+	}
+	return float64(s.Mispredicts) / float64(s.Branches)
+}
+
+// Run feeds (pc, outcome) pairs through a predictor.
+func Run(p Predictor, pcs []uint64, outcomes []bool) (Stats, error) {
+	if len(pcs) != len(outcomes) {
+		return Stats{}, fmt.Errorf("branchsim: %d pcs vs %d outcomes", len(pcs), len(outcomes))
+	}
+	var s Stats
+	for i, pc := range pcs {
+		pred := p.Predict(pc)
+		if pred != outcomes[i] {
+			s.Mispredicts++
+		}
+		p.Update(pc, outcomes[i])
+		s.Branches++
+	}
+	return s, nil
+}
+
+// Feed is the streaming form of Run for generated traces.
+type Feed struct {
+	P Predictor
+	S Stats
+}
+
+// Observe predicts and trains on one branch.
+func (f *Feed) Observe(pc uint64, taken bool) {
+	if f.P.Predict(pc) != taken {
+		f.S.Mispredicts++
+	}
+	f.P.Update(pc, taken)
+	f.S.Branches++
+}

@@ -1,0 +1,158 @@
+package branchsim
+
+import (
+	"testing"
+
+	"vbench/internal/rng"
+)
+
+func TestCounterSaturation(t *testing.T) {
+	c := counter(0)
+	for i := 0; i < 10; i++ {
+		c = c.update(true)
+	}
+	if c != 3 {
+		t.Errorf("counter saturated at %d, want 3", c)
+	}
+	for i := 0; i < 10; i++ {
+		c = c.update(false)
+	}
+	if c != 0 {
+		t.Errorf("counter floored at %d, want 0", c)
+	}
+}
+
+func TestBimodalLearnsBias(t *testing.T) {
+	b, err := NewBimodal(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &Feed{P: b}
+	// Always-taken branch: after warmup, no mispredictions.
+	for i := 0; i < 100; i++ {
+		f.Observe(0x400, true)
+	}
+	warm := f.S.Mispredicts
+	for i := 0; i < 100; i++ {
+		f.Observe(0x400, true)
+	}
+	if f.S.Mispredicts != warm {
+		t.Errorf("steady always-taken branch mispredicted %d times", f.S.Mispredicts-warm)
+	}
+}
+
+func TestBimodalAliasing(t *testing.T) {
+	// Two branches with opposite outcomes at aliased PCs interfere in
+	// a tiny table.
+	b, _ := NewBimodal(1) // 2 entries
+	f := &Feed{P: b}
+	for i := 0; i < 200; i++ {
+		f.Observe(0x0, true)
+		f.Observe(0x8<<1, false) // same index after pc>>2 masking
+	}
+	if f.S.MispredictRate() < 0.4 {
+		t.Errorf("aliased opposite branches rate = %v, want high", f.S.MispredictRate())
+	}
+}
+
+func TestGShareLearnsPattern(t *testing.T) {
+	// A (T,T,N) repeating pattern defeats bimodal but gshare learns it
+	// through history.
+	g, _ := NewGShare(12)
+	b, _ := NewBimodal(12)
+	pattern := []bool{true, true, false}
+	run := func(p Predictor) float64 {
+		f := &Feed{P: p}
+		for i := 0; i < 3000; i++ {
+			f.Observe(0x400, pattern[i%3])
+		}
+		// Measure on the tail only.
+		tail := &Feed{P: p}
+		for i := 0; i < 300; i++ {
+			tail.Observe(0x400, pattern[i%3])
+		}
+		return tail.S.MispredictRate()
+	}
+	gr := run(g)
+	br := run(b)
+	if gr > 0.02 {
+		t.Errorf("gshare failed to learn periodic pattern: %v", gr)
+	}
+	if br < gr {
+		t.Errorf("bimodal (%v) outperformed gshare (%v) on history pattern", br, gr)
+	}
+}
+
+func TestRandomOutcomesNearHalf(t *testing.T) {
+	g, _ := NewGShare(12)
+	f := &Feed{P: g}
+	r := rng.New(5)
+	for i := 0; i < 50000; i++ {
+		f.Observe(0x400+uint64(i%8)*4, r.Float64() < 0.5)
+	}
+	rate := f.S.MispredictRate()
+	if rate < 0.4 || rate > 0.6 {
+		t.Errorf("random branch mispredict rate = %v, want ≈0.5", rate)
+	}
+}
+
+func TestBiasedOutcomesBelowBias(t *testing.T) {
+	// 90% taken: a good predictor approaches the 10% floor.
+	g, _ := NewGShare(12)
+	f := &Feed{P: g}
+	r := rng.New(6)
+	for i := 0; i < 50000; i++ {
+		f.Observe(0x400, r.Float64() < 0.9)
+	}
+	rate := f.S.MispredictRate()
+	if rate > 0.2 {
+		t.Errorf("biased branch mispredict rate = %v, want ≲0.15", rate)
+	}
+}
+
+func TestRunMatchesFeed(t *testing.T) {
+	pcs := make([]uint64, 1000)
+	outs := make([]bool, 1000)
+	r := rng.New(7)
+	for i := range pcs {
+		pcs[i] = uint64(r.Intn(64)) * 4
+		outs[i] = r.Float64() < 0.7
+	}
+	g1, _ := NewGShare(10)
+	s, err := Run(g1, pcs, outs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := NewGShare(10)
+	f := &Feed{P: g2}
+	for i := range pcs {
+		f.Observe(pcs[i], outs[i])
+	}
+	if s.Mispredicts != f.S.Mispredicts || s.Branches != f.S.Branches {
+		t.Errorf("Run %+v != Feed %+v", s, f.S)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	g, _ := NewGShare(10)
+	if _, err := Run(g, []uint64{1}, []bool{true, false}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	if _, err := NewBimodal(0); err == nil {
+		t.Error("0-bit bimodal accepted")
+	}
+	if _, err := NewGShare(25); err == nil {
+		t.Error("25-bit gshare accepted")
+	}
+}
+
+func TestNames(t *testing.T) {
+	g, _ := NewGShare(8)
+	b, _ := NewBimodal(8)
+	if g.Name() != "gshare" || b.Name() != "bimodal" {
+		t.Error("predictor names wrong")
+	}
+}

@@ -1,0 +1,192 @@
+// Package cachesim implements a set-associative cache simulator with
+// LRU replacement and multi-level hierarchies. The µarch study of the
+// paper (Figure 5) measures instruction-cache, branch, and last-level
+// cache behaviour on real hardware counters; this simulator provides
+// the equivalent measurement substrate for the synthetic access
+// traces derived from the encoder's work counters.
+package cachesim
+
+import "fmt"
+
+// Config describes one cache level.
+type Config struct {
+	// Name labels the level in reports (e.g. "L1I").
+	Name string
+	// SizeBytes is the total capacity.
+	SizeBytes int
+	// LineBytes is the cache line size.
+	LineBytes int
+	// Ways is the associativity.
+	Ways int
+}
+
+// Validate checks the geometry.
+func (c Config) Validate() error {
+	switch {
+	case c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Ways <= 0:
+		return fmt.Errorf("cachesim: non-positive geometry %+v", c)
+	case c.LineBytes&(c.LineBytes-1) != 0:
+		return fmt.Errorf("cachesim: line size %d not a power of two", c.LineBytes)
+	case c.SizeBytes%(c.LineBytes*c.Ways) != 0:
+		return fmt.Errorf("cachesim: size %d not divisible into %d-way sets of %dB lines", c.SizeBytes, c.Ways, c.LineBytes)
+	}
+	sets := c.SizeBytes / (c.LineBytes * c.Ways)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cachesim: set count %d not a power of two", sets)
+	}
+	return nil
+}
+
+// Cache is one level of set-associative cache with true-LRU
+// replacement.
+type Cache struct {
+	cfg       Config
+	sets      int
+	lineShift uint
+	setMask   uint64
+	// tags[set*ways+way]; lru[set*ways+way] holds recency counters.
+	tags  []uint64
+	valid []bool
+	lru   []uint64
+	clock uint64
+
+	accesses int64
+	misses   int64
+}
+
+// New builds a cache level.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sets := cfg.SizeBytes / (cfg.LineBytes * cfg.Ways)
+	shift := uint(0)
+	for 1<<shift < cfg.LineBytes {
+		shift++
+	}
+	return &Cache{
+		cfg:       cfg,
+		sets:      sets,
+		lineShift: shift,
+		setMask:   uint64(sets - 1),
+		tags:      make([]uint64, sets*cfg.Ways),
+		valid:     make([]bool, sets*cfg.Ways),
+		lru:       make([]uint64, sets*cfg.Ways),
+	}, nil
+}
+
+// Access looks up the line containing addr, updating LRU state and
+// filling on miss. Returns true on hit.
+func (c *Cache) Access(addr uint64) bool {
+	c.accesses++
+	c.clock++
+	line := addr >> c.lineShift
+	set := int(line & c.setMask)
+	tag := line >> uint(log2(c.sets))
+	base := set * c.cfg.Ways
+	victim := base
+	var victimLRU uint64 = ^uint64(0)
+	for w := 0; w < c.cfg.Ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == tag {
+			c.lru[i] = c.clock
+			return true
+		}
+		if !c.valid[i] {
+			victim = i
+			victimLRU = 0
+		} else if c.lru[i] < victimLRU {
+			victim = i
+			victimLRU = c.lru[i]
+		}
+	}
+	c.misses++
+	c.valid[victim] = true
+	c.tags[victim] = tag
+	c.lru[victim] = c.clock
+	return false
+}
+
+// Stats returns accesses and misses so far.
+func (c *Cache) Stats() (accesses, misses int64) { return c.accesses, c.misses }
+
+// MissRate returns misses/accesses (0 if never accessed).
+func (c *Cache) MissRate() float64 {
+	if c.accesses == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(c.accesses)
+}
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+	}
+	c.accesses, c.misses, c.clock = 0, 0, 0
+}
+
+// Config returns the cache's geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+func log2(v int) int {
+	n := 0
+	for 1<<n < v {
+		n++
+	}
+	return n
+}
+
+// Hierarchy is an inclusive multi-level cache: an access probes each
+// level in order until it hits; lower levels see only the misses of
+// the level above.
+type Hierarchy struct {
+	Levels []*Cache
+}
+
+// NewHierarchy builds a hierarchy from level configs (closest first).
+func NewHierarchy(cfgs ...Config) (*Hierarchy, error) {
+	h := &Hierarchy{}
+	for _, cfg := range cfgs {
+		c, err := New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		h.Levels = append(h.Levels, c)
+	}
+	return h, nil
+}
+
+// Access walks the hierarchy; returns the index of the level that hit,
+// or len(Levels) on a full miss to memory.
+func (h *Hierarchy) Access(addr uint64) int {
+	for i, c := range h.Levels {
+		if c.Access(addr) {
+			return i
+		}
+	}
+	return len(h.Levels)
+}
+
+// Reset clears all levels.
+func (h *Hierarchy) Reset() {
+	for _, c := range h.Levels {
+		c.Reset()
+	}
+}
+
+// SkylakeData returns the data hierarchy of the paper's measurement
+// machine (Xeon E5-1650v3-class): 32KB/8-way L1D, 256KB/8-way L2,
+// 8MB/16-way LLC, 64B lines.
+func SkylakeData() (*Hierarchy, error) {
+	return NewHierarchy(
+		Config{Name: "L1D", SizeBytes: 32 << 10, LineBytes: 64, Ways: 8},
+		Config{Name: "L2", SizeBytes: 256 << 10, LineBytes: 64, Ways: 8},
+		Config{Name: "LLC", SizeBytes: 8 << 20, LineBytes: 64, Ways: 16},
+	)
+}
+
+// SkylakeICache returns the 32KB/8-way instruction cache.
+func SkylakeICache() (*Cache, error) {
+	return New(Config{Name: "L1I", SizeBytes: 32 << 10, LineBytes: 64, Ways: 8})
+}

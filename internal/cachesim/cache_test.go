@@ -1,0 +1,205 @@
+package cachesim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vbench/internal/rng"
+)
+
+func mustCache(t *testing.T, cfg Config) *Cache {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func smallCache(t *testing.T) *Cache {
+	// 1KB, 2-way, 64B lines → 8 sets.
+	return mustCache(t, Config{Name: "t", SizeBytes: 1024, LineBytes: 64, Ways: 2})
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{SizeBytes: 0, LineBytes: 64, Ways: 2},
+		{SizeBytes: 1024, LineBytes: 60, Ways: 2},       // non-power-of-two line
+		{SizeBytes: 1000, LineBytes: 64, Ways: 2},       // size not divisible
+		{SizeBytes: 64 * 2 * 3, LineBytes: 64, Ways: 2}, // 3 sets: not power of two
+	}
+	for _, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := smallCache(t)
+	if c.Access(0x1000) {
+		t.Error("cold access hit")
+	}
+	if !c.Access(0x1000) {
+		t.Error("warm access missed")
+	}
+	if !c.Access(0x1030) { // same 64B line
+		t.Error("same-line access missed")
+	}
+	acc, miss := c.Stats()
+	if acc != 3 || miss != 1 {
+		t.Errorf("stats = %d/%d, want 3/1", acc, miss)
+	}
+}
+
+func TestAssociativityConflicts(t *testing.T) {
+	c := smallCache(t) // 8 sets, 2 ways
+	// Three lines mapping to the same set (stride = sets × line = 512B).
+	a, b, d := uint64(0), uint64(512), uint64(1024)
+	c.Access(a)
+	c.Access(b)
+	if !c.Access(a) || !c.Access(b) {
+		t.Fatal("two-way set should hold two lines")
+	}
+	c.Access(d) // evicts LRU = a
+	if c.Access(a) {
+		t.Error("LRU line survived eviction")
+	}
+}
+
+func TestLRUOrder(t *testing.T) {
+	c := smallCache(t)
+	a, b, d := uint64(0), uint64(512), uint64(1024)
+	c.Access(a)
+	c.Access(b)
+	c.Access(a) // a is now MRU
+	c.Access(d) // must evict b
+	if !c.Access(a) {
+		t.Error("MRU line evicted")
+	}
+	if c.Access(b) {
+		t.Error("LRU line not evicted")
+	}
+}
+
+func TestWorkingSetFitsNoSteadyMisses(t *testing.T) {
+	c := mustCache(t, Config{Name: "L1", SizeBytes: 32 << 10, LineBytes: 64, Ways: 8})
+	// 16KB working set streamed repeatedly: after warmup, zero misses.
+	for round := 0; round < 3; round++ {
+		for addr := uint64(0); addr < 16<<10; addr += 64 {
+			c.Access(addr)
+		}
+	}
+	_, missesBefore := c.Stats()
+	for addr := uint64(0); addr < 16<<10; addr += 64 {
+		c.Access(addr)
+	}
+	_, missesAfter := c.Stats()
+	if missesAfter != missesBefore {
+		t.Errorf("resident working set missed %d times", missesAfter-missesBefore)
+	}
+}
+
+func TestWorkingSetExceedsThrashes(t *testing.T) {
+	c := mustCache(t, Config{Name: "L1", SizeBytes: 32 << 10, LineBytes: 64, Ways: 8})
+	// 64KB round-robin working set with true LRU: every access misses.
+	for round := 0; round < 3; round++ {
+		for addr := uint64(0); addr < 64<<10; addr += 64 {
+			c.Access(addr)
+		}
+	}
+	if c.MissRate() < 0.99 {
+		t.Errorf("oversized working set miss rate = %v, want ~1", c.MissRate())
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := smallCache(t)
+	c.Access(0)
+	c.Reset()
+	acc, miss := c.Stats()
+	if acc != 0 || miss != 0 {
+		t.Error("reset did not clear stats")
+	}
+	if c.Access(0) {
+		t.Error("reset did not clear contents")
+	}
+}
+
+func TestHierarchyLevels(t *testing.T) {
+	h, err := NewHierarchy(
+		Config{Name: "L1", SizeBytes: 1 << 10, LineBytes: 64, Ways: 2},
+		Config{Name: "L2", SizeBytes: 8 << 10, LineBytes: 64, Ways: 4},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lvl := h.Access(0); lvl != 2 {
+		t.Errorf("cold access hit level %d, want memory (2)", lvl)
+	}
+	if lvl := h.Access(0); lvl != 0 {
+		t.Errorf("warm access hit level %d, want 0", lvl)
+	}
+	// Evict address 0 from the 2-way L1 set (stride 512) with two more
+	// conflicting lines; they land in different L2 sets (stride 2048),
+	// so L2 still holds address 0.
+	h.Access(512)
+	h.Access(1024)
+	if lvl := h.Access(0); lvl != 1 {
+		t.Errorf("L1-evicted line hit level %d, want 1 (L2)", lvl)
+	}
+}
+
+func TestSkylakePresets(t *testing.T) {
+	h, err := SkylakeData()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Levels) != 3 {
+		t.Fatalf("data hierarchy has %d levels", len(h.Levels))
+	}
+	if h.Levels[2].Config().SizeBytes != 8<<20 {
+		t.Error("LLC size wrong")
+	}
+	ic, err := SkylakeICache()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ic.Config().SizeBytes != 32<<10 {
+		t.Error("L1I size wrong")
+	}
+}
+
+func TestMissRateBoundedProperty(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		c, err := New(Config{Name: "p", SizeBytes: 4 << 10, LineBytes: 64, Ways: 4})
+		if err != nil {
+			return false
+		}
+		r := rng.New(seed)
+		for i := 0; i < int(n); i++ {
+			c.Access(uint64(r.Intn(1 << 20)))
+		}
+		mr := c.MissRate()
+		return mr >= 0 && mr <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() (int64, int64) {
+		c := mustCache(t, Config{Name: "d", SizeBytes: 2 << 10, LineBytes: 64, Ways: 2})
+		r := rng.New(99)
+		for i := 0; i < 10000; i++ {
+			c.Access(uint64(r.Intn(1 << 16)))
+		}
+		return c.Stats()
+	}
+	a1, m1 := run()
+	a2, m2 := run()
+	if a1 != a2 || m1 != m2 {
+		t.Error("identical traces produced different stats")
+	}
+}

@@ -1,0 +1,26 @@
+package cluster_test
+
+import (
+	"fmt"
+	"sort"
+
+	"vbench/internal/cluster"
+)
+
+// Selecting representatives from a weighted point set, the way vbench
+// picks its videos from the corpus.
+func ExampleKMeans() {
+	points := []cluster.Point{
+		{0.0}, {0.1}, {0.2}, // a low cluster
+		{9.8}, {10.0}, {10.4}, // a high cluster
+	}
+	weights := []float64{1, 5, 1, 2, 1, 8}
+	res, err := cluster.KMeans(points, weights, cluster.Config{K: 2, Seed: 1, Restarts: 4})
+	if err != nil {
+		panic(err)
+	}
+	modes := cluster.Modes(res, weights)
+	sort.Ints(modes)
+	fmt.Println("representatives:", modes)
+	// Output: representatives: [1 5]
+}

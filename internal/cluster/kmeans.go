@@ -1,0 +1,265 @@
+// Package cluster implements weighted k-means clustering with
+// k-means++ seeding — the algorithm vbench uses to select its
+// representative video categories from the corpus (Section 4.1 of the
+// paper): categories are points in a linearized
+// (resolution, framerate, entropy) space, weighted by the transcoding
+// time their category consumed, and each cluster is represented by its
+// highest-weight member (the mode).
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"vbench/internal/rng"
+)
+
+// Point is a point in feature space.
+type Point []float64
+
+// Config controls a clustering run.
+type Config struct {
+	// K is the number of clusters.
+	K int
+	// MaxIter bounds Lloyd iterations per restart (default 100).
+	MaxIter int
+	// Restarts runs the algorithm multiple times with different
+	// seedings and keeps the lowest-inertia result (default 1).
+	Restarts int
+	// Seed makes the run deterministic.
+	Seed uint64
+}
+
+// Result is the outcome of a clustering run.
+type Result struct {
+	// Centroids are the final cluster centers.
+	Centroids []Point
+	// Assign maps each input point to its cluster.
+	Assign []int
+	// Inertia is the weighted sum of squared distances to assigned
+	// centroids.
+	Inertia float64
+	// Iterations is the number of Lloyd iterations of the winning
+	// restart.
+	Iterations int
+}
+
+func sqDist(a, b Point) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// KMeans clusters the weighted points. weights may be nil for uniform
+// weighting. All points must share the same dimensionality.
+func KMeans(points []Point, weights []float64, cfg Config) (*Result, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, errors.New("cluster: no points")
+	}
+	if cfg.K <= 0 {
+		return nil, fmt.Errorf("cluster: invalid K %d", cfg.K)
+	}
+	if cfg.K > n {
+		return nil, fmt.Errorf("cluster: K %d exceeds point count %d", cfg.K, n)
+	}
+	dim := len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("cluster: point %d has dimension %d, want %d", i, len(p), dim)
+		}
+	}
+	if weights == nil {
+		weights = make([]float64, n)
+		for i := range weights {
+			weights[i] = 1
+		}
+	}
+	if len(weights) != n {
+		return nil, fmt.Errorf("cluster: %d weights for %d points", len(weights), n)
+	}
+	var totalW float64
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			return nil, fmt.Errorf("cluster: invalid weight %v at %d", w, i)
+		}
+		totalW += w
+	}
+	if totalW <= 0 {
+		return nil, errors.New("cluster: all weights zero")
+	}
+	maxIter := cfg.MaxIter
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	restarts := cfg.Restarts
+	if restarts <= 0 {
+		restarts = 1
+	}
+
+	var best *Result
+	for r := 0; r < restarts; r++ {
+		res, err := run(points, weights, cfg.K, maxIter, rng.New(cfg.Seed+uint64(r)*0x9E3779B9))
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || res.Inertia < best.Inertia {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+// run performs one weighted k-means pass with k-means++ seeding.
+func run(points []Point, weights []float64, k, maxIter int, r *rng.Rand) (*Result, error) {
+	n := len(points)
+	dim := len(points[0])
+	centroids := seedPlusPlus(points, weights, k, r)
+	assign := make([]int, n)
+	prevInertia := math.Inf(1)
+	iters := 0
+	for iter := 0; iter < maxIter; iter++ {
+		iters = iter + 1
+		// Assignment step.
+		inertia := 0.0
+		for i, p := range points {
+			bestC, bestD := 0, math.Inf(1)
+			for ci, c := range centroids {
+				if d := sqDist(p, c); d < bestD {
+					bestD = d
+					bestC = ci
+				}
+			}
+			assign[i] = bestC
+			inertia += weights[i] * bestD
+		}
+		// Update step: weighted means.
+		sums := make([][]float64, k)
+		wsum := make([]float64, k)
+		for ci := range sums {
+			sums[ci] = make([]float64, dim)
+		}
+		for i, p := range points {
+			ci := assign[i]
+			w := weights[i]
+			wsum[ci] += w
+			for d := range p {
+				sums[ci][d] += w * p[d]
+			}
+		}
+		for ci := range centroids {
+			if wsum[ci] == 0 {
+				// Empty cluster: reseed at the point farthest from its
+				// centroid (weighted), a standard repair.
+				far, farD := 0, -1.0
+				for i, p := range points {
+					d := weights[i] * sqDist(p, centroids[assign[i]])
+					if d > farD {
+						farD = d
+						far = i
+					}
+				}
+				centroids[ci] = append(Point(nil), points[far]...)
+				continue
+			}
+			for d := 0; d < dim; d++ {
+				centroids[ci][d] = sums[ci][d] / wsum[ci]
+			}
+		}
+		if inertia >= prevInertia-1e-12 {
+			prevInertia = inertia
+			break
+		}
+		prevInertia = inertia
+	}
+	// Final assignment with the final centroids.
+	inertia := 0.0
+	for i, p := range points {
+		bestC, bestD := 0, math.Inf(1)
+		for ci, c := range centroids {
+			if d := sqDist(p, c); d < bestD {
+				bestD = d
+				bestC = ci
+			}
+		}
+		assign[i] = bestC
+		inertia += weights[i] * bestD
+	}
+	return &Result{Centroids: centroids, Assign: assign, Inertia: inertia, Iterations: iters}, nil
+}
+
+// seedPlusPlus picks k initial centroids by weighted k-means++: the
+// first proportional to point weight, each next proportional to
+// weight × squared distance from the chosen set.
+func seedPlusPlus(points []Point, weights []float64, k int, r *rng.Rand) []Point {
+	n := len(points)
+	centroids := make([]Point, 0, k)
+	first := weightedPick(weights, r)
+	centroids = append(centroids, append(Point(nil), points[first]...))
+	d2 := make([]float64, n)
+	for i, p := range points {
+		d2[i] = sqDist(p, centroids[0])
+	}
+	probs := make([]float64, n)
+	for len(centroids) < k {
+		for i := range probs {
+			probs[i] = weights[i] * d2[i]
+		}
+		next := weightedPick(probs, r)
+		c := append(Point(nil), points[next]...)
+		centroids = append(centroids, c)
+		for i, p := range points {
+			if d := sqDist(p, c); d < d2[i] {
+				d2[i] = d
+			}
+		}
+	}
+	return centroids
+}
+
+// weightedPick samples an index proportionally to w; if all weights
+// are zero it picks uniformly.
+func weightedPick(w []float64, r *rng.Rand) int {
+	var total float64
+	for _, v := range w {
+		total += v
+	}
+	if total <= 0 {
+		return r.Intn(len(w))
+	}
+	x := r.Float64() * total
+	for i, v := range w {
+		x -= v
+		if x < 0 {
+			return i
+		}
+	}
+	return len(w) - 1
+}
+
+// Modes returns, for each cluster, the index of the highest-weight
+// member point — the paper's cluster representative.
+func Modes(res *Result, weights []float64) []int {
+	k := len(res.Centroids)
+	modes := make([]int, k)
+	bestW := make([]float64, k)
+	for i := range modes {
+		modes[i] = -1
+		bestW[i] = -1
+	}
+	for i, ci := range res.Assign {
+		w := 1.0
+		if weights != nil {
+			w = weights[i]
+		}
+		if w > bestW[ci] {
+			bestW[ci] = w
+			modes[ci] = i
+		}
+	}
+	return modes
+}

@@ -1,0 +1,230 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vbench/internal/rng"
+)
+
+// threeBlobs generates three well-separated Gaussian clusters.
+func threeBlobs(n int, seed uint64) ([]Point, []int) {
+	r := rng.New(seed)
+	centers := []Point{{0, 0}, {10, 0}, {0, 10}}
+	pts := make([]Point, 0, 3*n)
+	labels := make([]int, 0, 3*n)
+	for ci, c := range centers {
+		for i := 0; i < n; i++ {
+			pts = append(pts, Point{c[0] + r.NormFloat64(), c[1] + r.NormFloat64()})
+			labels = append(labels, ci)
+		}
+	}
+	return pts, labels
+}
+
+func TestKMeansSeparatesBlobs(t *testing.T) {
+	pts, labels := threeBlobs(50, 1)
+	res, err := KMeans(pts, nil, Config{K: 3, Seed: 7, Restarts: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every true cluster should map to exactly one found cluster.
+	mapping := map[int]map[int]int{}
+	for i, l := range labels {
+		if mapping[l] == nil {
+			mapping[l] = map[int]int{}
+		}
+		mapping[l][res.Assign[i]]++
+	}
+	used := map[int]bool{}
+	for l, m := range mapping {
+		best, bestN := -1, 0
+		total := 0
+		for a, n := range m {
+			total += n
+			if n > bestN {
+				best, bestN = a, n
+			}
+		}
+		if float64(bestN) < 0.95*float64(total) {
+			t.Errorf("true cluster %d split across found clusters: %v", l, m)
+		}
+		if used[best] {
+			t.Errorf("found cluster %d claimed by two true clusters", best)
+		}
+		used[best] = true
+	}
+}
+
+func TestKMeansCentroidsNearTruth(t *testing.T) {
+	pts, _ := threeBlobs(100, 3)
+	res, err := KMeans(pts, nil, Config{K: 3, Seed: 1, Restarts: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := []Point{{0, 0}, {10, 0}, {0, 10}}
+	for _, want := range truth {
+		found := false
+		for _, c := range res.Centroids {
+			if math.Hypot(c[0]-want[0], c[1]-want[1]) < 1.0 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no centroid near %v: %v", want, res.Centroids)
+		}
+	}
+}
+
+func TestKMeansWeightsPullCentroids(t *testing.T) {
+	// Two points; with an extreme weight the single centroid must sit
+	// on the heavy one.
+	pts := []Point{{0}, {10}}
+	res, err := KMeans(pts, []float64{1000, 1}, Config{K: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Centroids[0][0] > 0.1 {
+		t.Errorf("weighted centroid at %v, want ≈0", res.Centroids[0][0])
+	}
+}
+
+func TestKMeansValidation(t *testing.T) {
+	pts := []Point{{1, 2}, {3, 4}}
+	if _, err := KMeans(nil, nil, Config{K: 1}); err == nil {
+		t.Error("empty points accepted")
+	}
+	if _, err := KMeans(pts, nil, Config{K: 0}); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, err := KMeans(pts, nil, Config{K: 3}); err == nil {
+		t.Error("K>n accepted")
+	}
+	if _, err := KMeans(pts, []float64{1}, Config{K: 1}); err == nil {
+		t.Error("weight length mismatch accepted")
+	}
+	if _, err := KMeans(pts, []float64{-1, 1}, Config{K: 1}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := KMeans(pts, []float64{0, 0}, Config{K: 1}); err == nil {
+		t.Error("all-zero weights accepted")
+	}
+	if _, err := KMeans([]Point{{1}, {1, 2}}, nil, Config{K: 1}); err == nil {
+		t.Error("ragged dimensions accepted")
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	pts, _ := threeBlobs(30, 9)
+	a, err := KMeans(pts, nil, Config{K: 3, Seed: 42, Restarts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KMeans(pts, nil, Config{K: 3, Seed: 42, Restarts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Inertia != b.Inertia {
+		t.Errorf("same seed, different inertia: %v vs %v", a.Inertia, b.Inertia)
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("same seed, different assignment")
+		}
+	}
+}
+
+func TestKMeansAssignmentsAreNearest(t *testing.T) {
+	// Invariant: on convergence every point is assigned to its nearest
+	// centroid.
+	pts, _ := threeBlobs(40, 11)
+	res, err := KMeans(pts, nil, Config{K: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pts {
+		best, bestD := -1, math.Inf(1)
+		for ci, c := range res.Centroids {
+			if d := sqDist(p, c); d < bestD {
+				best, bestD = ci, d
+			}
+		}
+		if res.Assign[i] != best {
+			t.Fatalf("point %d assigned to %d, nearest is %d", i, res.Assign[i], best)
+		}
+	}
+}
+
+func TestKMeansInertiaImprovesWithK(t *testing.T) {
+	pts, _ := threeBlobs(40, 13)
+	prev := math.Inf(1)
+	for _, k := range []int{1, 2, 3, 6} {
+		res, err := KMeans(pts, nil, Config{K: k, Seed: 5, Restarts: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Inertia > prev+1e-9 {
+			t.Errorf("inertia rose from %v to %v at k=%d", prev, res.Inertia, k)
+		}
+		prev = res.Inertia
+	}
+}
+
+func TestKMeansKEqualsN(t *testing.T) {
+	pts := []Point{{0}, {5}, {10}, {20}}
+	res, err := KMeans(pts, nil, Config{K: 4, Seed: 3, Restarts: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inertia > 1e-9 {
+		t.Errorf("K=n inertia = %v, want 0", res.Inertia)
+	}
+}
+
+func TestModesPickHeaviestMember(t *testing.T) {
+	pts := []Point{{0}, {0.1}, {10}, {10.1}}
+	weights := []float64{1, 5, 7, 2}
+	res, err := KMeans(pts, weights, Config{K: 2, Seed: 1, Restarts: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	modes := Modes(res, weights)
+	picked := map[int]bool{}
+	for _, m := range modes {
+		picked[m] = true
+	}
+	if !picked[1] || !picked[2] {
+		t.Errorf("modes = %v, want {1, 2}", modes)
+	}
+}
+
+func TestInertiaNonNegativeProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 5 + r.Intn(40)
+		pts := make([]Point, n)
+		w := make([]float64, n)
+		for i := range pts {
+			pts[i] = Point{r.Range(-5, 5), r.Range(-5, 5)}
+			w[i] = r.Float64() + 0.01
+		}
+		k := 1 + r.Intn(n)
+		res, err := KMeans(pts, w, Config{K: k, Seed: seed})
+		if err != nil {
+			return false
+		}
+		if res.Inertia < 0 {
+			return false
+		}
+		for _, a := range res.Assign {
+			if a < 0 || a >= k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

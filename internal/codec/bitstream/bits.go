@@ -1,0 +1,197 @@
+// Package bitstream provides the bit-exact serialization primitives
+// the vbench codec is built on: a big-endian bit writer/reader,
+// unsigned and signed Exp-Golomb codes (the H.264 "CAVLC-style"
+// variable-length layer), and an adaptive binary arithmetic coder
+// modeled on the VP8/RFC 6386 boolean coder (the "CABAC-style" layer).
+//
+// The two entropy layers are the real mechanism behind the benchmark's
+// encoder families: profiles that select the arithmetic coder compress
+// measurably better and spend measurably more (strictly sequential)
+// work, exactly the trade the paper attributes to CABAC vs CAVLC.
+package bitstream
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUnderflow is returned when a reader runs out of input bits.
+var ErrUnderflow = errors.New("bitstream: read past end of input")
+
+// BitWriter accumulates bits MSB-first into a byte buffer.
+type BitWriter struct {
+	buf  []byte
+	cur  uint8
+	nbit uint // bits currently in cur (0..7)
+}
+
+// NewBitWriter returns an empty writer.
+func NewBitWriter() *BitWriter { return &BitWriter{} }
+
+// WriteBit appends a single bit (0 or 1).
+func (w *BitWriter) WriteBit(bit int) {
+	w.cur = w.cur<<1 | uint8(bit&1)
+	w.nbit++
+	if w.nbit == 8 {
+		w.buf = append(w.buf, w.cur)
+		w.cur = 0
+		w.nbit = 0
+	}
+}
+
+// WriteBits appends the n low-order bits of v, MSB first. n must be in
+// [0, 32].
+func (w *BitWriter) WriteBits(v uint32, n uint) {
+	if n > 32 {
+		panic(fmt.Sprintf("bitstream: WriteBits n=%d > 32", n))
+	}
+	for i := int(n) - 1; i >= 0; i-- {
+		w.WriteBit(int(v>>uint(i)) & 1)
+	}
+}
+
+// BitLen returns the number of bits written so far.
+func (w *BitWriter) BitLen() int { return len(w.buf)*8 + int(w.nbit) }
+
+// Bytes flushes any partial byte (padding with zero bits) and returns
+// the buffer. The writer may continue to be used; padding is only
+// materialized in the returned copy.
+func (w *BitWriter) Bytes() []byte {
+	out := append([]byte(nil), w.buf...)
+	if w.nbit > 0 {
+		out = append(out, w.cur<<(8-w.nbit))
+	}
+	return out
+}
+
+// BitReader consumes bits MSB-first from a byte slice.
+type BitReader struct {
+	buf []byte
+	pos int  // byte position
+	bit uint // bit position within buf[pos] (0 = MSB)
+}
+
+// NewBitReader returns a reader over data.
+func NewBitReader(data []byte) *BitReader { return &BitReader{buf: data} }
+
+// ReadBit returns the next bit.
+func (r *BitReader) ReadBit() (int, error) {
+	if r.pos >= len(r.buf) {
+		return 0, ErrUnderflow
+	}
+	b := int(r.buf[r.pos]>>(7-r.bit)) & 1
+	r.bit++
+	if r.bit == 8 {
+		r.bit = 0
+		r.pos++
+	}
+	return b, nil
+}
+
+// ReadBits returns the next n bits as an unsigned integer (MSB first).
+// n must be in [0, 32].
+func (r *BitReader) ReadBits(n uint) (uint32, error) {
+	if n > 32 {
+		panic(fmt.Sprintf("bitstream: ReadBits n=%d > 32", n))
+	}
+	var v uint32
+	for i := uint(0); i < n; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint32(b)
+	}
+	return v, nil
+}
+
+// BitsConsumed returns how many bits have been read.
+func (r *BitReader) BitsConsumed() int { return r.pos*8 + int(r.bit) }
+
+// WriteUE appends v as an unsigned Exp-Golomb code (H.264 ue(v)).
+func (w *BitWriter) WriteUE(v uint32) {
+	// codeNum = v; code = (v+1) in binary, prefixed by leadingZeros.
+	x := v + 1
+	n := bitLen32(x)
+	for i := 0; i < n-1; i++ {
+		w.WriteBit(0)
+	}
+	w.WriteBits(x, uint(n))
+}
+
+// ReadUE reads an unsigned Exp-Golomb code.
+func (r *BitReader) ReadUE() (uint32, error) {
+	zeros := 0
+	for {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if b == 1 {
+			break
+		}
+		zeros++
+		if zeros > 32 {
+			return 0, errors.New("bitstream: malformed exp-golomb code")
+		}
+	}
+	if zeros == 0 {
+		return 0, nil
+	}
+	suffix, err := r.ReadBits(uint(zeros))
+	if err != nil {
+		return 0, err
+	}
+	return (1<<uint(zeros) | suffix) - 1, nil
+}
+
+// WriteSE appends v as a signed Exp-Golomb code (H.264 se(v)):
+// 0 → 0, 1 → 1, -1 → 2, 2 → 3, -2 → 4, ...
+func (w *BitWriter) WriteSE(v int32) {
+	var u uint32
+	if v > 0 {
+		u = uint32(v)*2 - 1
+	} else {
+		u = uint32(-v) * 2
+	}
+	w.WriteUE(u)
+}
+
+// ReadSE reads a signed Exp-Golomb code.
+func (r *BitReader) ReadSE() (int32, error) {
+	u, err := r.ReadUE()
+	if err != nil {
+		return 0, err
+	}
+	if u%2 == 1 {
+		return int32(u/2 + 1), nil
+	}
+	return -int32(u / 2), nil
+}
+
+// UEBits returns the length in bits of the ue(v) code for v, used by
+// rate-distortion estimation without serializing.
+func UEBits(v uint32) int {
+	n := bitLen32(v + 1)
+	return 2*n - 1
+}
+
+// SEBits returns the length in bits of the se(v) code for v.
+func SEBits(v int32) int {
+	var u uint32
+	if v > 0 {
+		u = uint32(v)*2 - 1
+	} else {
+		u = uint32(-v) * 2
+	}
+	return UEBits(u)
+}
+
+func bitLen32(x uint32) int {
+	n := 0
+	for x > 0 {
+		n++
+		x >>= 1
+	}
+	return n
+}

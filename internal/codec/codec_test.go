@@ -1,0 +1,638 @@
+package codec
+
+import (
+	"testing"
+
+	"vbench/internal/metrics"
+	"vbench/internal/video"
+)
+
+// testSequence synthesizes a small deterministic test clip.
+func testSequence(t *testing.T, w, h, frames int, params video.ContentParams) *video.Sequence {
+	t.Helper()
+	seq, err := video.Generate(params, w, h, frames, 30)
+	if err != nil {
+		t.Fatalf("generating test sequence: %v", err)
+	}
+	return seq
+}
+
+func defaultParams() video.ContentParams {
+	return video.ContentParams{
+		Seed:          42,
+		Detail:        0.5,
+		Motion:        0.4,
+		Noise:         0.1,
+		Sprites:       3,
+		ChromaVariety: 0.5,
+	}
+}
+
+// allToolVariants returns tool sets covering every bitstream feature.
+func allToolVariants() []Tools {
+	variants := []Tools{
+		BaselineTools(PresetUltraFast),
+		BaselineTools(PresetVeryFast),
+		BaselineTools(PresetMedium),
+		BaselineTools(PresetSlow),
+		BaselineTools(PresetVerySlow),
+	}
+	rich := BaselineTools(PresetSlow)
+	rich.Name = "rich"
+	rich.RichContexts = true
+	variants = append(variants, rich)
+	return variants
+}
+
+func TestEncodeDecodeRoundTripAllTools(t *testing.T) {
+	src := testSequence(t, 64, 48, 6, defaultParams())
+	for _, tools := range allToolVariants() {
+		tools := tools
+		t.Run(tools.Name, func(t *testing.T) {
+			eng := &Engine{Tools: tools}
+			res, err := eng.Encode(src, Config{RC: RCConstQP, QP: 28})
+			if err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			dec, _, err := Decode(res.Bitstream)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if len(dec.Frames) != len(src.Frames) {
+				t.Fatalf("decoded %d frames, want %d", len(dec.Frames), len(src.Frames))
+			}
+			for i := range dec.Frames {
+				if !dec.Frames[i].Equal(res.Recon.Frames[i]) {
+					t.Fatalf("frame %d: decoder output differs from encoder reconstruction", i)
+				}
+			}
+		})
+	}
+}
+
+func TestEncodeQualityReasonable(t *testing.T) {
+	src := testSequence(t, 64, 48, 6, defaultParams())
+	eng := &Engine{Tools: BaselineTools(PresetMedium)}
+	res, err := eng.Encode(src, Config{RC: RCConstQP, QP: 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	psnr, err := metrics.SequencePSNR(src, res.Recon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if psnr < 36 {
+		t.Errorf("QP18 PSNR = %.2f dB, want ≥ 36", psnr)
+	}
+}
+
+func TestQualityMonotoneInQP(t *testing.T) {
+	src := testSequence(t, 64, 48, 4, defaultParams())
+	eng := &Engine{Tools: BaselineTools(PresetVeryFast)}
+	var prevPSNR float64 = 1000
+	var prevBits int64 = 1 << 62
+	for _, qp := range []int{12, 20, 28, 36, 44} {
+		res, err := eng.Encode(src, Config{RC: RCConstQP, QP: qp})
+		if err != nil {
+			t.Fatal(err)
+		}
+		psnr, err := metrics.SequencePSNR(src, res.Recon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bits := int64(len(res.Bitstream)) * 8
+		if psnr > prevPSNR+0.01 {
+			t.Errorf("QP %d: PSNR %.2f rose above previous %.2f", qp, psnr, prevPSNR)
+		}
+		if bits > prevBits {
+			t.Errorf("QP %d: size %d bits rose above previous %d", qp, bits, prevBits)
+		}
+		prevPSNR, prevBits = psnr, bits
+	}
+}
+
+func TestLowQPIsNearLossless(t *testing.T) {
+	src := testSequence(t, 48, 48, 3, video.ContentParams{Seed: 5, Detail: 0.3, ChromaVariety: 0.3})
+	eng := &Engine{Tools: BaselineTools(PresetMedium)}
+	res, err := eng.Encode(src, Config{RC: RCConstQP, QP: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	psnr, err := metrics.SequencePSNR(src, res.Recon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if psnr < 48 {
+		t.Errorf("QP2 PSNR = %.2f dB, want ≥ 48 (near lossless)", psnr)
+	}
+}
+
+func TestArithCompressesBetterThanGolomb(t *testing.T) {
+	src := testSequence(t, 96, 64, 6, defaultParams())
+	tg := BaselineTools(PresetMedium)
+	tg.Entropy = EntropyGolomb
+	ta := BaselineTools(PresetMedium)
+	ta.Entropy = EntropyArith
+	rg, err := (&Engine{Tools: tg}).Encode(src, Config{RC: RCConstQP, QP: 26})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := (&Engine{Tools: ta}).Encode(src, Config{RC: RCConstQP, QP: 26})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ra.Bitstream) >= len(rg.Bitstream) {
+		t.Errorf("arith (%d bytes) not smaller than golomb (%d bytes)", len(ra.Bitstream), len(rg.Bitstream))
+	}
+}
+
+func TestHigherEffortCompressesBetter(t *testing.T) {
+	// At equal QP (≈equal quality) a slower preset should spend fewer
+	// bits on motion-heavy content.
+	p := defaultParams()
+	p.Motion = 0.7
+	src := testSequence(t, 96, 64, 8, p)
+	fast, err := (&Engine{Tools: BaselineTools(PresetUltraFast)}).Encode(src, Config{RC: RCConstQP, QP: 28})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := (&Engine{Tools: BaselineTools(PresetVerySlow)}).Encode(src, Config{RC: RCConstQP, QP: 28})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slow.Bitstream) >= len(fast.Bitstream) {
+		t.Errorf("veryslow (%d bytes) not smaller than ultrafast (%d bytes)", len(slow.Bitstream), len(fast.Bitstream))
+	}
+	if slow.Counters.TotalOps() <= fast.Counters.TotalOps() {
+		t.Errorf("veryslow ops (%d) not greater than ultrafast ops (%d)",
+			slow.Counters.TotalOps(), fast.Counters.TotalOps())
+	}
+}
+
+func TestBitrateModeHitsTarget(t *testing.T) {
+	src := testSequence(t, 96, 64, 12, defaultParams())
+	eng := &Engine{Tools: BaselineTools(PresetVeryFast)}
+	target := 400_000.0 // bits/s
+	res, err := eng.Encode(src, Config{RC: RCBitrate, BitrateBPS: target})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits := float64(len(res.Bitstream)) * 8
+	actual := bits / src.Duration()
+	if actual > target*1.6 || actual < target*0.3 {
+		t.Errorf("ABR produced %.0f bps for target %.0f", actual, target)
+	}
+}
+
+func TestTwoPassCloserOrEqualToTarget(t *testing.T) {
+	p := defaultParams()
+	p.SceneCutInterval = 6
+	src := testSequence(t, 96, 64, 12, p)
+	eng := &Engine{Tools: BaselineTools(PresetMedium)}
+	target := 300_000.0
+	res2, err := eng.Encode(src, Config{RC: RCTwoPass, BitrateBPS: target})
+	if err != nil {
+		t.Fatal(err)
+	}
+	actual2 := float64(len(res2.Bitstream)) * 8 / src.Duration()
+	if actual2 > target*1.6 || actual2 < target*0.3 {
+		t.Errorf("two-pass produced %.0f bps for target %.0f", actual2, target)
+	}
+}
+
+func TestKeyIntervalForcesIntra(t *testing.T) {
+	src := testSequence(t, 48, 48, 9, defaultParams())
+	eng := &Engine{Tools: BaselineTools(PresetUltraFast)}
+	res, err := eng.Encode(src, Config{RC: RCConstQP, QP: 30, KeyInterval: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ft := range res.FrameTypes {
+		wantI := i%4 == 0
+		if wantI && ft != frameI {
+			t.Errorf("frame %d: expected I frame", i)
+		}
+	}
+}
+
+func TestSceneCutInsertsKeyFrame(t *testing.T) {
+	p := defaultParams()
+	p.SceneCutInterval = 5
+	p.Noise = 0
+	src := testSequence(t, 96, 64, 10, p)
+	tools := BaselineTools(PresetMedium)
+	if !tools.SceneCut {
+		t.Fatal("medium preset should enable scene-cut detection")
+	}
+	eng := &Engine{Tools: tools}
+	res, err := eng.Encode(src, Config{RC: RCConstQP, QP: 28})
+	if err != nil {
+		t.Fatal(err)
+	}
+	intraCount := 0
+	for _, ft := range res.FrameTypes {
+		if ft == frameI {
+			intraCount++
+		}
+	}
+	if intraCount < 2 {
+		t.Errorf("scene-cut content produced only %d key frames", intraCount)
+	}
+}
+
+func TestSkipMBsOnStaticContent(t *testing.T) {
+	p := video.ContentParams{Seed: 9, Detail: 0.4, ChromaVariety: 0.2, TextRegions: 2}
+	src := testSequence(t, 96, 64, 5, p)
+	eng := &Engine{Tools: BaselineTools(PresetMedium)}
+	res, err := eng.Encode(src, Config{RC: RCConstQP, QP: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.MBSkip == 0 {
+		t.Error("static content produced no skip macroblocks")
+	}
+}
+
+func TestNonMacroblockAlignedDimensions(t *testing.T) {
+	// 52×38 is not a multiple of 16: exercises padding and cropping.
+	src := testSequence(t, 52, 38, 4, defaultParams())
+	eng := &Engine{Tools: BaselineTools(PresetVeryFast)}
+	res, err := eng.Encode(src, Config{RC: RCConstQP, QP: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recon.Width() != 52 || res.Recon.Height() != 38 {
+		t.Fatalf("recon dims %dx%d", res.Recon.Width(), res.Recon.Height())
+	}
+	dec, _, err := Decode(res.Bitstream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Width() != 52 || dec.Height() != 38 {
+		t.Fatalf("decoded dims %dx%d", dec.Width(), dec.Height())
+	}
+	for i := range dec.Frames {
+		if !dec.Frames[i].Equal(res.Recon.Frames[i]) {
+			t.Fatalf("frame %d mismatch on non-aligned dims", i)
+		}
+	}
+}
+
+func TestDecodeRejectsCorruptHeaders(t *testing.T) {
+	src := testSequence(t, 48, 48, 2, defaultParams())
+	res, err := (&Engine{Tools: BaselineTools(PresetUltraFast)}).Encode(src, Config{RC: RCConstQP, QP: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]func([]byte) []byte{
+		"empty":       func(b []byte) []byte { return nil },
+		"bad magic":   func(b []byte) []byte { c := clone(b); c[0] = 'X'; return c },
+		"truncated":   func(b []byte) []byte { return b[:len(b)/2] },
+		"no payload":  func(b []byte) []byte { return b[:18] },
+		"zero width":  func(b []byte) []byte { c := clone(b); c[4], c[5] = 0, 0; return c },
+		"bad refs":    func(b []byte) []byte { c := clone(b); c[15] = 99; return c },
+		"bad ftype":   func(b []byte) []byte { c := clone(b); c[16] = 7; return c },
+		"bad base qp": func(b []byte) []byte { c := clone(b); c[17] = 200; return c },
+	}
+	for name, mutate := range cases {
+		if _, _, err := Decode(mutate(res.Bitstream)); err == nil {
+			t.Errorf("%s: decode accepted corrupt stream", name)
+		}
+	}
+}
+
+func clone(b []byte) []byte { return append([]byte(nil), b...) }
+
+func TestPerFrameBitsSumToStream(t *testing.T) {
+	src := testSequence(t, 64, 48, 5, defaultParams())
+	res, err := (&Engine{Tools: BaselineTools(PresetVeryFast)}).Encode(src, Config{RC: RCConstQP, QP: 28})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	for _, b := range res.PerFrameBits {
+		sum += b
+	}
+	headerBits := int64(17 * 8) // sequence header bytes
+	if sum+headerBits != int64(len(res.Bitstream))*8 {
+		t.Errorf("per-frame bits %d + header %d != stream %d", sum, headerBits, int64(len(res.Bitstream))*8)
+	}
+}
+
+func TestCountersPopulated(t *testing.T) {
+	src := testSequence(t, 64, 48, 5, defaultParams())
+	res, err := (&Engine{Tools: BaselineTools(PresetMedium)}).Encode(src, Config{RC: RCConstQP, QP: 28})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &res.Counters
+	if c.Frames != 5 {
+		t.Errorf("Frames = %d", c.Frames)
+	}
+	if c.MBTotal != 5*4*3 {
+		t.Errorf("MBTotal = %d, want %d", c.MBTotal, 5*4*3)
+	}
+	if c.BitsOutput == 0 || c.Pixels == 0 || c.DataDepBranches == 0 {
+		t.Error("zero counters for bits/pixels/branches")
+	}
+	for _, k := range []int{0, 1, 2, 3, 4} {
+		if c.Ops[k] == 0 {
+			t.Errorf("kernel %d recorded no ops", k)
+		}
+	}
+}
+
+func TestAdaptiveQuantVariesQP(t *testing.T) {
+	// A frame with both flat and textured regions should produce
+	// different macroblock QPs under AQ.
+	p := video.ContentParams{Seed: 31, Detail: 0.9, Motion: 0.2, Sprites: 2, TextRegions: 2, ChromaVariety: 0.4}
+	src := testSequence(t, 96, 96, 3, p)
+	tools := BaselineTools(PresetMedium)
+	if !tools.AdaptiveQuant {
+		t.Fatal("medium preset should enable AQ")
+	}
+	eng := &Engine{Tools: tools}
+	res, err := eng.Encode(src, Config{RC: RCConstQP, QP: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decode and confirm bit-exactness (AQ deltas survive the trip).
+	dec, _, err := Decode(res.Bitstream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range dec.Frames {
+		if !dec.Frames[i].Equal(res.Recon.Frames[i]) {
+			t.Fatalf("frame %d mismatch with AQ", i)
+		}
+	}
+}
+
+func TestDecoderCountersPopulated(t *testing.T) {
+	src := testSequence(t, 64, 48, 4, defaultParams())
+	res, err := (&Engine{Tools: BaselineTools(PresetMedium)}).Encode(src, Config{RC: RCConstQP, QP: 26})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, dc, err := Decode(res.Bitstream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc.Ops[8] == 0 { // KDecode
+		t.Error("decoder recorded no parse work")
+	}
+	if dc.MBTotal != res.Counters.MBTotal {
+		t.Errorf("decoder MBTotal %d != encoder %d", dc.MBTotal, res.Counters.MBTotal)
+	}
+}
+
+func TestMultiRefImprovesOrEqualsSingleRef(t *testing.T) {
+	p := defaultParams()
+	p.Motion = 0.6
+	src := testSequence(t, 96, 64, 8, p)
+	t1 := BaselineTools(PresetSlow)
+	t1.MaxRefs = 1
+	t3 := BaselineTools(PresetSlow)
+	t3.MaxRefs = 3
+	r1, err := (&Engine{Tools: t1}).Encode(src, Config{RC: RCConstQP, QP: 28})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := (&Engine{Tools: t3}).Encode(src, Config{RC: RCConstQP, QP: 28})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Multi-ref must decode correctly and not be dramatically worse.
+	if float64(len(r3.Bitstream)) > float64(len(r1.Bitstream))*1.05 {
+		t.Errorf("3-ref stream (%d) much larger than 1-ref (%d)", len(r3.Bitstream), len(r1.Bitstream))
+	}
+	dec, _, err := Decode(r3.Bitstream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range dec.Frames {
+		if !dec.Frames[i].Equal(r3.Recon.Frames[i]) {
+			t.Fatalf("frame %d mismatch with multi-ref", i)
+		}
+	}
+}
+
+func TestIntra4AndSharpInterpRoundTrip(t *testing.T) {
+	p := defaultParams()
+	p.TextRegions = 3
+	src := testSequence(t, 96, 64, 6, p)
+	tools := BaselineTools(PresetSlow)
+	tools.Name = "hevc-class"
+	tools.Intra4x4 = true
+	tools.SharpInterp = true
+	tools.RichContexts = true
+	eng := &Engine{Tools: tools}
+	res, err := eng.Encode(src, Config{RC: RCConstQP, QP: 28, KeyInterval: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, _, err := Decode(res.Bitstream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range dec.Frames {
+		if !dec.Frames[i].Equal(res.Recon.Frames[i]) {
+			t.Fatalf("frame %d mismatch with intra4+sharp tools", i)
+		}
+	}
+}
+
+func TestIntra4ImprovesTextContent(t *testing.T) {
+	// Per-block intra prediction should shrink intra frames on
+	// text-like content at equal quality.
+	p := video.ContentParams{Seed: 21, Detail: 0.2, TextRegions: 8, ChromaVariety: 0.2}
+	src := testSequence(t, 96, 96, 2, p)
+	base := BaselineTools(PresetMedium)
+	with := base
+	with.Intra4x4 = true
+	rBase, err := (&Engine{Tools: base}).Encode(src, Config{RC: RCConstQP, QP: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rWith, err := (&Engine{Tools: with}).Encode(src, Config{RC: RCConstQP, QP: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pBase, _ := metrics.SequencePSNR(src, rBase.Recon)
+	pWith, _ := metrics.SequencePSNR(src, rWith.Recon)
+	// RD-selected tool: must improve the size/quality trade, i.e.
+	// not be bigger at equal-or-better quality.
+	if len(rWith.Bitstream) >= len(rBase.Bitstream) && pWith <= pBase {
+		t.Errorf("intra4 did not help text: %d bytes %.2f dB vs %d bytes %.2f dB",
+			len(rWith.Bitstream), pWith, len(rBase.Bitstream), pBase)
+	}
+}
+
+func TestSharpInterpImprovesMotionContent(t *testing.T) {
+	p := defaultParams()
+	p.Motion = 0.8
+	p.Detail = 0.7
+	p.Noise = 0
+	src := testSequence(t, 96, 64, 8, p)
+	base := BaselineTools(PresetMedium)
+	with := base
+	with.SharpInterp = true
+	rBase, err := (&Engine{Tools: base}).Encode(src, Config{RC: RCConstQP, QP: 28})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rWith, err := (&Engine{Tools: with}).Encode(src, Config{RC: RCConstQP, QP: 28})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pBase, _ := metrics.SequencePSNR(src, rBase.Recon)
+	pWith, _ := metrics.SequencePSNR(src, rWith.Recon)
+	// The sharper kernel should not lose on both axes.
+	if len(rWith.Bitstream) > len(rBase.Bitstream) && pWith < pBase {
+		t.Errorf("sharp interpolation lost on both axes: %d bytes %.2f dB vs %d bytes %.2f dB",
+			len(rWith.Bitstream), pWith, len(rBase.Bitstream), pBase)
+	}
+}
+
+func TestSlicedEncodeDecodeRoundTrip(t *testing.T) {
+	src := testSequence(t, 96, 96, 5, defaultParams())
+	tools := BaselineTools(PresetMedium)
+	tools.Intra4x4 = true
+	for _, slices := range []int{1, 2, 3, 6} {
+		res, err := (&Engine{Tools: tools}).Encode(src, Config{RC: RCConstQP, QP: 28, Slices: slices})
+		if err != nil {
+			t.Fatalf("slices=%d: %v", slices, err)
+		}
+		dec, _, err := Decode(res.Bitstream)
+		if err != nil {
+			t.Fatalf("slices=%d decode: %v", slices, err)
+		}
+		for i := range dec.Frames {
+			if !dec.Frames[i].Equal(res.Recon.Frames[i]) {
+				t.Fatalf("slices=%d frame %d mismatch", slices, i)
+			}
+		}
+	}
+}
+
+func TestSlicedEncodeDeterministicUnderParallelism(t *testing.T) {
+	// Slice encoding runs on goroutines; the bitstream must not depend
+	// on scheduling.
+	src := testSequence(t, 96, 96, 4, defaultParams())
+	tools := BaselineTools(PresetMedium)
+	encode := func() []byte {
+		res, err := (&Engine{Tools: tools}).Encode(src, Config{RC: RCConstQP, QP: 28, Slices: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Bitstream
+	}
+	a := encode()
+	for i := 0; i < 3; i++ {
+		b := encode()
+		if len(a) != len(b) {
+			t.Fatal("parallel slice encode not deterministic (size)")
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("parallel slice encode not deterministic at byte %d", j)
+			}
+		}
+	}
+}
+
+func TestSlicesCostSomeCompression(t *testing.T) {
+	// Prediction cannot cross slice boundaries, so more slices must
+	// not compress better.
+	src := testSequence(t, 96, 96, 5, defaultParams())
+	tools := BaselineTools(PresetMedium)
+	one, err := (&Engine{Tools: tools}).Encode(src, Config{RC: RCConstQP, QP: 28, Slices: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	six, err := (&Engine{Tools: tools}).Encode(src, Config{RC: RCConstQP, QP: 28, Slices: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(six.Bitstream) < len(one.Bitstream) {
+		t.Errorf("6 slices (%d bytes) compressed better than 1 slice (%d bytes)",
+			len(six.Bitstream), len(one.Bitstream))
+	}
+	// ...but bounded: even at the degenerate one-row-per-slice extreme
+	// (cold entropy contexts per slice on a tiny frame) the overhead
+	// stays under ~40%.
+	if float64(len(six.Bitstream)) > float64(len(one.Bitstream))*1.4 {
+		t.Errorf("slice overhead excessive: %d vs %d bytes", len(six.Bitstream), len(one.Bitstream))
+	}
+}
+
+func TestSliceCountClampedToRows(t *testing.T) {
+	src := testSequence(t, 48, 48, 2, defaultParams()) // 3 MB rows
+	res, err := (&Engine{Tools: BaselineTools(PresetVeryFast)}).Encode(src, Config{RC: RCConstQP, QP: 30, Slices: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, _, err := Decode(res.Bitstream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Frames[0].Equal(res.Recon.Frames[0]) {
+		t.Error("clamped slice count broke round trip")
+	}
+}
+
+func TestDenoiseReducesBitsOnNoisyContent(t *testing.T) {
+	p := defaultParams()
+	p.Noise = 0.8
+	src := testSequence(t, 96, 64, 6, p)
+	base := BaselineTools(PresetMedium)
+	dn := base
+	dn.Denoise = 2
+	r0, err := (&Engine{Tools: base}).Encode(src, Config{RC: RCConstQP, QP: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := (&Engine{Tools: dn}).Encode(src, Config{RC: RCConstQP, QP: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r2.Bitstream) >= len(r0.Bitstream) {
+		t.Errorf("denoise did not shrink noisy stream: %d vs %d bytes", len(r2.Bitstream), len(r0.Bitstream))
+	}
+	// The fidelity cost must be modest (noise removal, not blur).
+	p0, _ := metrics.SequencePSNR(src, r0.Recon)
+	p2, _ := metrics.SequencePSNR(src, r2.Recon)
+	if p0-p2 > 3 {
+		t.Errorf("denoise cost too much fidelity: %.2f -> %.2f dB", p0, p2)
+	}
+	// Bitstream remains decodable and bit-exact.
+	dec, _, err := Decode(r2.Bitstream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Frames[0].Equal(r2.Recon.Frames[0]) {
+		t.Error("denoised encode broke the decode loop")
+	}
+}
+
+func TestDenoisePreservesCleanContent(t *testing.T) {
+	p := defaultParams()
+	p.Noise = 0
+	src := testSequence(t, 96, 64, 4, p)
+	base := BaselineTools(PresetVeryFast)
+	dn := base
+	dn.Denoise = 1
+	r0, err := (&Engine{Tools: base}).Encode(src, Config{RC: RCConstQP, QP: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := (&Engine{Tools: dn}).Encode(src, Config{RC: RCConstQP, QP: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, _ := metrics.SequencePSNR(src, r0.Recon)
+	p1, _ := metrics.SequencePSNR(src, r1.Recon)
+	if p0-p1 > 1.5 {
+		t.Errorf("denoise damaged clean content: %.2f -> %.2f dB", p0, p1)
+	}
+}

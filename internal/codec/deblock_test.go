@@ -1,0 +1,110 @@
+package codec
+
+import (
+	"testing"
+
+	"vbench/internal/perf"
+	"vbench/internal/video"
+)
+
+func TestDeblockThresholdsGrowWithQP(t *testing.T) {
+	prevA := 0
+	for qp := 0; qp <= 51; qp++ {
+		a, b, tc := deblockThresholds(qp)
+		if a < prevA {
+			t.Fatalf("alpha fell at qp %d", qp)
+		}
+		if b < 1 || tc < 1 {
+			t.Fatalf("qp %d: beta %d tc %d", qp, b, tc)
+		}
+		prevA = a
+	}
+	aLo, _, _ := deblockThresholds(5)
+	aHi, _, _ := deblockThresholds(45)
+	if aHi <= aLo {
+		t.Error("alpha not increasing over the QP range")
+	}
+}
+
+func TestDeblockSmoothsBlockEdge(t *testing.T) {
+	// A small step at an 8-pixel boundary (a coding artifact) must be
+	// reduced.
+	f := video.NewFrame(32, 32)
+	for y := 0; y < 32; y++ {
+		for x := 0; x < 32; x++ {
+			v := uint8(100)
+			if x >= 8 {
+				v = 108
+			}
+			f.Y[y*32+x] = v
+		}
+	}
+	qpGrid := []int{35, 35, 35, 35}
+	var c perf.Counters
+	deblockFrame(f, qpGrid, 2, 2, &c)
+	stepBefore := 8
+	stepAfter := int(f.Y[16*32+8]) - int(f.Y[16*32+7])
+	if stepAfter >= stepBefore {
+		t.Errorf("edge step not reduced: %d -> %d", stepBefore, stepAfter)
+	}
+	if c.Ops[perf.KDeblock] == 0 {
+		t.Error("deblock recorded no work")
+	}
+}
+
+func TestDeblockPreservesRealEdges(t *testing.T) {
+	// A large step (a real edge) must pass through untouched.
+	f := video.NewFrame(32, 32)
+	for y := 0; y < 32; y++ {
+		for x := 0; x < 32; x++ {
+			v := uint8(40)
+			if x >= 8 {
+				v = 200
+			}
+			f.Y[y*32+x] = v
+		}
+	}
+	qpGrid := []int{30, 30, 30, 30}
+	var c perf.Counters
+	deblockFrame(f, qpGrid, 2, 2, &c)
+	if f.Y[16*32+7] != 40 || f.Y[16*32+8] != 200 {
+		t.Errorf("real edge modified: %d | %d", f.Y[16*32+7], f.Y[16*32+8])
+	}
+}
+
+func TestDeblockFlatRegionUnchanged(t *testing.T) {
+	f := video.NewFrame(32, 32)
+	for i := range f.Y {
+		f.Y[i] = 128
+	}
+	qpGrid := []int{40, 40, 40, 40}
+	var c perf.Counters
+	deblockFrame(f, qpGrid, 2, 2, &c)
+	for i, v := range f.Y {
+		if v != 128 {
+			t.Fatalf("flat sample %d changed to %d", i, v)
+		}
+	}
+}
+
+func TestDeblockDeterministic(t *testing.T) {
+	mk := func() *video.Frame {
+		p := video.ContentParams{Seed: 3, Detail: 0.7, ChromaVariety: 0.5}
+		seq, err := video.Generate(p, 64, 64, 1, 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return seq.Frames[0]
+	}
+	a, b := mk(), mk()
+	grid := make([]int, 16)
+	for i := range grid {
+		grid[i] = 28 + i
+	}
+	var c perf.Counters
+	deblockFrame(a, grid, 4, 4, &c)
+	deblockFrame(b, grid, 4, 4, &c)
+	if !a.Equal(b) {
+		t.Error("deblock not deterministic")
+	}
+}

@@ -1,0 +1,1054 @@
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/bits"
+	"sync"
+
+	"vbench/internal/codec/motion"
+	"vbench/internal/codec/predict"
+	"vbench/internal/codec/transform"
+	"vbench/internal/perf"
+	"vbench/internal/video"
+)
+
+// intraAvailClipped is predict.Available restricted to a slice:
+// prediction from above must not cross the slice's first row
+// (planeTop, in the plane's own coordinates).
+func intraAvailClipped(m predict.Mode, bx, by, size int, plane motion.Plane, planeTop int) bool {
+	if !predict.Available(m, bx, by, size, plane) {
+		return false
+	}
+	if by <= planeTop {
+		switch m {
+		case predict.ModeVertical, predict.ModePlane:
+			return false
+		}
+	}
+	return true
+}
+
+// lambdaMode is the rate-distortion trade-off (SSE per bit) per QP,
+// following the H.264 convention λ = 0.85·2^((QP−12)/3).
+var lambdaMode [52]float64
+
+// lambdaSATDQ4 is the SAD/SATD-domain lambda (√λmode), in Q4 fixed
+// point for the integer motion search.
+var lambdaSATDQ4 [52]int64
+
+func init() {
+	for qp := range lambdaMode {
+		lm := 0.85 * math.Pow(2, float64(qp-12)/3.0)
+		lambdaMode[qp] = lm
+		lambdaSATDQ4[qp] = int64(math.Round(16 * math.Sqrt(lm)))
+	}
+}
+
+// firstPassQP is the fixed quantizer of the two-pass measurement pass.
+const firstPassQP = 32
+
+// Result carries everything an encode produces.
+type Result struct {
+	// Bitstream is the complete compressed stream (decodable with
+	// Decode).
+	Bitstream []byte
+	// Recon is the encoder-side reconstruction — bit-identical to
+	// what Decode produces — used for quality measurement.
+	Recon *video.Sequence
+	// PerFrameBits records the compressed size of each frame in bits
+	// (including frame headers).
+	PerFrameBits []int64
+	// FrameTypes records frameI/frameP per frame.
+	FrameTypes []int
+	// Counters is the abstract work performed.
+	Counters perf.Counters
+	// Seconds is the modeled encode time under the engine's cost
+	// model (0 if the engine has no model).
+	Seconds float64
+}
+
+// IsIntra reports whether frame i was coded as a key frame.
+func (r *Result) IsIntra(i int) bool { return r.FrameTypes[i] == frameI }
+
+// Engine is a configured encoder: a tool set plus a machine cost
+// model.
+type Engine struct {
+	Tools Tools
+	Model *perf.CostModel
+}
+
+// Encode compresses src under cfg. The returned Result contains the
+// bitstream, the reconstruction, and the work accounting.
+func (e *Engine) Encode(src *video.Sequence, cfg Config) (*Result, error) {
+	if err := src.Validate(); err != nil {
+		return nil, err
+	}
+	if err := e.Tools.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(src.Frames) > 65535 {
+		return nil, fmt.Errorf("codec: sequence too long (%d frames)", len(src.Frames))
+	}
+
+	res := &Result{}
+
+	// Two-pass: run the measurement pass with a cheap tool set but the
+	// same GOP structure, and charge its work to this encode.
+	var rc *rateControl
+	if cfg.RC == RCTwoPass {
+		fpTools := BaselineTools(PresetUltraFast)
+		fpTools.SceneCut = e.Tools.SceneCut
+		fp := &Engine{Tools: fpTools}
+		fpRes, err := fp.Encode(src, Config{RC: RCConstQP, QP: firstPassQP, KeyInterval: cfg.KeyInterval})
+		if err != nil {
+			return nil, fmt.Errorf("codec: first pass: %w", err)
+		}
+		res.Counters.Add(&fpRes.Counters)
+		rc = newRateControl(cfg, src.Width()*src.Height(), src.FrameRate, len(src.Frames), fpRes.PerFrameBits, firstPassQP)
+	} else {
+		rc = newRateControl(cfg, src.Width()*src.Height(), src.FrameRate, len(src.Frames), nil, 0)
+	}
+
+	hdr := &seqHeader{
+		width:         src.Width(),
+		height:        src.Height(),
+		fpsMilli:      uint32(src.FrameRate*1000 + 0.5),
+		frames:        len(src.Frames),
+		entropy:       e.Tools.Entropy,
+		tx8Allowed:    e.Tools.Transform8x8,
+		deblock:       e.Tools.Deblock,
+		adaptiveQuant: e.Tools.AdaptiveQuant,
+		richContexts:  e.Tools.RichContexts && e.Tools.Entropy == EntropyArith,
+		sharpInterp:   e.Tools.SharpInterp,
+		intra4Allowed: e.Tools.Intra4x4,
+		refs:          e.Tools.MaxRefs,
+	}
+	mbW := hdr.paddedWidth() / MBSize
+	mbH := hdr.paddedHeight() / MBSize
+	nSlices := cfg.Slices
+	if nSlices < 1 {
+		nSlices = 1
+	}
+	if nSlices > mbH {
+		nSlices = mbH
+	}
+	hdr.slices = nSlices
+	out := hdr.marshal()
+
+	var refs []*video.Frame
+	var prevSrc *video.Frame
+	res.Recon = &video.Sequence{FrameRate: src.FrameRate}
+
+	// Scene-cut detection compares each frame's mean absolute
+	// difference against an exponential moving average of recent
+	// inter-frame differences; a sudden jump marks a cut.
+	madEMA := -1.0
+
+	for i, f := range src.Frames {
+		srcP := padFrame(f)
+		if e.Tools.Denoise > 0 {
+			srcP = denoiseFrame(srcP, e.Tools.Denoise, &res.Counters)
+		}
+		ftype := frameP
+		switch {
+		case i == 0, cfg.KeyInterval > 0 && i%cfg.KeyInterval == 0:
+			ftype = frameI
+		case e.Tools.SceneCut:
+			mad := frameMAD(srcP, prevSrc, &res.Counters)
+			if madEMA >= 0 && mad > 3*madEMA+6 {
+				ftype = frameI
+			} else {
+				if madEMA < 0 {
+					madEMA = mad
+				} else {
+					madEMA = 0.7*madEMA + 0.3*mad
+				}
+			}
+		}
+		qpBase := rc.frameQP(i, ftype)
+		if g := e.Tools.QPGranularity; g > 1 {
+			qpBase = clampQP((qpBase + g/2) / g * g)
+		}
+
+		// Per-frame shared state: the reconstruction buffer, the QP
+		// grid, and (with AQ) the frame-level activity map. Slices
+		// write disjoint rows, so they encode concurrently.
+		recon := video.NewFrame(hdr.paddedWidth(), hdr.paddedHeight())
+		qpGrid := make([]int, mbW*mbH)
+		var varBits []int
+		avgVarBits := 0
+		if hdr.adaptiveQuant {
+			varBits, avgVarBits = computeActivity(srcP, mbW, mbH, &res.Counters)
+		}
+
+		bounds := sliceBounds(mbH, nSlices)
+		payloads := make([][]byte, nSlices)
+		sliceCounters := make([]perf.Counters, nSlices)
+		var wg sync.WaitGroup
+		var encErr error
+		var errOnce sync.Once
+		for s := 0; s < nSlices; s++ {
+			fe := newFrameEncoder(e, hdr, srcP, recon, qpGrid, refs, mbW, ftype, qpBase, &sliceCounters[s])
+			fe.rowStart, fe.rowEnd = bounds[s], bounds[s+1]
+			fe.varBits, fe.avgVarBits = varBits, avgVarBits
+			if nSlices == 1 {
+				payloads[s] = fe.encodeFrame()
+				continue
+			}
+			wg.Add(1)
+			go func(s int, fe *frameEncoder) {
+				defer wg.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						errOnce.Do(func() { encErr = fmt.Errorf("codec: slice %d panicked: %v", s, r) })
+					}
+				}()
+				payloads[s] = fe.encodeFrame()
+			}(s, fe)
+		}
+		wg.Wait()
+		if encErr != nil {
+			return nil, encErr
+		}
+		// Merge per-slice work in slice order (deterministic).
+		for s := range sliceCounters {
+			res.Counters.Add(&sliceCounters[s])
+		}
+
+		out = append(out, byte(ftype), byte(qpBase))
+		frameBits := int64(2) * 8
+		for _, payload := range payloads {
+			out = binary.BigEndian.AppendUint32(out, uint32(len(payload)))
+			out = append(out, payload...)
+			frameBits += int64(len(payload)+4) * 8
+		}
+		res.PerFrameBits = append(res.PerFrameBits, frameBits)
+		res.FrameTypes = append(res.FrameTypes, ftype)
+		rc.update(i, frameBits)
+
+		if e.Tools.Deblock {
+			deblockFrame(recon, qpGrid, mbW, mbH, &res.Counters)
+		}
+		refs = append([]*video.Frame{recon}, refs...)
+		if len(refs) > e.Tools.MaxRefs {
+			refs = refs[:e.Tools.MaxRefs]
+		}
+		res.Recon.Frames = append(res.Recon.Frames, cropFrame(recon, src.Width(), src.Height()))
+		prevSrc = srcP
+
+		res.Counters.Frames++
+		res.Counters.Pixels += int64(srcP.PixelCount())
+	}
+
+	res.Bitstream = out
+	if e.Model != nil {
+		res.Seconds = e.Model.Seconds(&res.Counters)
+	}
+	return res, nil
+}
+
+// frameMAD samples the mean absolute luma difference between
+// consecutive source frames, the scene-cut detection signal.
+func frameMAD(cur, prev *video.Frame, c *perf.Counters) float64 {
+	if prev == nil {
+		return 0
+	}
+	const stride = 4
+	var sum, n int64
+	for y := 0; y < cur.Height; y += stride {
+		row := y * cur.Width
+		for x := 0; x < cur.Width; x += stride {
+			d := int64(cur.Y[row+x]) - int64(prev.Y[row+x])
+			if d < 0 {
+				d = -d
+			}
+			sum += d
+			n++
+		}
+	}
+	c.Count(perf.KSAD, n)
+	c.DataDepBranches++
+	return float64(sum) / float64(n)
+}
+
+// frameEncoder encodes one slice of one frame: the macroblock rows
+// [rowStart, rowEnd). With a single slice that is the whole frame;
+// with several, the encoders share the frame's reconstruction and QP
+// grid (they write disjoint rows) and run concurrently.
+type frameEncoder struct {
+	eng    *Engine
+	hdr    *seqHeader
+	w      symWriter
+	src    *video.Frame // padded source (shared, read-only)
+	recon  *video.Frame // padded reconstruction (shared, disjoint rows)
+	refs   []*video.Frame
+	grid   *mbGrid // slice-local MB state
+	qpGrid []int   // frame-level (shared, disjoint rows)
+	mbW    int
+	ftype  int
+	qpBase int
+	c      *perf.Counters
+
+	// Slice bounds in macroblock rows.
+	rowStart, rowEnd int
+
+	// AQ state (frame-level, shared, read-only).
+	varBits    []int
+	avgVarBits int
+
+	scratch [MBSize * MBSize]uint8
+}
+
+func newFrameEncoder(e *Engine, hdr *seqHeader, src, recon *video.Frame, qpGrid []int, refs []*video.Frame, mbW, ftype, qpBase int, c *perf.Counters) *frameEncoder {
+	fe := &frameEncoder{
+		eng:    e,
+		hdr:    hdr,
+		src:    src,
+		recon:  recon,
+		refs:   refs,
+		qpGrid: qpGrid,
+		mbW:    mbW,
+		ftype:  ftype,
+		qpBase: qpBase,
+		c:      c,
+	}
+	if hdr.entropy == EntropyArith {
+		fe.w = newArithWriter()
+	} else {
+		fe.w = newGolombWriter()
+	}
+	return fe
+}
+
+// sliceTopPx returns the luma row of the slice's first sample.
+func (fe *frameEncoder) sliceTopPx() int { return fe.rowStart * MBSize }
+
+// sliceBounds splits n macroblock rows into k contiguous bands and
+// returns the k+1 boundaries.
+func sliceBounds(rows, k int) []int {
+	bounds := make([]int, k+1)
+	for s := 0; s <= k; s++ {
+		bounds[s] = rows * s / k
+	}
+	return bounds
+}
+
+// computeActivity measures per-MB luma variance (in integer log2
+// "bits") for adaptive quantization. Integer throughout, so AQ
+// decisions are platform independent.
+func computeActivity(src *video.Frame, mbW, mbH int, c *perf.Counters) ([]int, int) {
+	varBits := make([]int, mbW*mbH)
+	total := 0
+	w := src.Width
+	for my := 0; my < mbH; my++ {
+		for mx := 0; mx < mbW; mx++ {
+			var sum, sumSq int64
+			for y := 0; y < MBSize; y++ {
+				row := (my*MBSize + y) * w
+				for x := 0; x < MBSize; x++ {
+					v := int64(src.Y[row+mx*MBSize+x])
+					sum += v
+					sumSq += v * v
+				}
+			}
+			n := int64(MBSize * MBSize)
+			variance := sumSq - sum*sum/n
+			vb := bits.Len64(uint64(variance/n + 1))
+			varBits[my*mbW+mx] = vb
+			total += vb
+		}
+	}
+	avg := (total + len(varBits)/2) / len(varBits)
+	c.Count(perf.KControl, int64(mbW*mbH*MBSize*MBSize/8))
+	return varBits, avg
+}
+
+// mbQP returns the macroblock quantizer, applying adaptive quant.
+// mby is the frame-global macroblock row.
+func (fe *frameEncoder) mbQP(mbx, mby int) (qp, delta int) {
+	qp = fe.qpBase
+	if fe.hdr.adaptiveQuant {
+		delta = fe.varBits[mby*fe.mbW+mbx] - fe.avgVarBits
+		if delta > 4 {
+			delta = 4
+		}
+		if delta < -4 {
+			delta = -4
+		}
+		qp = clampQP(qp + delta)
+		delta = qp - fe.qpBase
+	}
+	return qp, delta
+}
+
+func (fe *frameEncoder) encodeFrame() []byte {
+	rows := fe.rowEnd - fe.rowStart
+	fe.grid = newMBGrid(fe.mbW, rows)
+	for local := 0; local < rows; local++ {
+		for mbx := 0; mbx < fe.mbW; mbx++ {
+			fe.encodeMB(mbx, local)
+		}
+	}
+	payload := fe.w.Flush()
+	fe.c.Ops[perf.KEntropy] += fe.w.Bins()
+	fe.c.Invocations[perf.KEntropy] += int64(fe.mbW * rows)
+	fe.c.BitsOutput += int64(len(payload)+4) * 8 // payload + slice header
+	return payload
+}
+
+// lumaPlane returns a motion.Plane view of a frame's luma.
+func lumaPlane(f *video.Frame) motion.Plane {
+	return motion.Plane{Pix: f.Y, W: f.Width, H: f.Height}
+}
+
+func chromaPlane(f *video.Frame, p int) motion.Plane {
+	if p == 0 {
+		return motion.Plane{Pix: f.Cb, W: f.ChromaWidth(), H: f.ChromaHeight()}
+	}
+	return motion.Plane{Pix: f.Cr, W: f.ChromaWidth(), H: f.ChromaHeight()}
+}
+
+// encodeMB codes the macroblock at column mbx, slice-local row local.
+func (fe *frameEncoder) encodeMB(mbx, local int) {
+	gRow := fe.rowStart + local
+	qp, qpDelta := fe.mbQP(mbx, gRow)
+	px, py := mbx*MBSize, gRow*MBSize
+	fe.c.MBTotal++
+	fe.c.Count(perf.KControl, 40)
+
+	var cand *mbCand
+	if fe.ftype == frameP {
+		cand = fe.decideInterMB(mbx, local, px, py, qp, qpDelta)
+	} else {
+		cand = fe.decideIntraMB(px, py, qp, qpDelta)
+	}
+
+	predMV := fe.grid.predMV(mbx, local)
+	fe.writeCand(cand, predMV)
+	fe.applyCand(cand, mbx, local)
+	fe.qpGrid[gRow*fe.mbW+mbx] = cand.qp
+	switch cand.mode {
+	case mbSkip:
+		fe.c.MBSkip++
+	case mbInter:
+		fe.c.MBInter++
+	case mbIntra:
+		fe.c.MBIntra++
+	}
+}
+
+// decideIntraMB evaluates intra modes by SATD and returns the best
+// intra candidate (with a transform-size RD check when 8×8 is allowed).
+func (fe *frameEncoder) decideIntraMB(px, py, qp, qpDelta int) *mbCand {
+	t := &fe.eng.Tools
+	reconY := lumaPlane(fe.recon)
+
+	bestMode := predict.ModeDC
+	var bestSATD int64 = math.MaxInt64
+	var pred [MBSize * MBSize]uint8
+	var resid [MBSize * MBSize]int32
+	for m := predict.ModeDC; m < predict.NumModes; m++ {
+		if !intraAvailClipped(m, px, py, MBSize, reconY, fe.sliceTopPx()) {
+			continue
+		}
+		predict.PredictClipped(pred[:], reconY, px, py, MBSize, m, py > fe.sliceTopPx(), px > 0)
+		fe.c.Count(perf.KIntra, MBSize*MBSize)
+		fe.lumaResidual(px, py, pred[:], resid[:])
+		satd := transform.SATD(resid[:], MBSize, MBSize)
+		fe.c.Count(perf.KSAD, MBSize*MBSize)
+		satd += lambdaSATDQ4[qp] * 4 / 16 // flat mode-signalling cost
+		if satd < bestSATD {
+			bestSATD = satd
+			bestMode = m
+		}
+		fe.c.DataDepBranches++
+	}
+
+	// Chroma mode by SAD over both planes.
+	bestCMode := predict.ModeDC
+	var bestCSAD int64 = math.MaxInt64
+	var cpred [64]uint8
+	for m := predict.ModeDC; m < predict.ModePlane; m++ {
+		var sad int64
+		ok := true
+		for p := 0; p < 2; p++ {
+			cp := chromaPlane(fe.recon, p)
+			if !intraAvailClipped(m, px/2, py/2, 8, cp, fe.sliceTopPx()/2) {
+				ok = false
+				break
+			}
+			predict.PredictClipped(cpred[:], cp, px/2, py/2, 8, m, py/2 > fe.sliceTopPx()/2, px > 0)
+			fe.c.Count(perf.KIntra, 64)
+			srcp := chromaPlane(fe.src, p)
+			for y := 0; y < 8; y++ {
+				row := (py/2 + y) * srcp.W
+				for x := 0; x < 8; x++ {
+					d := int(srcp.Pix[row+px/2+x]) - int(cpred[y*8+x])
+					if d < 0 {
+						d = -d
+					}
+					sad += int64(d)
+				}
+			}
+		}
+		if ok && sad < bestCSAD {
+			bestCSAD = sad
+			bestCMode = m
+		}
+		fe.c.DataDepBranches++
+	}
+
+	cand := fe.buildIntraCand(px, py, bestMode, bestCMode, false, qp, qpDelta)
+	if t.Transform8x8 {
+		cand8 := fe.buildIntraCand(px, py, bestMode, bestCMode, true, qp, qpDelta)
+		cand = fe.pickByRD(px, py, cand, cand8)
+	}
+	if t.Intra4x4 {
+		cand4 := fe.buildIntra4Cand(px, py, bestCMode, qp, qpDelta)
+		cand = fe.pickByRD(px, py, cand, cand4)
+	}
+	return cand
+}
+
+// decideInterMB runs skip detection, motion search, and the
+// intra/inter decision for one P-frame macroblock.
+func (fe *frameEncoder) decideInterMB(mbx, mby, px, py, qp, qpDelta int) *mbCand {
+	t := &fe.eng.Tools
+	predMV := fe.grid.predMV(mbx, mby)
+	srcY := lumaPlane(fe.src)
+
+	// 1. Early skip: if the prediction at the predicted MV is already
+	// tight, test whether the whole MB quantizes to zero.
+	ref0 := lumaPlane(fe.refs[0])
+	skipSAD := motion.PredSAD(srcY, px, py, ref0, predMV, MBSize, MBSize, fe.scratch[:], fe.c)
+	fe.c.DataDepBranches++
+	skipThresh := int64(transform.QStepQ6(qp)) * MBSize * MBSize / 64 / 2
+	var skipCand *mbCand
+	if skipSAD <= skipThresh {
+		skipCand = fe.buildSkipCand(px, py, predMV, qp)
+	}
+	if skipCand != nil && !t.RDMode {
+		return skipCand
+	}
+
+	// 2. Motion search over the reference list.
+	params := motion.Params{
+		Kind:   t.Search,
+		Range:  t.SearchRange,
+		SubPel: t.SubPel,
+		Lambda: lambdaSATDQ4[qp],
+	}
+	bestRef := 0
+	bestMV := motion.MV{}
+	var bestCost int64 = math.MaxInt64
+	for r := 0; r < len(fe.refs) && r < t.MaxRefs; r++ {
+		mv, cost := motion.Search(srcY, px, py, lumaPlane(fe.refs[r]), predMV, MBSize, MBSize, params, fe.c)
+		cost += lambdaSATDQ4[qp] * int64(r) / 4 // reference index rate
+		if cost < bestCost {
+			bestCost = cost
+			bestMV = mv
+			bestRef = r
+		}
+	}
+
+	// 3. Intra-vs-inter decision by SATD heuristic (or full RD below).
+	interCand := fe.buildInterCand(px, py, bestMV, bestRef, false, qp, qpDelta)
+	if t.Transform8x8 {
+		cand8 := fe.buildInterCand(px, py, bestMV, bestRef, true, qp, qpDelta)
+		interCand = fe.pickByRD(px, py, interCand, cand8)
+	}
+
+	// Cheap intra probe: only evaluate full intra when inter predicts
+	// poorly (classic early-out), or always under RDMode.
+	interSSE := fe.candSSE(px, py, interCand)
+	intraWorthTrying := interSSE > int64(MBSize*MBSize)*int64(transform.QStepQ6(qp)/64+2)*int64(transform.QStepQ6(qp)/64+2)
+	fe.c.DataDepBranches++
+
+	var intraCand *mbCand
+	if intraWorthTrying || t.RDMode {
+		intraCand = fe.decideIntraMB(px, py, qp, qpDelta)
+	}
+
+	if t.RDMode {
+		best := fe.pickByRD(px, py, interCand, intraCand)
+		best = fe.pickByRD(px, py, best, skipCand)
+		return best
+	}
+	if intraCand != nil {
+		return fe.pickByRD(px, py, interCand, intraCand)
+	}
+	return interCand
+}
+
+// pickByRD compares two candidates by SSE + λ·bits; either may be nil.
+func (fe *frameEncoder) pickByRD(px, py int, a, b *mbCand) *mbCand {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	fe.c.Count(perf.KControl, 20)
+	costA := float64(fe.candSSE(px, py, a)) + lambdaMode[a.qp]*float64(fe.candBits(a))
+	costB := float64(fe.candSSE(px, py, b)) + lambdaMode[b.qp]*float64(fe.candBits(b))
+	if costB < costA {
+		return b
+	}
+	return a
+}
+
+// candSSE returns the squared reconstruction error of a candidate.
+func (fe *frameEncoder) candSSE(px, py int, c *mbCand) int64 {
+	var sse int64
+	w := fe.src.Width
+	for y := 0; y < MBSize; y++ {
+		row := (py + y) * w
+		for x := 0; x < MBSize; x++ {
+			d := int64(fe.src.Y[row+px+x]) - int64(c.lumaRecon[y*MBSize+x])
+			sse += d * d
+		}
+	}
+	cw := fe.src.ChromaWidth()
+	for p := 0; p < 2; p++ {
+		plane := fe.src.Cb
+		if p == 1 {
+			plane = fe.src.Cr
+		}
+		for y := 0; y < 8; y++ {
+			row := (py/2 + y) * cw
+			for x := 0; x < 8; x++ {
+				d := int64(plane[row+px/2+x]) - int64(c.chromaRecon[p][y*8+x])
+				sse += d * d
+			}
+		}
+	}
+	return sse
+}
+
+// candBits estimates the coded size of a candidate in bits.
+func (fe *frameEncoder) candBits(c *mbCand) int {
+	if c.mode == mbSkip {
+		return 1
+	}
+	b := 8 // flags, modes
+	if c.mode == mbInter {
+		b += ueBitsFast(seMap(c.mv.X)) + ueBitsFast(seMap(c.mv.Y))
+	}
+	if c.intra4 {
+		b += 32 // sixteen per-block mode codes
+	}
+	for _, blk := range c.lumaLevels {
+		if blk != nil {
+			b += residualBits(blk) + 1
+		}
+	}
+	for p := 0; p < 2; p++ {
+		for _, blk := range c.chromaLevels[p] {
+			if blk != nil {
+				b += residualBits(blk) + 1
+			}
+		}
+	}
+	return b
+}
+
+// lumaResidual computes src − pred for the MB at (px, py).
+func (fe *frameEncoder) lumaResidual(px, py int, pred []uint8, out []int32) {
+	w := fe.src.Width
+	for y := 0; y < MBSize; y++ {
+		row := (py + y) * w
+		for x := 0; x < MBSize; x++ {
+			out[y*MBSize+x] = int32(fe.src.Y[row+px+x]) - int32(pred[y*MBSize+x])
+		}
+	}
+}
+
+// buildSkipCand returns a skip candidate (prediction at predMV from
+// ref 0 with zero residual) if the whole macroblock quantizes to
+// zero; nil otherwise.
+func (fe *frameEncoder) buildSkipCand(px, py int, predMV motion.MV, qp int) *mbCand {
+	cand := fe.buildInterCand(px, py, predMV, 0, false, qp, 0)
+	cand.qp = fe.qpBase // skip MBs carry no QP delta
+	for _, blk := range cand.lumaLevels {
+		if blk != nil {
+			return nil
+		}
+	}
+	for p := 0; p < 2; p++ {
+		for _, blk := range cand.chromaLevels[p] {
+			if blk != nil {
+				return nil
+			}
+		}
+	}
+	cand.mode = mbSkip
+	return cand
+}
+
+// mcLuma produces the luma motion-compensated prediction using the
+// stream's interpolation mode.
+func mcLuma(hdr *seqHeader, dst []uint8, ref motion.Plane, px, py int, mv motion.MV, c *perf.Counters) {
+	if hdr.sharpInterp {
+		motion.PredictLumaSharp(dst, ref, px, py, mv, MBSize, MBSize)
+		c.Count(perf.KInterp, MBSize*MBSize*2)
+		return
+	}
+	motion.PredictLuma(dst, ref, px, py, mv, MBSize, MBSize)
+	c.Count(perf.KInterp, MBSize*MBSize)
+}
+
+// buildInterCand constructs a fully reconstructed inter candidate.
+func (fe *frameEncoder) buildInterCand(px, py int, mv motion.MV, ref int, tx8 bool, qp, qpDelta int) *mbCand {
+	t := &fe.eng.Tools
+	cand := &mbCand{mode: mbInter, mv: mv, ref: ref, tx8: tx8, qp: qp, qpDelta: qpDelta}
+
+	var pred [MBSize * MBSize]uint8
+	mcLuma(fe.hdr, pred[:], lumaPlane(fe.refs[ref]), px, py, mv, fe.c)
+
+	var resid [MBSize * MBSize]int32
+	fe.lumaResidual(px, py, pred[:], resid[:])
+	fe.codeLuma(cand, pred[:], resid[:], transform.DeadZoneInter, t.Trellis)
+
+	var cpred [64]uint8
+	var cres [64]int32
+	for p := 0; p < 2; p++ {
+		motion.PredictChroma(cpred[:], chromaPlane(fe.refs[ref], p), px/2, py/2, mv, 8, 8)
+		fe.c.Count(perf.KInterp, 64)
+		fe.chromaResidual(px, py, p, cpred[:], cres[:])
+		fe.codeChroma(cand, p, cpred[:], cres[:], transform.DeadZoneInter, t.Trellis)
+	}
+	return cand
+}
+
+// buildIntraCand constructs a fully reconstructed intra candidate.
+func (fe *frameEncoder) buildIntraCand(px, py int, lumaMode, chromaMode predict.Mode, tx8 bool, qp, qpDelta int) *mbCand {
+	t := &fe.eng.Tools
+	cand := &mbCand{mode: mbIntra, lumaMode: lumaMode, chromaMode: chromaMode, tx8: tx8, qp: qp, qpDelta: qpDelta}
+
+	var pred [MBSize * MBSize]uint8
+	predict.PredictClipped(pred[:], lumaPlane(fe.recon), px, py, MBSize, lumaMode, py > fe.sliceTopPx(), px > 0)
+	fe.c.Count(perf.KIntra, MBSize*MBSize)
+
+	var resid [MBSize * MBSize]int32
+	fe.lumaResidual(px, py, pred[:], resid[:])
+	fe.codeLuma(cand, pred[:], resid[:], transform.DeadZoneIntra, t.Trellis)
+
+	fe.codeChromaIntra(cand, px, py, chromaMode)
+	return cand
+}
+
+// codeChromaIntra predicts and codes both chroma planes of an intra
+// candidate.
+func (fe *frameEncoder) codeChromaIntra(cand *mbCand, px, py int, chromaMode predict.Mode) {
+	t := &fe.eng.Tools
+	var cpred [64]uint8
+	var cres [64]int32
+	for p := 0; p < 2; p++ {
+		predict.PredictClipped(cpred[:], chromaPlane(fe.recon, p), px/2, py/2, 8, chromaMode, py/2 > fe.sliceTopPx()/2, px > 0)
+		fe.c.Count(perf.KIntra, 64)
+		fe.chromaResidual(px, py, p, cpred[:], cres[:])
+		fe.codeChroma(cand, p, cpred[:], cres[:], transform.DeadZoneIntra, t.Trellis)
+	}
+}
+
+// buildIntra4Cand constructs a per-4×4-block intra candidate: each
+// block chooses its own directional mode, predicted from the blocks
+// reconstructed before it.
+func (fe *frameEncoder) buildIntra4Cand(px, py int, chromaMode predict.Mode, qp, qpDelta int) *mbCand {
+	t := &fe.eng.Tools
+	cand := &mbCand{mode: mbIntra, intra4: true, chromaMode: chromaMode, qp: qp, qpDelta: qpDelta}
+	cand.lumaLevels = make([][]int32, 16)
+	reconY := lumaPlane(fe.recon)
+	w := fe.src.Width
+
+	var pred, bestPred [16]uint8
+	var blk, rblk [16]int32
+	for b := 0; b < 16; b++ {
+		ox, oy := block4Offset(b)
+		bestMode := predict.ModeDC
+		var bestSAD int64 = math.MaxInt64
+		for m := predict.ModeDC; m <= predict.ModeHorizontal; m++ {
+			if !intra4Avail(m, px, py, ox, oy, fe.sliceTopPx()) {
+				continue
+			}
+			if err := intra4PredictBlock(pred[:], m, reconY, cand, px, py, ox, oy, fe.sliceTopPx()); err != nil {
+				continue
+			}
+			fe.c.Count(perf.KIntra, 16)
+			var sad int64
+			for y := 0; y < 4; y++ {
+				row := (py + oy + y) * w
+				for x := 0; x < 4; x++ {
+					d := int(fe.src.Y[row+px+ox+x]) - int(pred[y*4+x])
+					if d < 0 {
+						d = -d
+					}
+					sad += int64(d)
+				}
+			}
+			fe.c.DataDepBranches++
+			if sad < bestSAD {
+				bestSAD = sad
+				bestMode = m
+				bestPred = pred
+			}
+		}
+		cand.luma4Modes[b] = bestMode
+
+		for y := 0; y < 4; y++ {
+			row := (py + oy + y) * w
+			for x := 0; x < 4; x++ {
+				blk[y*4+x] = int32(fe.src.Y[row+px+ox+x]) - int32(bestPred[y*4+x])
+			}
+		}
+		levels := quantizeBlock(blk[:], rblk[:], 4, qp, transform.DeadZoneIntra, t.Trellis, fe.c)
+		cand.lumaLevels[b] = levels
+		if levels != nil {
+			fe.c.BlocksCoded++
+		}
+		// Reconstruct into the candidate so later blocks predict from
+		// the coded samples, exactly as the decoder will.
+		for y := 0; y < 4; y++ {
+			for x := 0; x < 4; x++ {
+				v := int32(bestPred[y*4+x]) + rblk[y*4+x]
+				if v < 0 {
+					v = 0
+				} else if v > 255 {
+					v = 255
+				}
+				cand.lumaRecon[(oy+y)*MBSize+ox+x] = uint8(v)
+			}
+		}
+	}
+
+	fe.codeChromaIntra(cand, px, py, chromaMode)
+	return cand
+}
+
+// chromaResidual computes src − pred for one 8×8 chroma block.
+func (fe *frameEncoder) chromaResidual(px, py, p int, pred []uint8, out []int32) {
+	plane := fe.src.Cb
+	if p == 1 {
+		plane = fe.src.Cr
+	}
+	cw := fe.src.ChromaWidth()
+	for y := 0; y < 8; y++ {
+		row := (py/2 + y) * cw
+		for x := 0; x < 8; x++ {
+			out[y*8+x] = int32(plane[row+px/2+x]) - int32(pred[y*8+x])
+		}
+	}
+}
+
+// codeLuma transforms, quantizes, and reconstructs the luma residual
+// of a candidate.
+func (fe *frameEncoder) codeLuma(cand *mbCand, pred []uint8, resid []int32, dz transform.DeadZone, trellis bool) {
+	var reconRes [MBSize * MBSize]int32
+	if cand.tx8 {
+		cand.lumaLevels = make([][]int32, 4)
+		var blk, rblk [64]int32
+		for q := 0; q < 4; q++ {
+			ox, oy := block8Offset(q)
+			gatherBlock(resid, MBSize, ox, oy, 8, blk[:])
+			levels := quantizeBlock(blk[:], rblk[:], 8, cand.qp, dz, trellis, fe.c)
+			cand.lumaLevels[q] = levels
+			scatterBlock(reconRes[:], MBSize, ox, oy, 8, rblk[:])
+			if levels != nil {
+				fe.c.BlocksCoded++
+			}
+		}
+	} else {
+		cand.lumaLevels = make([][]int32, 16)
+		var blk, rblk [16]int32
+		for b := 0; b < 16; b++ {
+			ox, oy := block4Offset(b)
+			gatherBlock(resid, MBSize, ox, oy, 4, blk[:])
+			levels := quantizeBlock(blk[:], rblk[:], 4, cand.qp, dz, trellis, fe.c)
+			cand.lumaLevels[b] = levels
+			scatterBlock(reconRes[:], MBSize, ox, oy, 4, rblk[:])
+			if levels != nil {
+				fe.c.BlocksCoded++
+			}
+		}
+	}
+	composeRecon(cand.lumaRecon[:], pred, reconRes[:], MBSize*MBSize)
+}
+
+// codeChroma transforms, quantizes, and reconstructs one chroma plane
+// of a candidate.
+func (fe *frameEncoder) codeChroma(cand *mbCand, p int, pred []uint8, resid []int32, dz transform.DeadZone, trellis bool) {
+	var reconRes [64]int32
+	cand.chromaLevels[p] = make([][]int32, 4)
+	var blk, rblk [16]int32
+	for b := 0; b < 4; b++ {
+		ox, oy := (b%2)*4, (b/2)*4
+		gatherBlock(resid, 8, ox, oy, 4, blk[:])
+		levels := quantizeBlock(blk[:], rblk[:], 4, cand.qp, dz, trellis, fe.c)
+		cand.chromaLevels[p][b] = levels
+		scatterBlock(reconRes[:], 8, ox, oy, 4, rblk[:])
+		if levels != nil {
+			fe.c.BlocksCoded++
+		}
+	}
+	composeRecon(cand.chromaRecon[p][:], pred, reconRes[:], 64)
+}
+
+// gatherBlock copies an n×n sub-block out of a stride-w region.
+func gatherBlock(src []int32, w, ox, oy, n int, dst []int32) {
+	for y := 0; y < n; y++ {
+		copy(dst[y*n:(y+1)*n], src[(oy+y)*w+ox:(oy+y)*w+ox+n])
+	}
+}
+
+// scatterBlock copies an n×n sub-block back into a stride-w region.
+func scatterBlock(dst []int32, w, ox, oy, n int, src []int32) {
+	for y := 0; y < n; y++ {
+		copy(dst[(oy+y)*w+ox:(oy+y)*w+ox+n], src[y*n:(y+1)*n])
+	}
+}
+
+// composeRecon writes clip(pred + residual) into dst.
+func composeRecon(dst []uint8, pred []uint8, res []int32, n int) {
+	for i := 0; i < n; i++ {
+		v := int32(pred[i]) + res[i]
+		if v < 0 {
+			v = 0
+		} else if v > 255 {
+			v = 255
+		}
+		dst[i] = uint8(v)
+	}
+}
+
+// writeCand serializes a candidate through the symbol writer. The
+// field order here is the normative macroblock syntax; the decoder
+// mirrors it exactly.
+func (fe *frameEncoder) writeCand(c *mbCand, predMV motion.MV) {
+	w := fe.w
+	if fe.ftype == frameP {
+		if c.mode == mbSkip {
+			w.Bit(ctxSkip, 1)
+			return
+		}
+		w.Bit(ctxSkip, 0)
+		if c.mode == mbIntra {
+			w.Bit(ctxIntraFlag, 1)
+		} else {
+			w.Bit(ctxIntraFlag, 0)
+		}
+	}
+	if c.mode == mbIntra {
+		if c.intra4 {
+			w.UE(ctxLumaMode, lumaModeIntra4)
+			for b := 0; b < 16; b++ {
+				w.UE(ctxLumaMode4, uint32(c.luma4Modes[b]))
+			}
+		} else {
+			w.UE(ctxLumaMode, uint32(c.lumaMode))
+		}
+		w.UE(ctxChromaMode, uint32(c.chromaMode))
+	} else {
+		if fe.hdr.refs > 1 {
+			w.UE(ctxRefIdx, uint32(c.ref))
+		}
+		w.SE(ctxMVD, c.mv.X-predMV.X)
+		w.SE(ctxMVD, c.mv.Y-predMV.Y)
+	}
+	fe.writeMBTail(c)
+}
+
+func (fe *frameEncoder) writeMBTail(c *mbCand) {
+	w := fe.w
+	rich := fe.hdr.richContexts
+	if fe.hdr.tx8Allowed && !c.intra4 {
+		if c.tx8 {
+			w.Bit(ctxTx8, 1)
+		} else {
+			w.Bit(ctxTx8, 0)
+		}
+	}
+	if fe.hdr.adaptiveQuant {
+		w.SE(ctxQPDelta, int32(c.qpDelta))
+	}
+	// CBP: 4 luma quadrant bits then 2 chroma plane bits.
+	for q := 0; q < 4; q++ {
+		if c.lumaQuadCoded(q) {
+			w.Bit(ctxCBPLuma, 1)
+		} else {
+			w.Bit(ctxCBPLuma, 0)
+		}
+	}
+	for p := 0; p < 2; p++ {
+		if c.chromaPlaneCoded(p) {
+			w.Bit(ctxCBPChroma, 1)
+		} else {
+			w.Bit(ctxCBPChroma, 0)
+		}
+	}
+	// Luma residual.
+	if c.tx8 {
+		for q := 0; q < 4; q++ {
+			if c.lumaLevels[q] != nil {
+				writeResidualBlock(w, c.lumaLevels[q], rich)
+			}
+		}
+	} else {
+		for q := 0; q < 4; q++ {
+			if !c.lumaQuadCoded(q) {
+				continue
+			}
+			for _, b := range quadBlocks4[q] {
+				if c.lumaLevels[b] != nil {
+					w.Bit(ctxBlkFlag, 1)
+					writeResidualBlock(w, c.lumaLevels[b], rich)
+				} else {
+					w.Bit(ctxBlkFlag, 0)
+				}
+			}
+		}
+	}
+	// Chroma residual.
+	for p := 0; p < 2; p++ {
+		if !c.chromaPlaneCoded(p) {
+			continue
+		}
+		for b := 0; b < 4; b++ {
+			if c.chromaLevels[p][b] != nil {
+				w.Bit(ctxBlkFlag, 1)
+				writeResidualBlock(w, c.chromaLevels[p][b], rich)
+			} else {
+				w.Bit(ctxBlkFlag, 0)
+			}
+		}
+	}
+}
+
+// applyCand commits a candidate's reconstruction into the frame and
+// updates the MB grid. local is the slice-local macroblock row.
+func (fe *frameEncoder) applyCand(c *mbCand, mbx, local int) {
+	px, py := mbx*MBSize, (fe.rowStart+local)*MBSize
+	w := fe.recon.Width
+	for y := 0; y < MBSize; y++ {
+		copy(fe.recon.Y[(py+y)*w+px:(py+y)*w+px+MBSize], c.lumaRecon[y*MBSize:(y+1)*MBSize])
+	}
+	cw := fe.recon.ChromaWidth()
+	for p := 0; p < 2; p++ {
+		plane := fe.recon.Cb
+		if p == 1 {
+			plane = fe.recon.Cr
+		}
+		for y := 0; y < 8; y++ {
+			copy(plane[(py/2+y)*cw+px/2:(py/2+y)*cw+px/2+8], c.chromaRecon[p][y*8:(y+1)*8])
+		}
+	}
+	info := fe.grid.at(mbx, local)
+	info.mode = c.mode
+	info.mv = c.mv
+	info.ref = c.ref
+	info.qp = c.qp
+}

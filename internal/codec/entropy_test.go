@@ -1,0 +1,216 @@
+package codec
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vbench/internal/rng"
+)
+
+// symEvent is a scripted symbol operation used to exercise both
+// entropy backends identically.
+type symEvent struct {
+	kind int // 0 bit, 1 bypass, 2 ue, 3 se
+	set  int
+	v    int32
+}
+
+func randomEvents(seed uint64, n int) []symEvent {
+	r := rng.New(seed)
+	evs := make([]symEvent, n)
+	for i := range evs {
+		evs[i] = symEvent{
+			kind: r.Intn(4),
+			set:  r.Intn(numCtxSets),
+			v:    int32(r.Intn(2000) - 1000),
+		}
+	}
+	return evs
+}
+
+func writeEvents(w symWriter, evs []symEvent) {
+	for _, e := range evs {
+		switch e.kind {
+		case 0:
+			w.Bit(e.set, int(e.v)&1)
+		case 1:
+			w.Bypass(int(e.v) & 1)
+		case 2:
+			w.UE(e.set, uint32(abs32t(e.v)))
+		case 3:
+			w.SE(e.set, e.v)
+		}
+	}
+}
+
+func readAndCheck(t *testing.T, r symReader, evs []symEvent) {
+	t.Helper()
+	for i, e := range evs {
+		switch e.kind {
+		case 0:
+			got, err := r.Bit(e.set)
+			if err != nil || got != int(e.v)&1 {
+				t.Fatalf("event %d bit: got %d err %v", i, got, err)
+			}
+		case 1:
+			got, err := r.Bypass()
+			if err != nil || got != int(e.v)&1 {
+				t.Fatalf("event %d bypass: got %d err %v", i, got, err)
+			}
+		case 2:
+			got, err := r.UE(e.set)
+			if err != nil || got != uint32(abs32t(e.v)) {
+				t.Fatalf("event %d ue: got %d want %d err %v", i, got, abs32t(e.v), err)
+			}
+		case 3:
+			got, err := r.SE(e.set)
+			if err != nil || got != e.v {
+				t.Fatalf("event %d se: got %d want %d err %v", i, got, e.v, err)
+			}
+		}
+	}
+}
+
+func abs32t(v int32) int32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestGolombSymLayerRoundTrip(t *testing.T) {
+	evs := randomEvents(1, 5000)
+	w := newGolombWriter()
+	writeEvents(w, evs)
+	readAndCheck(t, newGolombReader(w.Flush()), evs)
+}
+
+func TestArithSymLayerRoundTrip(t *testing.T) {
+	evs := randomEvents(2, 5000)
+	w := newArithWriter()
+	writeEvents(w, evs)
+	readAndCheck(t, newArithReader(w.Flush()), evs)
+}
+
+func TestSymLayerRoundTripProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw)%500 + 1
+		evs := randomEvents(seed, n)
+		gw := newGolombWriter()
+		writeEvents(gw, evs)
+		gr := newGolombReader(gw.Flush())
+		aw := newArithWriter()
+		writeEvents(aw, evs)
+		ar := newArithReader(aw.Flush())
+		for _, e := range evs {
+			switch e.kind {
+			case 0:
+				g, _ := gr.Bit(e.set)
+				a, _ := ar.Bit(e.set)
+				if g != int(e.v)&1 || a != int(e.v)&1 {
+					return false
+				}
+			case 1:
+				g, _ := gr.Bypass()
+				a, _ := ar.Bypass()
+				if g != int(e.v)&1 || a != int(e.v)&1 {
+					return false
+				}
+			case 2:
+				g, _ := gr.UE(e.set)
+				a, _ := ar.UE(e.set)
+				if g != uint32(abs32t(e.v)) || a != uint32(abs32t(e.v)) {
+					return false
+				}
+			case 3:
+				g, _ := gr.SE(e.set)
+				a, _ := ar.SE(e.set)
+				if g != e.v || a != e.v {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeMapRoundTrip(t *testing.T) {
+	for v := int32(-1000); v <= 1000; v++ {
+		if seUnmap(seMap(v)) != v {
+			t.Fatalf("seMap round trip failed for %d", v)
+		}
+	}
+}
+
+func TestBinsAccounting(t *testing.T) {
+	w := newArithWriter()
+	if w.Bins() != 0 {
+		t.Error("fresh writer has bins")
+	}
+	w.Bit(ctxSkip, 1)
+	w.UE(ctxLumaMode, 5)
+	if w.Bins() == 0 {
+		t.Error("bins not counted")
+	}
+}
+
+func TestResidualBlockRoundTripBothBackends(t *testing.T) {
+	r := rng.New(7)
+	for trial := 0; trial < 50; trial++ {
+		n := 4
+		if trial%2 == 1 {
+			n = 8
+		}
+		nn := n * n
+		zz := make([]int32, nn)
+		// Sparse, decaying coefficients like real transforms produce.
+		for i := 0; i < nn; i++ {
+			if r.Float64() < 0.3/float64(1+i/4) {
+				zz[i] = int32(r.Intn(63) - 31)
+			}
+		}
+		nonzero := false
+		for _, v := range zz {
+			if v != 0 {
+				nonzero = true
+			}
+		}
+		if !nonzero {
+			zz[0] = 1
+		}
+		for _, rich := range []bool{false, true} {
+			aw := newArithWriter()
+			writeResidualBlock(aw, zz, rich)
+			back := make([]int32, nn)
+			if err := readResidualBlock(newArithReader(aw.Flush()), back, rich); err != nil {
+				t.Fatalf("trial %d rich=%v: %v", trial, rich, err)
+			}
+			for i := range zz {
+				if zz[i] != back[i] {
+					t.Fatalf("trial %d rich=%v coef %d: %d != %d", trial, rich, i, zz[i], back[i])
+				}
+			}
+		}
+	}
+}
+
+func TestResidualBitsEstimateTracksActual(t *testing.T) {
+	r := rng.New(9)
+	zz := make([]int32, 16)
+	for i := range zz {
+		if r.Float64() < 0.4 {
+			zz[i] = int32(r.Intn(21) - 10)
+		}
+	}
+	zz[0] = 3
+	gw := newGolombWriter()
+	writeResidualBlock(gw, zz, false)
+	actual := gw.BitLen()
+	est := residualBits(zz)
+	if est < actual-8 || est > actual+8 {
+		t.Errorf("estimate %d far from actual %d", est, actual)
+	}
+}

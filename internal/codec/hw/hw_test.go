@@ -1,0 +1,114 @@
+package hw
+
+import (
+	"testing"
+
+	"vbench/internal/codec"
+	"vbench/internal/codec/profiles"
+	"vbench/internal/corpus"
+	"vbench/internal/metrics"
+)
+
+func encodeWith(t *testing.T, eng *codec.Engine, clipName string) (speed float64, bytes int, psnr float64) {
+	t.Helper()
+	clip, err := corpus.ClipByName(clipName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := clip.Generate(12, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Encode(seq, codec.Config{RC: codec.RCConstQP, QP: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := metrics.Speed(seq.PixelCount(), res.Seconds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := metrics.SequencePSNR(seq, res.Recon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, len(res.Bitstream), p
+}
+
+func TestHardwareMuchFasterThanSoftware(t *testing.T) {
+	hwSpeed, _, _ := encodeWith(t, NVENC(), "girl")
+	swSpeed, _, _ := encodeWith(t, profiles.X264(codec.PresetMedium), "girl")
+	if hwSpeed < swSpeed*3 {
+		t.Errorf("NVENC %.1f Mpix/s not ≫ software %.1f Mpix/s", hwSpeed, swSpeed)
+	}
+}
+
+func TestQSVFasterThanNVENC(t *testing.T) {
+	n, _, _ := encodeWith(t, NVENC(), "girl")
+	q, _, _ := encodeWith(t, QSV(), "girl")
+	if q <= n {
+		t.Errorf("QSV %.1f not faster than NVENC %.1f", q, n)
+	}
+}
+
+func TestHardwareNoFreeLunchAtIsoQP(t *testing.T) {
+	// The hardware tool set must not beat the mid-effort software
+	// encoder on compression at the same quantizer — its speed comes
+	// from restriction, not magic. (The bitrate losses the paper's
+	// Table 3 reports arise under the quality-constrained VOD
+	// methodology, where the hardware's single-pass, coarse-step rate
+	// control wastes bits against the two-pass software reference;
+	// see the harness tests.)
+	_, hwBytes, hwPSNR := encodeWith(t, NVENC(), "girl")
+	_, swBytes, swPSNR := encodeWith(t, profiles.X264(codec.PresetMedium), "girl")
+	if float64(hwBytes) < float64(swBytes)*0.90 {
+		t.Errorf("NVENC (%d bytes) dramatically smaller than software (%d bytes) at iso-QP", hwBytes, swBytes)
+	}
+	if hwPSNR < swPSNR-1.5 {
+		t.Errorf("NVENC quality %.2f far below software %.2f at same QP", hwPSNR, swPSNR)
+	}
+}
+
+func TestHardwareBitstreamsDecode(t *testing.T) {
+	clip, err := corpus.ClipByName("bike")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := clip.Generate(16, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, eng := range Encoders() {
+		res, err := eng.Encode(seq, codec.Config{RC: codec.RCBitrate, BitrateBPS: 200_000})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		dec, _, err := codec.Decode(res.Bitstream)
+		if err != nil {
+			t.Fatalf("%s decode: %v", name, err)
+		}
+		for i := range dec.Frames {
+			if !dec.Frames[i].Equal(res.Recon.Frames[i]) {
+				t.Fatalf("%s: frame %d decode mismatch", name, i)
+			}
+		}
+	}
+}
+
+func TestSpeedGrowsWithResolution(t *testing.T) {
+	// Table 3: hardware speed ratios grow with resolution because
+	// per-frame transfer overhead amortizes.
+	small, _, _ := encodeWith(t, QSV(), "cat")     // 480p class
+	large, _, _ := encodeWith(t, QSV(), "chicken") // 4K class
+	if large <= small {
+		t.Errorf("QSV speed did not grow with resolution: %.1f (480p) vs %.1f (4K)", small, large)
+	}
+}
+
+func TestQPGranularitySet(t *testing.T) {
+	if NVENC().Tools.QPGranularity < 2 || QSV().Tools.QPGranularity < 2 {
+		t.Error("hardware encoders should have coarse rate control")
+	}
+	if QSV().Tools.QPGranularity <= NVENC().Tools.QPGranularity {
+		t.Error("QSV should be coarser than NVENC (paper: QSV degrades worst on low entropy)")
+	}
+}

@@ -1,0 +1,140 @@
+// Package profiles instantiates the software encoder families the
+// paper evaluates, as tool configurations of the vbench codec engine:
+//
+//   - X264: the reference encoder family (libx264 analogue), spanning
+//     the ultrafast→placebo preset ladder;
+//   - X265: the HEVC-generation encoder (libx265 analogue) — larger
+//     transforms, richer entropy contexts, deeper searches: better
+//     compression for substantially more computation;
+//   - VP9: the libvpx-vp9 analogue — compression slightly ahead of
+//     X265, speed slightly behind, mirroring Figure 2 of the paper.
+//
+// The compression differences between the families come from real
+// algorithmic tool differences; the timing differences come from the
+// deterministic cost models plus the genuinely larger amount of work
+// the stronger tools perform.
+package profiles
+
+import (
+	"vbench/internal/codec"
+	"vbench/internal/codec/motion"
+	"vbench/internal/perf"
+)
+
+// X264 returns the reference software encoder at the given preset,
+// timed on the paper's reference CPU model.
+func X264(p codec.Preset) *codec.Engine {
+	return &codec.Engine{
+		Tools: codec.BaselineTools(p),
+		Model: perf.ReferenceCPU(),
+	}
+}
+
+// X265 returns the HEVC-generation encoder at the given preset. Tool
+// upgrades over X264 at the same preset: 8×8 transforms at every
+// level, rich entropy contexts, wider motion search, more references,
+// and trellis quantization from "fast" up. The cost model charges
+// 1.8× cycles per op for the transform/prediction kernels, reflecting
+// the larger block sizes and added filtering of HEVC-class tools that
+// the engine does not model structurally.
+func X265(p codec.Preset) *codec.Engine {
+	t := codec.BaselineTools(p)
+	t.Name = "swx265-" + p.String()
+	t.Entropy = codec.EntropyArith
+	t.RichContexts = true
+	t.Transform8x8 = true
+	t.SharpInterp = true
+	t.Intra4x4 = true
+	t.SearchRange = t.SearchRange * 3 / 2
+	if t.MaxRefs < 2 {
+		t.MaxRefs = 2
+	}
+	if p >= codec.PresetFast {
+		t.Trellis = true
+		t.AdaptiveQuant = true
+	}
+	if p >= codec.PresetSlow {
+		t.RDMode = true
+		t.MaxRefs++
+	}
+	m := perf.ReferenceCPU()
+	m.Name = "i7-6700K/x265"
+	for _, k := range []perf.Kernel{perf.KDCT, perf.KIntra, perf.KInterp, perf.KDeblock} {
+		m.CyclesPerOp[k] *= 1.8
+	}
+	m.CyclesPerOp[perf.KControl] *= 1.6
+	return &codec.Engine{Tools: t, Model: m}
+}
+
+// VP9 returns the libvpx-vp9 analogue at the given preset. Relative
+// to X265 it searches wider still and pays more per control decision
+// (libvpx's recursive partition search), matching the paper's
+// observation that vp9 lands slightly ahead of x265 on compression
+// and slightly behind on speed.
+func VP9(p codec.Preset) *codec.Engine {
+	t := codec.BaselineTools(p)
+	t.Name = "swvp9-" + p.String()
+	t.Entropy = codec.EntropyArith
+	t.RichContexts = true
+	t.Transform8x8 = true
+	t.SharpInterp = true
+	t.Intra4x4 = true
+	t.Search = motion.SearchHex
+	t.SearchRange = t.SearchRange * 2
+	if t.SearchRange > 48 {
+		t.SearchRange = 48
+	}
+	t.SubPel = 2
+	if t.MaxRefs < 3 {
+		t.MaxRefs = 3
+	}
+	t.Trellis = true
+	t.AdaptiveQuant = true
+	if p >= codec.PresetSlow {
+		t.RDMode = true
+	}
+	m := perf.ReferenceCPU()
+	m.Name = "i7-6700K/vp9"
+	for _, k := range []perf.Kernel{perf.KDCT, perf.KIntra, perf.KInterp, perf.KDeblock} {
+		m.CyclesPerOp[k] *= 1.9
+	}
+	m.CyclesPerOp[perf.KControl] *= 2.2
+	m.CyclesPerOp[perf.KEntropy] *= 1.2
+	return &codec.Engine{Tools: t, Model: m}
+}
+
+// Family identifies a software encoder family.
+type Family int
+
+// The software encoder families.
+const (
+	FamilyX264 Family = iota
+	FamilyX265
+	FamilyVP9
+)
+
+// String names the family with the conventional library name.
+func (f Family) String() string {
+	switch f {
+	case FamilyX264:
+		return "libx264"
+	case FamilyX265:
+		return "libx265"
+	case FamilyVP9:
+		return "libvpx-vp9"
+	}
+	return "unknown"
+}
+
+// New builds an engine for the family at the given preset.
+func New(f Family, p codec.Preset) *codec.Engine {
+	switch f {
+	case FamilyX264:
+		return X264(p)
+	case FamilyX265:
+		return X265(p)
+	case FamilyVP9:
+		return VP9(p)
+	}
+	panic("profiles: unknown family")
+}

@@ -1,0 +1,119 @@
+package profiles
+
+import (
+	"testing"
+
+	"vbench/internal/codec"
+	"vbench/internal/corpus"
+	"vbench/internal/metrics"
+)
+
+func TestFamiliesValidateAndCarryModels(t *testing.T) {
+	for _, f := range []Family{FamilyX264, FamilyX265, FamilyVP9} {
+		eng := New(f, codec.PresetMedium)
+		if err := eng.Tools.Validate(); err != nil {
+			t.Errorf("%v tools invalid: %v", f, err)
+		}
+		if eng.Model == nil {
+			t.Errorf("%v has no cost model", f)
+		}
+		if f.String() == "unknown" {
+			t.Errorf("family %d has no name", int(f))
+		}
+	}
+}
+
+func TestFamilyCompressionOrdering(t *testing.T) {
+	// Figure 2: at equal quality targets, vp9 ≤ x265 < x264 on bitrate
+	// and x264 fastest. Compare at a fixed QP (≈equal quality since
+	// the quantizer is shared).
+	clip, err := corpus.ClipByName("funny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := clip.Generate(12, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := codec.Config{RC: codec.RCConstQP, QP: 30}
+	sizes := map[Family]int{}
+	seconds := map[Family]float64{}
+	psnrs := map[Family]float64{}
+	for _, f := range []Family{FamilyX264, FamilyX265, FamilyVP9} {
+		res, err := New(f, codec.PresetMedium).Encode(seq, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes[f] = len(res.Bitstream)
+		seconds[f] = res.Seconds
+		p, err := metrics.SequencePSNR(seq, res.Recon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		psnrs[f] = p
+	}
+	if sizes[FamilyX265] >= sizes[FamilyX264] {
+		t.Errorf("x265 (%d bytes) not smaller than x264 (%d bytes)", sizes[FamilyX265], sizes[FamilyX264])
+	}
+	if sizes[FamilyVP9] > sizes[FamilyX264] {
+		t.Errorf("vp9 (%d bytes) larger than x264 (%d bytes)", sizes[FamilyVP9], sizes[FamilyX264])
+	}
+	if seconds[FamilyX264] >= seconds[FamilyX265] || seconds[FamilyX264] >= seconds[FamilyVP9] {
+		t.Errorf("x264 (%.4fs) not fastest (x265 %.4fs, vp9 %.4fs)",
+			seconds[FamilyX264], seconds[FamilyX265], seconds[FamilyVP9])
+	}
+	// Newer codecs must not lose quality at the same QP.
+	for f, p := range psnrs {
+		if p < psnrs[FamilyX264]-0.5 {
+			t.Errorf("%v PSNR %.2f well below x264 %.2f at equal QP", f, p, psnrs[FamilyX264])
+		}
+	}
+}
+
+func TestX265SlowerFactorInPaperRange(t *testing.T) {
+	// Figure 2 bottom: x265/vp9 cost ~3-4x more than x264.
+	clip, err := corpus.ClipByName("girl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := clip.Generate(16, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := codec.Config{RC: codec.RCConstQP, QP: 28}
+	r264, err := X264(codec.PresetMedium).Encode(seq, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r265, err := X265(codec.PresetMedium).Encode(seq, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factor := r265.Seconds / r264.Seconds
+	if factor < 1.5 || factor > 12 {
+		t.Errorf("x265/x264 time factor = %.2f, want roughly 2-8", factor)
+	}
+}
+
+func TestPresetLadderMonotoneWork(t *testing.T) {
+	clip, err := corpus.ClipByName("bike")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := clip.Generate(16, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevOps := int64(0)
+	for _, p := range []codec.Preset{codec.PresetUltraFast, codec.PresetMedium, codec.PresetVerySlow} {
+		res, err := X264(p).Encode(seq, codec.Config{RC: codec.RCConstQP, QP: 28})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ops := res.Counters.TotalOps()
+		if ops <= prevOps {
+			t.Errorf("preset %v did not increase work: %d vs %d", p, ops, prevOps)
+		}
+		prevOps = ops
+	}
+}

@@ -1,0 +1,108 @@
+package codec
+
+import "testing"
+
+func TestInitialQPMonotoneInBitrate(t *testing.T) {
+	// Richer budgets must never raise the starting quantizer.
+	pixels := 1280 * 720
+	prev := 52
+	for _, bits := range []float64{1e4, 1e5, 1e6, 1e7, 1e8} {
+		qp := initialQP(bits, pixels)
+		if qp > prev {
+			t.Errorf("initialQP(%g) = %d rose above %d", bits, qp, prev)
+		}
+		if qp < 2 || qp > 51 {
+			t.Errorf("initialQP(%g) = %d out of range", bits, qp)
+		}
+		prev = qp
+	}
+}
+
+func TestRateControlConstQPIsConstant(t *testing.T) {
+	rc := newRateControl(Config{RC: RCConstQP, QP: 30}, 1000, 30, 10, nil, 0)
+	for i := 0; i < 10; i++ {
+		if qp := rc.frameQP(i, frameP); qp != 30 {
+			t.Fatalf("frame %d: qp %d", i, qp)
+		}
+		rc.update(i, 100000)
+	}
+	// I frames get a small quality boost.
+	if qp := rc.frameQP(0, frameI); qp != 28 {
+		t.Errorf("I frame qp %d, want 28", qp)
+	}
+}
+
+func TestRateControlABRFeedback(t *testing.T) {
+	rc := newRateControl(Config{RC: RCBitrate, BitrateBPS: 30000}, 1000, 30, 100, nil, 0)
+	qp0 := rc.frameQP(0, frameP)
+	// Persistently overshooting must raise QP.
+	for i := 0; i < 10; i++ {
+		rc.update(i, 10000) // 10x the 1000-bit frame budget
+	}
+	if rc.frameQP(10, frameP) <= qp0 {
+		t.Errorf("QP did not rise under overshoot: %d vs %d", rc.frameQP(10, frameP), qp0)
+	}
+	// Persistently undershooting must lower it again.
+	rc2 := newRateControl(Config{RC: RCBitrate, BitrateBPS: 30000}, 1000, 30, 100, nil, 0)
+	for i := 0; i < 10; i++ {
+		rc2.update(i, 100)
+	}
+	if rc2.frameQP(10, frameP) >= qp0 {
+		t.Errorf("QP did not fall under undershoot: %d vs %d", rc2.frameQP(10, frameP), qp0)
+	}
+}
+
+func TestRateControlTwoPassBudgetsFollowComplexity(t *testing.T) {
+	// Frame 2 was 8x as complex in the first pass: it must receive a
+	// larger budget and a not-higher QP than the simple frames.
+	firstPass := []int64{1000, 1000, 8000, 1000}
+	rc := newRateControl(Config{RC: RCTwoPass, BitrateBPS: 120000}, 1000, 30, 4, firstPass, 32)
+	if rc.budgets[2] <= rc.budgets[0] {
+		t.Errorf("complex frame budget %v not above simple %v", rc.budgets[2], rc.budgets[0])
+	}
+	if rc.passQP[2] < rc.passQP[0]-10 || rc.passQP[2] > rc.passQP[0]+10 {
+		t.Errorf("two-pass QPs wildly divergent: %v vs %v", rc.passQP[2], rc.passQP[0])
+	}
+	var total float64
+	for _, b := range rc.budgets {
+		total += b
+	}
+	want := 120000.0 / 30 * 4
+	if total < want*0.99 || total > want*1.01 {
+		t.Errorf("budgets sum to %v, want %v", total, want)
+	}
+}
+
+func TestClampQP(t *testing.T) {
+	if clampQP(-5) != 2 || clampQP(70) != 51 || clampQP(30) != 30 {
+		t.Error("clampQP bounds wrong")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{RC: RCConstQP, QP: -1},
+		{RC: RCConstQP, QP: 52},
+		{RC: RCBitrate, BitrateBPS: 0},
+		{RC: RCTwoPass, BitrateBPS: -5},
+		{RC: RCMode(9)},
+		{RC: RCConstQP, QP: 20, KeyInterval: -1},
+		{RC: RCConstQP, QP: 20, Slices: -1},
+		{RC: RCConstQP, QP: 20, Slices: 100},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %+v accepted", c)
+		}
+	}
+	good := Config{RC: RCTwoPass, BitrateBPS: 1e6, KeyInterval: 30, Slices: 4}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+}
+
+func TestRCModeStrings(t *testing.T) {
+	if RCConstQP.String() != "crf" || RCBitrate.String() != "abr" || RCTwoPass.String() != "2pass" {
+		t.Error("rc mode names wrong")
+	}
+}

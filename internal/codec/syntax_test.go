@@ -1,0 +1,189 @@
+package codec
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vbench/internal/codec/motion"
+	"vbench/internal/codec/predict"
+	"vbench/internal/rng"
+	"vbench/internal/video"
+)
+
+func TestSeqHeaderMarshalParseRoundTrip(t *testing.T) {
+	f := func(w16, h16 uint8, fps uint16, frames uint16, flags uint8, refs, slices uint8) bool {
+		h := &seqHeader{
+			width:         (int(w16)%255 + 1) * 2,
+			height:        (int(h16)%255 + 1) * 2,
+			fpsMilli:      uint32(fps) + 1,
+			frames:        int(frames),
+			entropy:       EntropyKind(flags & 1),
+			tx8Allowed:    flags&2 != 0,
+			deblock:       flags&4 != 0,
+			adaptiveQuant: flags&8 != 0,
+			richContexts:  flags&16 != 0,
+			sharpInterp:   flags&32 != 0,
+			intra4Allowed: flags&64 != 0,
+			refs:          int(refs)%8 + 1,
+			slices:        int(slices)%4 + 1,
+		}
+		// slices must not exceed MB rows.
+		if h.slices > h.paddedHeight()/MBSize {
+			h.slices = h.paddedHeight() / MBSize
+		}
+		data := h.marshal()
+		back, n, err := parseSeqHeader(data)
+		if err != nil || n != len(data) {
+			return false
+		}
+		return *back == *h
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCeilMB(t *testing.T) {
+	cases := map[int]int{1: 16, 16: 16, 17: 32, 32: 32, 33: 48}
+	for in, want := range cases {
+		if got := ceilMB(in); got != want {
+			t.Errorf("ceilMB(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestSliceBoundsPartition(t *testing.T) {
+	for rows := 1; rows <= 40; rows++ {
+		for k := 1; k <= rows && k <= 8; k++ {
+			b := sliceBounds(rows, k)
+			if b[0] != 0 || b[len(b)-1] != rows {
+				t.Fatalf("rows=%d k=%d: bounds %v do not span", rows, k, b)
+			}
+			for i := 1; i < len(b); i++ {
+				if b[i] <= b[i-1] {
+					t.Fatalf("rows=%d k=%d: empty slice in %v", rows, k, b)
+				}
+			}
+		}
+	}
+}
+
+func TestPadAndCropInverse(t *testing.T) {
+	p := video.ContentParams{Seed: 3, Detail: 0.6, Motion: 0.2, ChromaVariety: 0.4}
+	seq, err := video.Generate(p, 52, 38, 1, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := seq.Frames[0]
+	padded := padFrame(f)
+	if padded.Width != 64 || padded.Height != 48 {
+		t.Fatalf("padded dims %dx%d", padded.Width, padded.Height)
+	}
+	// Padding must replicate edges.
+	for y := 38; y < 48; y++ {
+		if padded.Y[y*64+10] != f.Y[37*52+10] {
+			t.Fatal("bottom padding not edge-replicated")
+		}
+	}
+	back := cropFrame(padded, 52, 38)
+	if !back.Equal(f) {
+		t.Error("crop(pad(f)) != f")
+	}
+	// Aligned frames pass through unchanged (same pointer).
+	g := video.NewFrame(64, 48)
+	if padFrame(g) != g || cropFrame(g, 64, 48) != g {
+		t.Error("aligned frames should not be copied")
+	}
+}
+
+func TestMBGridPredMV(t *testing.T) {
+	g := newMBGrid(4, 4)
+	// No neighbours: zero predictor.
+	if mv := g.predMV(0, 0); mv != (motion.MV{}) {
+		t.Errorf("corner predictor %v", mv)
+	}
+	// Set left, top, top-right.
+	g.at(0, 1).mode = mbInter
+	g.at(0, 1).mv = motion.MV{X: 4, Y: 8}
+	g.at(1, 0).mode = mbInter
+	g.at(1, 0).mv = motion.MV{X: 12, Y: 0}
+	g.at(2, 0).mode = mbInter
+	g.at(2, 0).mv = motion.MV{X: 8, Y: 4}
+	want := motion.MV{X: 8, Y: 4} // component-wise median
+	if mv := g.predMV(1, 1); mv != want {
+		t.Errorf("predMV = %v, want %v", mv, want)
+	}
+	// Intra neighbours contribute zero vectors.
+	g.at(1, 0).mode = mbIntra
+	mv := g.predMV(1, 1)
+	if mv != (motion.MV{X: 4, Y: 4}) {
+		t.Errorf("predMV with intra top = %v", mv)
+	}
+}
+
+func TestQuadBlocks4CoverAllBlocks(t *testing.T) {
+	seen := map[int]bool{}
+	for q := 0; q < 4; q++ {
+		for _, b := range quadBlocks4[q] {
+			if seen[b] {
+				t.Fatalf("block %d in two quadrants", b)
+			}
+			seen[b] = true
+			// The block's pixel offset must fall inside the quadrant.
+			ox, oy := block4Offset(b)
+			qx, qy := block8Offset(q)
+			if ox < qx || ox >= qx+8 || oy < qy || oy >= qy+8 {
+				t.Fatalf("block %d at (%d,%d) outside quadrant %d", b, ox, oy, q)
+			}
+		}
+	}
+	if len(seen) != 16 {
+		t.Fatalf("quadrants cover %d blocks", len(seen))
+	}
+}
+
+func TestIntra4AvailAndPredict(t *testing.T) {
+	r := rng.New(1)
+	plane := motion.Plane{Pix: make([]uint8, 64*64), W: 64, H: 64}
+	for i := range plane.Pix {
+		plane.Pix[i] = uint8(r.Intn(256))
+	}
+	cand := &mbCand{}
+	// Frame corner block: only DC available.
+	if intra4Avail(predict.ModeVertical, 0, 0, 0, 0, 0) || intra4Avail(predict.ModeHorizontal, 0, 0, 0, 0, 0) {
+		t.Error("directional modes available at frame corner")
+	}
+	if !intra4Avail(predict.ModeDC, 0, 0, 0, 0, 0) {
+		t.Error("DC unavailable")
+	}
+	// At a slice boundary, vertical is blocked even mid-frame.
+	if intra4Avail(predict.ModeVertical, 16, 32, 4, 0, 32) {
+		t.Error("vertical available across slice boundary")
+	}
+	if !intra4Avail(predict.ModeVertical, 16, 32, 4, 4, 32) {
+		t.Error("vertical unavailable inside slice")
+	}
+
+	// Vertical prediction from inside the candidate: fill the first
+	// block row of the cand and predict the block below it.
+	for x := 0; x < 16; x++ {
+		for y := 0; y < 4; y++ {
+			cand.lumaRecon[y*16+x] = uint8(50 + x)
+		}
+	}
+	var dst [16]uint8
+	if err := intra4PredictBlock(dst[:], predict.ModeVertical, plane, cand, 16, 16, 0, 4, 0); err != nil {
+		t.Fatal(err)
+	}
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 4; x++ {
+			if dst[y*4+x] != uint8(50+x) {
+				t.Fatalf("vertical intra4 (%d,%d) = %d, want %d", x, y, dst[y*4+x], 50+x)
+			}
+		}
+	}
+	// Invalid mode errors.
+	if err := intra4PredictBlock(dst[:], predict.ModePlane, plane, cand, 16, 16, 4, 4, 0); err == nil {
+		t.Error("plane mode accepted for intra4")
+	}
+}

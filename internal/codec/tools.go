@@ -1,0 +1,227 @@
+// Package codec implements the vbench video codec: a complete
+// block-transform encoder/decoder pair (motion-compensated prediction,
+// integer DCT, scalar quantization, adaptive entropy coding, in-loop
+// deblocking, and three rate-control modes) whose tool set is fully
+// configurable.
+//
+// One codec with switchable tools is the substrate for all the
+// paper's encoder families: the x264-, x265-, and vp9-analogue
+// software encoders and the NVENC-/QSV-analogue fixed-function
+// encoders are tool configurations of this engine (see the profiles
+// and hw sub-packages), so their speed/bitrate/quality differences are
+// real algorithmic consequences, not constants.
+package codec
+
+import (
+	"fmt"
+
+	"vbench/internal/codec/motion"
+)
+
+// EntropyKind selects the entropy-coding backend.
+type EntropyKind int
+
+// The two entropy backends, mirroring the paper's CAVLC/CABAC split.
+const (
+	// EntropyGolomb is the variable-length backend (Exp-Golomb codes,
+	// CAVLC-analogue): cheap, parallel-friendly, weaker compression.
+	EntropyGolomb EntropyKind = iota
+	// EntropyArith is the adaptive binary arithmetic backend
+	// (CABAC-analogue): strictly sequential, stronger compression.
+	EntropyArith
+)
+
+// String names the entropy backend.
+func (k EntropyKind) String() string {
+	switch k {
+	case EntropyGolomb:
+		return "golomb"
+	case EntropyArith:
+		return "arith"
+	}
+	return fmt.Sprintf("entropy(%d)", int(k))
+}
+
+// Tools is the feature set of an encoder configuration. Every field
+// is a real compression tool with a real compute cost; effort presets
+// and encoder families differ only in this struct.
+type Tools struct {
+	// Name labels the configuration in reports.
+	Name string
+
+	// Search selects the integer-pel motion search strategy.
+	Search motion.SearchKind
+	// SearchRange is the motion search radius in integer pixels.
+	SearchRange int
+	// SubPel is the refinement depth: 0 integer, 1 half, 2 quarter pel.
+	SubPel int
+	// MaxRefs is the number of past reference frames searched (≥1).
+	MaxRefs int
+
+	// Transform8x8 allows the encoder to choose an 8×8 luma transform
+	// per macroblock (better for smooth content).
+	Transform8x8 bool
+	// AdaptiveQuant modulates the quantizer per macroblock by local
+	// activity, spending bits where the eye sees them.
+	AdaptiveQuant bool
+	// Trellis enables rate-distortion-optimized coefficient level
+	// adjustment after quantization.
+	Trellis bool
+	// Entropy selects the entropy backend.
+	Entropy EntropyKind
+	// RichContexts uses a larger, position-adaptive context model in
+	// the arithmetic backend (HEVC-style); ignored for Golomb.
+	RichContexts bool
+	// Deblock enables the in-loop deblocking filter.
+	Deblock bool
+	// RDMode performs full rate-distortion mode decisions (encode
+	// both intra and inter candidates) instead of SATD heuristics.
+	RDMode bool
+	// SceneCut inserts key frames at detected scene changes.
+	SceneCut bool
+	// SharpInterp replaces bilinear sub-pel interpolation with a
+	// 4-tap kernel (HEVC/VP9-class motion compensation): texture
+	// survives motion better, shrinking residuals.
+	SharpInterp bool
+	// Intra4x4 enables per-4×4-block intra prediction inside intra
+	// macroblocks (directional prediction at fine granularity), the
+	// tool behind the newer codecs' large wins on text and screen
+	// content.
+	Intra4x4 bool
+	// Denoise applies an encoder-side spatial pre-filter to the source
+	// (strength 0–2) before encoding — the optional denoising step the
+	// paper describes in Section 2.1: high-frequency noise costs many
+	// bits to preserve, so removing some of it improves compressibility
+	// at a small fidelity cost. Purely an encoder decision; the
+	// bitstream is unaffected.
+	Denoise int
+	// QPGranularity quantizes the frame-level QP to multiples of this
+	// value (0 or 1 = full precision). Fixed-function encoders adapt
+	// their quantizer in coarse steps, which is why the paper finds
+	// GPUs "struggle to degrade quality and bitrate gracefully" on
+	// low-entropy content: the quality-per-QP slope is steep there,
+	// so a coarse step overshoots the target quality and wastes bits.
+	QPGranularity int
+}
+
+// Validate reports whether the tool set is coherent.
+func (t Tools) Validate() error {
+	switch {
+	case t.SearchRange < 0 || t.SearchRange > 64:
+		return fmt.Errorf("codec: search range %d out of [0,64]", t.SearchRange)
+	case t.Denoise < 0 || t.Denoise > 2:
+		return fmt.Errorf("codec: denoise strength %d out of [0,2]", t.Denoise)
+	case t.SubPel < 0 || t.SubPel > 2:
+		return fmt.Errorf("codec: subpel depth %d out of [0,2]", t.SubPel)
+	case t.MaxRefs < 1 || t.MaxRefs > 8:
+		return fmt.Errorf("codec: reference count %d out of [1,8]", t.MaxRefs)
+	case t.Entropy != EntropyGolomb && t.Entropy != EntropyArith:
+		return fmt.Errorf("codec: unknown entropy backend %d", int(t.Entropy))
+	}
+	return nil
+}
+
+// Preset is an effort level on the canonical ladder, mirroring
+// libx264's named presets. Higher presets search more of the encoding
+// space: better compression at the same quality, more computation.
+type Preset int
+
+// The preset ladder.
+const (
+	PresetUltraFast Preset = iota
+	PresetVeryFast
+	PresetFast
+	PresetMedium
+	PresetSlow
+	PresetVerySlow
+	PresetPlacebo
+	NumPresets
+)
+
+var presetNames = [NumPresets]string{
+	"ultrafast", "veryfast", "fast", "medium", "slow", "veryslow", "placebo",
+}
+
+// String names the preset.
+func (p Preset) String() string {
+	if p < 0 || p >= NumPresets {
+		return fmt.Sprintf("preset(%d)", int(p))
+	}
+	return presetNames[p]
+}
+
+// ParsePreset maps a name to a preset.
+func ParsePreset(name string) (Preset, error) {
+	for i, n := range presetNames {
+		if n == name {
+			return Preset(i), nil
+		}
+	}
+	return 0, fmt.Errorf("codec: unknown preset %q", name)
+}
+
+// BaselineTools returns the tool set of the reference software encoder
+// (the libx264 analogue) at the given preset.
+func BaselineTools(p Preset) Tools {
+	t := Tools{Name: "swx264-" + p.String(), MaxRefs: 1, Entropy: EntropyGolomb}
+	switch p {
+	case PresetUltraFast:
+		t.Search = motion.SearchDiamond
+		t.SearchRange = 8
+		t.SubPel = 0
+	case PresetVeryFast:
+		t.Search = motion.SearchDiamond
+		t.SearchRange = 12
+		t.SubPel = 1
+		t.Deblock = true
+	case PresetFast:
+		t.Search = motion.SearchHex
+		t.SearchRange = 16
+		t.SubPel = 1
+		t.Deblock = true
+		t.Entropy = EntropyArith
+	case PresetMedium:
+		t.Search = motion.SearchHex
+		t.SearchRange = 16
+		t.SubPel = 2
+		t.Deblock = true
+		t.Entropy = EntropyArith
+		t.AdaptiveQuant = true
+	case PresetSlow:
+		t.Search = motion.SearchHex
+		t.SearchRange = 24
+		t.SubPel = 2
+		t.MaxRefs = 2
+		t.Deblock = true
+		t.Entropy = EntropyArith
+		t.AdaptiveQuant = true
+		t.Transform8x8 = true
+		t.Trellis = true
+	case PresetVerySlow:
+		t.Search = motion.SearchFull
+		t.SearchRange = 16
+		t.SubPel = 2
+		t.MaxRefs = 3
+		t.Deblock = true
+		t.Entropy = EntropyArith
+		t.AdaptiveQuant = true
+		t.Transform8x8 = true
+		t.Trellis = true
+		t.RDMode = true
+	case PresetPlacebo:
+		t.Search = motion.SearchFull
+		t.SearchRange = 24
+		t.SubPel = 2
+		t.MaxRefs = 4
+		t.Deblock = true
+		t.Entropy = EntropyArith
+		t.AdaptiveQuant = true
+		t.Transform8x8 = true
+		t.Trellis = true
+		t.RDMode = true
+	default:
+		panic(fmt.Sprintf("codec: invalid preset %d", int(p)))
+	}
+	t.SceneCut = p >= PresetVeryFast
+	return t
+}

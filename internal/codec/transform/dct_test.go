@@ -1,0 +1,276 @@
+package transform
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vbench/internal/rng"
+)
+
+// maxResidualError is the acceptable per-sample error of a forward +
+// inverse transform round trip without quantization: the fixed-point
+// basis loses well under one level.
+const maxResidualError = 1
+
+func roundTripError(t *testing.T, n int, seed uint64) int32 {
+	t.Helper()
+	r := rng.New(seed)
+	nn := n * n
+	src := make([]int32, nn)
+	for i := range src {
+		src[i] = int32(r.Intn(511) - 255)
+	}
+	coeffs := make([]int32, nn)
+	Forward(src, coeffs, n)
+	rec := make([]int32, nn)
+	Inverse(coeffs, rec, n)
+	var worst int32
+	for i := range src {
+		d := src[i] - rec[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func TestForwardInverseNearLossless4(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		if e := roundTripError(t, 4, seed); e > maxResidualError {
+			t.Fatalf("seed %d: 4x4 round-trip error %d > %d", seed, e, maxResidualError)
+		}
+	}
+}
+
+func TestForwardInverseNearLossless8(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		if e := roundTripError(t, 8, seed); e > maxResidualError {
+			t.Fatalf("seed %d: 8x8 round-trip error %d > %d", seed, e, maxResidualError)
+		}
+	}
+}
+
+func TestDCTOfFlatBlockIsDCOnly(t *testing.T) {
+	for _, n := range []int{4, 8} {
+		nn := n * n
+		src := make([]int32, nn)
+		for i := range src {
+			src[i] = 100
+		}
+		coeffs := make([]int32, nn)
+		Forward(src, coeffs, n)
+		// DC (Q3) should be ≈ 100·n·8.
+		wantDC := int32(100 * n * 8)
+		if d := coeffs[0] - wantDC; d < -8*int32(n) || d > 8*int32(n) {
+			t.Errorf("n=%d: DC = %d, want ≈%d", n, coeffs[0], wantDC)
+		}
+		for i := 1; i < nn; i++ {
+			if coeffs[i] > 8 || coeffs[i] < -8 {
+				t.Errorf("n=%d: AC coefficient %d = %d, want ≈0", n, i, coeffs[i])
+			}
+		}
+	}
+}
+
+func TestDCTLinearity(t *testing.T) {
+	r := rng.New(7)
+	for _, n := range []int{4, 8} {
+		nn := n * n
+		a := make([]int32, nn)
+		b := make([]int32, nn)
+		sum := make([]int32, nn)
+		for i := range a {
+			a[i] = int32(r.Intn(201) - 100)
+			b[i] = int32(r.Intn(201) - 100)
+			sum[i] = a[i] + b[i]
+		}
+		ca := make([]int32, nn)
+		cb := make([]int32, nn)
+		cs := make([]int32, nn)
+		Forward(a, ca, n)
+		Forward(b, cb, n)
+		Forward(sum, cs, n)
+		for i := range cs {
+			d := cs[i] - ca[i] - cb[i]
+			if d < -2 || d > 2 {
+				t.Fatalf("n=%d: linearity violated at %d: %d vs %d+%d", n, i, cs[i], ca[i], cb[i])
+			}
+		}
+	}
+}
+
+func TestQuantizeDequantizeBounds(t *testing.T) {
+	f := func(raw []int16, qpRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		qp := int(qpRaw) % 52
+		n := 16
+		coeffs := make([]int32, n)
+		for i := 0; i < n && i < len(raw); i++ {
+			coeffs[i] = int32(raw[i])
+		}
+		levels := make([]int32, n)
+		Quantize(coeffs, levels, qp, DeadZoneInter)
+		deq := make([]int32, n)
+		Dequantize(levels, deq, qp)
+		step := int64(QStepQ6(qp))
+		for i := range coeffs {
+			// |orig − dequant| must be below one quantizer step (Q3
+			// coefficients vs Q6 step: step/8 in Q3).
+			d := int64(coeffs[i]-deq[i]) * 8 // Q6
+			if d < 0 {
+				d = -d
+			}
+			if d > step+8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantizeZeroPreserving(t *testing.T) {
+	coeffs := make([]int32, 16)
+	levels := make([]int32, 16)
+	Quantize(coeffs, levels, 30, DeadZoneIntra)
+	for i, l := range levels {
+		if l != 0 {
+			t.Errorf("level %d = %d for zero input", i, l)
+		}
+	}
+}
+
+func TestQuantizeMonotoneInQP(t *testing.T) {
+	// Higher QP must never produce larger level magnitudes.
+	r := rng.New(11)
+	coeffs := make([]int32, 16)
+	for i := range coeffs {
+		coeffs[i] = int32(r.Intn(4001) - 2000)
+	}
+	prev := make([]int32, 16)
+	Quantize(coeffs, prev, 0, DeadZoneInter)
+	for qp := 1; qp <= 51; qp++ {
+		cur := make([]int32, 16)
+		Quantize(coeffs, cur, qp, DeadZoneInter)
+		for i := range cur {
+			if abs32(cur[i]) > abs32(prev[i]) {
+				t.Fatalf("qp %d: |level[%d]| grew from %d to %d", qp, i, prev[i], cur[i])
+			}
+		}
+		copy(prev, cur)
+	}
+}
+
+func abs32(v int32) int32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestQStepDoublesEverySix(t *testing.T) {
+	for qp := 0; qp+6 <= 51; qp++ {
+		a, b := QStepQ6(qp), QStepQ6(qp+6)
+		if b != 2*a {
+			t.Errorf("QStep(%d)=%d but QStep(%d)=%d, want exact doubling", qp, a, qp+6, b)
+		}
+	}
+}
+
+func TestQStepRange(t *testing.T) {
+	if got := QStep(0); got < 0.5 || got > 0.8 {
+		t.Errorf("QStep(0) = %v, want ≈0.625", got)
+	}
+	if got := QStep(51); got < 180 || got > 260 {
+		t.Errorf("QStep(51) = %v, want ≈228", got)
+	}
+}
+
+func TestZigZagIsPermutation(t *testing.T) {
+	check := func(name string, zz []int, n int) {
+		seen := make([]bool, n)
+		for _, idx := range zz {
+			if idx < 0 || idx >= n || seen[idx] {
+				t.Fatalf("%s is not a permutation: index %d", name, idx)
+			}
+			seen[idx] = true
+		}
+	}
+	check("ZigZag4", ZigZag4[:], 16)
+	check("ZigZag8", ZigZag8[:], 64)
+}
+
+func TestZigZagStartsAtDCAndEndsAtHighest(t *testing.T) {
+	if ZigZag4[0] != 0 || ZigZag4[15] != 15 {
+		t.Errorf("ZigZag4 endpoints: %d..%d", ZigZag4[0], ZigZag4[15])
+	}
+	if ZigZag8[0] != 0 || ZigZag8[63] != 63 {
+		t.Errorf("ZigZag8 endpoints: %d..%d", ZigZag8[0], ZigZag8[63])
+	}
+}
+
+func TestScanUnscanRoundTrip(t *testing.T) {
+	f := func(raw []int32) bool {
+		for _, n := range []int{4, 8} {
+			nn := n * n
+			block := make([]int32, nn)
+			for i := 0; i < nn && i < len(raw); i++ {
+				block[i] = raw[i]
+			}
+			zz := make([]int32, nn)
+			back := make([]int32, nn)
+			Scan(block, zz, n)
+			Unscan(zz, back, n)
+			for i := range block {
+				if block[i] != back[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSATDZeroForZeroResidual(t *testing.T) {
+	res := make([]int32, 256)
+	if got := SATD(res, 16, 16); got != 0 {
+		t.Errorf("SATD of zero residual = %d", got)
+	}
+}
+
+func TestSATDScalesWithMagnitude(t *testing.T) {
+	r := rng.New(3)
+	res := make([]int32, 256)
+	for i := range res {
+		res[i] = int32(r.Intn(21) - 10)
+	}
+	s1 := SATD(res, 16, 16)
+	for i := range res {
+		res[i] *= 3
+	}
+	s3 := SATD(res, 16, 16)
+	if s3 != 3*s1 {
+		t.Errorf("SATD not linear in magnitude: %d vs 3×%d", s3, s1)
+	}
+}
+
+func TestSATD4MatchesManualDC(t *testing.T) {
+	// A flat residual of value v has SATD = 16·|v| (all energy in DC).
+	res := make([]int32, 16)
+	for i := range res {
+		res[i] = 5
+	}
+	if got := SATD4(res); got != 80 {
+		t.Errorf("SATD4 of flat 5 block = %d, want 80", got)
+	}
+}

@@ -1,0 +1,292 @@
+package corpus
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"vbench/internal/codec"
+	"vbench/internal/codec/profiles"
+	"vbench/internal/stats"
+)
+
+func TestModelWeightsNormalized(t *testing.T) {
+	m := NewModel()
+	var total float64
+	for _, c := range m.Categories {
+		if c.Weight < 0 {
+			t.Fatalf("negative weight %v", c.Weight)
+		}
+		total += c.Weight
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("weights sum to %v, want 1", total)
+	}
+}
+
+func TestModelCategoryCount(t *testing.T) {
+	m := NewModel()
+	// The paper reports >3500 categories with significant weight; the
+	// model's grid should be in that regime.
+	if len(m.Categories) < 2000 {
+		t.Errorf("only %d categories", len(m.Categories))
+	}
+}
+
+func TestModelEntropySpansFourDecades(t *testing.T) {
+	m := NewModel()
+	minE, maxE := math.Inf(1), math.Inf(-1)
+	for _, c := range m.Categories {
+		minE = math.Min(minE, c.Entropy)
+		maxE = math.Max(maxE, c.Entropy)
+	}
+	if maxE/minE < 1e3 {
+		t.Errorf("entropy range %v..%v spans less than 3 decades", minE, maxE)
+	}
+}
+
+func TestFeaturesInRange(t *testing.T) {
+	m := NewModel()
+	for i, p := range m.Features() {
+		if len(p) != 3 {
+			t.Fatalf("feature %d has dimension %d", i, len(p))
+		}
+		for d, v := range p {
+			if v < -1.0001 || v > 1.0001 {
+				t.Fatalf("feature %d dim %d = %v out of [-1,1]", i, d, v)
+			}
+		}
+	}
+}
+
+func TestSelectProducesKRepresentatives(t *testing.T) {
+	m := NewModel()
+	sel, err := m.Select(15, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 15 {
+		t.Fatalf("selected %d categories, want 15", len(sel))
+	}
+	// Sorted by (KPixels, Entropy) like Table 2.
+	if !sort.SliceIsSorted(sel, func(i, j int) bool {
+		if sel[i].KPixels != sel[j].KPixels {
+			return sel[i].KPixels < sel[j].KPixels
+		}
+		return sel[i].Entropy < sel[j].Entropy
+	}) {
+		t.Error("selection not sorted")
+	}
+}
+
+func TestSelectCoversResolutionAndEntropy(t *testing.T) {
+	m := NewModel()
+	sel, err := m.Select(15, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resolutions := map[int]bool{}
+	minE, maxE := math.Inf(1), math.Inf(-1)
+	for _, c := range sel {
+		resolutions[c.KPixels] = true
+		minE = math.Min(minE, c.Entropy)
+		maxE = math.Max(maxE, c.Entropy)
+	}
+	// Table 2 spans 4 resolutions and a wide entropy range.
+	if len(resolutions) < 3 {
+		t.Errorf("selection covers only %d resolutions", len(resolutions))
+	}
+	if maxE/minE < 10 {
+		t.Errorf("selection entropy span %v..%v too narrow", minE, maxE)
+	}
+}
+
+func TestSelectValidation(t *testing.T) {
+	m := NewModel()
+	if _, err := m.Select(0, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := m.Select(len(m.Categories)+1, 1); err == nil {
+		t.Error("k>n accepted")
+	}
+}
+
+func TestCoverageSetShape(t *testing.T) {
+	m := NewModel()
+	cov := m.CoverageSet()
+	// 6 resolutions × 6 framerates × 11 entropy samples.
+	if len(cov) != 6*6*11 {
+		t.Errorf("coverage set has %d entries, want %d", len(cov), 6*6*11)
+	}
+}
+
+func TestVBenchClipsMatchTable2(t *testing.T) {
+	clips := VBenchClips()
+	if len(clips) != 15 {
+		t.Fatalf("%d clips, want 15", len(clips))
+	}
+	wantRes := map[string][2]int{
+		"cat": {854, 480}, "desktop": {1280, 720}, "presentation": {1920, 1080},
+		"chicken": {3840, 2160},
+	}
+	for name, wh := range wantRes {
+		c, err := ClipByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Width != wh[0] || c.Height != wh[1] {
+			t.Errorf("%s: %dx%d, want %dx%d", name, c.Width, c.Height, wh[0], wh[1])
+		}
+	}
+	names := map[string]bool{}
+	for _, c := range clips {
+		if names[c.Name] {
+			t.Errorf("duplicate clip %s", c.Name)
+		}
+		names[c.Name] = true
+		if err := c.Params.Validate(); err != nil {
+			t.Errorf("%s params invalid: %v", c.Name, err)
+		}
+	}
+	if _, err := ClipByName("nope"); err == nil {
+		t.Error("unknown clip accepted")
+	}
+}
+
+func TestClipGenerateScales(t *testing.T) {
+	c, _ := ClipByName("girl") // 1280x720
+	seq, err := c.Generate(8, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Width() != 160 || seq.Height() != 96 {
+		t.Errorf("scaled dims %dx%d, want 160x96", seq.Width(), seq.Height())
+	}
+	if seq.Width()%16 != 0 || seq.Height()%16 != 0 {
+		t.Error("dims not macroblock aligned")
+	}
+	if len(seq.Frames) != 9 {
+		t.Errorf("%d frames, want 9 (0.3s at 30fps)", len(seq.Frames))
+	}
+	if _, err := c.Generate(0, 1); err == nil {
+		t.Error("scale 0 accepted")
+	}
+	if _, err := c.Generate(8, 0); err == nil {
+		t.Error("zero duration accepted")
+	}
+}
+
+func TestClipGenerateDeterministic(t *testing.T) {
+	c, _ := ClipByName("cat")
+	a, err := c.Generate(16, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Generate(16, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Frames {
+		if !a.Frames[i].Equal(b.Frames[i]) {
+			t.Fatal("clip generation not deterministic")
+		}
+	}
+}
+
+func TestMeasuredEntropyCorrelatesWithPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("entropy measurement encodes all 15 clips")
+	}
+	eng := profiles.X264(codec.PresetVeryFast)
+	var paper, measured []float64
+	for _, c := range VBenchClips() {
+		seq, err := c.Generate(16, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := MeasureEntropy(seq, eng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paper = append(paper, c.PaperEntropy)
+		measured = append(measured, e)
+	}
+	rho, err := stats.Spearman(paper, measured)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rho < 0.8 {
+		t.Errorf("measured entropy rank correlation with Table 2 = %.3f, want ≥ 0.8", rho)
+	}
+}
+
+func TestSuitesOccupyTheirRegions(t *testing.T) {
+	netflix := NetflixSuite()
+	if len(netflix) != 9 {
+		t.Errorf("netflix suite has %d clips, want 9", len(netflix))
+	}
+	for _, c := range netflix {
+		if c.Width != 1920 || c.Height != 1080 {
+			t.Errorf("netflix clip %s is %dx%d, want 1080p only", c.Name, c.Width, c.Height)
+		}
+		if c.PaperEntropy < 1 {
+			t.Errorf("netflix clip %s entropy %v < 1", c.Name, c.PaperEntropy)
+		}
+	}
+	xiph := XiphSuite()
+	if len(xiph) != 41 {
+		t.Errorf("xiph suite has %d clips, want 41", len(xiph))
+	}
+	for _, c := range xiph {
+		if c.PaperEntropy < 1 {
+			t.Errorf("xiph clip %s entropy %v < 1", c.Name, c.PaperEntropy)
+		}
+	}
+	s17 := SPEC2017Suite()
+	if len(s17) != 2 || math.Abs(s17[0].PaperEntropy-s17[1].PaperEntropy) > 0.5 {
+		t.Error("spec2017 should be two near-identical-entropy clips")
+	}
+	if s06 := SPEC2006Suite(); len(s06) != 2 || s06[0].Width > 500 {
+		t.Error("spec2006 should be two low-resolution clips")
+	}
+}
+
+func TestSuiteClipsLookup(t *testing.T) {
+	for _, s := range []Suite{SuiteVBench, SuiteNetflix, SuiteXiph, SuiteSPEC17, SuiteSPEC06, SuiteCoverage} {
+		clips, err := SuiteClips(s)
+		if err != nil || len(clips) == 0 {
+			t.Errorf("suite %s: %v (%d clips)", s, err, len(clips))
+		}
+	}
+	if _, err := SuiteClips("bogus"); err == nil {
+		t.Error("bogus suite accepted")
+	}
+}
+
+func TestParamsForEntropyMonotone(t *testing.T) {
+	prev := ParamsForEntropy(0.01)
+	for _, e := range []float64{0.1, 1, 10, 100} {
+		p := ParamsForEntropy(e)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("params for entropy %v invalid: %v", e, err)
+		}
+		if p.Detail < prev.Detail || p.Motion < prev.Motion || p.Noise < prev.Noise {
+			t.Errorf("params not monotone at entropy %v", e)
+		}
+		prev = p
+	}
+}
+
+func TestPopularityModel(t *testing.T) {
+	m := DefaultPopularity()
+	if m.Weight(1) <= m.Weight(10) {
+		t.Error("popularity not decreasing in rank")
+	}
+	share := m.WatchShare(100, 10000)
+	if share < 0.5 {
+		t.Errorf("top 1%% share = %v, want a heavy head", share)
+	}
+	if total := m.WatchShare(10000, 10000); math.Abs(total-1) > 1e-9 {
+		t.Errorf("full share = %v, want 1", total)
+	}
+}

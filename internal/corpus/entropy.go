@@ -1,0 +1,30 @@
+package corpus
+
+import (
+	"fmt"
+
+	"vbench/internal/codec"
+	"vbench/internal/metrics"
+	"vbench/internal/video"
+)
+
+// EntropyQP is the constant-quality operating point used to measure
+// content entropy, the analogue of the paper's libx264 CRF 18
+// ("visually lossless") setting.
+const EntropyQP = 18
+
+// MeasureEntropy returns the measured entropy of a sequence in
+// bits/pixel/second: the normalized bitrate the reference encoder
+// needs at visually lossless constant quality. This is the paper's
+// operational definition of content complexity — an encoder asked for
+// fixed quality uses exactly as many bits as the content demands.
+func MeasureEntropy(seq *video.Sequence, eng *codec.Engine) (float64, error) {
+	if err := seq.Validate(); err != nil {
+		return 0, err
+	}
+	res, err := eng.Encode(seq, codec.Config{RC: codec.RCConstQP, QP: EntropyQP})
+	if err != nil {
+		return 0, fmt.Errorf("corpus: entropy measurement encode: %w", err)
+	}
+	return metrics.Bitrate(int64(len(res.Bitstream)), seq.Width(), seq.Height(), seq.Duration())
+}

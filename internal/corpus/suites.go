@@ -1,0 +1,188 @@
+package corpus
+
+import (
+	"fmt"
+	"math"
+
+	"vbench/internal/video"
+)
+
+// Synthetic stand-ins for the public video suites the paper compares
+// against (Section 3 / Figure 4). Each suite is characterized by the
+// resolution and entropy ranges the paper plots:
+//
+//   - Netflix: 9 clips, all 1080p, entropy ≥ 1 (movie/TV content);
+//   - Xiph (Derf collection): 41 clips, 480p–4K, entropy ≥ 1;
+//   - SPEC 2017: two HD segments of the same animation with almost
+//     identical entropy;
+//   - SPEC 2006: two small low-resolution clips.
+//
+// Because the suites exist here to show how a video set's position in
+// (resolution, entropy) space biases microarchitectural conclusions,
+// what matters is that each synthetic suite occupies its real
+// counterpart's region of Figure 4 — high-entropy-only for
+// Netflix/Xiph, a single point pair for SPEC.
+
+// ParamsForEntropy maps a target entropy (bits/pixel/s) to content
+// synthesis parameters. The mapping is monotone: more detail, motion,
+// and temporal noise as entropy grows; text-heavy static layouts at
+// the slideshow end.
+func ParamsForEntropy(e float64) video.ContentParams {
+	// Normalize log2(entropy) over the corpus range [0.01, 100].
+	t := (math.Log2(e) - math.Log2(0.01)) / (math.Log2(100) - math.Log2(0.01))
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	p := video.ContentParams{
+		Detail:        0.08 + 0.9*t,
+		Motion:        0.85 * t,
+		ChromaVariety: 0.2 + 0.6*t,
+	}
+	if t > 0.40 {
+		p.Noise = 0.75 * (t - 0.40) / 0.60
+	}
+	p.Sprites = int(1 + 8*t)
+	if t < 0.30 {
+		p.TextRegions = 6
+	}
+	return p
+}
+
+// suiteClip builds a synthetic clip for a comparison suite.
+func suiteClip(name string, w, h int, fps float64, entropy float64) Clip {
+	return Clip{
+		Name:         name,
+		Width:        w,
+		Height:       h,
+		FrameRate:    fps,
+		PaperEntropy: entropy,
+		Params:       ParamsForEntropy(entropy),
+	}
+}
+
+// NetflixSuite returns the 9-clip Netflix dataset stand-in: all
+// 1080p, entropy 1–12.
+func NetflixSuite() []Clip {
+	entropies := []float64{1.2, 1.8, 2.6, 3.5, 4.6, 5.8, 7.2, 9.0, 11.5}
+	out := make([]Clip, len(entropies))
+	for i, e := range entropies {
+		out[i] = suiteClip(fmt.Sprintf("netflix%02d", i+1), 1920, 1080, 24, e)
+	}
+	return out
+}
+
+// XiphSuite returns the Derf-collection stand-in: 41 clips spanning
+// 480p to 4K, entropy ≥ 1.
+func XiphSuite() []Clip {
+	resolutions := []struct {
+		w, h int
+		fps  float64
+	}{
+		{854, 480, 30},
+		{1280, 720, 50},
+		{1920, 1080, 30},
+		{3840, 2160, 30},
+	}
+	out := make([]Clip, 0, 41)
+	for i := 0; i < 41; i++ {
+		r := resolutions[i%len(resolutions)]
+		// Entropies log-spaced over [1, 16].
+		e := math.Exp2(float64(i%11) / 10 * 4)
+		if e < 1 {
+			e = 1
+		}
+		out = append(out, suiteClip(fmt.Sprintf("xiph%02d", i+1), r.w, r.h, r.fps, math.Round(e*10)/10))
+	}
+	return out
+}
+
+// SPEC2017Suite returns the SPEC CPU 2017 stand-in: two HD segments
+// from the same animation, nearly identical entropy.
+func SPEC2017Suite() []Clip {
+	return []Clip{
+		suiteClip("spec17a", 1280, 720, 24, 3.0),
+		suiteClip("spec17b", 1280, 720, 24, 3.2),
+	}
+}
+
+// SPEC2006Suite returns the SPEC CPU 2006 stand-in: the two
+// low-resolution reference-encoder inputs.
+func SPEC2006Suite() []Clip {
+	return []Clip{
+		suiteClip("spec06a", 352, 288, 25, 1.8),
+		suiteClip("spec06b", 448, 336, 25, 2.4),
+	}
+}
+
+// CoverageClips materializes n synthetic clips spread over the
+// corpus coverage set (stride-sampled so n stays tractable for
+// encode-based studies). The full coverage set has 396 categories;
+// encoding studies sample it.
+func CoverageClips(n int) []Clip {
+	cats := NewModel().CoverageSet()
+	if n <= 0 || n > len(cats) {
+		n = len(cats)
+	}
+	stride := len(cats) / n
+	if stride < 1 {
+		stride = 1
+	}
+	var out []Clip
+	for i := 0; i < len(cats) && len(out) < n; i += stride {
+		c := cats[i]
+		w, h := dimsForKPixels(c.KPixels)
+		out = append(out, suiteClip(fmt.Sprintf("cov%03d", i), w, h, float64(c.FPS), c.Entropy))
+	}
+	return out
+}
+
+// dimsForKPixels maps a category's kilopixel count back to the
+// standard resolution it came from.
+func dimsForKPixels(kpix int) (int, int) {
+	best := StandardResolutions[0].Res
+	bestD := math.Inf(1)
+	for _, rs := range StandardResolutions {
+		d := math.Abs(float64(rs.Res.KPixels() - kpix))
+		if d < bestD {
+			bestD = d
+			best = rs.Res
+		}
+	}
+	return best.Width, best.Height
+}
+
+// Suite identifies a comparison video set.
+type Suite string
+
+// The comparison suites of the paper.
+const (
+	SuiteVBench   Suite = "vbench"
+	SuiteNetflix  Suite = "netflix"
+	SuiteXiph     Suite = "xiph"
+	SuiteSPEC17   Suite = "spec2017"
+	SuiteSPEC06   Suite = "spec2006"
+	SuiteCoverage Suite = "coverage"
+)
+
+// SuiteClips returns the clips of a named suite. The coverage suite is
+// sampled down to 24 clips for encode-based studies.
+func SuiteClips(s Suite) ([]Clip, error) {
+	switch s {
+	case SuiteVBench:
+		return VBenchClips(), nil
+	case SuiteNetflix:
+		return NetflixSuite(), nil
+	case SuiteXiph:
+		return XiphSuite(), nil
+	case SuiteSPEC17:
+		return SPEC2017Suite(), nil
+	case SuiteSPEC06:
+		return SPEC2006Suite(), nil
+	case SuiteCoverage:
+		return CoverageClips(24), nil
+	}
+	return nil, fmt.Errorf("corpus: unknown suite %q", s)
+}

@@ -1,0 +1,461 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"vbench/internal/codec"
+	"vbench/internal/codec/hw"
+	"vbench/internal/codec/profiles"
+	"vbench/internal/corpus"
+	"vbench/internal/metrics"
+	"vbench/internal/perf"
+	"vbench/internal/refdata"
+	"vbench/internal/scoring"
+	"vbench/internal/stats"
+	"vbench/internal/tables"
+	"vbench/internal/uarch"
+)
+
+// ScenarioRow is one clip's outcome for a set of candidate encoders.
+type ScenarioRow struct {
+	Clip   corpus.Clip
+	Scores map[string]scoring.Score
+}
+
+// Table2 regenerates the benchmark composition table: the 15 clips
+// with their measured entropy next to the paper's published values.
+func (r *Runner) Table2() (*tables.Table, error) {
+	t := tables.New("Table 2: vbench videos (synthetic reproduction)",
+		"clip", "resolution", "fps", "entropy(paper)", "entropy(measured)")
+	for _, c := range corpus.VBenchClips() {
+		e, err := r.ClipEntropy(c)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRowf(c.Name, fmt.Sprintf("%dx%d", c.Width, c.Height), c.FrameRate, c.PaperEntropy, e)
+	}
+	t.AddNote("measured at 1/%d scale, %.1fs clips, QP %d constant quality", r.Scale, r.Duration, corpus.EntropyQP)
+	return t, nil
+}
+
+// Table3 reproduces the VOD study: NVENC and QSV quality-constrained
+// against the two-pass software reference, reporting S, B, and the
+// VOD score per clip, alongside the paper's numbers.
+func (r *Runner) Table3() (*tables.Table, []ScenarioRow, error) {
+	paper := make(map[string]refdata.VODRow)
+	for _, row := range refdata.Table3() {
+		paper[row.Clip] = row
+	}
+	t := tables.New("Table 3: VOD scenario, hardware encoders",
+		"clip", "enc", "S", "B", "VOD score", "S(paper)", "B(paper)", "score(paper)")
+	var rows []ScenarioRow
+	for _, c := range corpus.VBenchClips() {
+		row := ScenarioRow{Clip: c, Scores: map[string]scoring.Score{}}
+		for _, name := range []string{"NVENC", "QSV"} {
+			eng := hw.Encoders()[name]
+			score, _, err := r.EvaluateQualityConstrained(scoring.VOD, c, eng, codec.RCBitrate)
+			if err != nil {
+				return nil, nil, fmt.Errorf("table3 %s/%s: %w", c.Name, name, err)
+			}
+			row.Scores[name] = score
+			p := paper[c.Name]
+			ps, pb, psc := p.NVENCS, p.NVENCB, p.NVENCScore
+			if name == "QSV" {
+				ps, pb, psc = p.QSVS, p.QSVB, p.QSVScore
+			}
+			t.AddRowf(c.Name, name, score.Ratios.S, score.Ratios.B, scoreCell(score), ps, pb, psc)
+		}
+		rows = append(rows, row)
+	}
+	return t, rows, nil
+}
+
+// Table4 reproduces the Live study: hardware encoders holding
+// reference quality under the real-time constraint, reporting Q, B,
+// and the Live score.
+func (r *Runner) Table4() (*tables.Table, []ScenarioRow, error) {
+	paper := make(map[string]refdata.LiveRow)
+	for _, row := range refdata.Table4() {
+		paper[row.Clip] = row
+	}
+	t := tables.New("Table 4: Live scenario, hardware encoders",
+		"clip", "enc", "Q", "B", "Live score", "Q(paper)", "B(paper)", "score(paper)")
+	var rows []ScenarioRow
+	for _, c := range corpus.VBenchClips() {
+		row := ScenarioRow{Clip: c, Scores: map[string]scoring.Score{}}
+		for _, name := range []string{"NVENC", "QSV"} {
+			eng := hw.Encoders()[name]
+			score, _, err := r.EvaluateQualityConstrained(scoring.Live, c, eng, codec.RCBitrate)
+			if err != nil {
+				return nil, nil, fmt.Errorf("table4 %s/%s: %w", c.Name, name, err)
+			}
+			row.Scores[name] = score
+			p := paper[c.Name]
+			pq, pb, psc := p.NVENCQ, p.NVENCB, p.NVENCScore
+			if name == "QSV" {
+				pq, pb, psc = p.QSVQ, p.QSVB, p.QSVScore
+			}
+			t.AddRowf(c.Name, name, score.Ratios.Q, score.Ratios.B, scoreCell(score), pq, pb, psc)
+		}
+		rows = append(rows, row)
+	}
+	return t, rows, nil
+}
+
+// Table5 reproduces the Popular study: the newer software encoders at
+// maximum effort against the high-effort x264 reference, scored
+// B × Q under the B,Q ≥ 1 constraint.
+func (r *Runner) Table5() (*tables.Table, []ScenarioRow, error) {
+	paper := make(map[string]refdata.PopularRow)
+	for _, row := range refdata.Table5() {
+		paper[row.Clip] = row
+	}
+	cands := []struct {
+		name string
+		eng  *codec.Engine
+	}{
+		{"libvpx-vp9", profiles.VP9(codec.PresetVerySlow)},
+		{"libx265", profiles.X265(codec.PresetVerySlow)},
+	}
+	t := tables.New("Table 5: Popular scenario, advanced software encoders",
+		"clip", "enc", "Q", "B", "Pop score", "Q(paper)", "B(paper)", "score(paper)")
+	var rows []ScenarioRow
+	for _, c := range corpus.VBenchClips() {
+		row := ScenarioRow{Clip: c, Scores: map[string]scoring.Score{}}
+		for _, cand := range cands {
+			score, _, err := r.EvaluateQualityConstrained(scoring.Popular, c, cand.eng, codec.RCTwoPass)
+			if err != nil {
+				return nil, nil, fmt.Errorf("table5 %s/%s: %w", c.Name, cand.name, err)
+			}
+			row.Scores[cand.name] = score
+			p := paper[c.Name]
+			pq, pb, psc := p.VP9Q, p.VP9B, p.VP9Score
+			if cand.name == "libx265" {
+				pq, pb, psc = p.X265Q, p.X265B, p.X265Score
+			}
+			t.AddRowf(c.Name, cand.name, score.Ratios.Q, score.Ratios.B, scoreCell(score), pq, pb, scoreOrDash(psc))
+		}
+		rows = append(rows, row)
+	}
+	t.AddNote("empty score = scenario constraint not met (paper prints an empty red cell)")
+	return t, rows, nil
+}
+
+func scoreCell(s scoring.Score) string {
+	if !s.Valid {
+		return "-"
+	}
+	return tables.FormatFloat(s.Value)
+}
+
+func scoreOrDash(v float64) string {
+	if v == 0 {
+		return "-"
+	}
+	return tables.FormatFloat(v)
+}
+
+// Figure1 renders the motivation figure: upload demand growth versus
+// CPU performance growth, 2006–2016.
+func Figure1() *tables.Table {
+	t := tables.New("Figure 1: YouTube upload growth vs SPECint growth (normalized to 2007)",
+		"year", "uploads(x)", "SPECint(x)", "gap(x)")
+	for _, p := range refdata.Figure1() {
+		t.AddRowf(p.Year, p.UploadGrowth, p.SPECIntGrowth, p.UploadGrowth/p.SPECIntGrowth)
+	}
+	t.AddNote("demand outgrew compute by >10x over the decade, the paper's motivation")
+	return t
+}
+
+// RDPoint is one operating point of the Figure 2 sweep.
+type RDPoint struct {
+	Encoder    string
+	BitratePPS float64
+	PSNR       float64
+	SpeedMPS   float64
+}
+
+// Figure2 reproduces the rate-distortion + speed sweep on one HD
+// clip: PSNR and speed as functions of bitrate for the three software
+// encoder families.
+func (r *Runner) Figure2(clipName string, bitratesPPS []float64) (*tables.Table, []RDPoint, error) {
+	clip, err := corpus.ClipByName(clipName)
+	if err != nil {
+		return nil, nil, err
+	}
+	seq, err := r.Sequence(clip)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(bitratesPPS) == 0 {
+		bitratesPPS = []float64{0.1, 0.25, 0.5, 1, 2, 4, 8}
+	}
+	encs := []struct {
+		name string
+		eng  *codec.Engine
+	}{
+		{"libx264", profiles.X264(codec.PresetMedium)},
+		{"libx265", profiles.X265(codec.PresetMedium)},
+		{"libvpx-vp9", profiles.VP9(codec.PresetMedium)},
+	}
+	t := tables.New(fmt.Sprintf("Figure 2: quality and speed vs bitrate (%s)", clipName),
+		"encoder", "bitrate(bit/pix/s)", "PSNR(dB)", "speed(Mpix/s)")
+	var points []RDPoint
+	curves := map[string][]metrics.RDCurvePoint{}
+	pixPerSec := float64(seq.Width() * seq.Height())
+	for _, e := range encs {
+		for _, bpps := range bitratesPPS {
+			m, err := r.Measure(e.eng, seq, codec.Config{RC: codec.RCTwoPass, BitrateBPS: bpps * pixPerSec})
+			if err != nil {
+				return nil, nil, fmt.Errorf("figure2 %s @%.2f: %w", e.name, bpps, err)
+			}
+			p := RDPoint{Encoder: e.name, BitratePPS: m.BitratePPS, PSNR: m.PSNR, SpeedMPS: m.SpeedMPS}
+			points = append(points, p)
+			curves[e.name] = append(curves[e.name], metrics.RDCurvePoint{Bitrate: p.BitratePPS, PSNR: p.PSNR})
+			t.AddRowf(e.name, p.BitratePPS, p.PSNR, p.SpeedMPS)
+		}
+	}
+	t.AddNote("expected shape: vp9 ≥ x265 > x264 on quality per bit; x264 3-4x faster")
+	// Condense the curves into Bjøntegaard deltas against libx264.
+	for _, name := range []string{"libx265", "libvpx-vp9"} {
+		if bd, err := metrics.BDRate(curves["libx264"], curves[name]); err == nil {
+			t.AddNote("%s BD-rate vs libx264: %+.1f%% (negative = fewer bits at equal quality)", name, bd)
+		}
+	}
+	return t, points, nil
+}
+
+// Figure4 renders the coverage comparison: where each video suite sits
+// in (resolution, entropy) space against the corpus coverage set.
+func Figure4() (*tables.Table, error) {
+	t := tables.New("Figure 4: coverage of (resolution, entropy) space per video suite",
+		"suite", "videos", "res range (Kpixel)", "entropy range (bit/pix/s)", "res decades", "entropy decades")
+	suites := []corpus.Suite{corpus.SuiteCoverage, corpus.SuiteVBench, corpus.SuiteNetflix,
+		corpus.SuiteXiph, corpus.SuiteSPEC17, corpus.SuiteSPEC06}
+	for _, s := range suites {
+		clips, err := corpus.SuiteClips(s)
+		if err != nil {
+			return nil, err
+		}
+		minK, maxK := math.Inf(1), math.Inf(-1)
+		minE, maxE := math.Inf(1), math.Inf(-1)
+		for _, c := range clips {
+			k := float64(c.KPixels())
+			minK, maxK = math.Min(minK, k), math.Max(maxK, k)
+			minE, maxE = math.Min(minE, c.PaperEntropy), math.Max(maxE, c.PaperEntropy)
+		}
+		t.AddRowf(string(s), len(clips),
+			fmt.Sprintf("%.0f-%.0f", minK, maxK),
+			fmt.Sprintf("%.2f-%.1f", minE, maxE),
+			math.Log10(maxK/minK), math.Log10(maxE/minE))
+	}
+	t.AddNote("vbench spans low AND high entropy; Netflix/Xiph cover only entropy ≥ 1 (the bias the paper demonstrates)")
+	return t, nil
+}
+
+// UArchPoint is one video's µarch characterization alongside its
+// entropy — the per-dot data of Figures 5–7.
+type UArchPoint struct {
+	Suite   corpus.Suite
+	Clip    corpus.Clip
+	Entropy float64
+	Profile *uarch.Profile
+}
+
+// UArchStudy encodes every clip of the given suites under the VOD
+// reference configuration and runs the µarch analysis. Results are
+// cached per Runner via the reference cache.
+func (r *Runner) UArchStudy(suites []corpus.Suite) ([]UArchPoint, error) {
+	var out []UArchPoint
+	for _, s := range suites {
+		clips, err := corpus.SuiteClips(s)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range clips {
+			e, err := r.ClipEntropy(c)
+			if err != nil {
+				return nil, err
+			}
+			ref, err := r.Reference(scoring.VOD, c)
+			if err != nil {
+				return nil, err
+			}
+			tools := codec.BaselineTools(codec.PresetMedium)
+			prof, err := uarch.Analyze(&ref.Result.Counters, uarch.Options{
+				NativeWidth:  c.Width,
+				NativeHeight: c.Height,
+				SearchRange:  tools.SearchRange,
+				ISA:          perf.ISAAVX2,
+				Seed:         uint64(len(out)) + 1,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("uarch %s/%s: %w", s, c.Name, err)
+			}
+			out = append(out, UArchPoint{Suite: s, Clip: c, Entropy: e, Profile: prof})
+		}
+	}
+	return out, nil
+}
+
+// Figure5 renders the cache/branch trends against entropy, with the
+// paper's logarithmic fits per suite.
+func Figure5(points []UArchPoint) (*tables.Table, error) {
+	t := tables.New("Figure 5: microarchitecture events vs entropy",
+		"suite", "clip", "entropy", "L1I MPKI", "branch MPKI", "LLC MPKI")
+	for _, p := range points {
+		t.AddRowf(string(p.Suite), p.Clip.Name, p.Entropy,
+			p.Profile.ICacheMPKI, p.Profile.BranchMPKI, p.Profile.LLCMPKI)
+	}
+	// Per-suite log fits: y = a·log(x) + b.
+	bySuite := map[corpus.Suite][]UArchPoint{}
+	var suites []corpus.Suite
+	for _, p := range points {
+		if _, ok := bySuite[p.Suite]; !ok {
+			suites = append(suites, p.Suite)
+		}
+		bySuite[p.Suite] = append(bySuite[p.Suite], p)
+	}
+	sort.Slice(suites, func(i, j int) bool { return suites[i] < suites[j] })
+	for _, s := range suites {
+		ps := bySuite[s]
+		if len(ps) < 3 {
+			continue
+		}
+		xs := make([]float64, len(ps))
+		ic := make([]float64, len(ps))
+		br := make([]float64, len(ps))
+		llc := make([]float64, len(ps))
+		for i, p := range ps {
+			xs[i] = p.Entropy
+			ic[i] = p.Profile.ICacheMPKI
+			br[i] = p.Profile.BranchMPKI
+			llc[i] = p.Profile.LLCMPKI
+		}
+		if a, b, err := stats.LogFit(xs, ic); err == nil {
+			t.AddNote("%s L1I fit: a=%+.3f b=%.3f (paper: a>0, misses rise with entropy)", s, a, b)
+		}
+		if a, b, err := stats.LogFit(xs, br); err == nil {
+			t.AddNote("%s branch fit: a=%+.3f b=%.3f (paper: a>0)", s, a, b)
+		}
+		if a, b, err := stats.LogFit(xs, llc); err == nil {
+			t.AddNote("%s LLC fit: a=%+.3f b=%.3f (paper: a<0, misses/KI fall with entropy)", s, a, b)
+		}
+	}
+	return t, nil
+}
+
+// Figure6 renders the Top-Down distribution box plots per suite.
+func Figure6(points []UArchPoint) (*tables.Table, error) {
+	type accum struct {
+		fe, bad, mem, core, ret []float64
+	}
+	bySuite := map[corpus.Suite]*accum{}
+	var suites []corpus.Suite
+	for _, p := range points {
+		a, ok := bySuite[p.Suite]
+		if !ok {
+			a = &accum{}
+			bySuite[p.Suite] = a
+			suites = append(suites, p.Suite)
+		}
+		td := p.Profile.TopDown
+		a.fe = append(a.fe, td.FrontEnd)
+		a.bad = append(a.bad, td.BadSpec)
+		a.mem = append(a.mem, td.BEMemory)
+		a.core = append(a.core, td.BECore)
+		a.ret = append(a.ret, td.Retiring)
+	}
+	sort.Slice(suites, func(i, j int) bool { return suites[i] < suites[j] })
+	t := tables.New("Figure 6: Top-Down cycle breakdown (median [Q1,Q3] per suite)",
+		"suite", "FE", "BAD", "BE/Mem", "BE/Core", "RET")
+	cell := func(xs []float64) string {
+		bp, err := stats.NewBoxPlot(xs)
+		if err != nil {
+			return "-"
+		}
+		return fmt.Sprintf("%.0f%% [%.0f,%.0f]", bp.Median*100, bp.Q1*100, bp.Q3*100)
+	}
+	for _, s := range suites {
+		a := bySuite[s]
+		t.AddRow(string(s), cell(a.fe), cell(a.bad), cell(a.mem), cell(a.core), cell(a.ret))
+	}
+	t.AddNote("paper: ~15%% FE, ~10%% BAD, ~15%% BE/Mem, ~60%% retiring or core-bound")
+	return t, nil
+}
+
+// Figure7 renders the scalar and AVX2 cycle fractions against entropy.
+func Figure7(points []UArchPoint) (*tables.Table, error) {
+	t := tables.New("Figure 7: scalar and AVX2 cycle fractions vs entropy",
+		"suite", "clip", "entropy", "scalar %", "avx2 %")
+	for _, p := range points {
+		t.AddRowf(string(p.Suite), p.Clip.Name, p.Entropy,
+			p.Profile.ScalarFraction*100, p.Profile.AVX2Fraction*100)
+	}
+	t.AddNote("paper: scalar ≈ 60%% regardless of entropy; AVX2 ≤ 20%%")
+	return t, nil
+}
+
+// ISALadderRow is one build of the Figure 8 ladder.
+type ISALadderRow struct {
+	ISA perf.ISA
+	// Seconds per SIMD class, normalized to the AVX2 build total.
+	ClassShare [perf.NumISA]float64
+	// Total normalized runtime.
+	Total float64
+}
+
+// Figure8 reproduces the SIMD ISA ladder: the same encode timed with
+// progressively newer SIMD extensions enabled, broken down by the ISA
+// class the cycles retire in, normalized to the AVX2 build.
+func (r *Runner) Figure8(clipName string) (*tables.Table, []ISALadderRow, error) {
+	clip, err := corpus.ClipByName(clipName)
+	if err != nil {
+		return nil, nil, err
+	}
+	ref, err := r.Reference(scoring.VOD, clip)
+	if err != nil {
+		return nil, nil, err
+	}
+	c := &ref.Result.Counters
+	avx2Total := uarch.TotalSeconds(c, perf.ISAAVX2, 4e9)
+	t := tables.New(fmt.Sprintf("Figure 8: cycles by SIMD class per ISA build (%s, normalized to AVX2)", clipName),
+		"build", "scalar", "sse", "sse2", "sse3", "sse4", "avx", "avx2", "total")
+	var rows []ISALadderRow
+	for isa := perf.ISAScalar; isa < perf.NumISA; isa++ {
+		cs := uarch.ClassSeconds(c, isa, 4e9)
+		row := ISALadderRow{ISA: isa}
+		cells := []interface{}{isa.String()}
+		for cl := perf.ISA(0); cl < perf.NumISA; cl++ {
+			row.ClassShare[cl] = cs[cl] / avx2Total
+			row.Total += row.ClassShare[cl]
+			cells = append(cells, row.ClassShare[cl])
+		}
+		cells = append(cells, row.Total)
+		t.AddRowf(cells...)
+		rows = append(rows, row)
+	}
+	t.AddNote("paper: scalar time constant across builds; SSE2 captures most of the gain; AVX2 ≈ 15%% of runtime")
+	return t, rows, nil
+}
+
+// Figure9 summarizes the GPU scatter of Figure 9 from the Table 3/4
+// rows: (S, B) pairs on VOD and (Q, B) pairs on Live.
+func Figure9(vod, live []ScenarioRow) *tables.Table {
+	t := tables.New("Figure 9: GPU results under the VOD and Live scoring scenarios",
+		"clip", "enc", "VOD S", "VOD B", "Live Q", "Live B")
+	for i := range vod {
+		for _, enc := range []string{"NVENC", "QSV"} {
+			v := vod[i].Scores[enc]
+			var l scoring.Score
+			if i < len(live) {
+				l = live[i].Scores[enc]
+			}
+			t.AddRowf(vod[i].Clip.Name, enc, v.Ratios.S, v.Ratios.B, l.Ratios.Q, l.Ratios.B)
+		}
+	}
+	t.AddNote("shaded-region reading: VOD trades S>1 against B<1; Live achieves B≥1 at Q≈1 except low-entropy clips")
+	return t
+}

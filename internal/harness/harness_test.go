@@ -1,0 +1,442 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"vbench/internal/codec"
+	"vbench/internal/codec/hw"
+	"vbench/internal/codec/profiles"
+	"vbench/internal/corpus"
+	"vbench/internal/scoring"
+)
+
+// tiny returns a runner small enough for unit tests.
+func tiny() *Runner { return NewRunner(16, 0.4) }
+
+func clip(t *testing.T, name string) corpus.Clip {
+	t.Helper()
+	c, err := corpus.ClipByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSequenceCaching(t *testing.T) {
+	r := tiny()
+	c := clip(t, "bike")
+	a, err := r.Sequence(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Sequence(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("sequence not cached")
+	}
+}
+
+func TestMeasureRequiresModel(t *testing.T) {
+	r := tiny()
+	seq, err := r.Sequence(clip(t, "bike"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := &codec.Engine{Tools: codec.BaselineTools(codec.PresetUltraFast)}
+	if _, err := r.Measure(eng, seq, codec.Config{RC: codec.RCConstQP, QP: 30}); err == nil {
+		t.Error("model-less engine accepted")
+	}
+}
+
+func TestMeasureProducesValidMeasurement(t *testing.T) {
+	r := tiny()
+	seq, err := r.Sequence(clip(t, "bike"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := r.Measure(profiles.X264(codec.PresetVeryFast), seq, codec.Config{RC: codec.RCConstQP, QP: 28})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Measurement.Validate(); err != nil {
+		t.Errorf("measurement invalid: %v", err)
+	}
+	if m.PSNR < 25 || m.PSNR > 100 {
+		t.Errorf("implausible PSNR %v", m.PSNR)
+	}
+}
+
+func TestReferencesExistForAllScenarios(t *testing.T) {
+	r := tiny()
+	c := clip(t, "bike")
+	for _, s := range scoring.Scenarios() {
+		m, err := r.Reference(s, c)
+		if err != nil {
+			t.Fatalf("%v reference: %v", s, err)
+		}
+		if err := m.Measurement.Validate(); err != nil {
+			t.Errorf("%v reference invalid: %v", s, err)
+		}
+	}
+	// VOD and Platform share the reference.
+	vod, _ := r.Reference(scoring.VOD, c)
+	plat, _ := r.Reference(scoring.Platform, c)
+	if vod.BitratePPS != plat.BitratePPS {
+		t.Error("VOD and Platform references differ")
+	}
+}
+
+func TestPopularReferenceBeatsVODReference(t *testing.T) {
+	// The Popular reference is the high-effort encode at the same
+	// target bitrate: it must deliver at least the VOD reference's
+	// quality (this is why GPUs cannot qualify for Popular).
+	r := tiny()
+	c := clip(t, "girl")
+	vod, err := r.Reference(scoring.VOD, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop, err := r.Reference(scoring.Popular, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pop.PSNR < vod.PSNR-0.3 {
+		t.Errorf("popular reference %.2f dB below VOD reference %.2f dB", pop.PSNR, vod.PSNR)
+	}
+}
+
+func TestEvaluateQualityConstrainedVOD(t *testing.T) {
+	r := tiny()
+	c := clip(t, "girl")
+	score, m, err := r.EvaluateQualityConstrained(scoring.VOD, c, hw.QSV(), codec.RCBitrate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m == nil {
+		t.Fatalf("no measurement: %s", score.Reason)
+	}
+	if !score.Valid {
+		t.Errorf("QSV VOD transcode invalid: %s", score.Reason)
+	}
+	if score.Ratios.S < 1 {
+		t.Errorf("hardware VOD speed ratio %.2f, want > 1", score.Ratios.S)
+	}
+	if score.Ratios.Q < 0.99 {
+		t.Errorf("quality-constrained run missed quality: Q=%.3f", score.Ratios.Q)
+	}
+}
+
+func TestGPUsFailPopularScenario(t *testing.T) {
+	// Section 6.2: "it was impossible for either of the GPUs to
+	// produce a single valid transcode for this scenario".
+	r := tiny()
+	for _, name := range []string{"girl", "funny"} {
+		c := clip(t, name)
+		for encName, eng := range hw.Encoders() {
+			score, _, err := r.EvaluateQualityConstrained(scoring.Popular, c, eng, codec.RCBitrate)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if score.Valid {
+				t.Errorf("%s produced a valid Popular transcode on %s (B=%.2f Q=%.3f)",
+					encName, name, score.Ratios.B, score.Ratios.Q)
+			}
+		}
+	}
+}
+
+func TestUploadStudyRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs all clips")
+	}
+	r := tiny()
+	tab, err := r.UploadStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 15*3 {
+		t.Errorf("upload study has %d rows, want 45", len(tab.Rows))
+	}
+}
+
+func TestPlatformStudyScoresValid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs all clips")
+	}
+	r := tiny()
+	tab, err := r.PlatformStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		if row[3] == "-" {
+			t.Errorf("platform row %v has invalid score", row)
+		}
+	}
+	// The overclocked platform must show S = 4.5/4.0 = 1.125 exactly.
+	found := false
+	for _, row := range tab.Rows {
+		if strings.Contains(row[1], "4.5GHz") {
+			found = true
+			if row[2] != "1.12" && row[2] != "1.13" {
+				t.Errorf("overclock S = %s, want 1.12 or 1.13", row[2])
+			}
+		}
+	}
+	if !found {
+		t.Error("no overclocked platform row")
+	}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	r := tiny()
+	_, points, err := r.Figure2("bike", []float64{0.5, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 6 {
+		t.Fatalf("%d points, want 6 (3 encoders x 2 bitrates)", len(points))
+	}
+	// For each encoder, the higher bitrate point must have higher PSNR.
+	byEnc := map[string][]RDPoint{}
+	for _, p := range points {
+		byEnc[p.Encoder] = append(byEnc[p.Encoder], p)
+	}
+	for enc, ps := range byEnc {
+		if len(ps) != 2 {
+			t.Fatalf("%s has %d points", enc, len(ps))
+		}
+		lo, hi := ps[0], ps[1]
+		if lo.BitratePPS > hi.BitratePPS {
+			lo, hi = hi, lo
+		}
+		if hi.PSNR <= lo.PSNR {
+			t.Errorf("%s: PSNR not increasing with bitrate (%.2f@%.2f vs %.2f@%.2f)",
+				enc, lo.PSNR, lo.BitratePPS, hi.PSNR, hi.BitratePPS)
+		}
+	}
+}
+
+func TestFigure1Static(t *testing.T) {
+	tab := Figure1()
+	if len(tab.Rows) != 11 {
+		t.Errorf("figure 1 has %d rows", len(tab.Rows))
+	}
+}
+
+func TestFigure4Static(t *testing.T) {
+	tab, err := Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Errorf("figure 4 has %d rows, want 6 suites", len(tab.Rows))
+	}
+}
+
+func TestUArchStudySmall(t *testing.T) {
+	r := tiny()
+	points, err := r.UArchStudy([]corpus.Suite{corpus.SuiteSPEC17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("%d points, want 2", len(points))
+	}
+	for _, p := range points {
+		if p.Profile.ICacheMPKI < 0 || p.Entropy <= 0 {
+			t.Errorf("bad point %+v", p)
+		}
+	}
+	// Figures render from points.
+	if _, err := Figure5(points); err != nil {
+		t.Errorf("figure5: %v", err)
+	}
+	if _, err := Figure6(points); err != nil {
+		t.Errorf("figure6: %v", err)
+	}
+	if _, err := Figure7(points); err != nil {
+		t.Errorf("figure7: %v", err)
+	}
+}
+
+func TestFigure8Rows(t *testing.T) {
+	r := tiny()
+	tab, rows, err := r.Figure8("bike")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("%d ladder rows, want 7", len(rows))
+	}
+	// Totals normalized to AVX2: last row ≈ 1, monotone decreasing.
+	last := rows[len(rows)-1]
+	if last.Total < 0.999 || last.Total > 1.001 {
+		t.Errorf("AVX2 build total = %v, want 1", last.Total)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Total > rows[i-1].Total*1.0001 {
+			t.Errorf("ladder total rose at %v", rows[i].ISA)
+		}
+	}
+	if len(tab.Rows) != 7 {
+		t.Errorf("table has %d rows", len(tab.Rows))
+	}
+}
+
+func TestAblationStudy(t *testing.T) {
+	r := tiny()
+	tab, err := r.AblationStudy("bike")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 8 {
+		t.Errorf("ablation has %d rows", len(tab.Rows))
+	}
+	// First row is the full tool set: 100% bits, 100% time.
+	if tab.Rows[0][1] != "100.0" || tab.Rows[0][3] != "100.0" {
+		t.Errorf("baseline row = %v", tab.Rows[0])
+	}
+}
+
+func TestRealTimeBarUsesNativeGeometry(t *testing.T) {
+	r := tiny()
+	c := clip(t, "chicken")
+	bar := r.RealTimeBar(c)
+	want := 3840 * 2160 * 30.0 / 1e6
+	if bar != want {
+		t.Errorf("real-time bar %v, want %v", bar, want)
+	}
+}
+
+func TestISASweepStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs all clips")
+	}
+	r := tiny()
+	tab, err := r.ISASweepStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 7 {
+		t.Fatalf("%d ISA rows", len(tab.Rows))
+	}
+	// First row is scalar (speedup 1), later rows non-decreasing.
+	if tab.Rows[0][1] != "1.00" {
+		t.Errorf("scalar speedup cell = %q", tab.Rows[0][1])
+	}
+}
+
+func TestDecodeStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs all clips")
+	}
+	r := tiny()
+	tab, err := r.DecodeStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 15 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+}
+
+func TestFigure2BDRateNotes(t *testing.T) {
+	r := tiny()
+	tab, _, err := r.Figure2("bike", []float64{0.3, 0.8, 2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, n := range tab.Notes {
+		if strings.Contains(n, "BD-rate") {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Errorf("expected 2 BD-rate notes, got %d (notes: %v)", found, tab.Notes)
+	}
+}
+
+func TestEvaluateAtBitrateFixedRate(t *testing.T) {
+	r := tiny()
+	c := clip(t, "bike")
+	target, err := r.TargetBitrate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	score, m, err := r.EvaluateAtBitrate(scoring.Live, c, hw.NVENC(), codec.RCBitrate, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m == nil {
+		t.Fatal("no measurement")
+	}
+	if score.Ratios.B <= 0 || score.Ratios.Q <= 0 {
+		t.Errorf("bad ratios %+v", score.Ratios)
+	}
+	// At the same target bitrate the compression ratio should be near 1.
+	if score.Ratios.B < 0.5 || score.Ratios.B > 2 {
+		t.Errorf("iso-target B = %.2f far from 1", score.Ratios.B)
+	}
+}
+
+func TestTable2Renders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("encodes all 15 clips")
+	}
+	r := tiny()
+	tab, err := r.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 15 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+}
+
+func TestClipEntropyCached(t *testing.T) {
+	r := tiny()
+	c := clip(t, "bike")
+	a, err := r.ClipEntropy(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.ClipEntropy(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b || a <= 0 {
+		t.Errorf("entropy cache broken: %v vs %v", a, b)
+	}
+}
+
+func TestRunnerProgressWriter(t *testing.T) {
+	var sb strings.Builder
+	r := tiny()
+	r.Progress = &sb
+	c := clip(t, "bike")
+	if _, err := r.Reference(scoring.Upload, c); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "reference") {
+		t.Error("progress writer received no output")
+	}
+}
+
+func TestFigure9FromRows(t *testing.T) {
+	r := tiny()
+	c := clip(t, "bike")
+	score, _, err := r.EvaluateQualityConstrained(scoring.VOD, c, hw.NVENC(), codec.RCBitrate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []ScenarioRow{{Clip: c, Scores: map[string]scoring.Score{"NVENC": score, "QSV": score}}}
+	tab := Figure9(rows, rows)
+	if len(tab.Rows) != 2 {
+		t.Errorf("figure 9 rows = %d", len(tab.Rows))
+	}
+}

@@ -1,0 +1,327 @@
+// Package harness orchestrates complete vbench runs: it synthesizes
+// the benchmark clips, produces the reference transcodes each scenario
+// is scored against, evaluates candidate encoders under the scenario
+// constraints (with bitrate bisection where the paper uses it), and
+// regenerates every table and figure of the paper's evaluation.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync"
+
+	"vbench/internal/codec"
+	"vbench/internal/codec/profiles"
+	"vbench/internal/corpus"
+	"vbench/internal/metrics"
+	"vbench/internal/scoring"
+	"vbench/internal/video"
+)
+
+// Runner executes benchmark workloads at a configurable scale. Scale
+// divides clip resolution linearly (1 = the paper's native sizes);
+// Duration truncates clips (the paper uses 5-second chunks). All
+// vbench metrics are normalized per pixel per second, so scores are
+// comparable across scales; EXPERIMENTS.md records the scale used for
+// each reported run.
+type Runner struct {
+	// Scale is the linear resolution divisor (default 8).
+	Scale int
+	// Duration is the clip length in seconds (default 1).
+	Duration float64
+	// Progress, when non-nil, receives human-readable progress lines.
+	Progress io.Writer
+
+	mu      sync.Mutex
+	seqs    map[string]*video.Sequence
+	targets map[string]float64
+	refs    map[string]*Measured
+	entropy map[string]float64
+}
+
+// NewRunner returns a Runner at the given scale and duration;
+// non-positive arguments select the defaults.
+func NewRunner(scale int, duration float64) *Runner {
+	if scale <= 0 {
+		scale = 8
+	}
+	if duration <= 0 {
+		duration = 1.0
+	}
+	return &Runner{
+		Scale:    scale,
+		Duration: duration,
+		seqs:     make(map[string]*video.Sequence),
+		targets:  make(map[string]float64),
+		refs:     make(map[string]*Measured),
+		entropy:  make(map[string]float64),
+	}
+}
+
+func (r *Runner) logf(format string, args ...interface{}) {
+	if r.Progress != nil {
+		fmt.Fprintf(r.Progress, format+"\n", args...)
+	}
+}
+
+// Sequence returns the synthesized (and cached) sequence for a clip.
+func (r *Runner) Sequence(c corpus.Clip) (*video.Sequence, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.seqs[c.Name]; ok {
+		return s, nil
+	}
+	s, err := c.Generate(r.Scale, r.Duration)
+	if err != nil {
+		return nil, fmt.Errorf("harness: generating %s: %w", c.Name, err)
+	}
+	r.seqs[c.Name] = s
+	return s, nil
+}
+
+// Measured couples a scoring measurement with the encode that
+// produced it.
+type Measured struct {
+	scoring.Measurement
+	Result *codec.Result
+}
+
+// Measure encodes seq with eng under cfg and converts the outcome to
+// the three normalized vbench measurements. The engine must carry a
+// cost model (speed is modeled deterministically; see DESIGN.md).
+func (r *Runner) Measure(eng *codec.Engine, seq *video.Sequence, cfg codec.Config) (*Measured, error) {
+	if eng.Model == nil {
+		return nil, fmt.Errorf("harness: engine %s has no cost model", eng.Tools.Name)
+	}
+	res, err := eng.Encode(seq, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("harness: encode with %s: %w", eng.Tools.Name, err)
+	}
+	psnr, err := metrics.SequencePSNR(seq, res.Recon)
+	if err != nil {
+		return nil, err
+	}
+	bitrate, err := metrics.Bitrate(int64(len(res.Bitstream)), seq.Width(), seq.Height(), seq.Duration())
+	if err != nil {
+		return nil, err
+	}
+	speed, err := metrics.Speed(seq.PixelCount(), res.Seconds)
+	if err != nil {
+		return nil, err
+	}
+	return &Measured{
+		Measurement: scoring.Measurement{SpeedMPS: speed, BitratePPS: bitrate, PSNR: psnr},
+		Result:      res,
+	}, nil
+}
+
+// ClipEntropy measures (and caches) a clip's content entropy in
+// bits/pixel/s, per the paper's CRF-18 definition.
+func (r *Runner) ClipEntropy(c corpus.Clip) (float64, error) {
+	r.mu.Lock()
+	if e, ok := r.entropy[c.Name]; ok {
+		r.mu.Unlock()
+		return e, nil
+	}
+	r.mu.Unlock()
+	seq, err := r.Sequence(c)
+	if err != nil {
+		return 0, err
+	}
+	e, err := corpus.MeasureEntropy(seq, profiles.X264(codec.PresetMedium))
+	if err != nil {
+		return 0, err
+	}
+	r.mu.Lock()
+	r.entropy[c.Name] = e
+	r.mu.Unlock()
+	r.logf("entropy %-14s %.3f bit/pix/s (paper %.1f)", c.Name, e, c.PaperEntropy)
+	return e, nil
+}
+
+// TargetBitrate returns the clip's service operating point in bits
+// per second: the rate the reference encoder produces at the standard
+// distribution quality (QP 30), which stands in for the per-format
+// bitrate ladder of a real video service.
+func (r *Runner) TargetBitrate(c corpus.Clip) (float64, error) {
+	r.mu.Lock()
+	if t, ok := r.targets[c.Name]; ok {
+		r.mu.Unlock()
+		return t, nil
+	}
+	r.mu.Unlock()
+	seq, err := r.Sequence(c)
+	if err != nil {
+		return 0, err
+	}
+	res, err := profiles.X264(codec.PresetMedium).Encode(seq, codec.Config{RC: codec.RCConstQP, QP: 30})
+	if err != nil {
+		return 0, err
+	}
+	bps := float64(len(res.Bitstream)) * 8 / seq.Duration()
+	r.mu.Lock()
+	r.targets[c.Name] = bps
+	r.mu.Unlock()
+	return bps, nil
+}
+
+// livePreset picks the software effort level for the Live reference:
+// effort is inversely proportional to resolution so the reference
+// meets the real-time constraint, as the paper specifies.
+func livePreset(kpixels int) codec.Preset {
+	switch {
+	case kpixels <= 500:
+		return codec.PresetFast
+	case kpixels <= 1100:
+		return codec.PresetVeryFast
+	case kpixels <= 2500:
+		return codec.PresetVeryFast
+	default:
+		return codec.PresetUltraFast
+	}
+}
+
+// Reference produces (and caches) the reference transcode for a
+// scenario and clip, per Section 4.2:
+//
+//	Upload:   single-pass constant quality (QP 20, medium preset)
+//	Live:     single-pass target bitrate, effort inverse to resolution
+//	VOD:      two-pass target bitrate, medium preset
+//	Platform: same reference as VOD
+//	Popular:  two-pass target bitrate, veryslow preset
+func (r *Runner) Reference(s scoring.Scenario, c corpus.Clip) (*Measured, error) {
+	key := fmt.Sprintf("%s/%s", s, c.Name)
+	r.mu.Lock()
+	if m, ok := r.refs[key]; ok {
+		r.mu.Unlock()
+		return m, nil
+	}
+	r.mu.Unlock()
+
+	seq, err := r.Sequence(c)
+	if err != nil {
+		return nil, err
+	}
+	var m *Measured
+	switch s {
+	case scoring.Upload:
+		m, err = r.Measure(profiles.X264(codec.PresetMedium), seq, codec.Config{RC: codec.RCConstQP, QP: 20})
+	case scoring.Live:
+		target, terr := r.TargetBitrate(c)
+		if terr != nil {
+			return nil, terr
+		}
+		m, err = r.Measure(profiles.X264(livePreset(c.KPixels())), seq, codec.Config{RC: codec.RCBitrate, BitrateBPS: target})
+	case scoring.VOD, scoring.Platform:
+		target, terr := r.TargetBitrate(c)
+		if terr != nil {
+			return nil, terr
+		}
+		m, err = r.Measure(profiles.X264(codec.PresetMedium), seq, codec.Config{RC: codec.RCTwoPass, BitrateBPS: target})
+	case scoring.Popular:
+		target, terr := r.TargetBitrate(c)
+		if terr != nil {
+			return nil, terr
+		}
+		m, err = r.Measure(profiles.X264(codec.PresetVerySlow), seq, codec.Config{RC: codec.RCTwoPass, BitrateBPS: target})
+	default:
+		return nil, fmt.Errorf("harness: unknown scenario %v", s)
+	}
+	if err != nil {
+		return nil, err
+	}
+	r.logf("reference %-8s %-14s S=%.2f Mpix/s  B=%.3f bit/pix/s  Q=%.2f dB",
+		s, c.Name, m.SpeedMPS, m.BitratePPS, m.PSNR)
+	r.mu.Lock()
+	r.refs[key] = m
+	r.mu.Unlock()
+	return m, nil
+}
+
+// RealTimeBar returns the Live scenario's hard speed requirement for
+// a clip: the output pixel rate at NATIVE resolution (speed
+// measurements are per-pixel normalized, so they are comparable
+// across scales).
+func (r *Runner) RealTimeBar(c corpus.Clip) float64 {
+	return metrics.RealTimeSpeed(c.Width, c.Height, c.FrameRate)
+}
+
+// EvaluateAtBitrate measures a candidate at a fixed bitrate and scores
+// it under a scenario.
+func (r *Runner) EvaluateAtBitrate(s scoring.Scenario, c corpus.Clip, eng *codec.Engine, rc codec.RCMode, bitrateBPS float64) (scoring.Score, *Measured, error) {
+	seq, err := r.Sequence(c)
+	if err != nil {
+		return scoring.Score{}, nil, err
+	}
+	ref, err := r.Reference(s, c)
+	if err != nil {
+		return scoring.Score{}, nil, err
+	}
+	m, err := r.Measure(eng, seq, codec.Config{RC: rc, BitrateBPS: bitrateBPS})
+	if err != nil {
+		return scoring.Score{}, nil, err
+	}
+	ratios, err := scoring.ComputeRatios(m.Measurement, ref.Measurement)
+	if err != nil {
+		return scoring.Score{}, nil, err
+	}
+	score := scoring.Evaluate(s, ratios, scoring.Constraint{
+		CandidatePSNR:     m.PSNR,
+		CandidateSpeedMPS: m.SpeedMPS,
+		RealTimeMPS:       r.RealTimeBar(c),
+	})
+	return score, m, nil
+}
+
+// bisectIterations balances precision against encode count for the
+// quality-constrained searches.
+const bisectIterations = 6
+
+// EvaluateQualityConstrained finds, by bisection, the lowest bitrate
+// at which the candidate matches the reference quality "by a small
+// margin" (the paper's GPU methodology), then scores it.
+func (r *Runner) EvaluateQualityConstrained(s scoring.Scenario, c corpus.Clip, eng *codec.Engine, rc codec.RCMode) (scoring.Score, *Measured, error) {
+	seq, err := r.Sequence(c)
+	if err != nil {
+		return scoring.Score{}, nil, err
+	}
+	ref, err := r.Reference(s, c)
+	if err != nil {
+		return scoring.Score{}, nil, err
+	}
+	refBPS := ref.BitratePPS * float64(seq.Width()*seq.Height())
+	var last *Measured
+	eval := func(bps float64) (float64, error) {
+		m, merr := r.Measure(eng, seq, codec.Config{RC: rc, BitrateBPS: bps})
+		if merr != nil {
+			return 0, merr
+		}
+		last = m
+		return m.PSNR, nil
+	}
+	bps, _, err := scoring.BisectBitrate(ref.PSNR, refBPS/10, refBPS*10, bisectIterations, eval)
+	if err != nil {
+		return scoring.Score{Scenario: s, Reason: err.Error()}, nil, nil
+	}
+	// Re-measure at the chosen point unless it was the last evaluated.
+	m := last
+	if m == nil || math.Abs(m.BitratePPS*float64(seq.Width()*seq.Height())-bps) > 1 {
+		m, err = r.Measure(eng, seq, codec.Config{RC: rc, BitrateBPS: bps})
+		if err != nil {
+			return scoring.Score{}, nil, err
+		}
+	}
+	ratios, err := scoring.ComputeRatios(m.Measurement, ref.Measurement)
+	if err != nil {
+		return scoring.Score{}, nil, err
+	}
+	score := scoring.Evaluate(s, ratios, scoring.Constraint{
+		CandidatePSNR:     m.PSNR,
+		CandidateSpeedMPS: m.SpeedMPS,
+		RealTimeMPS:       r.RealTimeBar(c),
+	})
+	r.logf("candidate %-8s %-14s %-10s S=%.2f B=%.2f Q=%.3f valid=%v",
+		s, c.Name, eng.Tools.Name, score.Ratios.S, score.Ratios.B, score.Ratios.Q, score.Valid)
+	return score, m, nil
+}

@@ -1,0 +1,165 @@
+package metrics
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Bjøntegaard delta metrics — the video community's standard way of
+// condensing two rate-distortion curves (like Figure 2's) into a
+// single number: BD-rate is the average bitrate difference at equal
+// quality (negative = the test encoder needs fewer bits), BD-PSNR the
+// average quality difference at equal bitrate. Both integrate
+// third-order polynomial fits of PSNR vs log-bitrate over the
+// overlapping range, per the original VCEG-M33 method.
+
+// RDCurvePoint is one operating point of a rate-distortion curve.
+type RDCurvePoint struct {
+	// Bitrate in any consistent unit (bits/s or bits/pixel/s).
+	Bitrate float64
+	// PSNR in dB.
+	PSNR float64
+}
+
+// fitCubic fits y = a + b·x + c·x² + d·x³ by least squares via the
+// normal equations (4×4 Gaussian elimination).
+func fitCubic(xs, ys []float64) ([4]float64, error) {
+	if len(xs) < 4 {
+		return [4]float64{}, errors.New("metrics: BD fit needs at least 4 points")
+	}
+	var m [4][5]float64
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			for k := range xs {
+				m[i][j] += math.Pow(xs[k], float64(i+j))
+			}
+		}
+		for k := range xs {
+			m[i][4] += ys[k] * math.Pow(xs[k], float64(i))
+		}
+	}
+	// Gaussian elimination with partial pivoting.
+	for col := 0; col < 4; col++ {
+		pivot := col
+		for r := col + 1; r < 4; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		if math.Abs(m[col][col]) < 1e-12 {
+			return [4]float64{}, errors.New("metrics: singular BD fit")
+		}
+		for r := 0; r < 4; r++ {
+			if r == col {
+				continue
+			}
+			f := m[r][col] / m[col][col]
+			for c := col; c < 5; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	var coef [4]float64
+	for i := 0; i < 4; i++ {
+		coef[i] = m[i][4] / m[i][i]
+	}
+	return coef, nil
+}
+
+// integrateCubic returns the antiderivative of the cubic evaluated at x.
+func integrateCubic(c [4]float64, x float64) float64 {
+	return c[0]*x + c[1]*x*x/2 + c[2]*x*x*x/3 + c[3]*x*x*x*x/4
+}
+
+// prepare sorts a curve by bitrate and extracts (log10 rate, psnr).
+func prepare(curve []RDCurvePoint) (logR, psnr []float64, err error) {
+	if len(curve) < 4 {
+		return nil, nil, errors.New("metrics: BD metrics need ≥ 4 points per curve")
+	}
+	pts := append([]RDCurvePoint(nil), curve...)
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Bitrate < pts[j].Bitrate })
+	for _, p := range pts {
+		if p.Bitrate <= 0 {
+			return nil, nil, errors.New("metrics: non-positive bitrate in RD curve")
+		}
+		logR = append(logR, math.Log10(p.Bitrate))
+		psnr = append(psnr, p.PSNR)
+	}
+	return logR, psnr, nil
+}
+
+// BDRate returns the average bitrate change of test vs reference at
+// equal quality, in percent (negative = test saves bits).
+func BDRate(reference, test []RDCurvePoint) (float64, error) {
+	refR, refQ, err := prepare(reference)
+	if err != nil {
+		return 0, err
+	}
+	testR, testQ, err := prepare(test)
+	if err != nil {
+		return 0, err
+	}
+	// Fit log-rate as a function of quality.
+	refFit, err := fitCubic(refQ, refR)
+	if err != nil {
+		return 0, err
+	}
+	testFit, err := fitCubic(testQ, testR)
+	if err != nil {
+		return 0, err
+	}
+	lo := math.Max(minOf(refQ), minOf(testQ))
+	hi := math.Min(maxOf(refQ), maxOf(testQ))
+	if hi <= lo {
+		return 0, errors.New("metrics: RD curves do not overlap in quality")
+	}
+	avgDiff := ((integrateCubic(testFit, hi) - integrateCubic(testFit, lo)) -
+		(integrateCubic(refFit, hi) - integrateCubic(refFit, lo))) / (hi - lo)
+	return (math.Pow(10, avgDiff) - 1) * 100, nil
+}
+
+// BDPSNR returns the average quality change of test vs reference at
+// equal bitrate, in dB (positive = test is better).
+func BDPSNR(reference, test []RDCurvePoint) (float64, error) {
+	refR, refQ, err := prepare(reference)
+	if err != nil {
+		return 0, err
+	}
+	testR, testQ, err := prepare(test)
+	if err != nil {
+		return 0, err
+	}
+	refFit, err := fitCubic(refR, refQ)
+	if err != nil {
+		return 0, err
+	}
+	testFit, err := fitCubic(testR, testQ)
+	if err != nil {
+		return 0, err
+	}
+	lo := math.Max(minOf(refR), minOf(testR))
+	hi := math.Min(maxOf(refR), maxOf(testR))
+	if hi <= lo {
+		return 0, errors.New("metrics: RD curves do not overlap in bitrate")
+	}
+	return ((integrateCubic(testFit, hi) - integrateCubic(testFit, lo)) -
+		(integrateCubic(refFit, hi) - integrateCubic(refFit, lo))) / (hi - lo), nil
+}
+
+func minOf(xs []float64) float64 {
+	m := xs[0]
+	for _, v := range xs {
+		m = math.Min(m, v)
+	}
+	return m
+}
+
+func maxOf(xs []float64) float64 {
+	m := xs[0]
+	for _, v := range xs {
+		m = math.Max(m, v)
+	}
+	return m
+}

@@ -1,0 +1,165 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"vbench/internal/rng"
+	"vbench/internal/video"
+)
+
+// syntheticCurve builds PSNR = base + slope·log10(rate) operating
+// points.
+func syntheticCurve(base, slope float64, rates []float64) []RDCurvePoint {
+	out := make([]RDCurvePoint, len(rates))
+	for i, r := range rates {
+		out[i] = RDCurvePoint{Bitrate: r, PSNR: base + slope*math.Log10(r)}
+	}
+	return out
+}
+
+var bdRates = []float64{100, 300, 1000, 3000, 10000}
+
+func TestBDRateIdenticalCurvesIsZero(t *testing.T) {
+	c := syntheticCurve(20, 6, bdRates)
+	bd, err := BDRate(c, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(bd) > 0.01 {
+		t.Errorf("BD-rate of identical curves = %v%%, want 0", bd)
+	}
+	psnr, err := BDPSNR(c, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(psnr) > 0.001 {
+		t.Errorf("BD-PSNR of identical curves = %v dB, want 0", psnr)
+	}
+}
+
+func TestBDRateKnownShift(t *testing.T) {
+	// Test curve achieves the same quality at exactly half the rate:
+	// BD-rate must be −50%.
+	ref := syntheticCurve(20, 6, bdRates)
+	test := make([]RDCurvePoint, len(ref))
+	for i, p := range ref {
+		test[i] = RDCurvePoint{Bitrate: p.Bitrate / 2, PSNR: p.PSNR}
+	}
+	bd, err := BDRate(ref, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(bd+50) > 1 {
+		t.Errorf("BD-rate = %v%%, want −50%%", bd)
+	}
+}
+
+func TestBDPSNRKnownOffset(t *testing.T) {
+	// Test curve is uniformly 2 dB better: BD-PSNR = +2.
+	ref := syntheticCurve(20, 6, bdRates)
+	test := syntheticCurve(22, 6, bdRates)
+	bd, err := BDPSNR(ref, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(bd-2) > 0.01 {
+		t.Errorf("BD-PSNR = %v dB, want 2", bd)
+	}
+}
+
+func TestBDRateSignConvention(t *testing.T) {
+	ref := syntheticCurve(20, 6, bdRates)
+	better := syntheticCurve(21.5, 6, bdRates) // better quality per bit
+	bd, err := BDRate(ref, better)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd >= 0 {
+		t.Errorf("better encoder has BD-rate %v%%, want negative", bd)
+	}
+}
+
+func TestBDErrors(t *testing.T) {
+	c := syntheticCurve(20, 6, bdRates)
+	if _, err := BDRate(c[:3], c); err == nil {
+		t.Error("3-point curve accepted")
+	}
+	bad := append([]RDCurvePoint(nil), c...)
+	bad[0].Bitrate = 0
+	if _, err := BDRate(bad, c); err == nil {
+		t.Error("zero bitrate accepted")
+	}
+	// Non-overlapping quality ranges.
+	low := syntheticCurve(5, 1, bdRates)
+	high := syntheticCurve(50, 1, bdRates)
+	if _, err := BDRate(low, high); err == nil {
+		t.Error("disjoint curves accepted")
+	}
+}
+
+func TestMSSSIMIdenticalIsOne(t *testing.T) {
+	r := rng.New(3)
+	a := make([]uint8, 64*64)
+	for i := range a {
+		a[i] = uint8(r.Intn(256))
+	}
+	s, err := PlaneMSSSIM(a, a, 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-1) > 1e-9 {
+		t.Errorf("MS-SSIM of identical planes = %v", s)
+	}
+}
+
+func TestMSSSIMOrdersDistortion(t *testing.T) {
+	seq, err := video.Generate(video.ContentParams{Seed: 4, Detail: 0.6, ChromaVariety: 0.3}, 64, 64, 1, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := seq.Frames[0].Y
+	r := rng.New(5)
+	distort := func(amp int) []uint8 {
+		out := append([]uint8(nil), a...)
+		for i := range out {
+			out[i] = clampAdd(out[i], r.Intn(2*amp+1)-amp)
+		}
+		return out
+	}
+	mild, err := PlaneMSSSIM(a, distort(4), 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	harsh, err := PlaneMSSSIM(a, distort(48), 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(mild > harsh) {
+		t.Errorf("MS-SSIM ordering violated: %v vs %v", mild, harsh)
+	}
+}
+
+func TestMSSSIMSmallPlane(t *testing.T) {
+	a := make([]uint8, 8*8)
+	if _, err := PlaneMSSSIM(a, a, 8, 8); err != nil {
+		t.Errorf("single-scale msssim failed: %v", err)
+	}
+	if _, err := PlaneMSSSIM(a[:16], a[:16], 4, 4); err == nil {
+		t.Error("sub-window plane accepted")
+	}
+}
+
+func TestSequenceMSSSIMRuns(t *testing.T) {
+	seq, err := video.Generate(video.ContentParams{Seed: 6, Detail: 0.5, Motion: 0.3, ChromaVariety: 0.4}, 64, 48, 3, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := SequenceMSSSIM(seq, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-1) > 1e-9 {
+		t.Errorf("self MS-SSIM = %v", s)
+	}
+}

@@ -1,0 +1,144 @@
+// Package metrics implements the three measurement axes of vbench —
+// visual quality, video size, and transcoding speed — exactly as
+// Section 2.3 of the paper defines them:
+//
+//   - quality: average YCbCr PSNR between the original and transcoded
+//     frames (dB, higher is better);
+//   - size: bitrate normalized per pixel per second (bits/pixel/s), so
+//     videos of different resolutions and durations are comparable;
+//   - speed: pixels transcoded per second (Mpixel/s).
+//
+// SSIM is also provided for completeness (the paper discusses
+// perceptual metrics but standardizes on PSNR).
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"vbench/internal/video"
+)
+
+// MaxPSNR is the value reported for identical planes. A mathematically
+// infinite PSNR is capped so scores stay finite; 100 dB is far above
+// the ~50 dB "visually lossless" threshold the paper uses.
+const MaxPSNR = 100.0
+
+// MSEPlane returns the mean squared error between two equally sized
+// sample planes.
+func MSEPlane(a, b []uint8) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("metrics: plane length mismatch %d vs %d", len(a), len(b))
+	}
+	if len(a) == 0 {
+		return 0, errors.New("metrics: empty plane")
+	}
+	var sum uint64
+	for i := range a {
+		d := int(a[i]) - int(b[i])
+		sum += uint64(d * d)
+	}
+	return float64(sum) / float64(len(a)), nil
+}
+
+// psnrFromMSE converts an MSE to PSNR in dB for 8-bit samples.
+func psnrFromMSE(mse float64) float64 {
+	if mse <= 0 {
+		return MaxPSNR
+	}
+	p := 10 * math.Log10(255*255/mse)
+	if p > MaxPSNR {
+		return MaxPSNR
+	}
+	return p
+}
+
+// FramePSNR returns the PSNR of each plane of t against reference f.
+func FramePSNR(ref, t *video.Frame) (y, cb, cr float64, err error) {
+	if ref.Width != t.Width || ref.Height != t.Height {
+		return 0, 0, 0, fmt.Errorf("metrics: frame size mismatch %dx%d vs %dx%d",
+			ref.Width, ref.Height, t.Width, t.Height)
+	}
+	my, err := MSEPlane(ref.Y, t.Y)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	mcb, err := MSEPlane(ref.Cb, t.Cb)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	mcr, err := MSEPlane(ref.Cr, t.Cr)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return psnrFromMSE(my), psnrFromMSE(mcb), psnrFromMSE(mcr), nil
+}
+
+// SequencePSNR computes the average YCbCr PSNR between a reference
+// sequence and its transcode, following the paper: the MSE of every
+// plane of every frame is averaged (weighted by sample count, so luma
+// counts 4x chroma in 4:2:0) and converted to dB once. Averaging MSE
+// rather than per-frame dB keeps a single ruined frame visible in the
+// score.
+func SequencePSNR(ref, t *video.Sequence) (float64, error) {
+	if len(ref.Frames) != len(t.Frames) {
+		return 0, fmt.Errorf("metrics: frame count mismatch %d vs %d", len(ref.Frames), len(t.Frames))
+	}
+	if len(ref.Frames) == 0 {
+		return 0, errors.New("metrics: empty sequence")
+	}
+	var sumSq float64
+	var samples float64
+	for i := range ref.Frames {
+		rf, tf := ref.Frames[i], t.Frames[i]
+		if rf.Width != tf.Width || rf.Height != tf.Height {
+			return 0, fmt.Errorf("metrics: frame %d size mismatch", i)
+		}
+		for _, p := range []video.Plane{video.PlaneY, video.PlaneCb, video.PlaneCr} {
+			ra, _, _ := rf.PlaneData(p)
+			ta, _, _ := tf.PlaneData(p)
+			m, err := MSEPlane(ra, ta)
+			if err != nil {
+				return 0, fmt.Errorf("metrics: frame %d plane %v: %w", i, p, err)
+			}
+			sumSq += m * float64(len(ra))
+			samples += float64(len(ra))
+		}
+	}
+	return psnrFromMSE(sumSq / samples), nil
+}
+
+// Bitrate converts a compressed size to the paper's normalized bitrate
+// in bits per pixel per second: totalBits / pixelsPerFrame / duration
+// ... which reduces to bits divided by total pixels times framerate
+// normalization. Concretely: bits/(W*H) / seconds.
+func Bitrate(compressedBytes int64, width, height int, durationSeconds float64) (float64, error) {
+	if width <= 0 || height <= 0 {
+		return 0, fmt.Errorf("metrics: invalid dimensions %dx%d", width, height)
+	}
+	if durationSeconds <= 0 {
+		return 0, fmt.Errorf("metrics: non-positive duration %v", durationSeconds)
+	}
+	bits := float64(compressedBytes) * 8
+	return bits / float64(width*height) / durationSeconds, nil
+}
+
+// Speed converts a transcode's processing time into the paper's
+// normalized speed in megapixels per second.
+func Speed(totalPixels int64, processingSeconds float64) (float64, error) {
+	if totalPixels <= 0 {
+		return 0, fmt.Errorf("metrics: non-positive pixel count %d", totalPixels)
+	}
+	if processingSeconds <= 0 {
+		return 0, fmt.Errorf("metrics: non-positive processing time %v", processingSeconds)
+	}
+	return float64(totalPixels) / processingSeconds / 1e6, nil
+}
+
+// RealTimeSpeed returns the minimum speed (Mpixel/s) a transcoder must
+// sustain to keep up with live playback of a sequence: the output
+// pixel rate.
+func RealTimeSpeed(width, height int, frameRate float64) float64 {
+	return float64(width*height) * frameRate / 1e6
+}

@@ -1,0 +1,251 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vbench/internal/rng"
+	"vbench/internal/video"
+)
+
+func TestMSEIdenticalPlanes(t *testing.T) {
+	a := []uint8{1, 2, 3, 4}
+	m, err := MSEPlane(a, a)
+	if err != nil || m != 0 {
+		t.Errorf("MSE of identical planes = %v, %v", m, err)
+	}
+}
+
+func TestMSEKnownValue(t *testing.T) {
+	a := []uint8{0, 0, 0, 0}
+	b := []uint8{2, 2, 2, 2}
+	m, err := MSEPlane(a, b)
+	if err != nil || m != 4 {
+		t.Errorf("MSE = %v, want 4 (err %v)", m, err)
+	}
+}
+
+func TestMSEErrors(t *testing.T) {
+	if _, err := MSEPlane([]uint8{1}, []uint8{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := MSEPlane(nil, nil); err == nil {
+		t.Error("empty planes accepted")
+	}
+}
+
+func TestPSNRKnownValue(t *testing.T) {
+	// MSE 4 → PSNR = 10·log10(255²/4) ≈ 42.11 dB.
+	f := video.NewFrame(16, 16)
+	g := video.NewFrame(16, 16)
+	for i := range g.Y {
+		g.Y[i] = 2
+	}
+	y, cb, cr, err := FramePSNR(f, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 10 * math.Log10(255*255/4.0)
+	if math.Abs(y-want) > 0.01 {
+		t.Errorf("luma PSNR = %.3f, want %.3f", y, want)
+	}
+	if cb != MaxPSNR || cr != MaxPSNR {
+		t.Errorf("chroma PSNR = %v/%v, want capped %v", cb, cr, MaxPSNR)
+	}
+}
+
+func TestPSNRCapped(t *testing.T) {
+	f := video.NewFrame(16, 16)
+	y, _, _, err := FramePSNR(f, f)
+	if err != nil || y != MaxPSNR {
+		t.Errorf("identical frames PSNR = %v, want %v", y, MaxPSNR)
+	}
+}
+
+func TestSequencePSNRWeightsPlanesBySamples(t *testing.T) {
+	// Corrupt only chroma: sequence PSNR must fall, but less than if
+	// luma were corrupted equally (luma has 4x the samples).
+	mk := func() *video.Sequence {
+		s := &video.Sequence{FrameRate: 30}
+		s.Frames = append(s.Frames, video.NewFrame(16, 16))
+		return s
+	}
+	ref := mk()
+	chromaBad := mk()
+	for i := range chromaBad.Frames[0].Cb {
+		chromaBad.Frames[0].Cb[i] += 10
+	}
+	lumaBad := mk()
+	for i := range lumaBad.Frames[0].Y {
+		lumaBad.Frames[0].Y[i] += 10
+	}
+	pc, err := SequencePSNR(ref, chromaBad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := SequencePSNR(ref, lumaBad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc <= pl {
+		t.Errorf("chroma-only distortion (%.2f) should score above luma distortion (%.2f)", pc, pl)
+	}
+}
+
+func TestSequencePSNRMismatch(t *testing.T) {
+	a := &video.Sequence{FrameRate: 30, Frames: []*video.Frame{video.NewFrame(16, 16)}}
+	b := &video.Sequence{FrameRate: 30}
+	if _, err := SequencePSNR(a, b); err == nil {
+		t.Error("frame count mismatch accepted")
+	}
+}
+
+func TestPSNRMonotoneInNoise(t *testing.T) {
+	r := rng.New(1)
+	ref := video.NewFrame(32, 32)
+	for i := range ref.Y {
+		ref.Y[i] = uint8(r.Intn(256))
+	}
+	seqRef := &video.Sequence{FrameRate: 30, Frames: []*video.Frame{ref}}
+	prev := math.Inf(1)
+	for _, amp := range []int{1, 4, 16, 64} {
+		g := ref.Clone()
+		rr := rng.New(2)
+		for i := range g.Y {
+			d := rr.Intn(2*amp+1) - amp
+			v := int(g.Y[i]) + d
+			if v < 0 {
+				v = 0
+			}
+			if v > 255 {
+				v = 255
+			}
+			g.Y[i] = uint8(v)
+		}
+		p, err := SequencePSNR(seqRef, &video.Sequence{FrameRate: 30, Frames: []*video.Frame{g}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p >= prev {
+			t.Errorf("PSNR %.2f did not fall at amplitude %d (prev %.2f)", p, amp, prev)
+		}
+		prev = p
+	}
+}
+
+func TestBitrateNormalization(t *testing.T) {
+	// 1000 bytes over a 100x100 frame for 2 seconds:
+	// 8000 bits / 10000 pixels / 2 s = 0.4 bit/pixel/s.
+	b, err := Bitrate(1000, 100, 100, 2)
+	if err != nil || math.Abs(b-0.4) > 1e-12 {
+		t.Errorf("Bitrate = %v (err %v), want 0.4", b, err)
+	}
+}
+
+func TestBitrateErrors(t *testing.T) {
+	if _, err := Bitrate(100, 0, 10, 1); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := Bitrate(100, 10, 10, 0); err == nil {
+		t.Error("zero duration accepted")
+	}
+}
+
+func TestSpeedNormalization(t *testing.T) {
+	s, err := Speed(2_000_000, 0.5)
+	if err != nil || s != 4 {
+		t.Errorf("Speed = %v (err %v), want 4 Mpix/s", s, err)
+	}
+	if _, err := Speed(0, 1); err == nil {
+		t.Error("zero pixels accepted")
+	}
+	if _, err := Speed(100, 0); err == nil {
+		t.Error("zero time accepted")
+	}
+}
+
+func TestRealTimeSpeed(t *testing.T) {
+	// 1080p30 ≈ 62.2 Mpix/s.
+	got := RealTimeSpeed(1920, 1080, 30)
+	if math.Abs(got-62.208) > 0.001 {
+		t.Errorf("RealTimeSpeed = %v, want 62.208", got)
+	}
+}
+
+func TestSSIMIdenticalIsOne(t *testing.T) {
+	r := rng.New(7)
+	f := video.NewFrame(32, 32)
+	for i := range f.Y {
+		f.Y[i] = uint8(r.Intn(256))
+	}
+	s, err := PlaneSSIM(f.Y, f.Y, 32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-1) > 1e-9 {
+		t.Errorf("SSIM of identical planes = %v", s)
+	}
+}
+
+func TestSSIMFallsWithDistortion(t *testing.T) {
+	r := rng.New(8)
+	a := make([]uint8, 64*64)
+	for i := range a {
+		a[i] = uint8(r.Intn(256))
+	}
+	mild := append([]uint8(nil), a...)
+	harsh := append([]uint8(nil), a...)
+	for i := range mild {
+		mild[i] = clampAdd(mild[i], int(r.Uint64()%9)-4)
+		harsh[i] = clampAdd(harsh[i], int(r.Uint64()%65)-32)
+	}
+	sm, err := PlaneSSIM(a, mild, 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := PlaneSSIM(a, harsh, 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(1 > sm && sm > sh) {
+		t.Errorf("SSIM ordering violated: 1 > %v > %v expected", sm, sh)
+	}
+}
+
+func clampAdd(v uint8, d int) uint8 {
+	x := int(v) + d
+	if x < 0 {
+		return 0
+	}
+	if x > 255 {
+		return 255
+	}
+	return uint8(x)
+}
+
+func TestSSIMGeometryErrors(t *testing.T) {
+	if _, err := PlaneSSIM(make([]uint8, 16), make([]uint8, 16), 4, 4); err == nil {
+		t.Error("plane smaller than window accepted")
+	}
+	if _, err := PlaneSSIM(make([]uint8, 64), make([]uint8, 32), 8, 8); err == nil {
+		t.Error("mismatched planes accepted")
+	}
+}
+
+func TestSSIMRangeProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		a := make([]uint8, 16*16)
+		b := make([]uint8, 16*16)
+		for i := range a {
+			a[i] = uint8(r.Intn(256))
+			b[i] = uint8(r.Intn(256))
+		}
+		s, err := PlaneSSIM(a, b, 16, 16)
+		return err == nil && s >= -1 && s <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,90 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"vbench/internal/video"
+)
+
+// Multi-scale SSIM. The paper discusses perceptual quality metrics
+// (Netflix's VMAF, Google's noise-aware metric) as alternatives to
+// PSNR; MS-SSIM (Wang et al., Asilomar 2003) is the canonical
+// multi-resolution member of that family: SSIM is evaluated at
+// successive dyadic downscales and combined with the standard
+// per-scale exponents.
+
+// msssimWeights are the five-scale exponents from the original paper.
+var msssimWeights = []float64{0.0448, 0.2856, 0.3001, 0.2363, 0.1333}
+
+// downsample2 halves a plane with a 2×2 box filter.
+func downsample2(src []uint8, w, h int) ([]uint8, int, int) {
+	nw, nh := w/2, h/2
+	dst := make([]uint8, nw*nh)
+	for y := 0; y < nh; y++ {
+		for x := 0; x < nw; x++ {
+			s := int(src[(2*y)*w+2*x]) + int(src[(2*y)*w+2*x+1]) +
+				int(src[(2*y+1)*w+2*x]) + int(src[(2*y+1)*w+2*x+1])
+			dst[y*nw+x] = uint8((s + 2) / 4)
+		}
+	}
+	return dst, nw, nh
+}
+
+// PlaneMSSSIM computes multi-scale SSIM between two planes, using as
+// many of the five scales as the plane size allows (at least one).
+func PlaneMSSSIM(a, b []uint8, w, h int) (float64, error) {
+	if len(a) != len(b) || len(a) != w*h {
+		return 0, fmt.Errorf("metrics: msssim geometry mismatch")
+	}
+	product := 1.0
+	var used float64
+	ca, cb := a, b
+	cw, ch := w, h
+	for scale := 0; scale < len(msssimWeights); scale++ {
+		if cw < ssimWindow || ch < ssimWindow {
+			break
+		}
+		s, err := PlaneSSIM(ca, cb, cw, ch)
+		if err != nil {
+			return 0, err
+		}
+		if s < 0 {
+			s = 0
+		}
+		product *= pow(s, msssimWeights[scale])
+		used += msssimWeights[scale]
+		na, nw, nh := downsample2(ca, cw, ch)
+		nb, _, _ := downsample2(cb, cw, ch)
+		ca, cb, cw, ch = na, nb, nw, nh
+	}
+	if used == 0 {
+		return 0, fmt.Errorf("metrics: plane %dx%d too small for msssim", w, h)
+	}
+	// Renormalize if fewer than five scales fit.
+	return pow(product, 1/used), nil
+}
+
+// SequenceMSSSIM averages luma MS-SSIM over the frames of a transcode.
+func SequenceMSSSIM(ref, t *video.Sequence) (float64, error) {
+	if len(ref.Frames) != len(t.Frames) || len(ref.Frames) == 0 {
+		return 0, fmt.Errorf("metrics: msssim frame count mismatch")
+	}
+	var total float64
+	for i := range ref.Frames {
+		rf, tf := ref.Frames[i], t.Frames[i]
+		s, err := PlaneMSSSIM(rf.Y, tf.Y, rf.Width, rf.Height)
+		if err != nil {
+			return 0, fmt.Errorf("metrics: frame %d: %w", i, err)
+		}
+		total += s
+	}
+	return total / float64(len(ref.Frames)), nil
+}
+
+func pow(x, y float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Exp(y * math.Log(x))
+}

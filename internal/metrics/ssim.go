@@ -1,0 +1,78 @@
+package metrics
+
+import (
+	"fmt"
+
+	"vbench/internal/video"
+)
+
+// SSIM constants per Wang et al. (2004) for 8-bit dynamic range.
+const (
+	ssimC1 = (0.01 * 255) * (0.01 * 255)
+	ssimC2 = (0.03 * 255) * (0.03 * 255)
+)
+
+// ssimWindow is the side of the square windows SSIM is evaluated on.
+// 8x8 non-overlapping windows follow the common fast-SSIM convention
+// (full Gaussian-weighted SSIM differs by a small constant factor that
+// does not affect comparisons).
+const ssimWindow = 8
+
+// PlaneSSIM computes the mean structural similarity between two planes
+// of dimensions w×h using non-overlapping 8×8 windows.
+func PlaneSSIM(a, b []uint8, w, h int) (float64, error) {
+	if len(a) != len(b) || len(a) != w*h {
+		return 0, fmt.Errorf("metrics: ssim plane geometry mismatch (len %d/%d, %dx%d)", len(a), len(b), w, h)
+	}
+	if w < ssimWindow || h < ssimWindow {
+		return 0, fmt.Errorf("metrics: plane %dx%d smaller than ssim window", w, h)
+	}
+	var total float64
+	var count int
+	for wy := 0; wy+ssimWindow <= h; wy += ssimWindow {
+		for wx := 0; wx+ssimWindow <= w; wx += ssimWindow {
+			var sa, sb, saa, sbb, sab float64
+			for y := wy; y < wy+ssimWindow; y++ {
+				row := y * w
+				for x := wx; x < wx+ssimWindow; x++ {
+					va := float64(a[row+x])
+					vb := float64(b[row+x])
+					sa += va
+					sb += vb
+					saa += va * va
+					sbb += vb * vb
+					sab += va * vb
+				}
+			}
+			n := float64(ssimWindow * ssimWindow)
+			ma := sa / n
+			mb := sb / n
+			va := saa/n - ma*ma
+			vb := sbb/n - mb*mb
+			cov := sab/n - ma*mb
+			num := (2*ma*mb + ssimC1) * (2*cov + ssimC2)
+			den := (ma*ma + mb*mb + ssimC1) * (va + vb + ssimC2)
+			total += num / den
+			count++
+		}
+	}
+	return total / float64(count), nil
+}
+
+// SequenceSSIM returns the average luma SSIM across the frames of a
+// transcode against its reference.
+func SequenceSSIM(ref, t *video.Sequence) (float64, error) {
+	if len(ref.Frames) != len(t.Frames) || len(ref.Frames) == 0 {
+		return 0, fmt.Errorf("metrics: ssim frame count mismatch %d vs %d", len(ref.Frames), len(t.Frames))
+	}
+	var total float64
+	for i := range ref.Frames {
+		rf, tf := ref.Frames[i], t.Frames[i]
+		s, err := PlaneSSIM(rf.Y, tf.Y, rf.Width, rf.Height)
+		if err != nil {
+			return 0, fmt.Errorf("metrics: frame %d: %w", i, err)
+		}
+		total += s
+	}
+	return total / float64(len(ref.Frames)), nil
+}

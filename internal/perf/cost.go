@@ -1,0 +1,177 @@
+package perf
+
+import "fmt"
+
+// ISA enumerates the SIMD instruction-set ladder of Figure 8. Each
+// level subsumes the previous ones.
+type ISA int
+
+// The ISA ladder, oldest to newest.
+const (
+	ISAScalar ISA = iota
+	ISASSE
+	ISASSE2
+	ISASSE3
+	ISASSE4
+	ISAAVX
+	ISAAVX2
+	NumISA
+)
+
+var isaNames = [NumISA]string{"scalar", "sse", "sse2", "sse3", "sse4", "avx", "avx2"}
+
+// String returns the ISA's conventional lowercase name.
+func (i ISA) String() string {
+	if i < 0 || i >= NumISA {
+		return fmt.Sprintf("isa(%d)", int(i))
+	}
+	return isaNames[i]
+}
+
+// ParseISA maps a name to an ISA level.
+func ParseISA(name string) (ISA, error) {
+	for i, n := range isaNames {
+		if n == name {
+			return ISA(i), nil
+		}
+	}
+	return 0, fmt.Errorf("perf: unknown ISA %q", name)
+}
+
+// simdSpeedup gives the effective per-op speedup of each ISA level on
+// vectorizable kernels, relative to scalar code. The numbers encode
+// the paper's Figure 8 findings: SSE2 captured most of the gain
+// (128-bit integer SIMD covers 8/16-bit pixel math), later extensions
+// add modest increments, and AVX2's 256-bit width is underused because
+// macroblock rows are narrower than the vector length.
+var simdSpeedup = [NumISA]float64{
+	ISAScalar: 1.0,
+	ISASSE:    2.0, // 64→128-bit float only; limited for pixel integer math
+	ISASSE2:   6.0, // 128-bit integer SIMD: the big jump
+	ISASSE3:   6.3,
+	ISASSE4:   6.9, // mpsadbw etc. help motion search
+	ISAAVX:    7.1,
+	ISAAVX2:   8.3, // 256-bit integer, partially usable
+}
+
+// SIMDSpeedup returns the effective throughput multiplier of isa on
+// vectorizable kernels.
+func SIMDSpeedup(isa ISA) float64 { return simdSpeedup[isa] }
+
+// CostModel converts kernel op counts into deterministic execution
+// time for one machine. CyclesPerOp is the scalar cost of one abstract
+// op of each kernel; vectorizable kernels are divided by the SIMD
+// speedup of the active ISA. Fixed-function encoders express their
+// pipelining with Parallelism > 1 and pay explicit per-frame transfer
+// overheads instead.
+type CostModel struct {
+	Name        string
+	ClockHz     float64
+	CyclesPerOp [NumKernels]float64
+
+	// ISA applies SIMD discounts to vectorizable kernels; ignored if
+	// Parallelism > 1 (fixed-function engines have their own datapaths).
+	ISA ISA
+
+	// Parallelism divides cycles of every vectorizable kernel, modeling
+	// the macroblock-parallel pipelines of hardware encoders.
+	Parallelism float64
+
+	// FrameOverheadCycles is charged once per frame (e.g. host↔device
+	// transfer latency for GPU encoders).
+	FrameOverheadCycles float64
+
+	// PerPixelOverheadCycles is charged once per pixel (e.g. DMA
+	// bandwidth for raw frames crossing PCIe).
+	PerPixelOverheadCycles float64
+}
+
+// Cycles returns the modeled cycle count for the recorded work.
+func (m *CostModel) Cycles(c *Counters) float64 {
+	var cycles float64
+	par := m.Parallelism
+	if par < 1 {
+		par = 1
+	}
+	for k := Kernel(0); k < NumKernels; k++ {
+		kc := float64(c.Ops[k]) * m.CyclesPerOp[k]
+		if k.Vectorizable() {
+			if m.Parallelism > 1 {
+				kc /= par
+			} else {
+				kc /= SIMDSpeedup(m.ISA)
+			}
+		}
+		cycles += kc
+	}
+	cycles += float64(c.Frames) * m.FrameOverheadCycles
+	cycles += float64(c.Pixels) * m.PerPixelOverheadCycles
+	return cycles
+}
+
+// Seconds converts the recorded work into modeled seconds.
+func (m *CostModel) Seconds(c *Counters) float64 {
+	if m.ClockHz <= 0 {
+		panic("perf: cost model with non-positive clock")
+	}
+	return m.Cycles(c) / m.ClockHz
+}
+
+// KernelSeconds returns the modeled time attributable to each kernel,
+// used by the SIMD-fraction analysis of Figures 7 and 8. Overheads are
+// attributed to KControl.
+func (m *CostModel) KernelSeconds(c *Counters) [NumKernels]float64 {
+	var out [NumKernels]float64
+	par := m.Parallelism
+	if par < 1 {
+		par = 1
+	}
+	for k := Kernel(0); k < NumKernels; k++ {
+		kc := float64(c.Ops[k]) * m.CyclesPerOp[k]
+		if k.Vectorizable() {
+			if m.Parallelism > 1 {
+				kc /= par
+			} else {
+				kc /= SIMDSpeedup(m.ISA)
+			}
+		}
+		out[k] = kc / m.ClockHz
+	}
+	out[KControl] += (float64(c.Frames)*m.FrameOverheadCycles + float64(c.Pixels)*m.PerPixelOverheadCycles) / m.ClockHz
+	return out
+}
+
+// ReferenceCPU models the paper's reference machine: an Intel Core
+// i7-6700K at 4.0 GHz running AVX2 SIMD software encoders. The
+// per-op cycle costs are calibrated so the modeled speed of the
+// reference transcodes lands in the range real libx264 presets
+// achieve on that part (tens of Mpixel/s single-threaded): one
+// abstract op in this codebase stands for several instructions of a
+// production encoder, which evaluates many more candidate partitions
+// per block than the engine models structurally.
+func ReferenceCPU() *CostModel {
+	return &CostModel{
+		Name:    "i7-6700K",
+		ClockHz: 4.0e9,
+		CyclesPerOp: [NumKernels]float64{
+			KSAD:     8.0,
+			KInterp:  12.0,
+			KDCT:     10.0,
+			KQuant:   8.0,
+			KEntropy: 40.0, // serial bit wrangling, branchy
+			KIntra:   10.0,
+			KDeblock: 10.0,
+			KControl: 64.0, // per-decision scalar overhead
+			KDecode:  28.0,
+		},
+		ISA: ISAAVX2,
+	}
+}
+
+// WithISA returns a copy of the model restricted to the given ISA
+// level, for the Figure 8 ladder.
+func (m *CostModel) WithISA(isa ISA) *CostModel {
+	c := *m
+	c.ISA = isa
+	return &c
+}

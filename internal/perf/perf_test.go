@@ -1,0 +1,156 @@
+package perf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKernelNames(t *testing.T) {
+	for k := Kernel(0); k < NumKernels; k++ {
+		if k.String() == "" || k.String()[0] == 'k' {
+			t.Errorf("kernel %d has bad name %q", int(k), k.String())
+		}
+	}
+	if Kernel(99).String() != "kernel(99)" {
+		t.Errorf("out-of-range kernel name = %q", Kernel(99).String())
+	}
+}
+
+func TestVectorizableSplit(t *testing.T) {
+	wantVec := map[Kernel]bool{
+		KSAD: true, KInterp: true, KDCT: true, KQuant: true, KIntra: true, KDeblock: true,
+		KEntropy: false, KControl: false, KDecode: false,
+	}
+	for k, want := range wantVec {
+		if got := k.Vectorizable(); got != want {
+			t.Errorf("%v.Vectorizable() = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestCountersAdd(t *testing.T) {
+	var a, b Counters
+	a.Count(KSAD, 100)
+	a.MBTotal = 5
+	a.BitsOutput = 80
+	b.Count(KSAD, 50)
+	b.Count(KDCT, 10)
+	b.MBTotal = 3
+	a.Add(&b)
+	if a.Ops[KSAD] != 150 || a.Ops[KDCT] != 10 {
+		t.Errorf("Add ops wrong: %v", a.Ops)
+	}
+	if a.Invocations[KSAD] != 2 || a.MBTotal != 8 || a.BitsOutput != 80 {
+		t.Error("Add structural counters wrong")
+	}
+	if a.TotalOps() != 160 {
+		t.Errorf("TotalOps = %d", a.TotalOps())
+	}
+}
+
+func TestISANamesAndParse(t *testing.T) {
+	for isa := ISA(0); isa < NumISA; isa++ {
+		parsed, err := ParseISA(isa.String())
+		if err != nil || parsed != isa {
+			t.Errorf("ParseISA(%q) = %v, %v", isa.String(), parsed, err)
+		}
+	}
+	if _, err := ParseISA("mmx"); err == nil {
+		t.Error("ParseISA accepted unknown name")
+	}
+}
+
+func TestSIMDSpeedupMonotone(t *testing.T) {
+	prev := 0.0
+	for isa := ISA(0); isa < NumISA; isa++ {
+		s := SIMDSpeedup(isa)
+		if s < prev {
+			t.Errorf("speedup fell at %v: %v < %v", isa, s, prev)
+		}
+		prev = s
+	}
+	if SIMDSpeedup(ISAScalar) != 1 {
+		t.Error("scalar speedup must be 1")
+	}
+}
+
+func TestCostModelISAMonotone(t *testing.T) {
+	var c Counters
+	c.Count(KSAD, 1_000_000)
+	c.Count(KEntropy, 100_000)
+	m := ReferenceCPU()
+	prev := 1e18
+	for isa := ISA(0); isa < NumISA; isa++ {
+		s := m.WithISA(isa).Seconds(&c)
+		if s > prev {
+			t.Errorf("seconds grew with newer ISA %v: %v > %v", isa, s, prev)
+		}
+		prev = s
+	}
+}
+
+func TestCostModelScalarKernelsUnaffectedByISA(t *testing.T) {
+	var c Counters
+	c.Count(KEntropy, 1_000_000)
+	m := ReferenceCPU()
+	sScalar := m.WithISA(ISAScalar).Seconds(&c)
+	sAVX2 := m.WithISA(ISAAVX2).Seconds(&c)
+	if sScalar != sAVX2 {
+		t.Errorf("entropy-only workload changed with ISA: %v vs %v", sScalar, sAVX2)
+	}
+}
+
+func TestCostModelParallelismOverridesISA(t *testing.T) {
+	var c Counters
+	c.Count(KSAD, 1_000_000)
+	m := ReferenceCPU()
+	m.Parallelism = 100
+	base := ReferenceCPU().Seconds(&c)
+	par := m.Seconds(&c)
+	if par >= base {
+		t.Errorf("parallel model not faster: %v vs %v", par, base)
+	}
+}
+
+func TestCostModelOverheads(t *testing.T) {
+	var c Counters
+	c.Frames = 10
+	c.Pixels = 1000
+	m := &CostModel{ClockHz: 1e9, FrameOverheadCycles: 1e6, PerPixelOverheadCycles: 2}
+	want := (10*1e6 + 1000*2) / 1e9
+	if got := m.Seconds(&c); got != want {
+		t.Errorf("overhead seconds = %v, want %v", got, want)
+	}
+}
+
+func TestKernelSecondsSumsToCycles(t *testing.T) {
+	f := func(sad, ent, frames uint16) bool {
+		var c Counters
+		c.Count(KSAD, int64(sad))
+		c.Count(KEntropy, int64(ent))
+		c.Frames = int64(frames % 100)
+		c.Pixels = int64(frames) * 100
+		m := ReferenceCPU()
+		m.FrameOverheadCycles = 1000
+		per := m.KernelSeconds(&c)
+		var sum float64
+		for _, v := range per {
+			sum += v
+		}
+		total := m.Seconds(&c)
+		return sum > total*0.999999 && sum < total*1.000001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSecondsPanicsWithoutClock(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-clock model did not panic")
+		}
+	}()
+	var c Counters
+	(&CostModel{}).Seconds(&c)
+}

@@ -1,0 +1,150 @@
+// Package refdata records the numbers the paper published — Tables 3,
+// 4, and 5 and the Figure 1 growth series — so every reproduced
+// experiment can print paper-vs-measured side by side. A score of 0
+// in the popular table means the paper reported an empty cell (the
+// scenario constraint was not met).
+package refdata
+
+// VODRow is one row of Table 3: NVENC and QSV speed/bitrate ratios
+// and VOD scores per vbench clip.
+type VODRow struct {
+	Clip       string
+	NVENCS     float64
+	NVENCB     float64
+	NVENCScore float64
+	QSVS       float64
+	QSVB       float64
+	QSVScore   float64
+}
+
+// Table3 returns the paper's VOD results for the GPU encoders.
+func Table3() []VODRow {
+	return []VODRow{
+		{"cat", 5.74, 0.76, 4.36, 9.27, 0.80, 7.38},
+		{"holi", 5.04, 0.76, 3.83, 7.95, 0.80, 6.38},
+		{"desktop", 2.41, 0.40, 0.96, 3.90, 0.18, 0.72},
+		{"bike", 4.05, 0.62, 2.52, 6.68, 0.73, 4.91},
+		{"cricket", 8.91, 0.83, 7.39, 13.22, 0.70, 9.32},
+		{"game2", 7.72, 0.64, 4.97, 12.94, 0.71, 9.20},
+		{"girl", 8.51, 0.93, 7.88, 14.29, 0.80, 11.46},
+		{"game3", 9.22, 0.52, 4.81, 11.32, 0.80, 9.05},
+		{"presentation", 3.58, 0.35, 1.24, 4.35, 0.48, 2.09},
+		{"funny", 9.63, 0.43, 4.10, 11.17, 0.83, 9.30},
+		{"house", 14.29, 0.93, 13.34, 16.75, 0.96, 16.02},
+		{"game1", 14.87, 0.57, 8.50, 15.89, 0.72, 11.42},
+		{"landscape", 15.05, 0.88, 13.26, 18.50, 0.94, 17.36},
+		{"hall", 13.68, 1.14, 15.58, 18.64, 0.94, 17.51},
+		{"chicken", 19.12, 0.85, 16.31, 20.00, 0.83, 16.58},
+	}
+}
+
+// LiveRow is one row of Table 4: NVENC and QSV quality/bitrate ratios
+// and Live scores per clip.
+type LiveRow struct {
+	Clip       string
+	NVENCQ     float64
+	NVENCB     float64
+	NVENCScore float64
+	QSVQ       float64
+	QSVB       float64
+	QSVScore   float64
+}
+
+// Table4 returns the paper's Live results for the GPU encoders.
+func Table4() []LiveRow {
+	return []LiveRow{
+		{"cat", 1.01, 1.09, 1.09, 1.02, 1.14, 1.16},
+		{"holi", 1.00, 1.21, 1.21, 1.01, 1.28, 1.29},
+		{"desktop", 1.06, 1.03, 1.09, 1.88, 0.16, 0.30},
+		{"bike", 1.03, 1.31, 1.35, 1.25, 0.48, 0.59},
+		{"cricket", 1.00, 1.29, 1.29, 1.01, 1.14, 1.16},
+		{"game2", 1.00, 1.20, 1.20, 1.02, 1.30, 1.32},
+		{"girl", 1.01, 1.16, 1.17, 1.01, 1.45, 1.47},
+		{"game3", 1.01, 0.96, 0.97, 1.01, 1.28, 1.29},
+		{"presentation", 1.05, 0.79, 0.83, 1.34, 0.31, 0.42},
+		{"funny", 1.01, 1.01, 1.02, 1.00, 1.69, 1.69},
+		{"house", 1.00, 1.53, 1.54, 1.01, 1.68, 1.70},
+		{"game1", 1.03, 1.19, 1.22, 1.01, 1.57, 1.59},
+		{"landscape", 1.01, 1.19, 1.21, 1.01, 1.26, 1.27},
+		{"hall", 1.02, 1.28, 1.31, 1.01, 1.45, 1.46},
+		{"chicken", 1.01, 2.10, 2.12, 1.01, 2.42, 2.44},
+	}
+}
+
+// PopularRow is one row of Table 5: libvpx-vp9 and libx265 quality and
+// bitrate ratios with Popular scores; a zero score is the paper's
+// empty (constraint-failed) cell.
+type PopularRow struct {
+	Clip      string
+	VP9Q      float64
+	VP9B      float64
+	VP9Score  float64
+	X265Q     float64
+	X265B     float64
+	X265Score float64
+}
+
+// Table5 returns the paper's Popular-scenario results for the newer
+// software encoders.
+func Table5() []PopularRow {
+	return []PopularRow{
+		{"cat", 1.00, 1.47, 1.48, 1.02, 1.17, 1.19},
+		{"holi", 1.00, 1.06, 1.06, 1.01, 1.12, 1.13},
+		{"desktop", 1.01, 0.67, 0, 1.00, 0.87, 0},
+		{"bike", 1.00, 1.06, 1.06, 1.01, 1.11, 1.12},
+		{"cricket", 1.01, 0.97, 0, 1.02, 0.86, 0},
+		{"game2", 1.00, 1.33, 1.33, 1.01, 1.03, 1.04},
+		{"girl", 1.01, 1.06, 1.06, 1.02, 0.81, 0},
+		{"game3", 1.01, 1.09, 1.10, 1.01, 0.80, 0},
+		{"presentation", 1.00, 1.86, 1.86, 1.00, 1.13, 1.13},
+		{"funny", 1.00, 1.37, 1.37, 1.00, 1.06, 1.06},
+		{"house", 1.01, 1.06, 1.07, 1.01, 0.97, 0},
+		{"game1", 1.00, 1.20, 1.20, 1.00, 1.28, 1.28},
+		{"landscape", 1.01, 1.47, 1.48, 1.02, 1.30, 1.32},
+		{"hall", 1.01, 1.49, 1.51, 1.01, 1.11, 1.13},
+		{"chicken", 1.01, 1.57, 1.58, 1.01, 1.17, 1.19},
+	}
+}
+
+// GrowthPoint is one year of the Figure 1 series: YouTube upload
+// hours per minute and the median SPECint-rate result, both
+// normalized to 1.0 at mid-2007. The absolute upload figures follow
+// the public Tubular Insights numbers the paper cites; SPEC growth is
+// the published median trajectory (≈25%/year over the decade).
+type GrowthPoint struct {
+	Year          int
+	UploadGrowth  float64
+	SPECIntGrowth float64
+}
+
+// Figure1 returns the growth series of Figure 1.
+func Figure1() []GrowthPoint {
+	// Upload hours/minute: 2007≈6, growing to 2015≈400, 2016≈500.
+	uploads := map[int]float64{
+		2006: 4, 2007: 6, 2008: 10, 2009: 15, 2010: 24,
+		2011: 48, 2012: 72, 2013: 100, 2014: 300, 2015: 400, 2016: 500,
+	}
+	out := make([]GrowthPoint, 0, len(uploads))
+	base := uploads[2007]
+	spec := 1.0 / 1.25 // 2006 relative to the 2007 base
+	for year := 2006; year <= 2016; year++ {
+		out = append(out, GrowthPoint{
+			Year:          year,
+			UploadGrowth:  uploads[year] / base,
+			SPECIntGrowth: spec,
+		})
+		spec *= 1.25
+	}
+	return out
+}
+
+// Table2Entropy returns the published entropy of each vbench clip
+// (bits/pixel/s), keyed by clip name.
+func Table2Entropy() map[string]float64 {
+	return map[string]float64{
+		"cat": 6.8, "holi": 7.0,
+		"desktop": 0.2, "bike": 0.9, "cricket": 3.4, "game2": 4.9, "girl": 5.9, "game3": 6.1,
+		"presentation": 0.2, "funny": 2.5, "house": 3.6, "game1": 4.6, "landscape": 7.2, "hall": 7.7,
+		"chicken": 5.9,
+	}
+}

@@ -1,0 +1,101 @@
+package refdata
+
+import "testing"
+
+func clipOrder() []string {
+	return []string{"cat", "holi", "desktop", "bike", "cricket", "game2", "girl", "game3",
+		"presentation", "funny", "house", "game1", "landscape", "hall", "chicken"}
+}
+
+func TestTable3Complete(t *testing.T) {
+	rows := Table3()
+	if len(rows) != 15 {
+		t.Fatalf("%d rows, want 15", len(rows))
+	}
+	for i, want := range clipOrder() {
+		if rows[i].Clip != want {
+			t.Errorf("row %d = %s, want %s", i, rows[i].Clip, want)
+		}
+	}
+	for _, r := range rows {
+		if r.NVENCS <= 1 || r.QSVS <= 1 {
+			t.Errorf("%s: GPU speed ratios should exceed 1 (%v, %v)", r.Clip, r.NVENCS, r.QSVS)
+		}
+		// Published scores equal S×B within rounding.
+		if d := r.NVENCScore - r.NVENCS*r.NVENCB; d > 0.2 || d < -0.2 {
+			t.Errorf("%s: NVENC score %v far from S*B=%v", r.Clip, r.NVENCScore, r.NVENCS*r.NVENCB)
+		}
+	}
+}
+
+func TestTable4Complete(t *testing.T) {
+	rows := Table4()
+	if len(rows) != 15 {
+		t.Fatalf("%d rows, want 15", len(rows))
+	}
+	for _, r := range rows {
+		if r.NVENCQ < 0.99 || r.QSVQ < 0.99 {
+			t.Errorf("%s: Live quality ratios should be ≈1 or above (%v, %v)", r.Clip, r.NVENCQ, r.QSVQ)
+		}
+	}
+}
+
+func TestTable5FailuresMatchPaper(t *testing.T) {
+	rows := Table5()
+	if len(rows) != 15 {
+		t.Fatalf("%d rows, want 15", len(rows))
+	}
+	// The paper reports empty cells exactly where B < 1.
+	for _, r := range rows {
+		if (r.VP9Score == 0) != (r.VP9B < 1) {
+			t.Errorf("%s: vp9 empty-cell inconsistent (B=%v score=%v)", r.Clip, r.VP9B, r.VP9Score)
+		}
+		if (r.X265Score == 0) != (r.X265B < 1) {
+			t.Errorf("%s: x265 empty-cell inconsistent (B=%v score=%v)", r.Clip, r.X265B, r.X265Score)
+		}
+	}
+	// GPUs produced zero valid Popular transcodes; software produced
+	// several — at least 10 valid vp9 cells in the paper.
+	valid := 0
+	for _, r := range rows {
+		if r.VP9Score > 0 {
+			valid++
+		}
+	}
+	if valid < 10 {
+		t.Errorf("only %d valid vp9 popular scores", valid)
+	}
+}
+
+func TestFigure1GrowthGap(t *testing.T) {
+	pts := Figure1()
+	if len(pts) != 11 {
+		t.Fatalf("%d growth points, want 11 (2006-2016)", len(pts))
+	}
+	last := pts[len(pts)-1]
+	if last.Year != 2016 {
+		t.Fatalf("last year %d", last.Year)
+	}
+	// The paper's headline: uploads grew far faster than SPECint.
+	if last.UploadGrowth/last.SPECIntGrowth < 5 {
+		t.Errorf("2016 gap = %v, want ≫ 1", last.UploadGrowth/last.SPECIntGrowth)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].UploadGrowth < pts[i-1].UploadGrowth {
+			t.Error("upload growth not monotone")
+		}
+		if pts[i].SPECIntGrowth < pts[i-1].SPECIntGrowth {
+			t.Error("SPEC growth not monotone")
+		}
+	}
+}
+
+func TestTable2EntropyMatchesClips(t *testing.T) {
+	e := Table2Entropy()
+	if len(e) != 15 {
+		t.Fatalf("%d entropy entries, want 15", len(e))
+	}
+	if e["desktop"] != 0.2 || e["hall"] != 7.7 {
+		t.Error("entropy values wrong")
+	}
+}

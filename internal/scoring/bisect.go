@@ -1,0 +1,55 @@
+package scoring
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// BisectBitrate finds the lowest bitrate (bits/second) at which an
+// encode meets a quality target, the procedure the paper uses for the
+// GPU studies ("varied the target bitrate using a bisection algorithm
+// until results satisfy the quality constraints by a small margin").
+//
+// eval encodes at the given bitrate and returns the achieved quality
+// in dB. Quality is assumed monotone non-decreasing in bitrate; the
+// search tolerates small local non-monotonicity by keeping the best
+// feasible point seen. Returns the chosen bitrate and its quality.
+func BisectBitrate(targetPSNR float64, loBPS, hiBPS float64, iterations int,
+	eval func(bitrateBPS float64) (psnr float64, err error)) (float64, float64, error) {
+
+	if loBPS <= 0 || hiBPS <= loBPS {
+		return 0, 0, fmt.Errorf("scoring: invalid bisection range [%v, %v]", loBPS, hiBPS)
+	}
+	if iterations < 1 {
+		return 0, 0, errors.New("scoring: bisection needs at least one iteration")
+	}
+
+	// Check feasibility at the top of the range first.
+	hiPSNR, err := eval(hiBPS)
+	if err != nil {
+		return 0, 0, err
+	}
+	if hiPSNR < targetPSNR {
+		return 0, 0, fmt.Errorf("scoring: target %.2f dB unreachable (%.2f dB at %.0f bps)", targetPSNR, hiPSNR, hiBPS)
+	}
+	bestBPS, bestPSNR := hiBPS, hiPSNR
+
+	lo, hi := math.Log(loBPS), math.Log(hiBPS)
+	for i := 0; i < iterations; i++ {
+		mid := math.Exp((lo + hi) / 2)
+		psnr, err := eval(mid)
+		if err != nil {
+			return 0, 0, err
+		}
+		if psnr >= targetPSNR {
+			if mid < bestBPS {
+				bestBPS, bestPSNR = mid, psnr
+			}
+			hi = math.Log(mid)
+		} else {
+			lo = math.Log(mid)
+		}
+	}
+	return bestBPS, bestPSNR, nil
+}

@@ -1,0 +1,212 @@
+// Package scoring implements vbench's five transcoding scenarios and
+// their scoring functions (Table 1 of the paper). Every transcode is
+// summarized by three normalized measurements — speed (Mpixel/s),
+// bitrate (bits/pixel/s), and quality (average YCbCr PSNR in dB) —
+// and compared against a reference transcode as ratios:
+//
+//	S = Speed_new / Speed_ref
+//	B = Bitrate_ref / Bitrate_new
+//	Q = Quality_new / Quality_ref
+//
+// Each scenario eliminates one dimension with a hard quality-of-
+// service constraint and scores the product of the other two.
+package scoring
+
+import (
+	"fmt"
+	"math"
+)
+
+// Measurement is the (speed, bitrate, quality) triple of one
+// transcode, in the paper's normalized units.
+type Measurement struct {
+	// SpeedMPS is transcode speed in megapixels per second.
+	SpeedMPS float64
+	// BitratePPS is compressed size in bits per pixel per second.
+	BitratePPS float64
+	// PSNR is average YCbCr PSNR in dB.
+	PSNR float64
+}
+
+// Validate reports whether the measurement is physically meaningful.
+func (m Measurement) Validate() error {
+	if m.SpeedMPS <= 0 || math.IsNaN(m.SpeedMPS) {
+		return fmt.Errorf("scoring: invalid speed %v", m.SpeedMPS)
+	}
+	if m.BitratePPS <= 0 || math.IsNaN(m.BitratePPS) {
+		return fmt.Errorf("scoring: invalid bitrate %v", m.BitratePPS)
+	}
+	if m.PSNR <= 0 || math.IsNaN(m.PSNR) {
+		return fmt.Errorf("scoring: invalid PSNR %v", m.PSNR)
+	}
+	return nil
+}
+
+// Ratios holds the three improvement ratios against a reference.
+// Values above 1 mean the candidate is better on that axis.
+type Ratios struct {
+	S float64 // speed ratio
+	B float64 // compression ratio (ref bitrate / new bitrate)
+	Q float64 // quality ratio
+}
+
+// ComputeRatios compares a candidate measurement against a reference.
+func ComputeRatios(candidate, reference Measurement) (Ratios, error) {
+	if err := candidate.Validate(); err != nil {
+		return Ratios{}, fmt.Errorf("candidate: %w", err)
+	}
+	if err := reference.Validate(); err != nil {
+		return Ratios{}, fmt.Errorf("reference: %w", err)
+	}
+	return Ratios{
+		S: candidate.SpeedMPS / reference.SpeedMPS,
+		B: reference.BitratePPS / candidate.BitratePPS,
+		Q: candidate.PSNR / reference.PSNR,
+	}, nil
+}
+
+// Scenario identifies one of the five vbench scoring scenarios.
+type Scenario int
+
+// The five scenarios of Table 1.
+const (
+	// Upload: the first transcode of a new video to the universal
+	// format. Needs speed and quality; size is a temporary cost.
+	Upload Scenario = iota
+	// Live: real-time streaming. Speed is a hard constraint; score
+	// trades bitrate and quality.
+	Live
+	// VOD: offline video-on-demand transcode. Quality must not
+	// regress; score trades speed and compression.
+	VOD
+	// Popular: high-effort re-transcode of hot videos. Must improve
+	// both compression and quality; speed only loosely bounded.
+	Popular
+	// Platform: fixed encoder and settings, changed platform. Bitrate
+	// and quality must be unchanged; score is pure speed.
+	Platform
+	NumScenarios
+)
+
+var scenarioNames = [NumScenarios]string{"upload", "live", "vod", "popular", "platform"}
+
+// String names the scenario.
+func (s Scenario) String() string {
+	if s < 0 || s >= NumScenarios {
+		return fmt.Sprintf("scenario(%d)", int(s))
+	}
+	return scenarioNames[s]
+}
+
+// ParseScenario maps a name to a scenario.
+func ParseScenario(name string) (Scenario, error) {
+	for i, n := range scenarioNames {
+		if n == name {
+			return Scenario(i), nil
+		}
+	}
+	return 0, fmt.Errorf("scoring: unknown scenario %q", name)
+}
+
+// Scenarios lists all five in order.
+func Scenarios() []Scenario {
+	out := make([]Scenario, NumScenarios)
+	for i := range out {
+		out[i] = Scenario(i)
+	}
+	return out
+}
+
+// VisuallyLosslessPSNR is the quality floor above which the VOD
+// constraint is satisfied regardless of the reference (Table 1:
+// Qnew ≥ 50 dB).
+const VisuallyLosslessPSNR = 50.0
+
+// Score is the outcome of scoring one transcode under one scenario.
+type Score struct {
+	Scenario Scenario
+	Ratios   Ratios
+	// Valid reports whether the scenario's constraint was met; when
+	// false, Value is meaningless and the paper reports an empty cell.
+	Valid bool
+	// Reason explains a constraint failure.
+	Reason string
+	// Value is the scenario score (product of the two free ratios, or
+	// S for Platform).
+	Value float64
+}
+
+// Constraint inputs beyond the ratios themselves.
+type Constraint struct {
+	// CandidatePSNR is the candidate's absolute quality, used by the
+	// VOD visually-lossless escape hatch.
+	CandidatePSNR float64
+	// CandidateSpeedMPS and RealTimeMPS express the Live scenario's
+	// hard real-time requirement: the candidate must transcode at
+	// least as fast as the output pixel rate.
+	CandidateSpeedMPS float64
+	RealTimeMPS       float64
+}
+
+// Evaluate applies a scenario's constraint and scoring function
+// (Table 1) to a candidate/reference ratio triple.
+func Evaluate(s Scenario, r Ratios, c Constraint) Score {
+	out := Score{Scenario: s, Ratios: r}
+	switch s {
+	case Upload:
+		// Constraint: B > 0.2 (no more than 5× the reference bitrate).
+		if r.B <= 0.2 {
+			out.Reason = fmt.Sprintf("bitrate blew past 5x the reference (B=%.3f)", r.B)
+			return out
+		}
+		out.Valid = true
+		out.Value = r.S * r.Q
+	case Live:
+		// Constraint: real-time speed on the output pixel rate.
+		if c.CandidateSpeedMPS < c.RealTimeMPS {
+			out.Reason = fmt.Sprintf("not real time (%.2f < %.2f Mpixel/s)", c.CandidateSpeedMPS, c.RealTimeMPS)
+			return out
+		}
+		out.Valid = true
+		out.Value = r.B * r.Q
+	case VOD:
+		// Constraint: Q ≥ 1 or visually lossless.
+		if r.Q < 1 && c.CandidatePSNR < VisuallyLosslessPSNR {
+			out.Reason = fmt.Sprintf("quality regressed (Q=%.3f, PSNR=%.1f dB)", r.Q, c.CandidatePSNR)
+			return out
+		}
+		out.Valid = true
+		out.Value = r.S * r.B
+	case Popular:
+		// Constraint: B ≥ 1 and Q ≥ 1 and S ≥ 0.1.
+		if r.B < 1 {
+			out.Reason = fmt.Sprintf("bitrate regressed (B=%.3f)", r.B)
+			return out
+		}
+		if r.Q < 1 {
+			out.Reason = fmt.Sprintf("quality regressed (Q=%.3f)", r.Q)
+			return out
+		}
+		if r.S < 0.1 {
+			out.Reason = fmt.Sprintf("slower than the 10x bound (S=%.3f)", r.S)
+			return out
+		}
+		out.Valid = true
+		out.Value = r.B * r.Q
+	case Platform:
+		// Constraint: bitstream-identical output (B = Q = 1).
+		if !approxOne(r.B) || !approxOne(r.Q) {
+			out.Reason = fmt.Sprintf("output changed (B=%.3f, Q=%.3f)", r.B, r.Q)
+			return out
+		}
+		out.Valid = true
+		out.Value = r.S
+	default:
+		out.Reason = "unknown scenario"
+	}
+	return out
+}
+
+// approxOne tolerates floating-point noise on the Platform identity
+// constraint.
+func approxOne(v float64) bool { return v > 0.9999 && v < 1.0001 }

@@ -1,0 +1,219 @@
+package scoring
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func validMeasurement() Measurement {
+	return Measurement{SpeedMPS: 10, BitratePPS: 0.5, PSNR: 40}
+}
+
+func TestMeasurementValidation(t *testing.T) {
+	m := validMeasurement()
+	if err := m.Validate(); err != nil {
+		t.Errorf("valid measurement rejected: %v", err)
+	}
+	for _, bad := range []Measurement{
+		{SpeedMPS: 0, BitratePPS: 1, PSNR: 40},
+		{SpeedMPS: 1, BitratePPS: 0, PSNR: 40},
+		{SpeedMPS: 1, BitratePPS: 1, PSNR: 0},
+		{SpeedMPS: math.NaN(), BitratePPS: 1, PSNR: 40},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("invalid measurement %+v accepted", bad)
+		}
+	}
+}
+
+func TestComputeRatiosDirections(t *testing.T) {
+	ref := Measurement{SpeedMPS: 10, BitratePPS: 1.0, PSNR: 40}
+	// Candidate: 2x faster, half the bitrate, 10% better quality.
+	cand := Measurement{SpeedMPS: 20, BitratePPS: 0.5, PSNR: 44}
+	r, err := ComputeRatios(cand, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.S-2) > 1e-12 || math.Abs(r.B-2) > 1e-12 || math.Abs(r.Q-1.1) > 1e-12 {
+		t.Errorf("ratios = %+v, want S=2 B=2 Q=1.1", r)
+	}
+}
+
+func TestComputeRatiosRejectsInvalid(t *testing.T) {
+	if _, err := ComputeRatios(Measurement{}, validMeasurement()); err == nil {
+		t.Error("invalid candidate accepted")
+	}
+	if _, err := ComputeRatios(validMeasurement(), Measurement{}); err == nil {
+		t.Error("invalid reference accepted")
+	}
+}
+
+func TestUploadScore(t *testing.T) {
+	r := Ratios{S: 3, B: 0.5, Q: 1.1}
+	s := Evaluate(Upload, r, Constraint{})
+	if !s.Valid || math.Abs(s.Value-3.3) > 1e-12 {
+		t.Errorf("upload score = %+v, want valid 3.3", s)
+	}
+	// Bitrate more than 5x the reference fails.
+	s = Evaluate(Upload, Ratios{S: 3, B: 0.19, Q: 1.1}, Constraint{})
+	if s.Valid {
+		t.Error("upload accepted B <= 0.2")
+	}
+}
+
+func TestLiveScore(t *testing.T) {
+	r := Ratios{S: 1, B: 1.3, Q: 1.01}
+	ok := Constraint{CandidateSpeedMPS: 100, RealTimeMPS: 60}
+	s := Evaluate(Live, r, ok)
+	if !s.Valid || math.Abs(s.Value-1.3*1.01) > 1e-12 {
+		t.Errorf("live score = %+v", s)
+	}
+	slow := Constraint{CandidateSpeedMPS: 30, RealTimeMPS: 60}
+	if s := Evaluate(Live, r, slow); s.Valid {
+		t.Error("live accepted sub-real-time candidate")
+	}
+}
+
+func TestVODScore(t *testing.T) {
+	// Quality maintained: valid, score S×B.
+	s := Evaluate(VOD, Ratios{S: 5, B: 0.8, Q: 1.0}, Constraint{CandidatePSNR: 38})
+	if !s.Valid || math.Abs(s.Value-4.0) > 1e-12 {
+		t.Errorf("vod score = %+v, want 4.0", s)
+	}
+	// Quality regressed but visually lossless: still valid.
+	s = Evaluate(VOD, Ratios{S: 5, B: 0.8, Q: 0.95}, Constraint{CandidatePSNR: 51})
+	if !s.Valid {
+		t.Error("vod rejected visually lossless candidate")
+	}
+	// Quality regressed below 50 dB: invalid.
+	s = Evaluate(VOD, Ratios{S: 5, B: 0.8, Q: 0.95}, Constraint{CandidatePSNR: 42})
+	if s.Valid {
+		t.Error("vod accepted quality regression")
+	}
+}
+
+func TestPopularScore(t *testing.T) {
+	good := Ratios{S: 0.3, B: 1.2, Q: 1.01}
+	s := Evaluate(Popular, good, Constraint{})
+	if !s.Valid || math.Abs(s.Value-1.2*1.01) > 1e-12 {
+		t.Errorf("popular score = %+v", s)
+	}
+	for _, bad := range []Ratios{
+		{S: 0.3, B: 0.99, Q: 1.01}, // bitrate regressed
+		{S: 0.3, B: 1.2, Q: 0.999}, // quality regressed
+		{S: 0.05, B: 1.2, Q: 1.01}, // more than 10x slower
+	} {
+		if s := Evaluate(Popular, bad, Constraint{}); s.Valid {
+			t.Errorf("popular accepted %+v", bad)
+		}
+	}
+}
+
+func TestPlatformScore(t *testing.T) {
+	s := Evaluate(Platform, Ratios{S: 1.4, B: 1, Q: 1}, Constraint{})
+	if !s.Valid || s.Value != 1.4 {
+		t.Errorf("platform score = %+v", s)
+	}
+	if s := Evaluate(Platform, Ratios{S: 1.4, B: 1.01, Q: 1}, Constraint{}); s.Valid {
+		t.Error("platform accepted changed bitrate")
+	}
+	if s := Evaluate(Platform, Ratios{S: 1.4, B: 1, Q: 0.99}, Constraint{}); s.Valid {
+		t.Error("platform accepted changed quality")
+	}
+}
+
+func TestInvalidScoresCarryReasons(t *testing.T) {
+	s := Evaluate(Popular, Ratios{S: 1, B: 0.5, Q: 1.2}, Constraint{})
+	if s.Valid || s.Reason == "" {
+		t.Errorf("invalid score missing reason: %+v", s)
+	}
+}
+
+func TestScenarioParseRoundTrip(t *testing.T) {
+	for _, s := range Scenarios() {
+		got, err := ParseScenario(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseScenario(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	if _, err := ParseScenario("bogus"); err == nil {
+		t.Error("ParseScenario accepted bogus name")
+	}
+}
+
+func TestScoreValueNonNegativeProperty(t *testing.T) {
+	f := func(s, b, q float64, scen uint8) bool {
+		r := Ratios{S: math.Abs(s) + 0.01, B: math.Abs(b) + 0.01, Q: math.Abs(q) + 0.01}
+		sc := Evaluate(Scenario(scen%uint8(NumScenarios)), r, Constraint{CandidatePSNR: 45, CandidateSpeedMPS: 10, RealTimeMPS: 5})
+		if sc.Valid && sc.Value < 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBisectFindsThreshold(t *testing.T) {
+	// Synthetic quality curve: psnr = 30 + 5·log2(bps/1000).
+	evals := 0
+	eval := func(bps float64) (float64, error) {
+		evals++
+		return 30 + 5*math.Log2(bps/1000), nil
+	}
+	// Target 40 dB → bps = 1000·2^2 = 4000.
+	bps, psnr, err := BisectBitrate(40, 500, 64000, 20, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if psnr < 40 {
+		t.Errorf("bisection returned infeasible point: %.2f dB", psnr)
+	}
+	if bps < 3900 || bps > 4600 {
+		t.Errorf("bisection bitrate = %.0f, want ≈4000", bps)
+	}
+	if evals > 25 {
+		t.Errorf("bisection used %d evaluations", evals)
+	}
+}
+
+func TestBisectUnreachableTarget(t *testing.T) {
+	eval := func(bps float64) (float64, error) { return 30, nil }
+	if _, _, err := BisectBitrate(50, 1000, 8000, 5, eval); err == nil {
+		t.Error("unreachable target accepted")
+	}
+}
+
+func TestBisectValidation(t *testing.T) {
+	eval := func(bps float64) (float64, error) { return 100, nil }
+	if _, _, err := BisectBitrate(50, -1, 100, 5, eval); err == nil {
+		t.Error("negative range accepted")
+	}
+	if _, _, err := BisectBitrate(50, 100, 50, 5, eval); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if _, _, err := BisectBitrate(50, 1, 100, 0, eval); err == nil {
+		t.Error("zero iterations accepted")
+	}
+}
+
+func TestBisectMonotoneConvergence(t *testing.T) {
+	f := func(targetRaw uint8) bool {
+		target := 30 + float64(targetRaw%20)
+		eval := func(bps float64) (float64, error) {
+			return 25 + 6*math.Log2(bps/500), nil
+		}
+		bps, psnr, err := BisectBitrate(target, 100, 1e7, 16, eval)
+		if err != nil {
+			return target > 25+6*math.Log2(1e7/500)
+		}
+		// Feasible, and within 25% of the analytic threshold.
+		want := 500 * math.Exp2((target-25)/6)
+		return psnr >= target && bps <= want*1.25
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,193 @@
+// Package stats provides the statistical helpers the benchmark's
+// analyses use: summary statistics, box-plot quartiles (Figure 6),
+// Pearson and Spearman correlation, and the logarithmic trend fit
+// y = a·log(x) + b the paper overlays on Figure 5.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) using linear
+// interpolation between order statistics.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[len(s)-1]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// BoxPlot is the five-number summary used by Figure 6.
+type BoxPlot struct {
+	Min, Q1, Median, Q3, Max float64
+}
+
+// NewBoxPlot summarizes xs.
+func NewBoxPlot(xs []float64) (BoxPlot, error) {
+	if len(xs) == 0 {
+		return BoxPlot{}, errors.New("stats: empty sample")
+	}
+	return BoxPlot{
+		Min:    Quantile(xs, 0),
+		Q1:     Quantile(xs, 0.25),
+		Median: Quantile(xs, 0.5),
+		Q3:     Quantile(xs, 0.75),
+		Max:    Quantile(xs, 1),
+	}, nil
+}
+
+// Pearson returns the Pearson correlation coefficient of (x, y).
+func Pearson(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, errors.New("stats: need two equal-length samples of ≥2 points")
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, errors.New("stats: zero variance")
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// Spearman returns the Spearman rank correlation of (x, y).
+func Spearman(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, errors.New("stats: need two equal-length samples of ≥2 points")
+	}
+	return Pearson(ranks(xs), ranks(ys))
+}
+
+// ranks returns average ranks (ties averaged).
+func ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	out := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			out[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return out
+}
+
+// LogFit fits y = a·log(x) + b by least squares (natural log),
+// the trend model of Figure 5. All x must be positive.
+func LogFit(xs, ys []float64) (a, b float64, err error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, 0, errors.New("stats: need two equal-length samples of ≥2 points")
+	}
+	lx := make([]float64, len(xs))
+	for i, x := range xs {
+		if x <= 0 {
+			return 0, 0, errors.New("stats: log fit needs positive x")
+		}
+		lx[i] = math.Log(x)
+	}
+	mx, my := Mean(lx), Mean(ys)
+	var sxy, sxx float64
+	for i := range lx {
+		sxy += (lx[i] - mx) * (ys[i] - my)
+		sxx += (lx[i] - mx) * (lx[i] - mx)
+	}
+	if sxx == 0 {
+		return 0, 0, errors.New("stats: degenerate x for log fit")
+	}
+	a = sxy / sxx
+	b = my - a*mx
+	return a, b, nil
+}
+
+// LinFit fits y = a·x + b by least squares.
+func LinFit(xs, ys []float64) (a, b float64, err error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, 0, errors.New("stats: need two equal-length samples of ≥2 points")
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx float64
+	for i := range xs {
+		sxy += (xs[i] - mx) * (ys[i] - my)
+		sxx += (xs[i] - mx) * (xs[i] - mx)
+	}
+	if sxx == 0 {
+		return 0, 0, errors.New("stats: degenerate x")
+	}
+	a = sxy / sxx
+	b = my - a*mx
+	return a, b, nil
+}
+
+// GeoMean returns the geometric mean of positive values.
+func GeoMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, errors.New("stats: empty sample")
+	}
+	var s float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, errors.New("stats: geometric mean needs positive values")
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs))), nil
+}

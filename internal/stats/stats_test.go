@@ -1,0 +1,188 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vbench/internal/rng"
+)
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("Mean = %v, want 5", m)
+	}
+	if v := Variance(xs); v != 4 {
+		t.Errorf("Variance = %v, want 4", v)
+	}
+	if s := StdDev(xs); s != 2 {
+		t.Errorf("StdDev = %v, want 2", s)
+	}
+}
+
+func TestEmptySamples(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Variance(nil)) {
+		t.Error("empty sample should be NaN")
+	}
+	if _, err := NewBoxPlot(nil); err == nil {
+		t.Error("empty boxplot accepted")
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := map[float64]float64{0: 1, 0.25: 2, 0.5: 3, 0.75: 4, 1: 5}
+	for q, want := range cases {
+		if got := Quantile(xs, q); got != want {
+			t.Errorf("Quantile(%v) = %v, want %v", q, got, want)
+		}
+	}
+	if got := Quantile(xs, 0.125); got != 1.5 {
+		t.Errorf("interpolated quantile = %v, want 1.5", got)
+	}
+}
+
+func TestBoxPlotOrdering(t *testing.T) {
+	r := rng.New(1)
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = r.NormFloat64()
+	}
+	bp, err := NewBoxPlot(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(bp.Min <= bp.Q1 && bp.Q1 <= bp.Median && bp.Median <= bp.Q3 && bp.Q3 <= bp.Max) {
+		t.Errorf("boxplot out of order: %+v", bp)
+	}
+}
+
+func TestPearsonPerfectCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	r, err := Pearson(xs, ys)
+	if err != nil || math.Abs(r-1) > 1e-12 {
+		t.Errorf("Pearson = %v (%v), want 1", r, err)
+	}
+	neg := []float64{8, 6, 4, 2}
+	r, _ = Pearson(xs, neg)
+	if math.Abs(r+1) > 1e-12 {
+		t.Errorf("Pearson = %v, want -1", r)
+	}
+}
+
+func TestPearsonErrors(t *testing.T) {
+	if _, err := Pearson([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, err := Pearson([]float64{1, 1}, []float64{2, 3}); err == nil {
+		t.Error("zero variance accepted")
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	// Any strictly monotone transform must give rho = 1.
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{1, 8, 27, 64, 125}
+	rho, err := Spearman(xs, ys)
+	if err != nil || math.Abs(rho-1) > 1e-12 {
+		t.Errorf("Spearman = %v (%v), want 1", rho, err)
+	}
+}
+
+func TestSpearmanHandlesTies(t *testing.T) {
+	xs := []float64{1, 2, 2, 3}
+	ys := []float64{10, 20, 20, 30}
+	rho, err := Spearman(xs, ys)
+	if err != nil || math.Abs(rho-1) > 1e-9 {
+		t.Errorf("Spearman with ties = %v (%v), want 1", rho, err)
+	}
+}
+
+func TestLogFitRecoversParameters(t *testing.T) {
+	// y = 2.5·ln(x) − 1.
+	xs := []float64{0.1, 0.5, 1, 2, 5, 10, 50}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 2.5*math.Log(x) - 1
+	}
+	a, b, err := LogFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-2.5) > 1e-9 || math.Abs(b+1) > 1e-9 {
+		t.Errorf("LogFit = (%v, %v), want (2.5, -1)", a, b)
+	}
+}
+
+func TestLogFitRejectsNonPositiveX(t *testing.T) {
+	if _, _, err := LogFit([]float64{0, 1}, []float64{1, 2}); err == nil {
+		t.Error("x=0 accepted")
+	}
+}
+
+func TestLinFitRecoversParameters(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7}
+	a, b, err := LinFit(xs, ys)
+	if err != nil || math.Abs(a-2) > 1e-12 || math.Abs(b-1) > 1e-12 {
+		t.Errorf("LinFit = (%v, %v, %v), want (2, 1)", a, b, err)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	g, err := GeoMean([]float64{1, 4, 16})
+	if err != nil || math.Abs(g-4) > 1e-12 {
+		t.Errorf("GeoMean = %v (%v), want 4", g, err)
+	}
+	if _, err := GeoMean([]float64{1, -2}); err == nil {
+		t.Error("negative value accepted")
+	}
+}
+
+func TestQuantileWithinRangeProperty(t *testing.T) {
+	f := func(raw []float64, qRaw uint8) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		q := float64(qRaw) / 255
+		v := Quantile(xs, q)
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		return v >= lo && v <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPearsonBoundedProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 3 + r.Intn(50)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormFloat64()
+			ys[i] = r.NormFloat64()
+		}
+		rho, err := Pearson(xs, ys)
+		if err != nil {
+			return true
+		}
+		return rho >= -1.0000001 && rho <= 1.0000001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

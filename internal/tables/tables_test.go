@@ -1,0 +1,95 @@
+package tables
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderAlignsColumns(t *testing.T) {
+	tb := New("Demo", "name", "value")
+	tb.AddRow("a", "1")
+	tb.AddRow("longer-name", "22")
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, underline, header, separator, 2 rows = 6? title+rule+header+sep+2
+		if len(lines) != 6 {
+			t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+		}
+	}
+	if !strings.Contains(out, "Demo") {
+		t.Error("title missing")
+	}
+	// The value column should start at the same offset in every row.
+	header := lines[2]
+	row1 := lines[4]
+	row2 := lines[5]
+	col := strings.Index(header, "value")
+	if col < 0 {
+		t.Fatalf("header lacks value column: %q", header)
+	}
+	if row1[col] != '1' || row2[col] != '2' {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestAddRowPadsAndTruncates(t *testing.T) {
+	tb := New("", "a", "b")
+	tb.AddRow("x")
+	tb.AddRow("x", "y", "z")
+	if len(tb.Rows[0]) != 2 || len(tb.Rows[1]) != 2 {
+		t.Error("rows not normalized to header width")
+	}
+	if tb.Rows[0][1] != "" || tb.Rows[1][1] != "y" {
+		t.Error("row contents wrong")
+	}
+}
+
+func TestAddRowfFormatsFloats(t *testing.T) {
+	tb := New("", "v")
+	tb.AddRowf(3.14159)
+	if tb.Rows[0][0] != "3.14" {
+		t.Errorf("float formatted as %q", tb.Rows[0][0])
+	}
+	tb.AddRowf(0.012345)
+	if tb.Rows[1][0] != "0.012" {
+		t.Errorf("small float formatted as %q", tb.Rows[1][0])
+	}
+	tb.AddRowf(12345.6)
+	if tb.Rows[2][0] != "12346" {
+		t.Errorf("large float formatted as %q", tb.Rows[2][0])
+	}
+	tb.AddRowf(42)
+	if tb.Rows[3][0] != "42" {
+		t.Errorf("int formatted as %q", tb.Rows[3][0])
+	}
+}
+
+func TestFormatFloatZeroAndNegative(t *testing.T) {
+	if FormatFloat(0) != "0" {
+		t.Error("zero format")
+	}
+	if FormatFloat(-3.456) != "-3.46" {
+		t.Errorf("negative format = %q", FormatFloat(-3.456))
+	}
+}
+
+func TestNotes(t *testing.T) {
+	tb := New("T", "c")
+	tb.AddNote("hello %d", 5)
+	if !strings.Contains(tb.String(), "note: hello 5") {
+		t.Error("note missing from output")
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tb := New("T", "a", "b")
+	tb.AddRow("x,y", `q"r`)
+	var sb strings.Builder
+	if err := tb.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n\"x,y\",\"q\"\"r\"\n"
+	if sb.String() != want {
+		t.Errorf("CSV = %q, want %q", sb.String(), want)
+	}
+}

@@ -1,0 +1,144 @@
+package uarch
+
+import (
+	"fmt"
+
+	"vbench/internal/perf"
+	"vbench/internal/rng"
+)
+
+// TopDown is the Top-Down cycle attribution of Yasin (ISPASS 2014),
+// the methodology Figure 6 of the paper uses: every issue slot is
+// front-end bound, bad speculation, back-end memory bound, back-end
+// core bound, or retiring. Fields sum to 1.
+type TopDown struct {
+	FrontEnd float64
+	BadSpec  float64
+	BEMemory float64
+	BECore   float64
+	Retiring float64
+}
+
+// Profile is the complete µarch characterization of one transcode —
+// the per-video data point of Figures 5, 6, and 7.
+type Profile struct {
+	// Instructions is the modeled retired instruction count.
+	Instructions float64
+	// ICacheMPKI is L1 instruction cache misses per kilo-instruction.
+	ICacheMPKI float64
+	// BranchMPKI is branch mispredictions per kilo-instruction.
+	BranchMPKI float64
+	// L1DMPKI, L2MPKI, LLCMPKI are data-cache misses per
+	// kilo-instruction at each level.
+	L1DMPKI float64
+	L2MPKI  float64
+	LLCMPKI float64
+	// TopDown is the cycle attribution.
+	TopDown TopDown
+	// ClassSeconds is modeled time per SIMD class (AVX2 build).
+	ClassSeconds [perf.NumISA]float64
+	// ScalarFraction is ClassSeconds[scalar] over the total.
+	ScalarFraction float64
+	// AVX2Fraction is ClassSeconds[avx2] over the total.
+	AVX2Fraction float64
+}
+
+// Options configures an analysis run.
+type Options struct {
+	// NativeWidth, NativeHeight are the video's native dimensions,
+	// which set the data footprint (the benchmark may have encoded a
+	// scaled version; per-MB statistics are scale invariant).
+	NativeWidth, NativeHeight int
+	// SearchRange is the encoder's motion search radius (sets the
+	// reference-window data footprint).
+	SearchRange int
+	// ISA is the SIMD build level (default AVX2).
+	ISA perf.ISA
+	// Seed makes the stochastic trace expansion deterministic.
+	Seed uint64
+}
+
+// Analyze expands an encode's work counters into synthetic traces,
+// runs the cache and branch simulators, and derives the Top-Down and
+// SIMD views.
+func Analyze(c *perf.Counters, opts Options) (*Profile, error) {
+	if opts.NativeWidth <= 0 || opts.NativeHeight <= 0 {
+		return nil, fmt.Errorf("uarch: invalid native geometry %dx%d", opts.NativeWidth, opts.NativeHeight)
+	}
+	if opts.SearchRange <= 0 {
+		opts.SearchRange = 16
+	}
+	s, err := newMBStats(c, opts.ISA)
+	if err != nil {
+		return nil, err
+	}
+	p := &Profile{Instructions: Instructions(c, opts.ISA)}
+
+	p.ICacheMPKI, err = simICache(s, rng.New(opts.Seed^0x1CAC4E))
+	if err != nil {
+		return nil, err
+	}
+	p.BranchMPKI, err = simBranches(s, rng.New(opts.Seed^0xB4A7C4))
+	if err != nil {
+		return nil, err
+	}
+	data, err := simData(s, opts.NativeWidth, opts.NativeHeight, opts.SearchRange, rng.New(opts.Seed^0xDA7A))
+	if err != nil {
+		return nil, err
+	}
+	p.L1DMPKI = data.l1MPKI
+	p.L2MPKI = data.l2MPKI
+	p.LLCMPKI = data.llcMPKI
+
+	p.TopDown = topDown(p)
+
+	p.ClassSeconds = ClassSeconds(c, opts.ISA, 4.0e9)
+	var total float64
+	for _, v := range p.ClassSeconds {
+		total += v
+	}
+	if total > 0 {
+		p.ScalarFraction = p.ClassSeconds[perf.ISAScalar] / total
+		p.AVX2Fraction = p.ClassSeconds[perf.ISAAVX2] / total
+	}
+	return p, nil
+}
+
+// Top-Down latency parameters (cycles), Haswell/Skylake-class.
+const (
+	issueWidth       = 4.0
+	icacheMissCycles = 18.0
+	branchMissCycles = 14.0
+	l2HitCycles      = 10.0
+	llcHitCycles     = 34.0
+	memCycles        = 170.0
+	// memOverlap models memory-level parallelism: independent misses
+	// overlap, so only a fraction of raw latency stalls the core.
+	memOverlap = 0.60
+	// frontEndBase is the baseline fetch/decode bubble fraction of
+	// retiring slots (taken-branch redirects, decoder restrictions).
+	frontEndBase = 0.24
+	// coreBoundPerRetire models execution-port contention: the wide
+	// pixel kernels saturate the vector ports, so a fixed share of
+	// compute slots wait on the back-end core.
+	coreBoundPerRetire = 0.42
+)
+
+// topDown converts the simulated event rates into the five-way cycle
+// attribution.
+func topDown(p *Profile) TopDown {
+	ki := p.Instructions / 1000
+	retire := p.Instructions / issueWidth
+	fe := retire*frontEndBase + p.ICacheMPKI*ki*icacheMissCycles
+	bad := p.BranchMPKI * ki * branchMissCycles
+	mem := memOverlap * ki * (p.L1DMPKI*l2HitCycles + p.L2MPKI*llcHitCycles + p.LLCMPKI*memCycles)
+	core := retire * coreBoundPerRetire
+	total := retire + fe + bad + mem + core
+	return TopDown{
+		FrontEnd: fe / total,
+		BadSpec:  bad / total,
+		BEMemory: mem / total,
+		BECore:   core / total,
+		Retiring: retire / total,
+	}
+}

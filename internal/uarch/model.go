@@ -1,0 +1,185 @@
+// Package uarch models the microarchitectural behaviour of video
+// transcoding, reproducing the paper's characterization study
+// (Figures 5–8). The encoder's kernel-level work counters are expanded
+// into an instruction-level model and synthetic instruction, branch,
+// and data reference traces, which drive real set-associative cache
+// simulators (internal/cachesim) and a gshare branch predictor
+// (internal/branchsim). The paper's headline µarch findings all emerge
+// from structure rather than curve fitting:
+//
+//   - I-cache MPKI rises with content entropy because complex content
+//     activates more compression tools per macroblock, growing the
+//     per-MB code working set beyond the 32KB L1I;
+//   - branch MPKI rises with entropy because coefficient-significance
+//     and mode branches are data dependent, and their outcomes become
+//     less biased as content complexity grows;
+//   - LLC MPKI falls with entropy because the data footprint depends
+//     only on resolution while executed instructions grow with
+//     entropy;
+//   - scalar code stays near 60% of cycles because entropy coding and
+//     control never vectorize.
+package uarch
+
+import (
+	"vbench/internal/perf"
+)
+
+// instrPerOp expands one abstract kernel op into retired
+// macro-instructions (scalar ISA). Vectorizable kernels divide by the
+// active SIMD lane count separately.
+var instrPerOp = [perf.NumKernels]float64{
+	perf.KSAD:     1.3,
+	perf.KInterp:  2.2,
+	perf.KDCT:     1.6,
+	perf.KQuant:   1.8,
+	perf.KEntropy: 9.0,
+	perf.KIntra:   1.6,
+	perf.KDeblock: 2.0,
+	perf.KControl: 24.0,
+	perf.KDecode:  7.0,
+}
+
+// invocationOverheadInstr is the call/setup cost charged per kernel
+// invocation.
+const invocationOverheadInstr = 40.0
+
+// codeBytes is the static code footprint of each kernel's active
+// loops (used by the I-cache trace generator). Entropy coding and
+// control code are large and branchy; pixel kernels are compact
+// unrolled loops.
+var codeBytes = [perf.NumKernels]float64{
+	perf.KSAD:     2048,
+	perf.KInterp:  7168,
+	perf.KDCT:     5120,
+	perf.KQuant:   3072,
+	perf.KEntropy: 16384,
+	perf.KIntra:   6144,
+	perf.KDeblock: 4096,
+	perf.KControl: 26624,
+	perf.KDecode:  12288,
+}
+
+// kernelBase assigns each kernel a distinct virtual code address.
+func kernelBase(k perf.Kernel) uint64 { return 0x400000 + uint64(k)*0x40000 }
+
+// vecScalarResidue is the fraction of a vectorizable kernel's work
+// that stays scalar even in the AVX2 build (loop control, tails,
+// gather/shuffle glue).
+var vecScalarResidue = [perf.NumKernels]float64{
+	perf.KSAD:     0.12,
+	perf.KInterp:  0.18,
+	perf.KDCT:     0.18,
+	perf.KQuant:   0.20,
+	perf.KIntra:   0.30,
+	perf.KDeblock: 0.28,
+}
+
+// prefClassShare[k][isa] is how the vector portion of kernel k's work
+// distributes across SIMD classes in a full AVX2 build (the paper's
+// Figure 8 right-hand bar: AVX2 only partially replaces older
+// extensions because narrow blocks can't fill 256-bit vectors).
+// Shares are of the kernel's vector work and sum to 1 per kernel.
+var prefClassShare = [perf.NumKernels][perf.NumISA]float64{
+	perf.KSAD:     {perf.ISASSE2: 0.22, perf.ISASSE4: 0.30, perf.ISAAVX: 0.06, perf.ISAAVX2: 0.42},
+	perf.KInterp:  {perf.ISASSE2: 0.38, perf.ISASSE3: 0.08, perf.ISASSE4: 0.08, perf.ISAAVX: 0.06, perf.ISAAVX2: 0.40},
+	perf.KDCT:     {perf.ISASSE2: 0.44, perf.ISASSE4: 0.08, perf.ISAAVX: 0.08, perf.ISAAVX2: 0.40},
+	perf.KQuant:   {perf.ISASSE2: 0.52, perf.ISASSE4: 0.10, perf.ISAAVX2: 0.38},
+	perf.KIntra:   {perf.ISASSE2: 0.58, perf.ISASSE4: 0.12, perf.ISAAVX2: 0.30},
+	perf.KDeblock: {perf.ISASSE2: 0.62, perf.ISASSE4: 0.14, perf.ISAAVX2: 0.24},
+}
+
+// classLaneSpeed is the raw per-op speedup of vector work executed in
+// each SIMD class relative to scalar execution.
+var classLaneSpeed = [perf.NumISA]float64{
+	perf.ISAScalar: 1,
+	perf.ISASSE:    2,
+	perf.ISASSE2:   7,
+	perf.ISASSE3:   7.4,
+	perf.ISASSE4:   8.2,
+	perf.ISAAVX:    8.6,
+	perf.ISAAVX2:   11.5,
+}
+
+// Instructions models the retired macro-instruction count of an
+// encode at a given ISA level: vector work retires fewer instructions
+// as lanes widen; scalar residue and sequential kernels do not change.
+func Instructions(c *perf.Counters, isa perf.ISA) float64 {
+	var total float64
+	for k := perf.Kernel(0); k < perf.NumKernels; k++ {
+		base := float64(c.Ops[k]) * instrPerOp[k]
+		if k.Vectorizable() {
+			sc := vecScalarResidue[k]
+			vec := base * (1 - sc)
+			var vecInstr float64
+			for class := perf.ISA(0); class < perf.NumISA; class++ {
+				share := prefClassShare[k][class]
+				if share == 0 {
+					continue
+				}
+				eff := class
+				if eff > isa {
+					eff = isa
+				}
+				vecInstr += vec * share / classLaneSpeed[eff]
+			}
+			base = base*sc + vecInstr
+		}
+		total += base + float64(c.Invocations[k])*invocationOverheadInstr
+	}
+	return total
+}
+
+// KernelClassSeconds attributes modeled execution time to (kernel,
+// SIMD class) pairs for a build at the given ISA level, on a machine
+// with the given clock. Non-vectorizable kernels and scalar residue
+// land in the Scalar class.
+func KernelClassSeconds(c *perf.Counters, isa perf.ISA, clockHz float64) [perf.NumKernels][perf.NumISA]float64 {
+	var out [perf.NumKernels][perf.NumISA]float64
+	for k := perf.Kernel(0); k < perf.NumKernels; k++ {
+		// Cycles for one unit of work ≈ instructions (CPI folded into
+		// the class lane speeds).
+		base := float64(c.Ops[k])*instrPerOp[k] + float64(c.Invocations[k])*invocationOverheadInstr
+		if !k.Vectorizable() {
+			out[k][perf.ISAScalar] += base / clockHz
+			continue
+		}
+		sc := vecScalarResidue[k]
+		out[k][perf.ISAScalar] += base * sc / clockHz
+		vec := base * (1 - sc)
+		for class := perf.ISA(0); class < perf.NumISA; class++ {
+			share := prefClassShare[k][class]
+			if share == 0 {
+				continue
+			}
+			eff := class
+			if eff > isa {
+				eff = isa
+			}
+			out[k][eff] += vec * share / classLaneSpeed[eff] / clockHz
+		}
+	}
+	return out
+}
+
+// ClassSeconds sums KernelClassSeconds over kernels: total modeled
+// time per SIMD class, the quantity plotted in Figures 7 and 8.
+func ClassSeconds(c *perf.Counters, isa perf.ISA, clockHz float64) [perf.NumISA]float64 {
+	per := KernelClassSeconds(c, isa, clockHz)
+	var out [perf.NumISA]float64
+	for k := range per {
+		for cl := range per[k] {
+			out[cl] += per[k][cl]
+		}
+	}
+	return out
+}
+
+// TotalSeconds is the sum of ClassSeconds.
+func TotalSeconds(c *perf.Counters, isa perf.ISA, clockHz float64) float64 {
+	cs := ClassSeconds(c, isa, clockHz)
+	var t float64
+	for _, v := range cs {
+		t += v
+	}
+	return t
+}

@@ -1,0 +1,307 @@
+package uarch
+
+import (
+	"fmt"
+
+	"vbench/internal/branchsim"
+	"vbench/internal/cachesim"
+	"vbench/internal/perf"
+	"vbench/internal/rng"
+)
+
+// Trace-driven simulation. From the per-macroblock work statistics of
+// an encode, the generator reconstructs representative instruction,
+// branch, and data reference streams at the video's NATIVE geometry
+// (the scaled benchmark encodes carry the per-MB behaviour; the
+// addresses must reflect the real frame sizes for data-cache
+// footprints to be meaningful) and drives them through the simulators.
+
+// traceMBs is the number of macroblocks simulated; statistics are
+// per-MB, so a few thousand warm MBs give stable rates.
+const traceMBs = 3000
+
+// mbStats summarizes the per-macroblock behaviour of an encode.
+type mbStats struct {
+	skipFrac  float64
+	intraFrac float64
+	// opsPerMB per kernel, over non-skip macroblocks.
+	opsPerMB [perf.NumKernels]float64
+	// dataBranchesPerMB is data-dependent branches per macroblock.
+	dataBranchesPerMB float64
+	// coefDensity approximates the fraction of residual blocks coded,
+	// the bias parameter of data-dependent branch outcomes.
+	coefDensity float64
+	instrPerMB  float64
+}
+
+func newMBStats(c *perf.Counters, isa perf.ISA) (*mbStats, error) {
+	if c.MBTotal == 0 {
+		return nil, fmt.Errorf("uarch: counters contain no macroblocks")
+	}
+	s := &mbStats{}
+	mbs := float64(c.MBTotal)
+	s.skipFrac = float64(c.MBSkip) / mbs
+	s.intraFrac = float64(c.MBIntra) / mbs
+	for k := perf.Kernel(0); k < perf.NumKernels; k++ {
+		s.opsPerMB[k] = float64(c.Ops[k]) / mbs
+	}
+	s.dataBranchesPerMB = float64(c.DataDepBranches) / mbs
+	// 24 residual blocks per MB (16 luma 4×4 + 8 chroma).
+	s.coefDensity = float64(c.BlocksCoded) / (mbs * 24)
+	if s.coefDensity > 1 {
+		s.coefDensity = 1
+	}
+	s.instrPerMB = Instructions(c, isa) / mbs
+	return s, nil
+}
+
+// activity converts a kernel's per-MB op volume into the fraction of
+// its static code that one macroblock's processing touches: light use
+// exercises one specialization; heavy use walks the whole kernel
+// (every block size, every path).
+func activity(ops float64, k perf.Kernel) float64 {
+	if ops <= 0 {
+		return 0
+	}
+	// Saturating log curve: 256 ops (one block) ≈ 0.4, 4096 ops ≈ 0.8.
+	a := 0.15
+	for v := ops; v > 64 && a < 1; v /= 4 {
+		a += 0.11
+	}
+	if a > 1 {
+		a = 1
+	}
+	return a
+}
+
+// simICache replays the per-MB kernel code working sets through the
+// L1 instruction cache and returns misses per kilo-instruction.
+func simICache(s *mbStats, r *rng.Rand) (float64, error) {
+	ic, err := cachesim.SkylakeICache()
+	if err != nil {
+		return 0, err
+	}
+	line := uint64(64)
+	var instr float64
+	warmup := traceMBs / 10
+	var missBase int64
+	for mb := 0; mb < traceMBs+warmup; mb++ {
+		if mb == warmup {
+			_, missBase = ic.Stats()
+			instr = 0
+		}
+		skip := r.Float64() < s.skipFrac
+		intra := !skip && r.Float64() < s.intraFrac/(1-s.skipFrac+1e-9)
+		for k := perf.Kernel(0); k < perf.NumKernels; k++ {
+			ops := s.opsPerMB[k]
+			if ops <= 0 {
+				continue
+			}
+			if skip && k != perf.KControl && k != perf.KSAD && k != perf.KInterp {
+				continue
+			}
+			if intra && (k == perf.KSAD || k == perf.KInterp) {
+				continue
+			}
+			if !intra && !skip && k == perf.KIntra {
+				continue
+			}
+			lines := int(codeBytes[k] * activity(ops, k) / float64(line))
+			base := kernelBase(k)
+			// The kernel's hot loop is revisited per block; touch its
+			// active lines once per MB (repeat fetches of resident
+			// lines hit and only dilute rates, which the instruction
+			// normalization already accounts for).
+			for l := 0; l < lines; l++ {
+				ic.Access(base + uint64(l)*line)
+			}
+		}
+		if skip {
+			instr += s.instrPerMB * 0.1
+		} else {
+			instr += s.instrPerMB
+		}
+	}
+	_, misses := ic.Stats()
+	misses -= missBase
+	if instr == 0 {
+		return 0, nil
+	}
+	return float64(misses) / (instr / 1000), nil
+}
+
+// simBranches replays the per-MB branch mix through a gshare
+// predictor and returns mispredictions per kilo-instruction.
+func simBranches(s *mbStats, r *rng.Rand) (float64, error) {
+	g, err := branchsim.NewGShare(13)
+	if err != nil {
+		return 0, err
+	}
+	feed := &branchsim.Feed{P: g}
+	var instr float64
+	// Loop-control branch sites per kernel: highly regular patterns.
+	// Data-dependent sites: significance tests whose outcome bias is
+	// the coefficient density.
+	const dataSites = 24
+	warmup := traceMBs / 10
+	mispBase := int64(0)
+	for mb := 0; mb < traceMBs+warmup; mb++ {
+		if mb == warmup {
+			mispBase = feed.S.Mispredicts
+			instr = 0
+		}
+		skip := r.Float64() < s.skipFrac
+		mbInstr := s.instrPerMB
+		if skip {
+			mbInstr *= 0.1
+		}
+		// Predictable loop branches: ~1 per 8 instructions, taken
+		// except at loop exits every 16 iterations.
+		loops := int(mbInstr / 8)
+		if loops > 400 {
+			// Cap trace volume; rates are stable beyond this and the
+			// instruction normalization keeps MPKI unbiased because
+			// capped branches are perfectly predicted anyway.
+			loops = 400
+		}
+		for i := 0; i < loops; i++ {
+			pc := 0x400000 + uint64(i%32)*64
+			feed.Observe(pc, i%16 != 15)
+		}
+		if !skip {
+			n := int(s.dataBranchesPerMB)
+			if n > 600 {
+				n = 600
+			}
+			for i := 0; i < n; i++ {
+				site := i % dataSites
+				pc := 0x500000 + uint64(site)*128
+				// Site-specific bias around the coefficient density:
+				// early-zigzag significance tests are less biased than
+				// tail tests.
+				bias := 0.45 * s.coefDensity * (0.4 + 1.2*float64(site)/dataSites)
+				if bias > 0.5 {
+					bias = 1 - bias
+					if bias < 0.05 {
+						bias = 0.05
+					}
+				}
+				feed.Observe(pc, r.Float64() < bias)
+			}
+		}
+		instr += mbInstr
+	}
+	misp := feed.S.Mispredicts - mispBase
+	if instr == 0 {
+		return 0, nil
+	}
+	return float64(misp) / (instr / 1000), nil
+}
+
+// dataSimResult carries the data-hierarchy miss rates.
+type dataSimResult struct {
+	l1MPKI  float64
+	l2MPKI  float64
+	llcMPKI float64
+	// Misses per kilo-instruction at each level.
+}
+
+// simData replays per-MB data touches at native frame geometry
+// through the L1D/L2/LLC hierarchy.
+func simData(s *mbStats, nativeW, nativeH int, searchRange int, r *rng.Rand) (*dataSimResult, error) {
+	h, err := cachesim.SkylakeData()
+	if err != nil {
+		return nil, err
+	}
+	const line = 64
+	lumaSize := uint64(nativeW * nativeH)
+	frameSize := lumaSize * 3 / 2
+	// Distinct buffers: source, reconstruction, and two references.
+	bases := []uint64{0, frameSize, 2 * frameSize, 3 * frameSize}
+	mbW := nativeW / 16
+	if mbW == 0 {
+		mbW = 1
+	}
+	mbH := nativeH / 16
+	if mbH == 0 {
+		mbH = 1
+	}
+	var instr float64
+	var misses [4]int64 // per level beyond: l1,l2,llc,mem — count level index hits
+	warm := traceMBs / 10
+	counted := 0
+	for mb := 0; mb < traceMBs+warm; mb++ {
+		if mb == warm {
+			h.Reset()
+			// Cold-start compulsory misses after reset are part of
+			// steady state for streaming workloads; keep counting.
+			instr = 0
+			counted = 0
+			for i := range misses {
+				misses[i] = 0
+			}
+		}
+		mbIdx := mb % (mbW * mbH)
+		mbx := mbIdx % mbW
+		mby := mbIdx / mbW
+		skip := r.Float64() < s.skipFrac
+		touch := func(base uint64, x, y, w, hgt int, stride int) {
+			for yy := 0; yy < hgt; yy++ {
+				rowAddr := base + uint64((y+yy)*stride+x)
+				for xx := 0; xx < w; xx += line {
+					lvl := h.Access(rowAddr + uint64(xx))
+					if lvl >= 1 {
+						misses[0]++
+					}
+					if lvl >= 2 {
+						misses[1]++
+					}
+					if lvl >= 3 {
+						misses[2]++
+					}
+					counted++
+				}
+			}
+		}
+		// Source MB read + recon write.
+		touch(bases[0], mbx*16, mby*16, 16, 16, nativeW)
+		touch(bases[1], mbx*16, mby*16, 16, 16, nativeW)
+		if !skip {
+			// Motion search window in reference frame(s).
+			win := 16 + 2*searchRange
+			x := mbx*16 - searchRange
+			if x < 0 {
+				x = 0
+			}
+			y := mby*16 - searchRange
+			if y < 0 {
+				y = 0
+			}
+			if x+win > nativeW {
+				win = nativeW - x
+			}
+			hWin := 16 + 2*searchRange
+			if y+hWin > nativeH {
+				hWin = nativeH - y
+			}
+			if win > 0 && hWin > 0 {
+				touch(bases[2], x, y, win, hWin, nativeW)
+			}
+		} else {
+			touch(bases[2], mbx*16, mby*16, 16, 16, nativeW)
+		}
+		if skip {
+			instr += s.instrPerMB * 0.1
+		} else {
+			instr += s.instrPerMB
+		}
+	}
+	if instr == 0 {
+		return &dataSimResult{}, nil
+	}
+	return &dataSimResult{
+		l1MPKI:  float64(misses[0]) / (instr / 1000),
+		l2MPKI:  float64(misses[1]) / (instr / 1000),
+		llcMPKI: float64(misses[2]) / (instr / 1000),
+	}, nil
+}

@@ -1,0 +1,245 @@
+package uarch
+
+import (
+	"math"
+	"testing"
+
+	"vbench/internal/codec"
+	"vbench/internal/corpus"
+	"vbench/internal/perf"
+	"vbench/internal/video"
+)
+
+// encodeClip produces counters for a synthetic clip of the given
+// entropy character at a small scale.
+func encodeClip(t *testing.T, entropy float64, w, h int) *perf.Counters {
+	t.Helper()
+	p := corpus.ParamsForEntropy(entropy)
+	p.Seed = uint64(entropy*1000) + 7
+	seq, err := video.Generate(p, 96, 64, 8, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := codec.Engine{Tools: codec.BaselineTools(codec.PresetMedium)}
+	res, err := eng.Encode(seq, codec.Config{RC: codec.RCConstQP, QP: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &res.Counters
+}
+
+func analyze(t *testing.T, c *perf.Counters, w, h int) *Profile {
+	t.Helper()
+	p, err := Analyze(c, Options{NativeWidth: w, NativeHeight: h, SearchRange: 16, ISA: perf.ISAAVX2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	c := encodeClip(t, 2, 1280, 720)
+	if _, err := Analyze(c, Options{NativeWidth: 0, NativeHeight: 720}); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := Analyze(&perf.Counters{}, Options{NativeWidth: 64, NativeHeight: 64}); err == nil {
+		t.Error("empty counters accepted")
+	}
+}
+
+func TestTopDownSumsToOne(t *testing.T) {
+	c := encodeClip(t, 3, 1280, 720)
+	p := analyze(t, c, 1280, 720)
+	td := p.TopDown
+	sum := td.FrontEnd + td.BadSpec + td.BEMemory + td.BECore + td.Retiring
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("top-down sums to %v", sum)
+	}
+	for name, v := range map[string]float64{
+		"FE": td.FrontEnd, "BAD": td.BadSpec, "BE/Mem": td.BEMemory,
+		"BE/Core": td.BECore, "RET": td.Retiring,
+	} {
+		if v < 0 || v > 1 {
+			t.Errorf("%s fraction %v out of range", name, v)
+		}
+	}
+}
+
+func TestTopDownInPaperRegime(t *testing.T) {
+	// Figure 6: ~15% FE, ~10% BAD, ~15% BE/Mem, ~60% RET+BE/Core.
+	c := encodeClip(t, 4, 1920, 1080)
+	p := analyze(t, c, 1920, 1080)
+	td := p.TopDown
+	if td.FrontEnd < 0.05 || td.FrontEnd > 0.30 {
+		t.Errorf("FE = %v, want ~0.15", td.FrontEnd)
+	}
+	if td.BadSpec < 0.02 || td.BadSpec > 0.25 {
+		t.Errorf("BAD = %v, want ~0.10", td.BadSpec)
+	}
+	if td.BEMemory > 0.35 {
+		t.Errorf("BE/Mem = %v, want ~0.15", td.BEMemory)
+	}
+	if rc := td.Retiring + td.BECore; rc < 0.4 || rc > 0.85 {
+		t.Errorf("RET+BE/Core = %v, want ~0.6", rc)
+	}
+}
+
+func TestICacheMPKIRisesWithEntropy(t *testing.T) {
+	lo := analyze(t, encodeClip(t, 0.2, 1280, 720), 1280, 720)
+	hi := analyze(t, encodeClip(t, 10, 1280, 720), 1280, 720)
+	if hi.ICacheMPKI <= lo.ICacheMPKI {
+		t.Errorf("I$ MPKI did not rise with entropy: %.3f vs %.3f", lo.ICacheMPKI, hi.ICacheMPKI)
+	}
+}
+
+func TestBranchMPKIRisesWithEntropy(t *testing.T) {
+	lo := analyze(t, encodeClip(t, 0.2, 1280, 720), 1280, 720)
+	hi := analyze(t, encodeClip(t, 10, 1280, 720), 1280, 720)
+	if hi.BranchMPKI <= lo.BranchMPKI {
+		t.Errorf("branch MPKI did not rise with entropy: %.3f vs %.3f", lo.BranchMPKI, hi.BranchMPKI)
+	}
+}
+
+func TestLLCMPKIFallsWithEntropy(t *testing.T) {
+	// Same native resolution, different entropy: the data footprint is
+	// fixed but instructions grow, so misses per kilo-instruction fall.
+	lo := analyze(t, encodeClip(t, 0.2, 1920, 1080), 1920, 1080)
+	hi := analyze(t, encodeClip(t, 10, 1920, 1080), 1920, 1080)
+	if hi.LLCMPKI >= lo.LLCMPKI {
+		t.Errorf("LLC MPKI did not fall with entropy: %.3f vs %.3f", lo.LLCMPKI, hi.LLCMPKI)
+	}
+}
+
+func TestLLCMPKIGrowsWithResolution(t *testing.T) {
+	c := encodeClip(t, 3, 1280, 720)
+	small := analyze(t, c, 640, 360)
+	large := analyze(t, c, 3840, 2160)
+	if large.LLCMPKI <= small.LLCMPKI {
+		t.Errorf("LLC MPKI did not grow with native resolution: %.4f vs %.4f", small.LLCMPKI, large.LLCMPKI)
+	}
+}
+
+func TestScalarFractionNearSixtyPercent(t *testing.T) {
+	// Figure 7: scalar ≈ 60% across the entropy range.
+	for _, e := range []float64{0.5, 3, 10} {
+		p := analyze(t, encodeClip(t, e, 1280, 720), 1280, 720)
+		if p.ScalarFraction < 0.40 || p.ScalarFraction > 0.80 {
+			t.Errorf("entropy %v: scalar fraction %v, want ~0.6", e, p.ScalarFraction)
+		}
+	}
+}
+
+func TestAVX2FractionBounded(t *testing.T) {
+	// Figure 7: AVX2 ≤ ~20% of cycles.
+	p := analyze(t, encodeClip(t, 5, 1280, 720), 1280, 720)
+	if p.AVX2Fraction > 0.25 {
+		t.Errorf("AVX2 fraction %v, want ≤ 0.25", p.AVX2Fraction)
+	}
+	if p.AVX2Fraction <= 0 {
+		t.Error("AVX2 fraction zero — vector model inactive")
+	}
+}
+
+func TestISALadderMonotone(t *testing.T) {
+	// Figure 8: total time never increases as newer ISAs are enabled.
+	c := encodeClip(t, 4, 1280, 720)
+	prev := math.Inf(1)
+	for isa := perf.ISAScalar; isa < perf.NumISA; isa++ {
+		total := TotalSeconds(c, isa, 4e9)
+		if total > prev*1.0001 {
+			t.Errorf("total time rose at %v: %v > %v", isa, total, prev)
+		}
+		prev = total
+	}
+}
+
+func TestScalarSecondsConstantAcrossISA(t *testing.T) {
+	// Figure 8: "the fraction of time spent in scalar code remains
+	// constant" — the intrinsically scalar seconds (sequential kernels
+	// plus in-kernel scalar residue) must not change once any vector
+	// ISA exists. (At the scalar-only build, vector work necessarily
+	// runs as scalar code, so that build is excluded.)
+	c := encodeClip(t, 4, 1280, 720)
+	base := ClassSeconds(c, perf.ISASSE, 4e9)[perf.ISAScalar]
+	for isa := perf.ISASSE2; isa < perf.NumISA; isa++ {
+		s := ClassSeconds(c, isa, 4e9)[perf.ISAScalar]
+		if math.Abs(s-base)/base > 1e-9 {
+			t.Errorf("scalar seconds changed at %v: %v vs %v", isa, s, base)
+		}
+	}
+	// And the scalar-only build must cost strictly more overall.
+	if ClassSeconds(c, perf.ISAScalar, 4e9)[perf.ISAScalar] <= base {
+		t.Error("scalar build should fold vector work into scalar class")
+	}
+}
+
+func TestSSE2CapturesMostOfTheGain(t *testing.T) {
+	// Figure 8 / Section 5.2: the gain beyond SSE2 is small (~15%).
+	c := encodeClip(t, 4, 1280, 720)
+	scalar := TotalSeconds(c, perf.ISAScalar, 4e9)
+	sse2 := TotalSeconds(c, perf.ISASSE2, 4e9)
+	avx2 := TotalSeconds(c, perf.ISAAVX2, 4e9)
+	gainToSSE2 := scalar - sse2
+	gainBeyond := sse2 - avx2
+	if gainBeyond > gainToSSE2*0.5 {
+		t.Errorf("gain beyond SSE2 (%.3g) not small vs gain to SSE2 (%.3g)", gainBeyond, gainToSSE2)
+	}
+	if sse2/avx2 > 1.35 {
+		t.Errorf("SSE2→AVX2 speedup %.2f, paper says ~1.15", sse2/avx2)
+	}
+}
+
+func TestInstructionsFallWithWiderSIMD(t *testing.T) {
+	c := encodeClip(t, 4, 1280, 720)
+	if Instructions(c, perf.ISAAVX2) >= Instructions(c, perf.ISAScalar) {
+		t.Error("AVX2 build did not retire fewer instructions")
+	}
+}
+
+func TestKernelClassSecondsConsistent(t *testing.T) {
+	c := encodeClip(t, 4, 1280, 720)
+	per := KernelClassSeconds(c, perf.ISAAVX2, 4e9)
+	sum := 0.0
+	for k := range per {
+		for cl := range per[k] {
+			if per[k][cl] < 0 {
+				t.Fatalf("negative time at kernel %d class %d", k, cl)
+			}
+			sum += per[k][cl]
+		}
+	}
+	total := TotalSeconds(c, perf.ISAAVX2, 4e9)
+	if math.Abs(sum-total)/total > 1e-9 {
+		t.Errorf("per-kernel sum %v != total %v", sum, total)
+	}
+	// Non-vectorizable kernels must appear only in the scalar class.
+	for cl := perf.ISASSE; cl < perf.NumISA; cl++ {
+		if per[perf.KEntropy][cl] != 0 || per[perf.KControl][cl] != 0 {
+			t.Error("sequential kernel attributed to a vector class")
+		}
+	}
+}
+
+func TestAnalyzeDeterministic(t *testing.T) {
+	c := encodeClip(t, 3, 1280, 720)
+	a := analyze(t, c, 1280, 720)
+	b := analyze(t, c, 1280, 720)
+	if a.ICacheMPKI != b.ICacheMPKI || a.BranchMPKI != b.BranchMPKI || a.LLCMPKI != b.LLCMPKI {
+		t.Error("analysis not deterministic for identical inputs")
+	}
+}
+
+func TestMPKIRangesSane(t *testing.T) {
+	// The paper's Figure 5 axes: L1I and branch MPKI in 0..~6, LLC in
+	// 0..~6. Keep the model within the same order of magnitude.
+	p := analyze(t, encodeClip(t, 5, 1920, 1080), 1920, 1080)
+	if p.ICacheMPKI < 0 || p.ICacheMPKI > 20 {
+		t.Errorf("I$ MPKI %v out of plausible range", p.ICacheMPKI)
+	}
+	if p.BranchMPKI < 0 || p.BranchMPKI > 20 {
+		t.Errorf("branch MPKI %v out of plausible range", p.BranchMPKI)
+	}
+	if p.LLCMPKI < 0 || p.LLCMPKI > 20 {
+		t.Errorf("LLC MPKI %v out of plausible range", p.LLCMPKI)
+	}
+}

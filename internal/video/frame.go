@@ -1,0 +1,203 @@
+// Package video provides the raw-video substrate for vbench: planar
+// YUV 4:2:0 frames, sequences with framerate metadata, a Y4M
+// (YUV4MPEG2) container reader/writer, and a deterministic synthetic
+// content generator that stands in for the paper's Creative-Commons
+// YouTube clips.
+//
+// All pixel data is 8-bit. Frames use 4:2:0 chroma subsampling: the Cb
+// and Cr planes are half the luma resolution in each dimension, which
+// is the format every encoder in the paper consumes.
+package video
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Frame is a single planar YUV 4:2:0 picture. Y holds Width×Height
+// luma samples in row-major order; Cb and Cr hold
+// (Width/2)×(Height/2) chroma samples each. Width and Height are
+// always even.
+type Frame struct {
+	Width  int
+	Height int
+	Y      []uint8
+	Cb     []uint8
+	Cr     []uint8
+}
+
+// NewFrame allocates a zeroed (black, neutral chroma) frame. It panics
+// if either dimension is non-positive or odd, because 4:2:0 chroma
+// requires even luma dimensions.
+func NewFrame(width, height int) *Frame {
+	if width <= 0 || height <= 0 {
+		panic(fmt.Sprintf("video: invalid frame size %dx%d", width, height))
+	}
+	if width%2 != 0 || height%2 != 0 {
+		panic(fmt.Sprintf("video: 4:2:0 frames need even dimensions, got %dx%d", width, height))
+	}
+	cw, ch := width/2, height/2
+	f := &Frame{
+		Width:  width,
+		Height: height,
+		Y:      make([]uint8, width*height),
+		Cb:     make([]uint8, cw*ch),
+		Cr:     make([]uint8, cw*ch),
+	}
+	for i := range f.Cb {
+		f.Cb[i] = 128
+		f.Cr[i] = 128
+	}
+	return f
+}
+
+// ChromaWidth returns the width of the Cb/Cr planes.
+func (f *Frame) ChromaWidth() int { return f.Width / 2 }
+
+// ChromaHeight returns the height of the Cb/Cr planes.
+func (f *Frame) ChromaHeight() int { return f.Height / 2 }
+
+// PixelCount returns the number of luma samples in the frame, the
+// normalization unit used by all vbench metrics.
+func (f *Frame) PixelCount() int { return f.Width * f.Height }
+
+// Clone returns a deep copy of the frame.
+func (f *Frame) Clone() *Frame {
+	g := &Frame{
+		Width:  f.Width,
+		Height: f.Height,
+		Y:      append([]uint8(nil), f.Y...),
+		Cb:     append([]uint8(nil), f.Cb...),
+		Cr:     append([]uint8(nil), f.Cr...),
+	}
+	return g
+}
+
+// CopyFrom overwrites the frame's planes with src's. Both frames must
+// have identical dimensions.
+func (f *Frame) CopyFrom(src *Frame) error {
+	if f.Width != src.Width || f.Height != src.Height {
+		return fmt.Errorf("video: copy between mismatched frames %dx%d and %dx%d",
+			f.Width, f.Height, src.Width, src.Height)
+	}
+	copy(f.Y, src.Y)
+	copy(f.Cb, src.Cb)
+	copy(f.Cr, src.Cr)
+	return nil
+}
+
+// Plane identifies one of the three planes of a frame.
+type Plane int
+
+// The three planes of a YUV frame.
+const (
+	PlaneY Plane = iota
+	PlaneCb
+	PlaneCr
+)
+
+// String returns the conventional plane name.
+func (p Plane) String() string {
+	switch p {
+	case PlaneY:
+		return "Y"
+	case PlaneCb:
+		return "Cb"
+	case PlaneCr:
+		return "Cr"
+	}
+	return fmt.Sprintf("Plane(%d)", int(p))
+}
+
+// PlaneData returns the samples, width, and height of the requested
+// plane.
+func (f *Frame) PlaneData(p Plane) (data []uint8, w, h int) {
+	switch p {
+	case PlaneY:
+		return f.Y, f.Width, f.Height
+	case PlaneCb:
+		return f.Cb, f.ChromaWidth(), f.ChromaHeight()
+	case PlaneCr:
+		return f.Cr, f.ChromaWidth(), f.ChromaHeight()
+	}
+	panic(fmt.Sprintf("video: unknown plane %d", int(p)))
+}
+
+// Equal reports whether two frames have identical dimensions and
+// identical samples in every plane.
+func (f *Frame) Equal(g *Frame) bool {
+	if f.Width != g.Width || f.Height != g.Height {
+		return false
+	}
+	return byteSliceEqual(f.Y, g.Y) && byteSliceEqual(f.Cb, g.Cb) && byteSliceEqual(f.Cr, g.Cr)
+}
+
+func byteSliceEqual(a, b []uint8) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Sequence is an ordered list of equally sized frames together with
+// their nominal framerate. It is the unit of work for a transcode.
+type Sequence struct {
+	Frames    []*Frame
+	FrameRate float64 // frames per second
+}
+
+// Validate checks the structural invariants of the sequence: at least
+// one frame, a positive framerate, and uniform frame dimensions.
+func (s *Sequence) Validate() error {
+	if len(s.Frames) == 0 {
+		return errors.New("video: empty sequence")
+	}
+	if s.FrameRate <= 0 {
+		return fmt.Errorf("video: non-positive framerate %v", s.FrameRate)
+	}
+	w, h := s.Frames[0].Width, s.Frames[0].Height
+	for i, f := range s.Frames {
+		if f == nil {
+			return fmt.Errorf("video: nil frame at index %d", i)
+		}
+		if f.Width != w || f.Height != h {
+			return fmt.Errorf("video: frame %d is %dx%d, expected %dx%d", i, f.Width, f.Height, w, h)
+		}
+	}
+	return nil
+}
+
+// Width returns the luma width of the sequence's frames.
+func (s *Sequence) Width() int { return s.Frames[0].Width }
+
+// Height returns the luma height of the sequence's frames.
+func (s *Sequence) Height() int { return s.Frames[0].Height }
+
+// Duration returns the playback time of the sequence in seconds.
+func (s *Sequence) Duration() float64 {
+	return float64(len(s.Frames)) / s.FrameRate
+}
+
+// PixelCount returns the total number of luma samples across all
+// frames; speed and bitrate normalizations divide by this.
+func (s *Sequence) PixelCount() int64 {
+	var n int64
+	for _, f := range s.Frames {
+		n += int64(f.PixelCount())
+	}
+	return n
+}
+
+// Clone returns a deep copy of the sequence.
+func (s *Sequence) Clone() *Sequence {
+	c := &Sequence{FrameRate: s.FrameRate, Frames: make([]*Frame, len(s.Frames))}
+	for i, f := range s.Frames {
+		c.Frames[i] = f.Clone()
+	}
+	return c
+}

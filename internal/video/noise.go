@@ -1,0 +1,74 @@
+package video
+
+// Deterministic 2D value noise used by the content synthesizer. The
+// generator needs smooth, band-limited textures whose spatial
+// frequency content can be dialed up and down: low-frequency noise
+// compresses extremely well (slideshow-like content), while stacking
+// high-frequency octaves produces texture that resists motion
+// compensation and drives entropy up, mimicking foliage, crowds, or
+// confetti in the paper's high-entropy clips.
+
+// hash2 maps a lattice coordinate and seed to a pseudo-random value in
+// [0, 1). It is a 64-bit avalanche mix (same finalizer as SplitMix64)
+// so neighbouring lattice points decorrelate completely.
+func hash2(x, y int32, seed uint64) float64 {
+	h := seed ^ (uint64(uint32(x)) * 0x9E3779B97F4A7C15) ^ (uint64(uint32(y)) * 0xC2B2AE3D27D4EB4F)
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	return float64(h>>11) / (1 << 53)
+}
+
+// smoothstep is the cubic Hermite interpolant 3t²−2t³.
+func smoothstep(t float64) float64 { return t * t * (3 - 2*t) }
+
+// valueNoise samples smooth noise at (x, y) with the given lattice
+// cell size. Output is in [0, 1).
+func valueNoise(x, y float64, cell float64, seed uint64) float64 {
+	gx := x / cell
+	gy := y / cell
+	x0 := int32(floor(gx))
+	y0 := int32(floor(gy))
+	tx := smoothstep(gx - float64(x0))
+	ty := smoothstep(gy - float64(y0))
+	v00 := hash2(x0, y0, seed)
+	v10 := hash2(x0+1, y0, seed)
+	v01 := hash2(x0, y0+1, seed)
+	v11 := hash2(x0+1, y0+1, seed)
+	top := v00 + (v10-v00)*tx
+	bot := v01 + (v11-v01)*tx
+	return top + (bot-top)*ty
+}
+
+func floor(x float64) float64 {
+	i := float64(int64(x))
+	if x < i {
+		return i - 1
+	}
+	return i
+}
+
+// fractalNoise stacks octaves of value noise. octaves controls how
+// much high-frequency energy is present; persistence weights each
+// successive octave. Output is normalized to [0, 1).
+func fractalNoise(x, y float64, baseCell float64, octaves int, persistence float64, seed uint64) float64 {
+	sum := 0.0
+	amp := 1.0
+	norm := 0.0
+	cell := baseCell
+	for o := 0; o < octaves; o++ {
+		sum += amp * valueNoise(x, y, cell, seed+uint64(o)*0x9E37)
+		norm += amp
+		amp *= persistence
+		cell *= 0.5
+		if cell < 1 {
+			break
+		}
+	}
+	if norm == 0 {
+		return 0.5
+	}
+	return sum / norm
+}

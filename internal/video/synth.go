@@ -1,0 +1,350 @@
+package video
+
+import (
+	"fmt"
+	"math"
+
+	"vbench/internal/rng"
+)
+
+// ContentParams controls the synthetic content generator. The
+// parameters map directly onto the three drivers of transcode cost the
+// paper identifies — spatial detail, motion, and temporal
+// unpredictability — so a clip's inherent entropy (bits/pixel/s at
+// constant quality) is a monotone function of them.
+type ContentParams struct {
+	// Seed selects the scene; all randomness derives from it.
+	Seed uint64
+
+	// Detail in [0,1] sets the spatial frequency content of the
+	// background texture. 0 is a flat gradient, 1 is dense
+	// foliage-like texture.
+	Detail float64
+
+	// Motion in [0,1] scales both global camera pan and sprite
+	// velocities. Motion is a per-second quantity: at higher
+	// framerates the per-frame displacement shrinks proportionally,
+	// as it does for real cameras.
+	Motion float64
+
+	// Noise in [0,1] adds zero-mean temporal sensor noise; amplitude
+	// 1.0 corresponds to ±10 luma levels, which defeats motion
+	// compensation the way confetti or rain does.
+	Noise float64
+
+	// SceneCutInterval is the number of frames between hard scene
+	// changes (every cut forces intra-like coding); 0 disables cuts.
+	SceneCutInterval int
+
+	// Sprites is the number of moving foreground objects.
+	Sprites int
+
+	// TextRegions is the number of sharp, high-contrast text-like
+	// regions (menu bars, slides, HUDs). They are static between
+	// scene cuts and compress extremely well temporally, but are
+	// expensive spatially.
+	TextRegions int
+
+	// ChromaVariety in [0,1] scales how colourful the scene is.
+	ChromaVariety float64
+}
+
+// Validate reports whether the parameters are within their documented
+// ranges.
+func (p ContentParams) Validate() error {
+	switch {
+	case p.Detail < 0 || p.Detail > 1:
+		return fmt.Errorf("video: Detail %v out of [0,1]", p.Detail)
+	case p.Motion < 0 || p.Motion > 1:
+		return fmt.Errorf("video: Motion %v out of [0,1]", p.Motion)
+	case p.Noise < 0 || p.Noise > 1:
+		return fmt.Errorf("video: Noise %v out of [0,1]", p.Noise)
+	case p.SceneCutInterval < 0:
+		return fmt.Errorf("video: negative SceneCutInterval %d", p.SceneCutInterval)
+	case p.Sprites < 0:
+		return fmt.Errorf("video: negative Sprites %d", p.Sprites)
+	case p.TextRegions < 0:
+		return fmt.Errorf("video: negative TextRegions %d", p.TextRegions)
+	case p.ChromaVariety < 0 || p.ChromaVariety > 1:
+		return fmt.Errorf("video: ChromaVariety %v out of [0,1]", p.ChromaVariety)
+	}
+	return nil
+}
+
+// sprite is a moving foreground rectangle with its own luma/chroma.
+type sprite struct {
+	x, y   float64
+	vx, vy float64
+	w, h   int
+	luma   float64
+	cb, cr uint8
+}
+
+// textRegion is a static block of alternating-intensity rows that
+// mimics rendered text.
+type textRegion struct {
+	x, y, w, h int
+	phase      int
+	fg, bg     uint8
+}
+
+// scene is the procedural state from which frames are rendered.
+type scene struct {
+	seed    uint64
+	params  ContentParams
+	width   int
+	height  int
+	sprites []sprite
+	text    []textRegion
+	// background texture parameters
+	baseCell float64
+	octaves  int
+	// global pan velocity in pixels/frame
+	panX, panY float64
+	// gradient fallback colors
+	gradLo, gradHi float64
+	cbBase, crBase float64
+}
+
+func newScene(p ContentParams, width, height int, cut int, frameRate float64) *scene {
+	// Motion is specified per second; convert to per-frame velocities.
+	motionPerFrame := p.Motion * 30 / frameRate
+	r := rng.New(p.Seed ^ (uint64(cut+1) * 0xA24BAED4963EE407))
+	sc := &scene{seed: p.Seed + uint64(cut)*0x9E3779B9, params: p, width: width, height: height}
+
+	// Background: cell size shrinks (higher frequency) as Detail grows.
+	maxCell := float64(width) / 2
+	minCell := 4.0
+	sc.baseCell = maxCell * math.Pow(minCell/maxCell, p.Detail)
+	sc.octaves = 1 + int(p.Detail*4+0.5)
+	sc.gradLo = r.Range(30, 90)
+	sc.gradHi = r.Range(150, 225)
+	sc.cbBase = 128 + (r.Float64()*2-1)*40*p.ChromaVariety
+	sc.crBase = 128 + (r.Float64()*2-1)*40*p.ChromaVariety
+
+	// Global pan: up to ~3% of frame width per frame at Motion=1, 30fps.
+	panMax := 0.03 * float64(width)
+	sc.panX = (r.Float64()*2 - 1) * panMax * motionPerFrame
+	sc.panY = (r.Float64()*2 - 1) * panMax * motionPerFrame * 0.3
+
+	vMax := 0.02*float64(width)*motionPerFrame + 0.2
+	for i := 0; i < p.Sprites; i++ {
+		w := 8 + r.Intn(max(8, width/6))
+		h := 8 + r.Intn(max(8, height/6))
+		sp := sprite{
+			x:    r.Float64() * float64(width-w),
+			y:    r.Float64() * float64(height-h),
+			vx:   (r.Float64()*2 - 1) * vMax,
+			vy:   (r.Float64()*2 - 1) * vMax,
+			w:    w,
+			h:    h,
+			luma: r.Range(40, 220),
+			cb:   uint8(128 + (r.Float64()*2-1)*60*p.ChromaVariety),
+			cr:   uint8(128 + (r.Float64()*2-1)*60*p.ChromaVariety),
+		}
+		sc.sprites = append(sc.sprites, sp)
+	}
+
+	for i := 0; i < p.TextRegions; i++ {
+		w := width/4 + r.Intn(max(1, width/3))
+		h := 8 + r.Intn(max(8, height/8))
+		tr := textRegion{
+			x:     r.Intn(max(1, width-w)),
+			y:     r.Intn(max(1, height-h)),
+			w:     w,
+			h:     h,
+			phase: r.Intn(4),
+			fg:    uint8(r.Range(10, 60)),
+			bg:    uint8(r.Range(190, 245)),
+		}
+		sc.text = append(sc.text, tr)
+	}
+	return sc
+}
+
+// render draws frame t (frames since the scene's cut) into f, then
+// adds temporal noise from noiseRand.
+func (sc *scene) render(f *Frame, t int, noiseRand *rng.Rand) {
+	p := sc.params
+	w, h := sc.width, sc.height
+	offX := sc.panX * float64(t)
+	offY := sc.panY * float64(t)
+
+	// Background: blend of a vertical gradient and fractal texture.
+	// Detail controls the blend weight so flat scenes stay flat.
+	texWeight := 0.15 + 0.85*p.Detail
+	for y := 0; y < h; y++ {
+		grad := sc.gradLo + (sc.gradHi-sc.gradLo)*float64(y)/float64(h)
+		row := f.Y[y*w : (y+1)*w]
+		fy := float64(y) + offY
+		for x := 0; x < w; x++ {
+			n := fractalNoise(float64(x)+offX, fy, sc.baseCell, sc.octaves, 0.55, sc.seed)
+			v := grad*(1-texWeight) + (40+175*n)*texWeight
+			row[x] = clampU8(v)
+		}
+	}
+
+	// Chroma planes: low-frequency colour wash.
+	cw, ch := f.ChromaWidth(), f.ChromaHeight()
+	chromaCell := sc.baseCell
+	if chromaCell < 8 {
+		chromaCell = 8
+	}
+	for y := 0; y < ch; y++ {
+		cbRow := f.Cb[y*cw : (y+1)*cw]
+		crRow := f.Cr[y*cw : (y+1)*cw]
+		fy := float64(y)*2 + offY
+		for x := 0; x < cw; x++ {
+			if p.ChromaVariety == 0 {
+				cbRow[x] = uint8(clampU8(sc.cbBase))
+				crRow[x] = uint8(clampU8(sc.crBase))
+				continue
+			}
+			n1 := fractalNoise(float64(x)*2+offX, fy, chromaCell*2, 2, 0.5, sc.seed^0xBEEF)
+			n2 := fractalNoise(float64(x)*2+offX, fy, chromaCell*2, 2, 0.5, sc.seed^0xF00D)
+			cbRow[x] = clampU8(sc.cbBase + (n1-0.5)*80*p.ChromaVariety)
+			crRow[x] = clampU8(sc.crBase + (n2-0.5)*80*p.ChromaVariety)
+		}
+	}
+
+	// Sprites, advanced to time t with bouncing at the borders.
+	for _, sp := range sc.sprites {
+		x := sp.x + sp.vx*float64(t)
+		y := sp.y + sp.vy*float64(t)
+		x = bounce(x, float64(w-sp.w))
+		y = bounce(y, float64(h-sp.h))
+		drawRect(f, int(x), int(y), sp.w, sp.h, clampU8(sp.luma), sp.cb, sp.cr)
+	}
+
+	// Text-like regions: rows of alternating fg/bg stripes with a
+	// per-region phase so regions differ.
+	for _, tr := range sc.text {
+		for yy := 0; yy < tr.h; yy++ {
+			y := tr.y + yy
+			if y < 0 || y >= h {
+				continue
+			}
+			row := f.Y[y*w : (y+1)*w]
+			for xx := 0; xx < tr.w; xx++ {
+				x := tr.x + xx
+				if x < 0 || x >= w {
+					continue
+				}
+				// Character-cell pattern: 2-px stripes plus column gaps.
+				if ((yy+tr.phase)/2)%2 == 0 && (xx/3)%4 != 3 {
+					row[x] = tr.fg
+				} else {
+					row[x] = tr.bg
+				}
+			}
+		}
+	}
+
+	// Temporal sensor noise, fresh each frame.
+	if p.Noise > 0 {
+		amp := 10 * p.Noise
+		for i := range f.Y {
+			d := (noiseRand.Float64()*2 - 1) * amp
+			f.Y[i] = clampU8(float64(f.Y[i]) + d)
+		}
+		// Chroma noise at half amplitude.
+		for i := range f.Cb {
+			f.Cb[i] = clampU8(float64(f.Cb[i]) + (noiseRand.Float64()*2-1)*amp/2)
+			f.Cr[i] = clampU8(float64(f.Cr[i]) + (noiseRand.Float64()*2-1)*amp/2)
+		}
+	}
+}
+
+// bounce reflects pos into [0, limit] as if bouncing elastically.
+func bounce(pos, limit float64) float64 {
+	if limit <= 0 {
+		return 0
+	}
+	period := 2 * limit
+	pos = math.Mod(pos, period)
+	if pos < 0 {
+		pos += period
+	}
+	if pos > limit {
+		pos = period - pos
+	}
+	return pos
+}
+
+func drawRect(f *Frame, x0, y0, w, h int, luma uint8, cb, cr uint8) {
+	for y := y0; y < y0+h; y++ {
+		if y < 0 || y >= f.Height {
+			continue
+		}
+		row := f.Y[y*f.Width : (y+1)*f.Width]
+		for x := x0; x < x0+w; x++ {
+			if x < 0 || x >= f.Width {
+				continue
+			}
+			row[x] = luma
+		}
+	}
+	cw := f.ChromaWidth()
+	for y := y0 / 2; y < (y0+h)/2; y++ {
+		if y < 0 || y >= f.ChromaHeight() {
+			continue
+		}
+		for x := x0 / 2; x < (x0+w)/2; x++ {
+			if x < 0 || x >= cw {
+				continue
+			}
+			f.Cb[y*cw+x] = cb
+			f.Cr[y*cw+x] = cr
+		}
+	}
+}
+
+func clampU8(v float64) uint8 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v + 0.5)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Generate synthesizes a sequence of frameCount frames at the given
+// dimensions and framerate. Generation is fully deterministic in the
+// parameters. Dimensions must be even; prefer multiples of 16 so the
+// encoders do not need to pad.
+func Generate(p ContentParams, width, height, frameCount int, frameRate float64) (*Sequence, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if frameCount <= 0 {
+		return nil, fmt.Errorf("video: non-positive frame count %d", frameCount)
+	}
+	if frameRate <= 0 {
+		return nil, fmt.Errorf("video: non-positive framerate %v", frameRate)
+	}
+	s := &Sequence{FrameRate: frameRate, Frames: make([]*Frame, frameCount)}
+	noiseRand := rng.New(p.Seed ^ 0x5EED50F7)
+	cut := 0
+	sc := newScene(p, width, height, cut, frameRate)
+	tInScene := 0
+	for i := 0; i < frameCount; i++ {
+		if p.SceneCutInterval > 0 && i > 0 && i%p.SceneCutInterval == 0 {
+			cut++
+			sc = newScene(p, width, height, cut, frameRate)
+			tInScene = 0
+		}
+		f := NewFrame(width, height)
+		sc.render(f, tInScene, noiseRand)
+		s.Frames[i] = f
+		tInScene++
+	}
+	return s, nil
+}

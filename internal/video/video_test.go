@@ -1,0 +1,325 @@
+package video
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewFrameGeometry(t *testing.T) {
+	f := NewFrame(64, 48)
+	if len(f.Y) != 64*48 {
+		t.Errorf("luma plane %d samples, want %d", len(f.Y), 64*48)
+	}
+	if len(f.Cb) != 32*24 || len(f.Cr) != 32*24 {
+		t.Errorf("chroma planes %d/%d samples, want %d", len(f.Cb), len(f.Cr), 32*24)
+	}
+	if f.ChromaWidth() != 32 || f.ChromaHeight() != 24 {
+		t.Errorf("chroma dims %dx%d", f.ChromaWidth(), f.ChromaHeight())
+	}
+	// Neutral chroma initialization.
+	for _, v := range f.Cb {
+		if v != 128 {
+			t.Fatal("Cb not initialized to neutral 128")
+		}
+	}
+}
+
+func TestNewFramePanicsOnBadDims(t *testing.T) {
+	for _, dims := range [][2]int{{0, 16}, {16, 0}, {-2, 4}, {15, 16}, {16, 15}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewFrame(%d,%d) did not panic", dims[0], dims[1])
+				}
+			}()
+			NewFrame(dims[0], dims[1])
+		}()
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	f := NewFrame(16, 16)
+	g := f.Clone()
+	g.Y[0] = 99
+	g.Cb[0] = 7
+	if f.Y[0] == 99 || f.Cb[0] == 7 {
+		t.Error("Clone shares storage with original")
+	}
+	if !f.Clone().Equal(f) {
+		t.Error("Clone not equal to original")
+	}
+}
+
+func TestCopyFromMismatch(t *testing.T) {
+	a := NewFrame(16, 16)
+	b := NewFrame(32, 16)
+	if err := a.CopyFrom(b); err == nil {
+		t.Error("CopyFrom accepted mismatched dimensions")
+	}
+}
+
+func TestPlaneData(t *testing.T) {
+	f := NewFrame(32, 16)
+	y, w, h := f.PlaneData(PlaneY)
+	if len(y) != 32*16 || w != 32 || h != 16 {
+		t.Error("PlaneY geometry wrong")
+	}
+	cb, w, h := f.PlaneData(PlaneCb)
+	if len(cb) != 16*8 || w != 16 || h != 8 {
+		t.Error("PlaneCb geometry wrong")
+	}
+}
+
+func TestSequenceValidate(t *testing.T) {
+	s := &Sequence{FrameRate: 30}
+	if err := s.Validate(); err == nil {
+		t.Error("empty sequence validated")
+	}
+	s.Frames = []*Frame{NewFrame(16, 16)}
+	if err := s.Validate(); err != nil {
+		t.Errorf("valid sequence rejected: %v", err)
+	}
+	s.FrameRate = 0
+	if err := s.Validate(); err == nil {
+		t.Error("zero framerate validated")
+	}
+	s.FrameRate = 30
+	s.Frames = append(s.Frames, NewFrame(32, 16))
+	if err := s.Validate(); err == nil {
+		t.Error("mixed frame sizes validated")
+	}
+}
+
+func TestSequenceDurationAndPixels(t *testing.T) {
+	s := &Sequence{FrameRate: 25}
+	for i := 0; i < 50; i++ {
+		s.Frames = append(s.Frames, NewFrame(16, 16))
+	}
+	if d := s.Duration(); d != 2.0 {
+		t.Errorf("Duration = %v, want 2.0", d)
+	}
+	if p := s.PixelCount(); p != 50*256 {
+		t.Errorf("PixelCount = %d, want %d", p, 50*256)
+	}
+}
+
+func TestY4MRoundTrip(t *testing.T) {
+	p := ContentParams{Seed: 1, Detail: 0.6, Motion: 0.5, Noise: 0.2, Sprites: 2, ChromaVariety: 0.8}
+	seq, err := Generate(p, 48, 32, 5, 29.97)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteY4M(&buf, seq); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadY4M(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Frames) != len(seq.Frames) {
+		t.Fatalf("frame count %d, want %d", len(back.Frames), len(seq.Frames))
+	}
+	if back.FrameRate < 29.96 || back.FrameRate > 29.98 {
+		t.Errorf("framerate %v, want ≈29.97", back.FrameRate)
+	}
+	for i := range back.Frames {
+		if !back.Frames[i].Equal(seq.Frames[i]) {
+			t.Fatalf("frame %d differs after y4m round trip", i)
+		}
+	}
+}
+
+func TestY4MRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"NOTAY4M W16 H16\n",
+		"YUV4MPEG2 W0 H16 F30:1\n",
+		"YUV4MPEG2 W16 H16 F30:1 C444\nFRAME\n",
+		"YUV4MPEG2 W16 H16 F30:0\n",
+	}
+	for _, c := range cases {
+		if _, err := ReadY4M(strings.NewReader(c)); err == nil {
+			t.Errorf("ReadY4M accepted %q", c)
+		}
+	}
+}
+
+func TestY4MTruncatedPayload(t *testing.T) {
+	seq, _ := Generate(ContentParams{Seed: 2, Detail: 0.3}, 32, 32, 2, 30)
+	var buf bytes.Buffer
+	if err := WriteY4M(&buf, seq); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := ReadY4M(bytes.NewReader(data[:len(data)-10])); err == nil {
+		t.Error("truncated y4m accepted")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := ContentParams{Seed: 77, Detail: 0.7, Motion: 0.6, Noise: 0.3, Sprites: 4, ChromaVariety: 0.5, SceneCutInterval: 3}
+	a, err := Generate(p, 48, 48, 8, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(p, 48, 48, 8, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Frames {
+		if !a.Frames[i].Equal(b.Frames[i]) {
+			t.Fatalf("frame %d differs between identical generations", i)
+		}
+	}
+}
+
+func TestGenerateSeedChangesContent(t *testing.T) {
+	base := ContentParams{Seed: 1, Detail: 0.6, Motion: 0.4, Sprites: 3, ChromaVariety: 0.4}
+	other := base
+	other.Seed = 2
+	a, _ := Generate(base, 48, 48, 2, 30)
+	b, _ := Generate(other, 48, 48, 2, 30)
+	if a.Frames[0].Equal(b.Frames[0]) {
+		t.Error("different seeds produced identical frames")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	ok := ContentParams{Seed: 1, Detail: 0.5}
+	if _, err := Generate(ok, 32, 32, 0, 30); err == nil {
+		t.Error("zero frames accepted")
+	}
+	if _, err := Generate(ok, 32, 32, 2, 0); err == nil {
+		t.Error("zero framerate accepted")
+	}
+	bad := ContentParams{Detail: 2}
+	if _, err := Generate(bad, 32, 32, 2, 30); err == nil {
+		t.Error("out-of-range Detail accepted")
+	}
+	bad = ContentParams{Noise: -0.1}
+	if _, err := Generate(bad, 32, 32, 2, 30); err == nil {
+		t.Error("negative Noise accepted")
+	}
+}
+
+func TestMotionZeroIsStatic(t *testing.T) {
+	p := ContentParams{Seed: 5, Detail: 0.5, Motion: 0, Noise: 0, ChromaVariety: 0.3}
+	seq, err := Generate(p, 48, 48, 4, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(seq.Frames); i++ {
+		if !seq.Frames[i].Equal(seq.Frames[0]) {
+			t.Fatalf("motionless noiseless content changed at frame %d", i)
+		}
+	}
+}
+
+func TestMotionMovesContent(t *testing.T) {
+	p := ContentParams{Seed: 5, Detail: 0.5, Motion: 0.8, Noise: 0, Sprites: 2, ChromaVariety: 0.3}
+	seq, err := Generate(p, 48, 48, 4, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Frames[3].Equal(seq.Frames[0]) {
+		t.Error("moving content produced identical frames")
+	}
+}
+
+func TestSceneCutChangesScene(t *testing.T) {
+	p := ContentParams{Seed: 9, Detail: 0.5, Motion: 0, Noise: 0, SceneCutInterval: 2, ChromaVariety: 0.5}
+	seq, err := Generate(p, 48, 48, 4, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Frames 0,1 share a scene; frame 2 starts a new one.
+	if !seq.Frames[1].Equal(seq.Frames[0]) {
+		t.Error("frames within a scene differ despite zero motion")
+	}
+	if seq.Frames[2].Equal(seq.Frames[0]) {
+		t.Error("scene cut did not change content")
+	}
+}
+
+func TestNoiseDecorrelatesFrames(t *testing.T) {
+	p := ContentParams{Seed: 9, Detail: 0.2, Motion: 0, Noise: 0.5}
+	seq, err := Generate(p, 48, 48, 2, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range seq.Frames[0].Y {
+		if seq.Frames[0].Y[i] != seq.Frames[1].Y[i] {
+			diff++
+		}
+	}
+	if diff < len(seq.Frames[0].Y)/4 {
+		t.Errorf("noise changed only %d/%d samples", diff, len(seq.Frames[0].Y))
+	}
+}
+
+func TestValueNoiseRangeProperty(t *testing.T) {
+	f := func(xi, yi int16, seed uint64) bool {
+		v := valueNoise(float64(xi), float64(yi), 16, seed)
+		return v >= 0 && v < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFractalNoiseDeterministic(t *testing.T) {
+	a := fractalNoise(12.5, 7.25, 32, 4, 0.5, 42)
+	b := fractalNoise(12.5, 7.25, 32, 4, 0.5, 42)
+	if a != b {
+		t.Error("fractal noise not deterministic")
+	}
+	c := fractalNoise(12.5, 7.25, 32, 4, 0.5, 43)
+	if a == c {
+		t.Error("fractal noise ignores seed")
+	}
+}
+
+func TestBounceStaysInRange(t *testing.T) {
+	for _, pos := range []float64{-100, -1, 0, 5, 17, 99.5, 1234} {
+		v := bounce(pos, 17)
+		if v < 0 || v > 17 {
+			t.Errorf("bounce(%v, 17) = %v out of range", pos, v)
+		}
+	}
+	if v := bounce(5, 0); v != 0 {
+		t.Errorf("bounce with zero limit = %v", v)
+	}
+}
+
+func TestHigherDetailRaisesHighFrequencyEnergy(t *testing.T) {
+	// Detail controls spatial frequency content: measure the mean
+	// squared horizontal gradient (global variance is dominated by the
+	// background gradient, which low-detail scenes keep).
+	gradEnergy := func(detail float64) float64 {
+		p := ContentParams{Seed: 3, Detail: detail}
+		seq, err := Generate(p, 64, 64, 1, 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := seq.Frames[0]
+		var sum float64
+		n := 0
+		for y := 0; y < f.Height; y++ {
+			for x := 0; x < f.Width-1; x++ {
+				d := float64(f.Y[y*f.Width+x+1]) - float64(f.Y[y*f.Width+x])
+				sum += d * d
+				n++
+			}
+		}
+		return sum / float64(n)
+	}
+	lo := gradEnergy(0.05)
+	hi := gradEnergy(0.95)
+	if hi <= lo*2 {
+		t.Errorf("high-frequency energy did not grow with detail: %.2f vs %.2f", lo, hi)
+	}
+}

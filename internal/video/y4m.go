@@ -1,0 +1,126 @@
+package video
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Y4M container support. YUV4MPEG2 is the uncompressed interchange
+// format ffmpeg and the reference encoders in the paper consume; the
+// benchmark uses it to persist synthesized clips and to feed external
+// tools if desired.
+
+// WriteY4M serializes the sequence in YUV4MPEG2 (C420) format.
+// The framerate is written as a rational with denominator 1000 to
+// preserve fractional rates such as 29.97.
+func WriteY4M(w io.Writer, s *Sequence) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	num := int(s.FrameRate*1000 + 0.5)
+	if _, err := fmt.Fprintf(bw, "YUV4MPEG2 W%d H%d F%d:1000 Ip A1:1 C420\n",
+		s.Width(), s.Height(), num); err != nil {
+		return err
+	}
+	for _, f := range s.Frames {
+		if _, err := bw.WriteString("FRAME\n"); err != nil {
+			return err
+		}
+		if _, err := bw.Write(f.Y); err != nil {
+			return err
+		}
+		if _, err := bw.Write(f.Cb); err != nil {
+			return err
+		}
+		if _, err := bw.Write(f.Cr); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadY4M parses a YUV4MPEG2 stream containing C420 (or unspecified,
+// which defaults to 4:2:0) video and returns the decoded sequence.
+func ReadY4M(r io.Reader) (*Sequence, error) {
+	br := bufio.NewReader(r)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("video: reading y4m header: %w", err)
+	}
+	header = strings.TrimSuffix(header, "\n")
+	fields := strings.Split(header, " ")
+	if len(fields) == 0 || fields[0] != "YUV4MPEG2" {
+		return nil, fmt.Errorf("video: not a YUV4MPEG2 stream: %q", header)
+	}
+	var width, height int
+	rate := 30.0
+	for _, f := range fields[1:] {
+		if f == "" {
+			continue
+		}
+		tag, val := f[0], f[1:]
+		switch tag {
+		case 'W':
+			width, err = strconv.Atoi(val)
+			if err != nil {
+				return nil, fmt.Errorf("video: bad y4m width %q: %w", val, err)
+			}
+		case 'H':
+			height, err = strconv.Atoi(val)
+			if err != nil {
+				return nil, fmt.Errorf("video: bad y4m height %q: %w", val, err)
+			}
+		case 'F':
+			parts := strings.Split(val, ":")
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("video: bad y4m framerate %q", val)
+			}
+			num, err1 := strconv.Atoi(parts[0])
+			den, err2 := strconv.Atoi(parts[1])
+			if err1 != nil || err2 != nil || den == 0 {
+				return nil, fmt.Errorf("video: bad y4m framerate %q", val)
+			}
+			rate = float64(num) / float64(den)
+		case 'C':
+			if !strings.HasPrefix(val, "420") {
+				return nil, fmt.Errorf("video: unsupported y4m chroma mode %q (only 4:2:0)", val)
+			}
+		}
+	}
+	if width <= 0 || height <= 0 {
+		return nil, fmt.Errorf("video: y4m header missing dimensions: %q", header)
+	}
+	s := &Sequence{FrameRate: rate}
+	frameSize := width*height + 2*(width/2)*(height/2)
+	for {
+		line, err := br.ReadString('\n')
+		if err == io.EOF && line == "" {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("video: reading y4m frame header: %w", err)
+		}
+		if !strings.HasPrefix(line, "FRAME") {
+			return nil, fmt.Errorf("video: expected FRAME marker, got %q", strings.TrimSpace(line))
+		}
+		buf := make([]uint8, frameSize)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("video: reading y4m frame payload: %w", err)
+		}
+		f := &Frame{Width: width, Height: height}
+		ySize := width * height
+		cSize := (width / 2) * (height / 2)
+		f.Y = buf[:ySize:ySize]
+		f.Cb = buf[ySize : ySize+cSize : ySize+cSize]
+		f.Cr = buf[ySize+cSize:]
+		s.Frames = append(s.Frames, f)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,178 @@
+// Package vbench is a complete, self-contained Go reproduction of
+// "vbench: Benchmarking Video Transcoding in the Cloud" (Lottarini et
+// al., ASPLOS 2018): the benchmark's 15-video input set (synthesized,
+// entropy-calibrated), its five scoring scenarios with reference
+// transcodes, a from-scratch video codec whose tool configurations
+// realize the x264/x265/vp9 software encoder families and the
+// NVENC/QSV fixed-function encoders, and the microarchitectural
+// characterization apparatus (cache and branch simulators, Top-Down
+// attribution, SIMD ISA analysis) behind the paper's evaluation.
+//
+// Quick start:
+//
+//	clip, _ := vbench.ClipByName("girl")
+//	seq, _ := clip.Generate(8, 1.0)          // 1/8 scale, 1 second
+//	enc := vbench.X264(vbench.PresetMedium)  // reference encoder
+//	res, _ := enc.Encode(seq, vbench.Config{RC: vbench.RCConstQP, QP: 23})
+//	psnr, _ := vbench.PSNR(seq, res.Recon)
+//
+// Scenario scoring against the paper's references:
+//
+//	r := vbench.NewRunner(8, 1.0)
+//	table, _, _ := r.Table3() // the VOD study of the paper
+//	fmt.Println(table)
+//
+// See DESIGN.md for the system inventory and the substitutions made
+// for the paper's proprietary resources, and EXPERIMENTS.md for
+// paper-vs-measured results of every table and figure.
+package vbench
+
+import (
+	"vbench/internal/codec"
+	"vbench/internal/codec/hw"
+	"vbench/internal/codec/profiles"
+	"vbench/internal/corpus"
+	"vbench/internal/harness"
+	"vbench/internal/metrics"
+	"vbench/internal/perf"
+	"vbench/internal/scoring"
+	"vbench/internal/video"
+)
+
+// Core data types.
+type (
+	// Frame is a planar YUV 4:2:0 picture.
+	Frame = video.Frame
+	// Sequence is a list of frames with framerate metadata.
+	Sequence = video.Sequence
+	// ContentParams drives the synthetic content generator.
+	ContentParams = video.ContentParams
+	// Clip is one benchmark input video.
+	Clip = corpus.Clip
+	// Encoder is a configured encoding engine (tools + cost model).
+	Encoder = codec.Engine
+	// Config carries per-transcode parameters.
+	Config = codec.Config
+	// Result is the outcome of an encode.
+	Result = codec.Result
+	// Tools is an encoder feature set.
+	Tools = codec.Tools
+	// Preset is an effort level on the x264-style ladder.
+	Preset = codec.Preset
+	// Measurement is the normalized (speed, bitrate, quality) triple.
+	Measurement = scoring.Measurement
+	// Ratios holds S/B/Q improvement ratios versus a reference.
+	Ratios = scoring.Ratios
+	// Score is a scenario-scored transcode.
+	Score = scoring.Score
+	// Scenario is one of the five vbench scoring scenarios.
+	Scenario = scoring.Scenario
+	// Runner executes benchmark workloads.
+	Runner = harness.Runner
+	// Counters is the abstract work accounting of an encode.
+	Counters = perf.Counters
+)
+
+// Rate-control modes.
+const (
+	RCConstQP = codec.RCConstQP
+	RCBitrate = codec.RCBitrate
+	RCTwoPass = codec.RCTwoPass
+)
+
+// Presets (subset; see codec.Preset for all).
+const (
+	PresetUltraFast = codec.PresetUltraFast
+	PresetVeryFast  = codec.PresetVeryFast
+	PresetFast      = codec.PresetFast
+	PresetMedium    = codec.PresetMedium
+	PresetSlow      = codec.PresetSlow
+	PresetVerySlow  = codec.PresetVerySlow
+	PresetPlacebo   = codec.PresetPlacebo
+)
+
+// Scenarios.
+const (
+	Upload   = scoring.Upload
+	Live     = scoring.Live
+	VOD      = scoring.VOD
+	Popular  = scoring.Popular
+	Platform = scoring.Platform
+)
+
+// Clips returns the 15 vbench benchmark clips (Table 2).
+func Clips() []Clip { return corpus.VBenchClips() }
+
+// ClipByName returns the named benchmark clip.
+func ClipByName(name string) (Clip, error) { return corpus.ClipByName(name) }
+
+// Generate synthesizes a video from content parameters.
+func Generate(p ContentParams, width, height, frames int, fps float64) (*Sequence, error) {
+	return video.Generate(p, width, height, frames, fps)
+}
+
+// X264 returns the reference software encoder (libx264 analogue).
+func X264(p Preset) *Encoder { return profiles.X264(p) }
+
+// X265 returns the HEVC-generation encoder (libx265 analogue).
+func X265(p Preset) *Encoder { return profiles.X265(p) }
+
+// VP9 returns the libvpx-vp9-analogue encoder.
+func VP9(p Preset) *Encoder { return profiles.VP9(p) }
+
+// NVENC returns the NVIDIA-NVENC-analogue fixed-function encoder.
+func NVENC() *Encoder { return hw.NVENC() }
+
+// QSV returns the Intel-Quick-Sync-analogue fixed-function encoder.
+func QSV() *Encoder { return hw.QSV() }
+
+// Decode parses a bitstream produced by any of the encoders and
+// reconstructs the video (bit-identical to the encoder's Result.Recon).
+func Decode(bitstream []byte) (*Sequence, error) {
+	seq, _, err := codec.Decode(bitstream)
+	return seq, err
+}
+
+// PSNR returns the average YCbCr PSNR (dB) of a transcode against its
+// source.
+func PSNR(ref, transcoded *Sequence) (float64, error) {
+	return metrics.SequencePSNR(ref, transcoded)
+}
+
+// SSIM returns the mean luma structural similarity of a transcode.
+func SSIM(ref, transcoded *Sequence) (float64, error) {
+	return metrics.SequenceSSIM(ref, transcoded)
+}
+
+// Bitrate normalizes a compressed size to bits/pixel/second.
+func Bitrate(compressedBytes int64, width, height int, seconds float64) (float64, error) {
+	return metrics.Bitrate(compressedBytes, width, height, seconds)
+}
+
+// NewRunner returns a benchmark runner at the given linear resolution
+// scale (1 = paper scale, default 8) and clip duration in seconds
+// (paper uses 5).
+func NewRunner(scale int, durationSeconds float64) *Runner {
+	return harness.NewRunner(scale, durationSeconds)
+}
+
+// EvaluateScenario applies a scenario's constraint and score (Table 1)
+// to candidate-vs-reference measurements. realTimeMPS is the Live
+// scenario's output pixel rate (ignored by other scenarios).
+func EvaluateScenario(s Scenario, candidate, reference Measurement, realTimeMPS float64) (Score, error) {
+	ratios, err := scoring.ComputeRatios(candidate, reference)
+	if err != nil {
+		return Score{}, err
+	}
+	return scoring.Evaluate(s, ratios, scoring.Constraint{
+		CandidatePSNR:     candidate.PSNR,
+		CandidateSpeedMPS: candidate.SpeedMPS,
+		RealTimeMPS:       realTimeMPS,
+	}), nil
+}
+
+// WriteY4M serializes a sequence as YUV4MPEG2.
+var WriteY4M = video.WriteY4M
+
+// ReadY4M parses a YUV4MPEG2 stream.
+var ReadY4M = video.ReadY4M

@@ -1,0 +1,117 @@
+package vbench
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	clip, err := ClipByName("bike")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := clip.Generate(16, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := X264(PresetVeryFast)
+	res, err := enc.Encode(seq, Config{RC: RCConstQP, QP: 26})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(res.Bitstream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range dec.Frames {
+		if !dec.Frames[i].Equal(res.Recon.Frames[i]) {
+			t.Fatalf("frame %d mismatch", i)
+		}
+	}
+	psnr, err := PSNR(seq, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if psnr < 30 {
+		t.Errorf("PSNR %v too low", psnr)
+	}
+	ssim, err := SSIM(seq, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ssim < 0.7 || ssim > 1 {
+		t.Errorf("SSIM %v implausible", ssim)
+	}
+}
+
+func TestPublicClipsComplete(t *testing.T) {
+	clips := Clips()
+	if len(clips) != 15 {
+		t.Fatalf("%d clips", len(clips))
+	}
+}
+
+func TestPublicEncodersConstructible(t *testing.T) {
+	for name, enc := range map[string]*Encoder{
+		"x264": X264(PresetMedium), "x265": X265(PresetMedium), "vp9": VP9(PresetMedium),
+		"nvenc": NVENC(), "qsv": QSV(),
+	} {
+		if enc == nil || enc.Model == nil {
+			t.Errorf("%s encoder incomplete", name)
+		}
+		if err := enc.Tools.Validate(); err != nil {
+			t.Errorf("%s tools: %v", name, err)
+		}
+	}
+}
+
+func TestPublicGenerateAndY4M(t *testing.T) {
+	seq, err := Generate(ContentParams{Seed: 1, Detail: 0.5, Motion: 0.3, ChromaVariety: 0.4, Sprites: 2}, 48, 32, 4, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteY4M(&buf, seq); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadY4M(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Frames) != 4 {
+		t.Errorf("%d frames after round trip", len(back.Frames))
+	}
+}
+
+func TestPublicEvaluateScenario(t *testing.T) {
+	ref := Measurement{SpeedMPS: 10, BitratePPS: 1, PSNR: 40}
+	cand := Measurement{SpeedMPS: 50, BitratePPS: 1.4, PSNR: 40}
+	score, err := EvaluateScenario(VOD, cand, ref, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !score.Valid {
+		t.Errorf("VOD score invalid: %s", score.Reason)
+	}
+	if score.Value <= 0 {
+		t.Errorf("score %v", score.Value)
+	}
+}
+
+func TestPublicRunnerScenario(t *testing.T) {
+	r := NewRunner(16, 0.3)
+	clip, err := ClipByName("bike")
+	if err != nil {
+		t.Fatal(err)
+	}
+	score, m, err := r.EvaluateQualityConstrained(VOD, clip, QSV(), RCBitrate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m == nil {
+		t.Fatalf("no measurement: %s", score.Reason)
+	}
+	if score.Ratios.S <= 0 || score.Ratios.B <= 0 {
+		t.Errorf("bad ratios %+v", score.Ratios)
+	}
+}
