@@ -2,7 +2,9 @@ package vbench
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
+	"time"
 
 	"vbench/internal/codec"
 	"vbench/internal/corpus"
@@ -316,6 +318,41 @@ func BenchmarkSliceParallelEncode(b *testing.B) {
 				if _, err := enc.Encode(seq, Config{RC: RCConstQP, QP: 28, Slices: slices}); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkHarnessGrid measures the harness's worker-pool fan-out end
+// to end: the same full clip × encoder grid (Table 3, VOD) evaluated
+// serially (j=1) and with one worker per core (j=GOMAXPROCS). The
+// rendered table is byte-identical between the two — only the wall
+// clock changes. Per-worker busy time from Runner.PoolStats is folded
+// into a busy/wall utilization metric so both the speedup and the
+// load balance are visible in the benchmark output. On a single-core
+// host the parallel variant still runs (at j=4) and measures the
+// pool's coordination overhead instead of a speedup.
+func BenchmarkHarnessGrid(b *testing.B) {
+	parallel := runtime.GOMAXPROCS(0)
+	if parallel < 2 {
+		parallel = 4
+	}
+	for _, j := range []int{1, parallel} {
+		b.Run(fmt.Sprintf("j=%d", j), func(b *testing.B) {
+			var busy time.Duration
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				r := benchRunner()
+				r.Workers = j
+				if _, _, err := r.Table3(); err != nil {
+					b.Fatal(err)
+				}
+				for _, s := range r.PoolStats() {
+					busy += s.Busy
+				}
+			}
+			if wall := time.Since(start); wall > 0 {
+				b.ReportMetric(float64(busy)/float64(wall), "busy/wall")
 			}
 		})
 	}

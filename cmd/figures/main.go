@@ -8,6 +8,11 @@
 //	figures -fig 2        # one figure
 //	figures -table 5      # one table
 //	figures -scale 8 -duration 1 -v
+//	figures -j 4          # evaluate grid cells on 4 workers
+//
+// Independent grid cells fan out across -j workers (default
+// GOMAXPROCS); results are assembled in grid order, so the rendered
+// tables are byte-identical at any worker count.
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"vbench/internal/corpus"
@@ -30,6 +36,7 @@ func main() {
 	duration := flag.Float64("duration", 1.0, "clip duration in seconds")
 	verbose := flag.Bool("v", false, "print per-encode progress")
 	outdir := flag.String("outdir", "", "also write each table as .txt and .csv into this directory")
+	workers := flag.Int("j", runtime.GOMAXPROCS(0), "benchmark-grid worker count (output is identical at any -j)")
 	flag.Parse()
 	if *outdir != "" {
 		if err := os.MkdirAll(*outdir, 0o755); err != nil {
@@ -43,6 +50,7 @@ func main() {
 	}
 
 	r := harness.NewRunner(*scale, *duration)
+	r.Workers = *workers
 	if *verbose {
 		r.Progress = os.Stderr
 	}
@@ -121,6 +129,11 @@ func main() {
 		t, _, err := r.Figure8("girl")
 		check(err)
 		emit(t)
+	}
+	if *verbose {
+		for _, s := range r.PoolStats() {
+			fmt.Fprintf(os.Stderr, "worker %d: %d cells, %v busy\n", s.Worker, s.Jobs, s.Busy)
+		}
 	}
 }
 

@@ -8,13 +8,19 @@
 //	vbench -scenario live           # Table 4: NVENC/QSV under Live
 //	vbench -scenario popular        # Table 5: x265/vp9 under Popular
 //	vbench -scenario all -scale 8 -duration 1
+//	vbench -scenario all -j 4       # fan the grid out over 4 workers
 //	vbench -scenarios               # print Table 1 (scoring rules)
+//
+// Grid cells (clip × scenario × encoder) are independent, so -j N
+// evaluates them on N workers; results are assembled in grid order,
+// making the output byte-identical at any worker count.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"vbench/internal/harness"
 	"vbench/internal/scoring"
@@ -28,6 +34,7 @@ func main() {
 	verbose := flag.Bool("v", false, "print per-encode progress")
 	listScenarios := flag.Bool("scenarios", false, "print the scoring functions and constraints (Table 1)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	workers := flag.Int("j", runtime.GOMAXPROCS(0), "benchmark-grid worker count (output is identical at any -j)")
 	flag.Parse()
 
 	if *listScenarios {
@@ -36,6 +43,7 @@ func main() {
 	}
 
 	r := harness.NewRunner(*scale, *duration)
+	r.Workers = *workers
 	if *verbose {
 		r.Progress = os.Stderr
 	}
@@ -115,9 +123,20 @@ func main() {
 		for _, s := range []string{"table2", "vod", "live", "popular", "upload", "platform"} {
 			run(s)
 		}
-		return
+	} else {
+		run(*scenario)
 	}
-	run(*scenario)
+	if *verbose {
+		printPoolStats(r)
+	}
+}
+
+// printPoolStats reports how the grid cells were spread across the
+// worker pool (only meaningful with -j > 1).
+func printPoolStats(r *harness.Runner) {
+	for _, s := range r.PoolStats() {
+		fmt.Fprintf(os.Stderr, "worker %d: %d cells, %v busy\n", s.Worker, s.Jobs, s.Busy)
+	}
 }
 
 func printTable1() {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"runtime"
 	"sync"
 
 	"vbench/internal/codec/motion"
@@ -13,6 +14,16 @@ import (
 	"vbench/internal/perf"
 	"vbench/internal/video"
 )
+
+// sliceGate bounds how many slice encoders run at once across ALL
+// concurrent Encode calls in the process. Without it, every encode
+// spawns one goroutine per slice, so N concurrent encodes × K slices
+// oversubscribe the machine when a harness worker pool already
+// saturates the cores. Tokens are held only while a slice encodes, so
+// nested parallelism degrades gracefully to GOMAXPROCS runnable
+// slices; determinism is unaffected because payloads and counters are
+// still merged in slice order.
+var sliceGate = make(chan struct{}, runtime.GOMAXPROCS(0))
 
 // intraAvailClipped is predict.Available restricted to a slice:
 // prediction from above must not cross the slice's first row
@@ -203,6 +214,8 @@ func (e *Engine) Encode(src *video.Sequence, cfg Config) (*Result, error) {
 			wg.Add(1)
 			go func(s int, fe *frameEncoder) {
 				defer wg.Done()
+				sliceGate <- struct{}{}
+				defer func() { <-sliceGate }()
 				defer func() {
 					if r := recover(); r != nil {
 						errOnce.Do(func() { encErr = fmt.Errorf("codec: slice %d panicked: %v", s, r) })

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math"
 	"sort"
 
@@ -27,17 +28,49 @@ type ScenarioRow struct {
 // Table2 regenerates the benchmark composition table: the 15 clips
 // with their measured entropy next to the paper's published values.
 func (r *Runner) Table2() (*tables.Table, error) {
+	clips := corpus.VBenchClips()
+	entropies := make([]float64, len(clips))
+	err := r.pool().ForEach(len(clips), func(i int) error {
+		e, err := r.ClipEntropy(clips[i])
+		entropies[i] = e
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
 	t := tables.New("Table 2: vbench videos (synthetic reproduction)",
 		"clip", "resolution", "fps", "entropy(paper)", "entropy(measured)")
-	for _, c := range corpus.VBenchClips() {
-		e, err := r.ClipEntropy(c)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRowf(c.Name, fmt.Sprintf("%dx%d", c.Width, c.Height), c.FrameRate, c.PaperEntropy, e)
+	for i, c := range clips {
+		t.AddRowf(c.Name, fmt.Sprintf("%dx%d", c.Width, c.Height), c.FrameRate, c.PaperEntropy, entropies[i])
 	}
 	t.AddNote("measured at 1/%d scale, %.1fs clips, QP %d constant quality", r.Scale, r.Duration, corpus.EntropyQP)
 	return t, nil
+}
+
+// scoreGrid evaluates a clip × encoder grid of quality-constrained
+// cells on the Runner's worker pool and returns the scores indexed
+// [clip][encoder]. Results are assembled in grid order regardless of
+// which worker finished first, so callers render identical tables at
+// any worker count.
+func (r *Runner) scoreGrid(label string, s scoring.Scenario, clips []corpus.Clip, encs []string,
+	eng func(name string) *codec.Engine, rc codec.RCMode) ([][]scoring.Score, error) {
+	scores := make([][]scoring.Score, len(clips))
+	for i := range scores {
+		scores[i] = make([]scoring.Score, len(encs))
+	}
+	err := r.pool().ForEach(len(clips)*len(encs), func(i int) error {
+		ci, ei := i/len(encs), i%len(encs)
+		score, _, err := r.EvaluateQualityConstrained(s, clips[ci], eng(encs[ei]), rc)
+		if err != nil {
+			return fmt.Errorf("%s %s/%s: %w", label, clips[ci].Name, encs[ei], err)
+		}
+		scores[ci][ei] = score
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return scores, nil
 }
 
 // Table3 reproduces the VOD study: NVENC and QSV quality-constrained
@@ -48,17 +81,20 @@ func (r *Runner) Table3() (*tables.Table, []ScenarioRow, error) {
 	for _, row := range refdata.Table3() {
 		paper[row.Clip] = row
 	}
+	clips := corpus.VBenchClips()
+	encs := []string{"NVENC", "QSV"}
+	scores, err := r.scoreGrid("table3", scoring.VOD, clips, encs,
+		func(name string) *codec.Engine { return hw.Encoders()[name] }, codec.RCBitrate)
+	if err != nil {
+		return nil, nil, err
+	}
 	t := tables.New("Table 3: VOD scenario, hardware encoders",
 		"clip", "enc", "S", "B", "VOD score", "S(paper)", "B(paper)", "score(paper)")
 	var rows []ScenarioRow
-	for _, c := range corpus.VBenchClips() {
+	for ci, c := range clips {
 		row := ScenarioRow{Clip: c, Scores: map[string]scoring.Score{}}
-		for _, name := range []string{"NVENC", "QSV"} {
-			eng := hw.Encoders()[name]
-			score, _, err := r.EvaluateQualityConstrained(scoring.VOD, c, eng, codec.RCBitrate)
-			if err != nil {
-				return nil, nil, fmt.Errorf("table3 %s/%s: %w", c.Name, name, err)
-			}
+		for ei, name := range encs {
+			score := scores[ci][ei]
 			row.Scores[name] = score
 			p := paper[c.Name]
 			ps, pb, psc := p.NVENCS, p.NVENCB, p.NVENCScore
@@ -80,17 +116,20 @@ func (r *Runner) Table4() (*tables.Table, []ScenarioRow, error) {
 	for _, row := range refdata.Table4() {
 		paper[row.Clip] = row
 	}
+	clips := corpus.VBenchClips()
+	encs := []string{"NVENC", "QSV"}
+	scores, err := r.scoreGrid("table4", scoring.Live, clips, encs,
+		func(name string) *codec.Engine { return hw.Encoders()[name] }, codec.RCBitrate)
+	if err != nil {
+		return nil, nil, err
+	}
 	t := tables.New("Table 4: Live scenario, hardware encoders",
 		"clip", "enc", "Q", "B", "Live score", "Q(paper)", "B(paper)", "score(paper)")
 	var rows []ScenarioRow
-	for _, c := range corpus.VBenchClips() {
+	for ci, c := range clips {
 		row := ScenarioRow{Clip: c, Scores: map[string]scoring.Score{}}
-		for _, name := range []string{"NVENC", "QSV"} {
-			eng := hw.Encoders()[name]
-			score, _, err := r.EvaluateQualityConstrained(scoring.Live, c, eng, codec.RCBitrate)
-			if err != nil {
-				return nil, nil, fmt.Errorf("table4 %s/%s: %w", c.Name, name, err)
-			}
+		for ei, name := range encs {
+			score := scores[ci][ei]
 			row.Scores[name] = score
 			p := paper[c.Name]
 			pq, pb, psc := p.NVENCQ, p.NVENCB, p.NVENCScore
@@ -112,30 +151,32 @@ func (r *Runner) Table5() (*tables.Table, []ScenarioRow, error) {
 	for _, row := range refdata.Table5() {
 		paper[row.Clip] = row
 	}
-	cands := []struct {
-		name string
-		eng  *codec.Engine
-	}{
-		{"libvpx-vp9", profiles.VP9(codec.PresetVerySlow)},
-		{"libx265", profiles.X265(codec.PresetVerySlow)},
+	clips := corpus.VBenchClips()
+	encs := []string{"libvpx-vp9", "libx265"}
+	mkEng := func(name string) *codec.Engine {
+		if name == "libx265" {
+			return profiles.X265(codec.PresetVerySlow)
+		}
+		return profiles.VP9(codec.PresetVerySlow)
+	}
+	scores, err := r.scoreGrid("table5", scoring.Popular, clips, encs, mkEng, codec.RCTwoPass)
+	if err != nil {
+		return nil, nil, err
 	}
 	t := tables.New("Table 5: Popular scenario, advanced software encoders",
 		"clip", "enc", "Q", "B", "Pop score", "Q(paper)", "B(paper)", "score(paper)")
 	var rows []ScenarioRow
-	for _, c := range corpus.VBenchClips() {
+	for ci, c := range clips {
 		row := ScenarioRow{Clip: c, Scores: map[string]scoring.Score{}}
-		for _, cand := range cands {
-			score, _, err := r.EvaluateQualityConstrained(scoring.Popular, c, cand.eng, codec.RCTwoPass)
-			if err != nil {
-				return nil, nil, fmt.Errorf("table5 %s/%s: %w", c.Name, cand.name, err)
-			}
-			row.Scores[cand.name] = score
+		for ei, name := range encs {
+			score := scores[ci][ei]
+			row.Scores[name] = score
 			p := paper[c.Name]
 			pq, pb, psc := p.VP9Q, p.VP9B, p.VP9Score
-			if cand.name == "libx265" {
+			if name == "libx265" {
 				pq, pb, psc = p.X265Q, p.X265B, p.X265Score
 			}
-			t.AddRowf(c.Name, cand.name, score.Ratios.Q, score.Ratios.B, scoreCell(score), pq, pb, scoreOrDash(psc))
+			t.AddRowf(c.Name, name, score.Ratios.Q, score.Ratios.B, scoreCell(score), pq, pb, scoreOrDash(psc))
 		}
 		rows = append(rows, row)
 	}
@@ -202,20 +243,27 @@ func (r *Runner) Figure2(clipName string, bitratesPPS []float64) (*tables.Table,
 	}
 	t := tables.New(fmt.Sprintf("Figure 2: quality and speed vs bitrate (%s)", clipName),
 		"encoder", "bitrate(bit/pix/s)", "PSNR(dB)", "speed(Mpix/s)")
+	pixPerSec := float64(seq.Width() * seq.Height())
+	grid := make([]RDPoint, len(encs)*len(bitratesPPS))
+	err = r.pool().ForEach(len(grid), func(i int) error {
+		e := encs[i/len(bitratesPPS)]
+		bpps := bitratesPPS[i%len(bitratesPPS)]
+		m, merr := r.Measure(e.eng, seq, codec.Config{RC: codec.RCTwoPass, BitrateBPS: bpps * pixPerSec})
+		if merr != nil {
+			return fmt.Errorf("figure2 %s @%.2f: %w", e.name, bpps, merr)
+		}
+		grid[i] = RDPoint{Encoder: e.name, BitratePPS: m.BitratePPS, PSNR: m.PSNR, SpeedMPS: m.SpeedMPS}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
 	var points []RDPoint
 	curves := map[string][]metrics.RDCurvePoint{}
-	pixPerSec := float64(seq.Width() * seq.Height())
-	for _, e := range encs {
-		for _, bpps := range bitratesPPS {
-			m, err := r.Measure(e.eng, seq, codec.Config{RC: codec.RCTwoPass, BitrateBPS: bpps * pixPerSec})
-			if err != nil {
-				return nil, nil, fmt.Errorf("figure2 %s @%.2f: %w", e.name, bpps, err)
-			}
-			p := RDPoint{Encoder: e.name, BitratePPS: m.BitratePPS, PSNR: m.PSNR, SpeedMPS: m.SpeedMPS}
-			points = append(points, p)
-			curves[e.name] = append(curves[e.name], metrics.RDCurvePoint{Bitrate: p.BitratePPS, PSNR: p.PSNR})
-			t.AddRowf(e.name, p.BitratePPS, p.PSNR, p.SpeedMPS)
-		}
+	for _, p := range grid {
+		points = append(points, p)
+		curves[p.Encoder] = append(curves[p.Encoder], metrics.RDCurvePoint{Bitrate: p.BitratePPS, PSNR: p.PSNR})
+		t.AddRowf(p.Encoder, p.BitratePPS, p.PSNR, p.SpeedMPS)
 	}
 	t.AddNote("expected shape: vp9 ≥ x265 > x264 on quality per bit; x264 3-4x faster")
 	// Condense the curves into Bjøntegaard deltas against libx264.
@@ -264,38 +312,69 @@ type UArchPoint struct {
 	Profile *uarch.Profile
 }
 
+// stableSeed derives a deterministic RNG seed from an experiment
+// cell's identity (FNV-1a over the name). Seeds used to be assigned
+// from the accumulation order (uint64(len(out))+1), which made results
+// depend on evaluation order and collided with the default Seed: 1
+// used by one-off analyses; a name-derived hash is order-independent
+// and, being guarded away from {0, 1}, collision-free with it.
+func stableSeed(name string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	s := h.Sum64()
+	if s <= 1 {
+		s += 2
+	}
+	return s
+}
+
 // UArchStudy encodes every clip of the given suites under the VOD
 // reference configuration and runs the µarch analysis. Results are
-// cached per Runner via the reference cache.
+// cached per Runner via the reference cache. Cells evaluate on the
+// Runner's worker pool; each cell's analysis seed is derived from its
+// suite/clip name, so the points are identical at any worker count.
 func (r *Runner) UArchStudy(suites []corpus.Suite) ([]UArchPoint, error) {
-	var out []UArchPoint
+	type cell struct {
+		suite corpus.Suite
+		clip  corpus.Clip
+	}
+	var cells []cell
 	for _, s := range suites {
 		clips, err := corpus.SuiteClips(s)
 		if err != nil {
 			return nil, err
 		}
 		for _, c := range clips {
-			e, err := r.ClipEntropy(c)
-			if err != nil {
-				return nil, err
-			}
-			ref, err := r.Reference(scoring.VOD, c)
-			if err != nil {
-				return nil, err
-			}
-			tools := codec.BaselineTools(codec.PresetMedium)
-			prof, err := uarch.Analyze(&ref.Result.Counters, uarch.Options{
-				NativeWidth:  c.Width,
-				NativeHeight: c.Height,
-				SearchRange:  tools.SearchRange,
-				ISA:          perf.ISAAVX2,
-				Seed:         uint64(len(out)) + 1,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("uarch %s/%s: %w", s, c.Name, err)
-			}
-			out = append(out, UArchPoint{Suite: s, Clip: c, Entropy: e, Profile: prof})
+			cells = append(cells, cell{s, c})
 		}
+	}
+	out := make([]UArchPoint, len(cells))
+	err := r.pool().ForEach(len(cells), func(i int) error {
+		s, c := cells[i].suite, cells[i].clip
+		e, err := r.ClipEntropy(c)
+		if err != nil {
+			return err
+		}
+		ref, err := r.Reference(scoring.VOD, c)
+		if err != nil {
+			return err
+		}
+		tools := codec.BaselineTools(codec.PresetMedium)
+		prof, err := uarch.Analyze(&ref.Result.Counters, uarch.Options{
+			NativeWidth:  c.Width,
+			NativeHeight: c.Height,
+			SearchRange:  tools.SearchRange,
+			ISA:          perf.ISAAVX2,
+			Seed:         stableSeed(string(s) + "/" + c.Name),
+		})
+		if err != nil {
+			return fmt.Errorf("uarch %s/%s: %w", s, c.Name, err)
+		}
+		out[i] = UArchPoint{Suite: s, Clip: c, Entropy: e, Profile: prof}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

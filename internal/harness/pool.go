@@ -1,0 +1,122 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// WorkerStats is one pool worker's accounting across every grid the
+// pool has executed: how many cells it ran and how long it was busy.
+// The counters make parallel speedup measurable (see bench_test.go's
+// harness-grid benchmark) without relying on wall clocks inside the
+// deterministic scoring path.
+type WorkerStats struct {
+	// Worker is the worker's index in [0, Workers).
+	Worker int
+	// Jobs is the number of grid cells the worker completed.
+	Jobs int
+	// Busy is the cumulative time the worker spent inside cells.
+	Busy time.Duration
+}
+
+// Pool fans independent benchmark cells out across a bounded set of
+// workers. Results are always aggregated by cell index, so a parallel
+// run's output is byte-identical to a serial run's: the pool controls
+// only *when* a cell executes, never the order results are assembled
+// or which error is reported (the lowest-index failure wins, exactly
+// as a serial loop would fail first).
+type Pool struct {
+	workers int
+
+	mu    sync.Mutex
+	stats []WorkerStats
+}
+
+// NewPool returns a pool with the given number of workers;
+// non-positive means runtime.GOMAXPROCS(0).
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{workers: workers, stats: make([]WorkerStats, workers)}
+	for w := range p.stats {
+		p.stats[w].Worker = w
+	}
+	return p
+}
+
+// Workers reports the pool's worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Stats returns a copy of the per-worker counters accumulated so far.
+func (p *Pool) Stats() []WorkerStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]WorkerStats, len(p.stats))
+	copy(out, p.stats)
+	return out
+}
+
+// ForEach runs fn(i) for every i in [0, n), spreading the calls
+// across the pool's workers. Every cell runs regardless of other
+// cells' failures; afterwards the error of the lowest-index failing
+// cell is returned, so error reporting is independent of scheduling.
+// With one worker the cells run serially, in order, on the calling
+// goroutine.
+func (p *Pool) ForEach(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+
+	if p.workers == 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			start := time.Now()
+			errs[i] = fn(i)
+			p.record(0, time.Since(start))
+		}
+		return firstError(errs)
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				start := time.Now()
+				errs[i] = fn(i)
+				p.record(w, time.Since(start))
+			}
+		}(w)
+	}
+	wg.Wait()
+	return firstError(errs)
+}
+
+func (p *Pool) record(worker int, d time.Duration) {
+	p.mu.Lock()
+	p.stats[worker].Jobs++
+	p.stats[worker].Busy += d
+	p.mu.Unlock()
+}
+
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolForEachRunsEveryCell(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		p := NewPool(workers)
+		const n = 100
+		var ran [n]atomic.Int32
+		if err := p.ForEach(n, func(i int) error {
+			ran[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range ran {
+			if got := ran[i].Load(); got != 1 {
+				t.Errorf("workers=%d: cell %d ran %d times", workers, i, got)
+			}
+		}
+		jobs := 0
+		for _, s := range p.Stats() {
+			jobs += s.Jobs
+		}
+		if jobs != n {
+			t.Errorf("workers=%d: stats count %d jobs, want %d", workers, jobs, n)
+		}
+	}
+}
+
+func TestPoolLowestIndexErrorWins(t *testing.T) {
+	// Error reporting must not depend on scheduling: the error of the
+	// lowest-index failing cell is returned, exactly as a serial loop
+	// would fail first.
+	early := errors.New("early")
+	late := errors.New("late")
+	for trial := 0; trial < 10; trial++ {
+		p := NewPool(8)
+		err := p.ForEach(64, func(i int) error {
+			switch i {
+			case 7:
+				return early
+			case 50:
+				return late
+			}
+			return nil
+		})
+		if !errors.Is(err, early) {
+			t.Fatalf("trial %d: got %v, want the lowest-index error", trial, err)
+		}
+	}
+}
+
+func TestPoolDefaultsAndEmpty(t *testing.T) {
+	p := NewPool(0)
+	if p.Workers() < 1 {
+		t.Errorf("default pool has %d workers", p.Workers())
+	}
+	if err := p.ForEach(0, func(int) error { return fmt.Errorf("must not run") }); err != nil {
+		t.Errorf("empty grid returned %v", err)
+	}
+}

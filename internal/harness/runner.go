@@ -16,6 +16,7 @@ import (
 	"vbench/internal/corpus"
 	"vbench/internal/metrics"
 	"vbench/internal/scoring"
+	"vbench/internal/syncx"
 	"vbench/internal/video"
 )
 
@@ -25,6 +26,14 @@ import (
 // vbench metrics are normalized per pixel per second, so scores are
 // comparable across scales; EXPERIMENTS.md records the scale used for
 // each reported run.
+//
+// A Runner is safe for concurrent use: its memoization caches have
+// per-key singleflight semantics (each sequence, entropy, target
+// bitrate, and reference transcode is computed exactly once no matter
+// how many goroutines race for it), and the grid methods in
+// experiments.go/studies.go fan their cells out across a bounded
+// worker pool while aggregating results in grid order, so parallel
+// output is byte-identical to serial output.
 type Runner struct {
 	// Scale is the linear resolution divisor (default 8).
 	Scale int
@@ -32,12 +41,20 @@ type Runner struct {
 	Duration float64
 	// Progress, when non-nil, receives human-readable progress lines.
 	Progress io.Writer
+	// Workers bounds how many benchmark-grid cells evaluate
+	// concurrently; non-positive selects runtime.GOMAXPROCS(0). Set
+	// it before the first grid method runs — the pool is built lazily
+	// on first use and then fixed for the Runner's lifetime.
+	Workers int
 
-	mu      sync.Mutex
-	seqs    map[string]*video.Sequence
-	targets map[string]float64
-	refs    map[string]*Measured
-	entropy map[string]float64
+	logMu    sync.Mutex
+	poolOnce sync.Once
+	p        *Pool
+
+	seqs    syncx.Memo[string, *video.Sequence]
+	targets syncx.Memo[string, float64]
+	refs    syncx.Memo[string, *Measured]
+	entropy syncx.Memo[string, float64]
 }
 
 // NewRunner returns a Runner at the given scale and duration;
@@ -49,35 +66,42 @@ func NewRunner(scale int, duration float64) *Runner {
 	if duration <= 0 {
 		duration = 1.0
 	}
-	return &Runner{
-		Scale:    scale,
-		Duration: duration,
-		seqs:     make(map[string]*video.Sequence),
-		targets:  make(map[string]float64),
-		refs:     make(map[string]*Measured),
-		entropy:  make(map[string]float64),
+	return &Runner{Scale: scale, Duration: duration}
+}
+
+// pool returns the Runner's worker pool, building it on first use.
+func (r *Runner) pool() *Pool {
+	r.poolOnce.Do(func() { r.p = NewPool(r.Workers) })
+	return r.p
+}
+
+// PoolStats returns the per-worker cell counts and busy times
+// accumulated by every grid method run so far (nil if no grid has
+// run yet).
+func (r *Runner) PoolStats() []WorkerStats {
+	if r.p == nil {
+		return nil
 	}
+	return r.p.Stats()
 }
 
 func (r *Runner) logf(format string, args ...interface{}) {
 	if r.Progress != nil {
+		r.logMu.Lock()
 		fmt.Fprintf(r.Progress, format+"\n", args...)
+		r.logMu.Unlock()
 	}
 }
 
 // Sequence returns the synthesized (and cached) sequence for a clip.
 func (r *Runner) Sequence(c corpus.Clip) (*video.Sequence, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if s, ok := r.seqs[c.Name]; ok {
+	return r.seqs.Do(c.Name, func() (*video.Sequence, error) {
+		s, err := c.Generate(r.Scale, r.Duration)
+		if err != nil {
+			return nil, fmt.Errorf("harness: generating %s: %w", c.Name, err)
+		}
 		return s, nil
-	}
-	s, err := c.Generate(r.Scale, r.Duration)
-	if err != nil {
-		return nil, fmt.Errorf("harness: generating %s: %w", c.Name, err)
-	}
-	r.seqs[c.Name] = s
-	return s, nil
+	})
 }
 
 // Measured couples a scoring measurement with the encode that
@@ -117,27 +141,21 @@ func (r *Runner) Measure(eng *codec.Engine, seq *video.Sequence, cfg codec.Confi
 }
 
 // ClipEntropy measures (and caches) a clip's content entropy in
-// bits/pixel/s, per the paper's CRF-18 definition.
+// bits/pixel/s, per the paper's CRF-18 definition. Concurrent callers
+// share a single measurement per clip.
 func (r *Runner) ClipEntropy(c corpus.Clip) (float64, error) {
-	r.mu.Lock()
-	if e, ok := r.entropy[c.Name]; ok {
-		r.mu.Unlock()
+	return r.entropy.Do(c.Name, func() (float64, error) {
+		seq, err := r.Sequence(c)
+		if err != nil {
+			return 0, err
+		}
+		e, err := corpus.MeasureEntropy(seq, profiles.X264(codec.PresetMedium))
+		if err != nil {
+			return 0, err
+		}
+		r.logf("entropy %-14s %.3f bit/pix/s (paper %.1f)", c.Name, e, c.PaperEntropy)
 		return e, nil
-	}
-	r.mu.Unlock()
-	seq, err := r.Sequence(c)
-	if err != nil {
-		return 0, err
-	}
-	e, err := corpus.MeasureEntropy(seq, profiles.X264(codec.PresetMedium))
-	if err != nil {
-		return 0, err
-	}
-	r.mu.Lock()
-	r.entropy[c.Name] = e
-	r.mu.Unlock()
-	r.logf("entropy %-14s %.3f bit/pix/s (paper %.1f)", c.Name, e, c.PaperEntropy)
-	return e, nil
+	})
 }
 
 // TargetBitrate returns the clip's service operating point in bits
@@ -145,25 +163,17 @@ func (r *Runner) ClipEntropy(c corpus.Clip) (float64, error) {
 // distribution quality (QP 30), which stands in for the per-format
 // bitrate ladder of a real video service.
 func (r *Runner) TargetBitrate(c corpus.Clip) (float64, error) {
-	r.mu.Lock()
-	if t, ok := r.targets[c.Name]; ok {
-		r.mu.Unlock()
-		return t, nil
-	}
-	r.mu.Unlock()
-	seq, err := r.Sequence(c)
-	if err != nil {
-		return 0, err
-	}
-	res, err := profiles.X264(codec.PresetMedium).Encode(seq, codec.Config{RC: codec.RCConstQP, QP: 30})
-	if err != nil {
-		return 0, err
-	}
-	bps := float64(len(res.Bitstream)) * 8 / seq.Duration()
-	r.mu.Lock()
-	r.targets[c.Name] = bps
-	r.mu.Unlock()
-	return bps, nil
+	return r.targets.Do(c.Name, func() (float64, error) {
+		seq, err := r.Sequence(c)
+		if err != nil {
+			return 0, err
+		}
+		res, err := profiles.X264(codec.PresetMedium).Encode(seq, codec.Config{RC: codec.RCConstQP, QP: 30})
+		if err != nil {
+			return 0, err
+		}
+		return float64(len(res.Bitstream)) * 8 / seq.Duration(), nil
+	})
 }
 
 // livePreset picks the software effort level for the Live reference:
@@ -192,51 +202,43 @@ func livePreset(kpixels int) codec.Preset {
 //	Popular:  two-pass target bitrate, veryslow preset
 func (r *Runner) Reference(s scoring.Scenario, c corpus.Clip) (*Measured, error) {
 	key := fmt.Sprintf("%s/%s", s, c.Name)
-	r.mu.Lock()
-	if m, ok := r.refs[key]; ok {
-		r.mu.Unlock()
+	return r.refs.Do(key, func() (*Measured, error) {
+		seq, err := r.Sequence(c)
+		if err != nil {
+			return nil, err
+		}
+		var m *Measured
+		switch s {
+		case scoring.Upload:
+			m, err = r.Measure(profiles.X264(codec.PresetMedium), seq, codec.Config{RC: codec.RCConstQP, QP: 20})
+		case scoring.Live:
+			target, terr := r.TargetBitrate(c)
+			if terr != nil {
+				return nil, terr
+			}
+			m, err = r.Measure(profiles.X264(livePreset(c.KPixels())), seq, codec.Config{RC: codec.RCBitrate, BitrateBPS: target})
+		case scoring.VOD, scoring.Platform:
+			target, terr := r.TargetBitrate(c)
+			if terr != nil {
+				return nil, terr
+			}
+			m, err = r.Measure(profiles.X264(codec.PresetMedium), seq, codec.Config{RC: codec.RCTwoPass, BitrateBPS: target})
+		case scoring.Popular:
+			target, terr := r.TargetBitrate(c)
+			if terr != nil {
+				return nil, terr
+			}
+			m, err = r.Measure(profiles.X264(codec.PresetVerySlow), seq, codec.Config{RC: codec.RCTwoPass, BitrateBPS: target})
+		default:
+			return nil, fmt.Errorf("harness: unknown scenario %v", s)
+		}
+		if err != nil {
+			return nil, err
+		}
+		r.logf("reference %-8s %-14s S=%.2f Mpix/s  B=%.3f bit/pix/s  Q=%.2f dB",
+			s, c.Name, m.SpeedMPS, m.BitratePPS, m.PSNR)
 		return m, nil
-	}
-	r.mu.Unlock()
-
-	seq, err := r.Sequence(c)
-	if err != nil {
-		return nil, err
-	}
-	var m *Measured
-	switch s {
-	case scoring.Upload:
-		m, err = r.Measure(profiles.X264(codec.PresetMedium), seq, codec.Config{RC: codec.RCConstQP, QP: 20})
-	case scoring.Live:
-		target, terr := r.TargetBitrate(c)
-		if terr != nil {
-			return nil, terr
-		}
-		m, err = r.Measure(profiles.X264(livePreset(c.KPixels())), seq, codec.Config{RC: codec.RCBitrate, BitrateBPS: target})
-	case scoring.VOD, scoring.Platform:
-		target, terr := r.TargetBitrate(c)
-		if terr != nil {
-			return nil, terr
-		}
-		m, err = r.Measure(profiles.X264(codec.PresetMedium), seq, codec.Config{RC: codec.RCTwoPass, BitrateBPS: target})
-	case scoring.Popular:
-		target, terr := r.TargetBitrate(c)
-		if terr != nil {
-			return nil, terr
-		}
-		m, err = r.Measure(profiles.X264(codec.PresetVerySlow), seq, codec.Config{RC: codec.RCTwoPass, BitrateBPS: target})
-	default:
-		return nil, fmt.Errorf("harness: unknown scenario %v", s)
-	}
-	if err != nil {
-		return nil, err
-	}
-	r.logf("reference %-8s %-14s S=%.2f Mpix/s  B=%.3f bit/pix/s  Q=%.2f dB",
-		s, c.Name, m.SpeedMPS, m.BitratePPS, m.PSNR)
-	r.mu.Lock()
-	r.refs[key] = m
-	r.mu.Unlock()
-	return m, nil
+	})
 }
 
 // RealTimeBar returns the Live scenario's hard speed requirement for

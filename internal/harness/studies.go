@@ -29,29 +29,41 @@ func (r *Runner) UploadStudy() (*tables.Table, error) {
 		{"NVENC", hw.NVENC()},
 		{"QSV", hw.QSV()},
 	}
-	t := tables.New("Upload scenario: fast constant-quality first transcode",
-		"clip", "enc", "S", "B", "Q", "Upload score")
-	for _, c := range corpus.VBenchClips() {
+	clips := corpus.VBenchClips()
+	type cell struct {
+		ratios scoring.Ratios
+		score  scoring.Score
+	}
+	grid := make([]cell, len(clips)*len(cands))
+	err := r.pool().ForEach(len(grid), func(i int) error {
+		c := clips[i/len(cands)]
+		cand := cands[i%len(cands)]
 		seq, err := r.Sequence(c)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ref, err := r.Reference(scoring.Upload, c)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		for _, cand := range cands {
-			m, err := r.Measure(cand.eng, seq, codec.Config{RC: codec.RCConstQP, QP: 20})
-			if err != nil {
-				return nil, fmt.Errorf("upload %s/%s: %w", c.Name, cand.name, err)
-			}
-			ratios, err := scoring.ComputeRatios(m.Measurement, ref.Measurement)
-			if err != nil {
-				return nil, err
-			}
-			score := scoring.Evaluate(scoring.Upload, ratios, scoring.Constraint{CandidatePSNR: m.PSNR})
-			t.AddRowf(c.Name, cand.name, ratios.S, ratios.B, ratios.Q, scoreCell(score))
+		m, err := r.Measure(cand.eng, seq, codec.Config{RC: codec.RCConstQP, QP: 20})
+		if err != nil {
+			return fmt.Errorf("upload %s/%s: %w", c.Name, cand.name, err)
 		}
+		ratios, err := scoring.ComputeRatios(m.Measurement, ref.Measurement)
+		if err != nil {
+			return err
+		}
+		grid[i] = cell{ratios, scoring.Evaluate(scoring.Upload, ratios, scoring.Constraint{CandidatePSNR: m.PSNR})}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := tables.New("Upload scenario: fast constant-quality first transcode",
+		"clip", "enc", "S", "B", "Q", "Upload score")
+	for i, g := range grid {
+		t.AddRowf(clips[i/len(cands)].Name, cands[i%len(cands)].name, g.ratios.S, g.ratios.B, g.ratios.Q, scoreCell(g.score))
 	}
 	t.AddNote("constraint: B > 0.2 (the transcode is a temporary file); score S x Q")
 	return t, nil
@@ -75,13 +87,20 @@ func (r *Runner) PlatformStudy() (*tables.Table, error) {
 		{"i7-6700K SSE2", perf.ReferenceCPU().WithISA(perf.ISASSE2)},
 		{"i7-6700K scalar", perf.ReferenceCPU().WithISA(perf.ISAScalar)},
 	}
+	clips := corpus.VBenchClips()
+	refs := make([]*Measured, len(clips))
+	err := r.pool().ForEach(len(clips), func(i int) error {
+		ref, err := r.Reference(scoring.Platform, clips[i])
+		refs[i] = ref
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
 	t := tables.New("Platform scenario: same encoder and settings, different machine",
 		"clip", "platform", "S", "Platform score")
-	for _, c := range corpus.VBenchClips() {
-		ref, err := r.Reference(scoring.Platform, c)
-		if err != nil {
-			return nil, err
-		}
+	for i, c := range clips {
+		ref := refs[i]
 		refSeconds := ref.Result.Seconds
 		for _, p := range platforms {
 			newSeconds := p.model.Seconds(&ref.Result.Counters)
@@ -133,23 +152,29 @@ func (r *Runner) AblationStudy(clipName string) (*tables.Table, error) {
 		{"+sharp interp", func(t *codec.Tools) { t.SharpInterp = true }},
 		{"+intra 4x4", func(t *codec.Tools) { t.Intra4x4 = true }},
 	}
-	t := tables.New(fmt.Sprintf("Tool ablation at constant quality (QP 28, %s)", clipName),
-		"variant", "bits vs full (%)", "PSNR (dB)", "modeled time vs full (%)")
-	var baseBits, baseSec float64
-	for i, v := range variants {
+	type cell struct {
+		bits, psnr, sec float64
+	}
+	cells := make([]cell, len(variants))
+	err = r.pool().ForEach(len(variants), func(i int) error {
 		tools := base
-		v.mutate(&tools)
+		variants[i].mutate(&tools)
 		eng := &codec.Engine{Tools: tools, Model: perf.ReferenceCPU()}
 		m, err := r.Measure(eng, seq, codec.Config{RC: codec.RCConstQP, QP: 28})
 		if err != nil {
-			return nil, fmt.Errorf("ablation %s: %w", v.name, err)
+			return fmt.Errorf("ablation %s: %w", variants[i].name, err)
 		}
-		bits := m.BitratePPS
-		sec := m.Result.Seconds
-		if i == 0 {
-			baseBits, baseSec = bits, sec
-		}
-		t.AddRowf(v.name, 100*bits/baseBits, m.PSNR, 100*sec/baseSec)
+		cells[i] = cell{bits: m.BitratePPS, psnr: m.PSNR, sec: m.Result.Seconds}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := tables.New(fmt.Sprintf("Tool ablation at constant quality (QP 28, %s)", clipName),
+		"variant", "bits vs full (%)", "PSNR (dB)", "modeled time vs full (%)")
+	baseBits, baseSec := cells[0].bits, cells[0].sec
+	for i, v := range variants {
+		t.AddRowf(v.name, 100*cells[i].bits/baseBits, cells[i].psnr, 100*cells[i].sec/baseSec)
 	}
 	t.AddNote("removing a tool should not reduce bitrate at iso-QP; cost savings show the speed/compression trade")
 	return t, nil
@@ -159,20 +184,31 @@ func (r *Runner) AblationStudy(clipName string) (*tables.Table, error) {
 // deterministic and much cheaper than encoding; this quantifies the
 // asymmetry under the cost model.
 func (r *Runner) DecodeStudy() (*tables.Table, error) {
-	t := tables.New("Encode/decode work asymmetry (VOD reference transcodes)",
-		"clip", "encode ops", "decode ops", "ratio")
-	for _, c := range corpus.VBenchClips() {
+	clips := corpus.VBenchClips()
+	type cell struct {
+		encOps, decOps int64
+	}
+	cells := make([]cell, len(clips))
+	err := r.pool().ForEach(len(clips), func(i int) error {
+		c := clips[i]
 		ref, err := r.Reference(scoring.VOD, c)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		_, dc, err := codec.Decode(ref.Result.Bitstream)
 		if err != nil {
-			return nil, fmt.Errorf("decode %s: %w", c.Name, err)
+			return fmt.Errorf("decode %s: %w", c.Name, err)
 		}
-		encOps := ref.Result.Counters.TotalOps()
-		decOps := dc.TotalOps()
-		t.AddRowf(c.Name, float64(encOps), float64(decOps), float64(encOps)/float64(decOps))
+		cells[i] = cell{encOps: ref.Result.Counters.TotalOps(), decOps: dc.TotalOps()}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := tables.New("Encode/decode work asymmetry (VOD reference transcodes)",
+		"clip", "encode ops", "decode ops", "ratio")
+	for i, c := range clips {
+		t.AddRowf(c.Name, float64(cells[i].encOps), float64(cells[i].decOps), float64(cells[i].encOps)/float64(cells[i].decOps))
 	}
 	t.AddNote("the paper: decode is deterministic and fast; encode dominates transcode cost")
 	return t, nil
@@ -183,13 +219,18 @@ func (r *Runner) DecodeStudy() (*tables.Table, error) {
 func (r *Runner) ISASweepStudy() (*tables.Table, error) {
 	t := tables.New("SIMD ISA sweep: modeled speedup over scalar (geomean across clips)",
 		"ISA", "speedup", "vs previous")
-	var counters []*perf.Counters
-	for _, c := range corpus.VBenchClips() {
-		ref, err := r.Reference(scoring.VOD, c)
+	clips := corpus.VBenchClips()
+	counters := make([]*perf.Counters, len(clips))
+	err := r.pool().ForEach(len(clips), func(i int) error {
+		ref, err := r.Reference(scoring.VOD, clips[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		counters = append(counters, &ref.Result.Counters)
+		counters[i] = &ref.Result.Counters
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	prev := 0.0
 	for isa := perf.ISAScalar; isa < perf.NumISA; isa++ {

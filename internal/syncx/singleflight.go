@@ -1,0 +1,84 @@
+// Package syncx provides the small concurrency primitives the
+// benchmark harness builds on: a per-key singleflight memo cache that
+// guarantees each key's value is computed exactly once no matter how
+// many goroutines ask for it concurrently.
+package syncx
+
+import "sync"
+
+// memoEntry is the in-flight or completed computation for one key.
+// done is closed when val/err are final.
+type memoEntry[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// Memo is a concurrency-safe memoization cache with singleflight
+// semantics: the first caller of Do for a key runs the function, every
+// concurrent caller for the same key blocks until that single run
+// finishes and then shares its result. Successful results are cached
+// forever; failed computations are forgotten so a later call can
+// retry. The zero value is ready to use.
+type Memo[K comparable, V any] struct {
+	mu      sync.Mutex
+	entries map[K]*memoEntry[V]
+}
+
+// Do returns the cached value for key, computing it with fn if
+// needed. fn runs outside the Memo's lock, so distinct keys compute
+// concurrently; for a single key fn is invoked at most once per
+// non-error result.
+func (m *Memo[K, V]) Do(key K, fn func() (V, error)) (V, error) {
+	m.mu.Lock()
+	if m.entries == nil {
+		m.entries = make(map[K]*memoEntry[V])
+	}
+	if e, ok := m.entries[key]; ok {
+		m.mu.Unlock()
+		<-e.done
+		return e.val, e.err
+	}
+	e := &memoEntry[V]{done: make(chan struct{})}
+	m.entries[key] = e
+	m.mu.Unlock()
+
+	e.val, e.err = fn()
+	if e.err != nil {
+		// Do not cache failures: drop the entry so the next caller
+		// retries. Goroutines already waiting on e still observe the
+		// error.
+		m.mu.Lock()
+		delete(m.entries, key)
+		m.mu.Unlock()
+	}
+	close(e.done)
+	return e.val, e.err
+}
+
+// Get returns the cached value for key, if a completed successful
+// computation exists.
+func (m *Memo[K, V]) Get(key K) (V, bool) {
+	m.mu.Lock()
+	e, ok := m.entries[key]
+	m.mu.Unlock()
+	if !ok {
+		return *new(V), false
+	}
+	select {
+	case <-e.done:
+		if e.err != nil {
+			return *new(V), false
+		}
+		return e.val, true
+	default:
+		return *new(V), false
+	}
+}
+
+// Len reports the number of cached (completed or in-flight) keys.
+func (m *Memo[K, V]) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries)
+}

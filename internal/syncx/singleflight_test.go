@@ -1,0 +1,96 @@
+package syncx
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMemoComputesOnce(t *testing.T) {
+	var m Memo[string, int]
+	var calls atomic.Int64
+	const goroutines = 64
+
+	var wg sync.WaitGroup
+	vals := make([]int, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := m.Do("k", func() (int, error) {
+				calls.Add(1)
+				return 42, nil
+			})
+			if err != nil {
+				t.Errorf("unexpected error: %v", err)
+			}
+			vals[i] = v
+		}(i)
+	}
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Errorf("fn called %d times, want 1", got)
+	}
+	for i, v := range vals {
+		if v != 42 {
+			t.Errorf("goroutine %d got %d, want 42", i, v)
+		}
+	}
+}
+
+func TestMemoDistinctKeys(t *testing.T) {
+	var m Memo[int, string]
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := m.Do(i, func() (string, error) { return fmt.Sprint(i), nil })
+			if err != nil || v != fmt.Sprint(i) {
+				t.Errorf("key %d: got %q, %v", i, v, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if m.Len() != 16 {
+		t.Errorf("cached %d keys, want 16", m.Len())
+	}
+}
+
+func TestMemoErrorNotCached(t *testing.T) {
+	var m Memo[string, int]
+	boom := errors.New("boom")
+	calls := 0
+	if _, err := m.Do("k", func() (int, error) { calls++; return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	v, err := m.Do("k", func() (int, error) { calls++; return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("retry got %d, %v", v, err)
+	}
+	if calls != 2 {
+		t.Errorf("fn called %d times, want 2 (failure retried)", calls)
+	}
+	if _, err := m.Do("k", func() (int, error) { calls++; return 0, boom }); err != nil {
+		t.Errorf("cached success returned error %v", err)
+	}
+	if calls != 2 {
+		t.Errorf("fn called %d times after success, want 2", calls)
+	}
+}
+
+func TestMemoGet(t *testing.T) {
+	var m Memo[string, int]
+	if _, ok := m.Get("k"); ok {
+		t.Error("Get hit on empty memo")
+	}
+	if _, err := m.Do("k", func() (int, error) { return 9, nil }); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := m.Get("k")
+	if !ok || v != 9 {
+		t.Errorf("Get = %d, %v; want 9, true", v, ok)
+	}
+}
