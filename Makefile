@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test race bench benchall
 
 check: fmt vet build race
 
@@ -13,8 +13,12 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
+# vet runs under both build-tag configurations: the default build
+# (debug HTTP endpoint in) and -tags vbench_nodebug (endpoint
+# stripped), so neither bitrots.
 vet:
 	$(GO) vet ./...
+	$(GO) vet -tags vbench_nodebug ./...
 
 build:
 	$(GO) build ./...
@@ -25,5 +29,13 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench runs the harness-grid scaling benchmark plus the telemetry
+# overhead benchmark (acceptance budget: "on" < 5% over "off") and
+# records the machine-readable report in BENCH_harness.json.
 bench:
+	$(GO) test -bench 'HarnessGrid|TelemetryOverhead' -benchmem -run '^$$' . \
+		| $(GO) run ./cmd/benchjson -o BENCH_harness.json
+
+# benchall runs every benchmark in the repository.
+benchall:
 	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -12,6 +12,7 @@ import (
 	"vbench/internal/perf"
 	"vbench/internal/scoring"
 	"vbench/internal/service"
+	"vbench/internal/telemetry"
 	"vbench/internal/uarch"
 )
 
@@ -356,6 +357,50 @@ func BenchmarkHarnessGrid(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkTelemetryOverhead measures what the observability layer
+// adds to the encoder hot path: the same encode with telemetry fully
+// disabled (the deterministic scoring configuration) and with a live
+// tracer plus per-stage clocks. The acceptance budget for "on" is
+// under 5% over "off"; "off" must match the pre-telemetry encoder
+// because the stage clocks reduce to a nil pointer check.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	clip, err := corpus.ClipByName("girl")
+	if err != nil {
+		b.Fatal(err)
+	}
+	seq, err := clip.Generate(benchScale, benchDuration)
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc := X264(PresetMedium)
+	encode := func(b *testing.B) {
+		if _, err := enc.Encode(seq, Config{RC: RCConstQP, QP: 28}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("off", func(b *testing.B) {
+		b.SetBytes(seq.PixelCount())
+		for i := 0; i < b.N; i++ {
+			encode(b)
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		prev := telemetry.ActiveTracer()
+		defer func() {
+			telemetry.SetTracer(prev)
+			telemetry.EnableStages(false)
+		}()
+		telemetry.EnableStages(true)
+		b.SetBytes(seq.PixelCount())
+		for i := 0; i < b.N; i++ {
+			// Fresh tracer per iteration so the event buffer's growth
+			// does not leak across iterations.
+			telemetry.SetTracer(telemetry.NewTracer())
+			encode(b)
+		}
+	})
 }
 
 // BenchmarkServiceSimulation measures the discrete-event service

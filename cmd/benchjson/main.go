@@ -1,0 +1,98 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// report while echoing the text unchanged to stdout, so it can sit at
+// the end of a benchmark pipeline without hiding the live output:
+//
+//	go test -bench HarnessGrid -benchmem -run '^$' . | benchjson -o BENCH_harness.json
+//
+// The report is a single object: a "context" map of the go test header
+// lines (goos, goarch, pkg, cpu) and a "results" array with one entry
+// per benchmark line, each carrying the benchmark name, iteration
+// count, and every reported metric keyed by its unit (ns/op, B/op,
+// allocs/op, plus any b.ReportMetric custom units). JSON map keys are
+// emitted sorted, so reports from identical runs are byte-identical
+// and diff cleanly.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"bufio"
+)
+
+// result is one parsed benchmark line.
+type result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// report is the whole run.
+type report struct {
+	Context map[string]string `json:"context"`
+	Results []result          `json:"results"`
+}
+
+func main() {
+	out := flag.String("o", "", "write the JSON report to this file (stdin is echoed to stdout regardless)")
+	flag.Parse()
+
+	rep := report{Context: map[string]string{}, Results: []result{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		if r, ok := parseBenchLine(line); ok {
+			rep.Results = append(rep.Results, r)
+			continue
+		}
+		if k, v, ok := strings.Cut(line, ": "); ok && k != "" && !strings.ContainsAny(k, " \t") {
+			rep.Context[k] = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if *out == "" {
+		return
+	}
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+// parseBenchLine decodes one `BenchmarkName-P  N  value unit ...`
+// line; ok is false for anything else (headers, PASS, ok lines).
+func parseBenchLine(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, true
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

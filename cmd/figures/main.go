@@ -26,6 +26,7 @@ import (
 	"vbench/internal/corpus"
 	"vbench/internal/harness"
 	"vbench/internal/tables"
+	"vbench/internal/telemetry"
 )
 
 func main() {
@@ -37,6 +38,8 @@ func main() {
 	verbose := flag.Bool("v", false, "print per-encode progress")
 	outdir := flag.String("outdir", "", "also write each table as .txt and .csv into this directory")
 	workers := flag.Int("j", runtime.GOMAXPROCS(0), "benchmark-grid worker count (output is identical at any -j)")
+	var topts telemetry.Options
+	topts.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	if *outdir != "" {
 		if err := os.MkdirAll(*outdir, 0o755); err != nil {
@@ -49,10 +52,14 @@ func main() {
 		*all = true
 	}
 
+	flush, err := topts.Activate()
+	check(err)
+
 	r := harness.NewRunner(*scale, *duration)
 	r.Workers = *workers
+	r.RegisterMetrics(telemetry.Default)
 	if *verbose {
-		r.Progress = os.Stderr
+		r.Progress = telemetry.NewLineWriter(os.Stderr)
 	}
 
 	wantFig := func(n int) bool { return *all || *fig == n }
@@ -135,6 +142,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "worker %d: %d cells, %v busy\n", s.Worker, s.Jobs, s.Busy)
 		}
 	}
+	check(flush())
 }
 
 // emitDir, when set, receives each table as <slug>.txt and <slug>.csv.

@@ -19,6 +19,7 @@ import (
 
 	"vbench/internal/corpus"
 	"vbench/internal/harness"
+	"vbench/internal/telemetry"
 )
 
 func main() {
@@ -28,11 +29,19 @@ func main() {
 	fig := flag.Int("fig", 0, "render a single figure (5,6,7,8); 0 = all")
 	clip := flag.String("clip", "girl", "clip for the Figure 8 ISA ladder")
 	verbose := flag.Bool("v", false, "print per-encode progress")
+	var topts telemetry.Options
+	topts.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
+	flush, err := topts.Activate()
+	if err != nil {
+		fatal(err)
+	}
+
 	r := harness.NewRunner(*scale, *duration)
+	r.RegisterMetrics(telemetry.Default)
 	if *verbose {
-		r.Progress = os.Stderr
+		r.Progress = telemetry.NewLineWriter(os.Stderr)
 	}
 
 	var suites []corpus.Suite
@@ -47,6 +56,9 @@ func main() {
 		}
 		fmt.Println(t)
 		if *fig == 8 {
+			if err := flush(); err != nil {
+				fatal(err)
+			}
 			return
 		}
 	}
@@ -75,6 +87,9 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(t)
+	}
+	if err := flush(); err != nil {
+		fatal(err)
 	}
 }
 

@@ -25,6 +25,7 @@ import (
 	"vbench/internal/harness"
 	"vbench/internal/scoring"
 	"vbench/internal/tables"
+	"vbench/internal/telemetry"
 )
 
 func main() {
@@ -35,6 +36,8 @@ func main() {
 	listScenarios := flag.Bool("scenarios", false, "print the scoring functions and constraints (Table 1)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	workers := flag.Int("j", runtime.GOMAXPROCS(0), "benchmark-grid worker count (output is identical at any -j)")
+	var topts telemetry.Options
+	topts.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *listScenarios {
@@ -42,10 +45,16 @@ func main() {
 		return
 	}
 
+	flush, err := topts.Activate()
+	if err != nil {
+		fatal(err)
+	}
+
 	r := harness.NewRunner(*scale, *duration)
 	r.Workers = *workers
+	r.RegisterMetrics(telemetry.Default)
 	if *verbose {
-		r.Progress = os.Stderr
+		r.Progress = telemetry.NewLineWriter(os.Stderr)
 	}
 
 	emit := func(t *tables.Table) {
@@ -128,6 +137,9 @@ func main() {
 	}
 	if *verbose {
 		printPoolStats(r)
+	}
+	if err := flush(); err != nil {
+		fatal(err)
 	}
 }
 

@@ -7,11 +7,13 @@ import (
 	"math/bits"
 	"runtime"
 	"sync"
+	"time"
 
 	"vbench/internal/codec/motion"
 	"vbench/internal/codec/predict"
 	"vbench/internal/codec/transform"
 	"vbench/internal/perf"
+	"vbench/internal/telemetry"
 	"vbench/internal/video"
 )
 
@@ -92,6 +94,11 @@ type Engine struct {
 
 // Encode compresses src under cfg. The returned Result contains the
 // bitstream, the reconstruction, and the work accounting.
+//
+// When telemetry is active the encode records a span with per-frame
+// children and per-stage timing/op annotations; the instrumentation
+// only observes the encode, so the bitstream and reconstruction are
+// byte-identical with telemetry on or off.
 func (e *Engine) Encode(src *video.Sequence, cfg Config) (*Result, error) {
 	if err := src.Validate(); err != nil {
 		return nil, err
@@ -106,6 +113,11 @@ func (e *Engine) Encode(src *video.Sequence, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("codec: sequence too long (%d frames)", len(src.Frames))
 	}
 
+	sp := telemetry.StartSpan("encode " + e.Tools.Name)
+	defer sp.End()
+	stagesOn := telemetry.StagesEnabled()
+	var st stageTimes
+
 	res := &Result{}
 
 	// Two-pass: run the measurement pass with a cheap tool set but the
@@ -115,7 +127,9 @@ func (e *Engine) Encode(src *video.Sequence, cfg Config) (*Result, error) {
 		fpTools := BaselineTools(PresetUltraFast)
 		fpTools.SceneCut = e.Tools.SceneCut
 		fp := &Engine{Tools: fpTools}
+		fpSpan := sp.Child("first-pass")
 		fpRes, err := fp.Encode(src, Config{RC: RCConstQP, QP: firstPassQP, KeyInterval: cfg.KeyInterval})
+		fpSpan.End()
 		if err != nil {
 			return nil, fmt.Errorf("codec: first pass: %w", err)
 		}
@@ -161,6 +175,10 @@ func (e *Engine) Encode(src *video.Sequence, cfg Config) (*Result, error) {
 	madEMA := -1.0
 
 	for i, f := range src.Frames {
+		var fsp *telemetry.Span
+		if sp != nil {
+			fsp = sp.Child(fmt.Sprintf("frame %d", i))
+		}
 		srcP := padFrame(f)
 		if e.Tools.Denoise > 0 {
 			srcP = denoiseFrame(srcP, e.Tools.Denoise, &res.Counters)
@@ -200,6 +218,10 @@ func (e *Engine) Encode(src *video.Sequence, cfg Config) (*Result, error) {
 		bounds := sliceBounds(mbH, nSlices)
 		payloads := make([][]byte, nSlices)
 		sliceCounters := make([]perf.Counters, nSlices)
+		var sliceTimes []stageTimes
+		if stagesOn {
+			sliceTimes = make([]stageTimes, nSlices)
+		}
 		var wg sync.WaitGroup
 		var encErr error
 		var errOnce sync.Once
@@ -207,6 +229,9 @@ func (e *Engine) Encode(src *video.Sequence, cfg Config) (*Result, error) {
 			fe := newFrameEncoder(e, hdr, srcP, recon, qpGrid, refs, mbW, ftype, qpBase, &sliceCounters[s])
 			fe.rowStart, fe.rowEnd = bounds[s], bounds[s+1]
 			fe.varBits, fe.avgVarBits = varBits, avgVarBits
+			if stagesOn {
+				fe.tm = &sliceTimes[s]
+			}
 			if nSlices == 1 {
 				payloads[s] = fe.encodeFrame()
 				continue
@@ -214,7 +239,13 @@ func (e *Engine) Encode(src *video.Sequence, cfg Config) (*Result, error) {
 			wg.Add(1)
 			go func(s int, fe *frameEncoder) {
 				defer wg.Done()
-				sliceGate <- struct{}{}
+				if fe.tm != nil {
+					t0 := time.Now()
+					sliceGate <- struct{}{}
+					fe.tm.gateWait += time.Since(t0)
+				} else {
+					sliceGate <- struct{}{}
+				}
 				defer func() { <-sliceGate }()
 				defer func() {
 					if r := recover(); r != nil {
@@ -231,6 +262,12 @@ func (e *Engine) Encode(src *video.Sequence, cfg Config) (*Result, error) {
 		// Merge per-slice work in slice order (deterministic).
 		for s := range sliceCounters {
 			res.Counters.Add(&sliceCounters[s])
+		}
+		for s := range sliceTimes {
+			st.add(&sliceTimes[s])
+			if nSlices > 1 {
+				obsGateWait.ObserveDuration(sliceTimes[s].gateWait)
+			}
 		}
 
 		out = append(out, byte(ftype), byte(qpBase))
@@ -256,11 +293,30 @@ func (e *Engine) Encode(src *video.Sequence, cfg Config) (*Result, error) {
 
 		res.Counters.Frames++
 		res.Counters.Pixels += int64(srcP.PixelCount())
+
+		if fsp != nil {
+			if ftype == frameI {
+				fsp.Arg("type", "I")
+			} else {
+				fsp.Arg("type", "P")
+			}
+			fsp.Arg("qp", qpBase)
+			fsp.Arg("slices", nSlices)
+			fsp.Arg("bits", frameBits)
+			fsp.End()
+		}
 	}
 
 	res.Bitstream = out
 	if e.Model != nil {
 		res.Seconds = e.Model.Seconds(&res.Counters)
+	}
+	obsEncodes.Inc()
+	obsFrames.Add(int64(len(src.Frames)))
+	obsMacroblocks.Add(res.Counters.MBTotal)
+	obsBitsOut.Add(int64(len(out)) * 8)
+	if stagesOn || sp != nil {
+		st.publish(sp, &res.Counters)
 	}
 	return res, nil
 }
@@ -306,6 +362,7 @@ type frameEncoder struct {
 	ftype  int
 	qpBase int
 	c      *perf.Counters
+	tm     *stageTimes // per-stage clocks; nil unless telemetry stages are on
 
 	// Slice bounds in macroblock rows.
 	rowStart, rowEnd int
@@ -407,7 +464,14 @@ func (fe *frameEncoder) encodeFrame() []byte {
 			fe.encodeMB(mbx, local)
 		}
 	}
-	payload := fe.w.Flush()
+	var payload []byte
+	if fe.tm != nil {
+		t0 := time.Now()
+		payload = fe.w.Flush()
+		fe.tm.entropy += time.Since(t0)
+	} else {
+		payload = fe.w.Flush()
+	}
 	fe.c.Ops[perf.KEntropy] += fe.w.Bins()
 	fe.c.Invocations[perf.KEntropy] += int64(fe.mbW * rows)
 	fe.c.BitsOutput += int64(len(payload)+4) * 8 // payload + slice header
@@ -556,6 +620,10 @@ func (fe *frameEncoder) decideInterMB(mbx, mby, px, py, qp, qpDelta int) *mbCand
 		SubPel: t.SubPel,
 		Lambda: lambdaSATDQ4[qp],
 	}
+	var mt0 time.Time
+	if fe.tm != nil {
+		mt0 = time.Now()
+	}
 	bestRef := 0
 	bestMV := motion.MV{}
 	var bestCost int64 = math.MaxInt64
@@ -567,6 +635,9 @@ func (fe *frameEncoder) decideInterMB(mbx, mby, px, py, qp, qpDelta int) *mbCand
 			bestMV = mv
 			bestRef = r
 		}
+	}
+	if fe.tm != nil {
+		fe.tm.motion += time.Since(mt0)
 	}
 
 	// 3. Intra-vs-inter decision by SATD heuristic (or full RD below).
@@ -861,6 +932,9 @@ func (fe *frameEncoder) chromaResidual(px, py, p int, pred []uint8, out []int32)
 // codeLuma transforms, quantizes, and reconstructs the luma residual
 // of a candidate.
 func (fe *frameEncoder) codeLuma(cand *mbCand, pred []uint8, resid []int32, dz transform.DeadZone, trellis bool) {
+	if fe.tm != nil {
+		defer fe.tm.sinceTransform(time.Now())
+	}
 	var reconRes [MBSize * MBSize]int32
 	if cand.tx8 {
 		cand.lumaLevels = make([][]int32, 4)
@@ -895,6 +969,9 @@ func (fe *frameEncoder) codeLuma(cand *mbCand, pred []uint8, resid []int32, dz t
 // codeChroma transforms, quantizes, and reconstructs one chroma plane
 // of a candidate.
 func (fe *frameEncoder) codeChroma(cand *mbCand, p int, pred []uint8, resid []int32, dz transform.DeadZone, trellis bool) {
+	if fe.tm != nil {
+		defer fe.tm.sinceTransform(time.Now())
+	}
 	var reconRes [64]int32
 	cand.chromaLevels[p] = make([][]int32, 4)
 	var blk, rblk [16]int32
@@ -942,6 +1019,9 @@ func composeRecon(dst []uint8, pred []uint8, res []int32, n int) {
 // field order here is the normative macroblock syntax; the decoder
 // mirrors it exactly.
 func (fe *frameEncoder) writeCand(c *mbCand, predMV motion.MV) {
+	if fe.tm != nil {
+		defer fe.tm.sinceEntropy(time.Now())
+	}
 	w := fe.w
 	if fe.ftype == frameP {
 		if c.mode == mbSkip {

@@ -1,10 +1,13 @@
 package harness
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"vbench/internal/telemetry"
 )
 
 // WorkerStats is one pool worker's accounting across every grid the
@@ -21,6 +24,16 @@ type WorkerStats struct {
 	Busy time.Duration
 }
 
+// workerSlot is one worker's private counters. Each slot is padded out
+// to its own cache line so workers recording cell completions never
+// contend on a shared lock or false-share a line: a cell completion
+// costs two uncontended atomic adds.
+type workerSlot struct {
+	jobs      atomic.Int64
+	busyNanos atomic.Int64
+	_         [48]byte // pad to 64 bytes; jobs+busyNanos are 16
+}
+
 // Pool fans independent benchmark cells out across a bounded set of
 // workers. Results are always aggregated by cell index, so a parallel
 // run's output is byte-identical to a serial run's: the pool controls
@@ -29,9 +42,13 @@ type WorkerStats struct {
 // as a serial loop would fail first).
 type Pool struct {
 	workers int
+	slots   []workerSlot
 
-	mu    sync.Mutex
-	stats []WorkerStats
+	// BindWorker, when set, is invoked on a worker's goroutine as it
+	// starts draining cells and must return the matching teardown. The
+	// Runner uses it to label each worker's progress-log lines (see
+	// telemetry.LineWriter); set it before the first ForEach call.
+	BindWorker func(worker int) (unbind func())
 }
 
 // NewPool returns a pool with the given number of workers;
@@ -40,11 +57,7 @@ func NewPool(workers int) *Pool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	p := &Pool{workers: workers, stats: make([]WorkerStats, workers)}
-	for w := range p.stats {
-		p.stats[w].Worker = w
-	}
-	return p
+	return &Pool{workers: workers, slots: make([]workerSlot, workers)}
 }
 
 // Workers reports the pool's worker count.
@@ -52,10 +65,14 @@ func (p *Pool) Workers() int { return p.workers }
 
 // Stats returns a copy of the per-worker counters accumulated so far.
 func (p *Pool) Stats() []WorkerStats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	out := make([]WorkerStats, len(p.stats))
-	copy(out, p.stats)
+	out := make([]WorkerStats, len(p.slots))
+	for w := range p.slots {
+		out[w] = WorkerStats{
+			Worker: w,
+			Jobs:   int(p.slots[w].jobs.Load()),
+			Busy:   time.Duration(p.slots[w].busyNanos.Load()),
+		}
+	}
 	return out
 }
 
@@ -64,7 +81,8 @@ func (p *Pool) Stats() []WorkerStats {
 // cells' failures; afterwards the error of the lowest-index failing
 // cell is returned, so error reporting is independent of scheduling.
 // With one worker the cells run serially, in order, on the calling
-// goroutine.
+// goroutine. When a telemetry tracer is installed, each worker records
+// a span per drained cell, nested under a per-worker span.
 func (p *Pool) ForEach(n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
@@ -72,11 +90,21 @@ func (p *Pool) ForEach(n int, fn func(i int) error) error {
 	errs := make([]error, n)
 
 	if p.workers == 1 || n == 1 {
+		if p.BindWorker != nil {
+			defer p.BindWorker(0)()
+		}
+		wsp := telemetry.StartSpan("pool worker 0")
 		for i := 0; i < n; i++ {
+			var csp *telemetry.Span
+			if wsp != nil {
+				csp = wsp.Child(fmt.Sprintf("cell %d", i))
+			}
 			start := time.Now()
 			errs[i] = fn(i)
 			p.record(0, time.Since(start))
+			csp.End()
 		}
+		wsp.End()
 		return firstError(errs)
 	}
 
@@ -90,14 +118,24 @@ func (p *Pool) ForEach(n int, fn func(i int) error) error {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			if p.BindWorker != nil {
+				defer p.BindWorker(w)()
+			}
+			wsp := telemetry.StartSpan(fmt.Sprintf("pool worker %d", w))
+			defer wsp.End()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
+				var csp *telemetry.Span
+				if wsp != nil {
+					csp = wsp.Child(fmt.Sprintf("cell %d", i))
+				}
 				start := time.Now()
 				errs[i] = fn(i)
 				p.record(w, time.Since(start))
+				csp.End()
 			}
 		}(w)
 	}
@@ -105,11 +143,12 @@ func (p *Pool) ForEach(n int, fn func(i int) error) error {
 	return firstError(errs)
 }
 
+// record charges one completed cell to a worker. The slot is owned by
+// the worker, so the atomics are uncontended; they exist to make
+// Stats() safe from other goroutines.
 func (p *Pool) record(worker int, d time.Duration) {
-	p.mu.Lock()
-	p.stats[worker].Jobs++
-	p.stats[worker].Busy += d
-	p.mu.Unlock()
+	p.slots[worker].jobs.Add(1)
+	p.slots[worker].busyNanos.Add(int64(d))
 }
 
 func firstError(errs []error) error {

@@ -17,6 +17,7 @@ import (
 	"vbench/internal/metrics"
 	"vbench/internal/scoring"
 	"vbench/internal/syncx"
+	"vbench/internal/telemetry"
 	"vbench/internal/video"
 )
 
@@ -70,9 +71,46 @@ func NewRunner(scale int, duration float64) *Runner {
 }
 
 // pool returns the Runner's worker pool, building it on first use.
+// When Progress is a telemetry.LineWriter, pool workers bind their
+// worker id to it so every progress line carries the id of the worker
+// that produced it.
 func (r *Runner) pool() *Pool {
-	r.poolOnce.Do(func() { r.p = NewPool(r.Workers) })
+	r.poolOnce.Do(func() {
+		r.p = NewPool(r.Workers)
+		if lw, ok := r.Progress.(*telemetry.LineWriter); ok {
+			r.p.BindWorker = func(w int) func() {
+				lw.Bind(fmt.Sprintf("w%d", w))
+				return lw.Unbind
+			}
+		}
+	})
 	return r.p
+}
+
+// RegisterMetrics exposes the Runner's cache effectiveness in reg as
+// gauge functions (harness.memo.<cache>.{hits,misses,inflight}),
+// making the singleflight exactly-once guarantee observable: for each
+// cache, misses equal the unique keys computed no matter how many
+// workers raced for them. The first Runner to register a name wins;
+// the per-process binaries build one Runner, so in practice the gauges
+// track it.
+func (r *Runner) RegisterMetrics(reg *telemetry.Registry) {
+	memos := []struct {
+		name  string
+		stats func() syncx.MemoStats
+	}{
+		{"seqs", r.seqs.Stats},
+		{"targets", r.targets.Stats},
+		{"refs", r.refs.Stats},
+		{"entropy", r.entropy.Stats},
+	}
+	for _, m := range memos {
+		stats := m.stats
+		base := "harness.memo." + m.name
+		reg.GaugeFunc(base+".hits", func() float64 { return float64(stats().Hits) })
+		reg.GaugeFunc(base+".misses", func() float64 { return float64(stats().Misses) })
+		reg.GaugeFunc(base+".inflight", func() float64 { return float64(stats().Inflight) })
+	}
 }
 
 // PoolStats returns the per-worker cell counts and busy times

@@ -1,0 +1,101 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"vbench/internal/telemetry"
+)
+
+// withTelemetry runs fn with a live process-wide tracer and the stage
+// clocks enabled, restoring the disabled state afterwards so other
+// tests see the deterministic configuration.
+func withTelemetry(t *testing.T, fn func(tr *telemetry.Tracer)) {
+	t.Helper()
+	prev := telemetry.ActiveTracer()
+	prevStages := telemetry.StagesEnabled()
+	tr := telemetry.NewTracer()
+	telemetry.SetTracer(tr)
+	telemetry.EnableStages(true)
+	defer func() {
+		telemetry.SetTracer(prev)
+		telemetry.EnableStages(prevStages)
+	}()
+	fn(tr)
+}
+
+// TestGridOutputIdenticalWithTelemetry is the observability guard: a
+// grid run with the tracer installed and the stage clocks on must
+// render byte-identically to the plain run, because telemetry may
+// observe the scoring path but never steer it.
+func TestGridOutputIdenticalWithTelemetry(t *testing.T) {
+	rates := []float64{0.5, 4}
+	plain, _, err := tiny().Figure2("bike", rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traced string
+	withTelemetry(t, func(tr *telemetry.Tracer) {
+		tt, _, err := tiny().Figure2("bike", rates)
+		if err != nil {
+			t.Fatal(err)
+		}
+		traced = tt.String()
+		if tr.Len() == 0 {
+			t.Error("tracer recorded no spans during a traced grid run")
+		}
+	})
+	if plain.String() != traced {
+		t.Errorf("traced run output differs from plain run:\nplain:\n%s\ntraced:\n%s", plain, traced)
+	}
+}
+
+// TestPoolWorkerSpans checks that a traced parallel grid records one
+// span per pool worker with nested per-cell children.
+func TestPoolWorkerSpans(t *testing.T) {
+	withTelemetry(t, func(tr *telemetry.Tracer) {
+		r := tiny()
+		r.Workers = 2
+		if _, _, err := r.Figure2("bike", []float64{0.5, 4}); err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := tr.WriteChromeTrace(&sb); err != nil {
+			t.Fatal(err)
+		}
+		out := sb.String()
+		for _, want := range []string{`"pool worker 0"`, `"cell 0"`, `encode swx264-`} {
+			if !strings.Contains(out, want) {
+				t.Errorf("trace missing %s span", want)
+			}
+		}
+	})
+}
+
+// TestRegisterMetricsExposesMemoGauges checks that the runner's memo
+// hit/miss counters land in a registry snapshot under stable names.
+func TestRegisterMetricsExposesMemoGauges(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	r := tiny()
+	r.RegisterMetrics(reg)
+	c := clip(t, "bike")
+	for i := 0; i < 3; i++ {
+		if _, err := r.Sequence(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var sb strings.Builder
+	if err := reg.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	snap := sb.String()
+	for _, want := range []string{
+		`"harness.memo.seqs.hits": 2`,
+		`"harness.memo.seqs.misses": 1`,
+		`"harness.memo.targets.misses": 0`,
+	} {
+		if !strings.Contains(snap, want) {
+			t.Errorf("snapshot missing %s:\n%s", want, snap)
+		}
+	}
+}

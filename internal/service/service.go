@@ -23,6 +23,17 @@ import (
 	"vbench/internal/corpus"
 	"vbench/internal/metrics"
 	"vbench/internal/rng"
+	"vbench/internal/telemetry"
+)
+
+// Telemetry handles for the fleet simulator. Queue waits are simulated
+// seconds (discrete-event time), not wall time, so observing them
+// costs one atomic add per scheduled job.
+var (
+	obsTranscodes  = telemetry.GetCounter("service.transcodes")
+	obsUtilization = telemetry.GetGauge("service.fleet_utilization")
+	obsQueueWait   = telemetry.GetHistogram("service.queue_wait_seconds",
+		1e-3, 1e-2, 1e-1, 1, 10, 100)
 )
 
 // Config parameterizes a simulation run.
@@ -163,6 +174,8 @@ func Run(cfg Config) (*Stats, error) {
 	if err := cfg.withDefaults(); err != nil {
 		return nil, err
 	}
+	sp := telemetry.StartSpan("service simulation")
+	defer sp.End()
 	r := rng.New(cfg.Seed)
 	clips := corpus.VBenchClips()
 	// Weight upload categories toward the corpus distribution: sample
@@ -240,6 +253,8 @@ func Run(cfg Config) (*Stats, error) {
 			maxWait = wait
 		}
 		busySeconds += seconds
+		obsTranscodes.Inc()
+		obsQueueWait.Observe(wait)
 		heap.Push(&free, start+seconds)
 		return start + seconds
 	}
@@ -300,6 +315,13 @@ func Run(cfg Config) (*Stats, error) {
 	}
 	if makespan > 0 {
 		stats.FleetUtilization = busySeconds / (makespan * float64(cfg.Workers))
+	}
+	obsUtilization.Set(stats.FleetUtilization)
+	if sp != nil {
+		sp.Arg("uploads", stats.Uploads)
+		sp.Arg("transcodes", stats.UploadTranscodes+stats.VODTranscodes+stats.PopularRetranscodes)
+		sp.Arg("mean_queue_wait_s", stats.MeanQueueWaitSeconds)
+		sp.Arg("utilization", stats.FleetUtilization)
 	}
 	return stats, nil
 }

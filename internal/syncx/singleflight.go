@@ -4,7 +4,10 @@
 // many goroutines ask for it concurrently.
 package syncx
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // memoEntry is the in-flight or completed computation for one key.
 // done is closed when val/err are final.
@@ -23,6 +26,35 @@ type memoEntry[V any] struct {
 type Memo[K comparable, V any] struct {
 	mu      sync.Mutex
 	entries map[K]*memoEntry[V]
+
+	hits     atomic.Int64
+	misses   atomic.Int64
+	inflight atomic.Int64
+}
+
+// MemoStats is a point-in-time view of a Memo's access counters, the
+// observable form of the singleflight guarantee: under concurrency,
+// Misses equals the number of unique keys computed (each non-error key
+// exactly once), while every other caller scored either a Hit or an
+// Inflight join.
+type MemoStats struct {
+	// Hits counts Do calls that found a completed computation.
+	Hits int64
+	// Misses counts Do calls that ran the compute function (== fn
+	// invocations, including error retries).
+	Misses int64
+	// Inflight counts Do calls that joined another caller's
+	// in-progress computation and blocked for its result.
+	Inflight int64
+}
+
+// Stats returns the Memo's current access counters.
+func (m *Memo[K, V]) Stats() MemoStats {
+	return MemoStats{
+		Hits:     m.hits.Load(),
+		Misses:   m.misses.Load(),
+		Inflight: m.inflight.Load(),
+	}
 }
 
 // Do returns the cached value for key, computing it with fn if
@@ -35,12 +67,19 @@ func (m *Memo[K, V]) Do(key K, fn func() (V, error)) (V, error) {
 		m.entries = make(map[K]*memoEntry[V])
 	}
 	if e, ok := m.entries[key]; ok {
+		select {
+		case <-e.done:
+			m.hits.Add(1)
+		default:
+			m.inflight.Add(1)
+		}
 		m.mu.Unlock()
 		<-e.done
 		return e.val, e.err
 	}
 	e := &memoEntry[V]{done: make(chan struct{})}
 	m.entries[key] = e
+	m.misses.Add(1)
 	m.mu.Unlock()
 
 	e.val, e.err = fn()

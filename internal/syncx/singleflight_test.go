@@ -81,6 +81,60 @@ func TestMemoErrorNotCached(t *testing.T) {
 	}
 }
 
+// TestMemoStatsMissesEqualUniqueKeys is the singleflight guarantee in
+// counter form: no matter how many goroutines race on the same key
+// set, the miss count (= compute-function invocations) equals the
+// number of unique keys, and every other call is accounted for as a
+// hit or an in-flight join.
+func TestMemoStatsMissesEqualUniqueKeys(t *testing.T) {
+	var m Memo[int, int]
+	const goroutines, keys = 32, 16
+	var calls atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < keys; k++ {
+				v, err := m.Do(k, func() (int, error) {
+					calls.Add(1)
+					return k * k, nil
+				})
+				if err != nil || v != k*k {
+					t.Errorf("key %d: got %d, %v", k, v, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	s := m.Stats()
+	if s.Misses != keys {
+		t.Errorf("Misses = %d, want %d (one per unique key)", s.Misses, keys)
+	}
+	if s.Misses != calls.Load() {
+		t.Errorf("Misses = %d but fn ran %d times; they must agree", s.Misses, calls.Load())
+	}
+	if total := s.Hits + s.Misses + s.Inflight; total != goroutines*keys {
+		t.Errorf("Hits+Misses+Inflight = %d, want %d (every Do call accounted)", total, goroutines*keys)
+	}
+}
+
+// TestMemoStatsErrorRetryCountsMisses pins the documented semantics:
+// error retries are misses too, so Misses tracks fn invocations, not
+// unique keys, once failures occur.
+func TestMemoStatsErrorRetryCountsMisses(t *testing.T) {
+	var m Memo[string, int]
+	boom := errors.New("boom")
+	m.Do("k", func() (int, error) { return 0, boom })
+	m.Do("k", func() (int, error) { return 1, nil })
+	m.Do("k", func() (int, error) { return 2, nil }) // cached: hit
+	s := m.Stats()
+	if s.Misses != 2 || s.Hits != 1 {
+		t.Errorf("stats = %+v, want 2 misses (failure retried) and 1 hit", s)
+	}
+}
+
 func TestMemoGet(t *testing.T) {
 	var m Memo[string, int]
 	if _, ok := m.Get("k"); ok {

@@ -1,0 +1,50 @@
+//go:build !vbench_nodebug
+
+package telemetry
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// publishOnce guards the expvar registration: expvar.Publish panics on
+// duplicate names, and the debug server may be started more than once
+// in a process's lifetime (tests).
+var publishOnce sync.Once
+
+// StartDebugServer serves the debug endpoint on addr:
+//
+//	/debug/pprof/...  the standard net/http/pprof handlers
+//	/debug/vars       expvar (includes the registry as "vbench_metrics")
+//	/debug/metrics    the registry's deterministic JSON snapshot
+//
+// It returns a shutdown function. Build with -tags vbench_nodebug to
+// compile the endpoint (and its net/http dependency) out entirely.
+func StartDebugServer(addr string) (shutdown func() error, err error) {
+	publishOnce.Do(func() {
+		expvar.Publish("vbench_metrics", expvar.Func(func() interface{} {
+			return Default.expvarValue()
+		}))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = Default.WriteJSON(w)
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return srv.Close, nil
+}

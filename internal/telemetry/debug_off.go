@@ -1,0 +1,12 @@
+//go:build vbench_nodebug
+
+package telemetry
+
+import "errors"
+
+// StartDebugServer reports that the binary was built without the debug
+// endpoint (-tags vbench_nodebug strips net/http, pprof, and expvar
+// from the dependency graph).
+func StartDebugServer(addr string) (shutdown func() error, err error) {
+	return nil, errors.New("telemetry: debug endpoint disabled (built with -tags vbench_nodebug)")
+}

@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// syncBuffer is a goroutine-safe strings.Builder for test capture.
+type syncBuffer struct {
+	mu sync.Mutex
+	sb strings.Builder
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.String()
+}
+
+var linePat = regexp.MustCompile(`^\[(main|w\d+) \+\d+\.\d{3}s\] msg [0-9]+ from (main|w\d+)$`)
+
+func TestLineWriterPrefixesAndNeverInterleaves(t *testing.T) {
+	var out syncBuffer
+	lw := NewLineWriter(&out)
+
+	const workers, lines = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			label := fmt.Sprintf("w%d", w)
+			lw.Bind(label)
+			defer lw.Unbind()
+			for i := 0; i < lines; i++ {
+				fmt.Fprintf(lw, "msg %d from %s\n", i, label)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	got := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	if len(got) != workers*lines {
+		t.Fatalf("%d lines, want %d", len(got), workers*lines)
+	}
+	for _, line := range got {
+		m := linePat.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("malformed (interleaved?) line: %q", line)
+		}
+		// The prefix label must match the label baked into the payload:
+		// a mismatch means a write was attributed to the wrong worker.
+		if m[1] != m[2] {
+			t.Errorf("line labeled %s carries %s's payload: %q", m[1], m[2], line)
+		}
+	}
+}
+
+func TestLineWriterUnboundIsMain(t *testing.T) {
+	var out syncBuffer
+	lw := NewLineWriter(&out)
+	fmt.Fprintf(lw, "hello\n")
+	if !strings.HasPrefix(out.String(), "[main +") {
+		t.Errorf("unbound write = %q, want [main +...] prefix", out.String())
+	}
+}
+
+func TestLineWriterSplitsMultiLineWrites(t *testing.T) {
+	var out syncBuffer
+	lw := NewLineWriter(&out)
+	if _, err := lw.Write([]byte("one\ntwo\n")); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d lines, want 2: %q", len(lines), out.String())
+	}
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "[main +") {
+			t.Errorf("line %q lacks prefix", l)
+		}
+	}
+}

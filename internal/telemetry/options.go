@@ -1,0 +1,85 @@
+package telemetry
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Options carries the telemetry command-line configuration shared by
+// every binary (vbench, figures, uarchsim).
+type Options struct {
+	// TracePath, when set, installs a process-wide tracer and writes a
+	// Chrome trace-event JSON file there at shutdown.
+	TracePath string
+	// MetricsPath, when set, writes the default registry's snapshot
+	// there at shutdown.
+	MetricsPath string
+	// DebugAddr, when set, serves /debug/pprof, /debug/vars, and
+	// /debug/metrics on the address for the life of the process.
+	DebugAddr string
+}
+
+// RegisterFlags binds the standard telemetry flags on fs.
+func (o *Options) RegisterFlags(fs *flag.FlagSet) {
+	fs.StringVar(&o.TracePath, "trace", "", "write a Chrome trace-event JSON file (open in chrome://tracing or Perfetto)")
+	fs.StringVar(&o.MetricsPath, "metrics", "", "write a deterministic metrics snapshot JSON file")
+	fs.StringVar(&o.DebugAddr, "debug-addr", "", "serve /debug/pprof and /debug/vars on this address (e.g. localhost:6060)")
+}
+
+// Activate turns the requested telemetry on: it installs the tracer,
+// enables the codec stage clocks, and starts the debug server. The
+// returned flush writes the trace and metrics files and stops the
+// debug server; call it once the run is complete.
+func (o *Options) Activate() (flush func() error, err error) {
+	var tracer *Tracer
+	if o.TracePath != "" {
+		tracer = NewTracer()
+		SetTracer(tracer)
+	}
+	if o.TracePath != "" || o.MetricsPath != "" {
+		EnableStages(true)
+	}
+	var stopDebug func() error
+	if o.DebugAddr != "" {
+		stopDebug, err = StartDebugServer(o.DebugAddr)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: debug endpoint on http://%s/debug/pprof\n", o.DebugAddr)
+	}
+	return func() error {
+		var first error
+		if tracer != nil {
+			SetTracer(nil)
+			if err := writeFile(o.TracePath, tracer.WriteChromeTrace); err != nil && first == nil {
+				first = err
+			}
+		}
+		if o.MetricsPath != "" {
+			if err := writeFile(o.MetricsPath, Default.WriteJSON); err != nil && first == nil {
+				first = err
+			}
+		}
+		if stopDebug != nil {
+			if err := stopDebug(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}, nil
+}
+
+// writeFile streams write into a freshly created path.
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

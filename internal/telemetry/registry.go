@@ -1,0 +1,300 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry is a process-wide metrics namespace: counters, gauges, and
+// fixed-bucket histograms, each identified by a dotted name. Metric
+// handles are get-or-create and safe to cache in package variables;
+// updates are lock-free atomics, so instrumented hot paths pay one
+// atomic add per event. Snapshot serialization is deterministic: the
+// same metric state always produces the same bytes (names sorted,
+// sections in fixed order), so snapshots diff cleanly in tests.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	gaugeFns map[string]func() float64
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		gaugeFns: map[string]func() float64{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Default is the process-wide registry used by the package-level
+// helpers and exported by the debug endpoint.
+var Default = NewRegistry()
+
+// GetCounter returns the named counter from the default registry.
+func GetCounter(name string) *Counter { return Default.Counter(name) }
+
+// GetGauge returns the named gauge from the default registry.
+func GetGauge(name string) *Gauge { return Default.Gauge(name) }
+
+// GetHistogram returns the named histogram from the default registry.
+func GetHistogram(name string, bounds ...float64) *Histogram {
+	return Default.Histogram(name, bounds...)
+}
+
+// Counter is a monotonically increasing int64.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// AddDuration adds d in nanoseconds.
+func (c *Counter) AddDuration(d time.Duration) { c.v.Add(int64(d)) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable float64.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the last stored value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed buckets. Bucket i counts
+// observations v with v <= bounds[i] (and greater than the previous
+// bound); one extra overflow bucket catches everything above the last
+// bound. Count and Sum accompany the buckets. Updates are atomic per
+// field; a snapshot taken concurrently with observations may be off by
+// the in-flight events, which is fine for telemetry.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1, last = overflow
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// BucketCount returns the count of bucket i (i == len(Bounds()) is the
+// overflow bucket).
+func (h *Histogram) BucketCount(i int) int64 { return h.counts[i].Load() }
+
+// Bounds returns the upper bounds of the histogram's buckets.
+func (h *Histogram) Bounds() []float64 { return append([]float64(nil), h.bounds...) }
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// GaugeFunc registers a function evaluated at snapshot time. The first
+// registration for a name wins; later ones are ignored, so per-run
+// components can re-register idempotently.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.gaugeFns[name]; !ok {
+		r.gaugeFns[name] = fn
+	}
+}
+
+// Histogram returns the named histogram, creating it with the given
+// sorted upper bounds on first use (later calls reuse the existing
+// buckets regardless of bounds).
+func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		bs := append([]float64(nil), bounds...)
+		sort.Float64s(bs)
+		h = &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Reset drops every metric. Intended for tests.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters = map[string]*Counter{}
+	r.gauges = map[string]*Gauge{}
+	r.gaugeFns = map[string]func() float64{}
+	r.hists = map[string]*Histogram{}
+}
+
+// snapshotNames returns the sorted metric names per section.
+func (r *Registry) snapshotNames() (counters, gauges, hists []string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for n := range r.counters {
+		counters = append(counters, n)
+	}
+	for n := range r.gauges {
+		gauges = append(gauges, n)
+	}
+	for n := range r.gaugeFns {
+		if _, shadowed := r.gauges[n]; !shadowed {
+			gauges = append(gauges, n)
+		}
+	}
+	for n := range r.hists {
+		hists = append(hists, n)
+	}
+	sort.Strings(counters)
+	sort.Strings(gauges)
+	sort.Strings(hists)
+	return counters, gauges, hists
+}
+
+// gaugeValue reads a gauge or gauge function by name.
+func (r *Registry) gaugeValue(name string) float64 {
+	r.mu.Lock()
+	g := r.gauges[name]
+	fn := r.gaugeFns[name]
+	r.mu.Unlock()
+	if g != nil {
+		return g.Value()
+	}
+	if fn != nil {
+		return fn()
+	}
+	return 0
+}
+
+// WriteJSON serializes a snapshot of the registry. The output is
+// deterministic for a given metric state: sections appear in the fixed
+// order counters, gauges, histograms; names are sorted; histogram
+// buckets are listed low to high with their upper bound (the overflow
+// bucket's bound is "+Inf"). See docs/FORMAT.md for the schema.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	counters, gauges, hists := r.snapshotNames()
+	bw := &errWriter{w: w}
+
+	bw.printf("{\n  \"counters\": {")
+	for i, n := range counters {
+		if i > 0 {
+			bw.printf(",")
+		}
+		bw.printf("\n    %s: %d", mustJSON(n), r.Counter(n).Value())
+	}
+	bw.printf("\n  },\n  \"gauges\": {")
+	for i, n := range gauges {
+		if i > 0 {
+			bw.printf(",")
+		}
+		bw.printf("\n    %s: %s", mustJSON(n), mustJSON(r.gaugeValue(n)))
+	}
+	bw.printf("\n  },\n  \"histograms\": {")
+	for i, n := range hists {
+		if i > 0 {
+			bw.printf(",")
+		}
+		h := r.Histogram(n)
+		bw.printf("\n    %s: {\"count\": %d, \"sum\": %s, \"buckets\": [", mustJSON(n), h.Count(), mustJSON(h.Sum()))
+		for b, bound := range h.bounds {
+			if b > 0 {
+				bw.printf(", ")
+			}
+			bw.printf("{\"le\": %s, \"count\": %d}", mustJSON(bound), h.BucketCount(b))
+		}
+		if len(h.bounds) > 0 {
+			bw.printf(", ")
+		}
+		bw.printf("{\"le\": \"+Inf\", \"count\": %d}]}", h.BucketCount(len(h.bounds)))
+	}
+	bw.printf("\n  }\n}\n")
+	return bw.err
+}
+
+// expvarValue renders the registry as a plain value for expvar.
+func (r *Registry) expvarValue() interface{} {
+	counters, gauges, hists := r.snapshotNames()
+	out := map[string]interface{}{}
+	cs := map[string]int64{}
+	for _, n := range counters {
+		cs[n] = r.Counter(n).Value()
+	}
+	gs := map[string]float64{}
+	for _, n := range gauges {
+		gs[n] = r.gaugeValue(n)
+	}
+	hs := map[string]interface{}{}
+	for _, n := range hists {
+		h := r.Histogram(n)
+		buckets := make([]map[string]interface{}, 0, len(h.bounds)+1)
+		for b, bound := range h.bounds {
+			buckets = append(buckets, map[string]interface{}{"le": bound, "count": h.BucketCount(b)})
+		}
+		buckets = append(buckets, map[string]interface{}{"le": "+Inf", "count": h.BucketCount(len(h.bounds))})
+		hs[n] = map[string]interface{}{"count": h.Count(), "sum": h.Sum(), "buckets": buckets}
+	}
+	out["counters"] = cs
+	out["gauges"] = gs
+	out["histograms"] = hs
+	return out
+}
+
+// mustJSON marshals v, which must be a string or float64 (always
+// serializable); it exists to keep the snapshot writer linear.
+func mustJSON(v interface{}) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return `"!marshal"`
+	}
+	return string(b)
+}

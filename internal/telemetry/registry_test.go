@@ -1,0 +1,135 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", 1, 10, 100)
+
+	// Bucket semantics are v <= bound: a value exactly on a boundary
+	// lands in that boundary's bucket, not the next one.
+	for _, v := range []float64{0.5, 1} { // both <= 1
+		h.Observe(v)
+	}
+	h.Observe(1.0001) // (1, 10]
+	h.Observe(10)     // (1, 10]
+	h.Observe(99.9)   // (10, 100]
+	h.Observe(100)    // (10, 100]
+	h.Observe(100.1)  // overflow
+	h.Observe(1e9)    // overflow
+
+	want := []int64{2, 2, 2, 2}
+	for i, w := range want {
+		if got := h.BucketCount(i); got != w {
+			t.Errorf("bucket %d count = %d, want %d", i, got, w)
+		}
+	}
+	if h.Count() != 8 {
+		t.Errorf("count = %d, want 8", h.Count())
+	}
+	if sum := h.Sum(); sum < 1e9 {
+		t.Errorf("sum = %g, want > 1e9", sum)
+	}
+}
+
+func TestHistogramUnsortedBoundsAreSorted(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", 100, 1, 10)
+	got := h.Bounds()
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("bounds not sorted: %v", got)
+		}
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		r.Counter("z.last").Add(7)
+		r.Counter("a.first").Add(3)
+		r.Gauge("mid.gauge").Set(0.25)
+		r.GaugeFunc("fn.gauge", func() float64 { return 42 })
+		h := r.Histogram("lat", 0.001, 0.1, 10)
+		h.Observe(0.0005)
+		h.Observe(5)
+		h.Observe(1e6)
+		return r
+	}
+
+	var a, b, c bytes.Buffer
+	r := build()
+	if err := r.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteJSON(&c); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("two snapshots of the same registry differ:\n%s\n---\n%s", a.String(), b.String())
+	}
+	if !bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Errorf("identically built registries snapshot differently:\n%s\n---\n%s", a.String(), c.String())
+	}
+
+	// The snapshot must be valid JSON with sorted names.
+	var doc map[string]map[string]interface{}
+	if err := json.Unmarshal(a.Bytes(), &doc); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v\n%s", err, a.String())
+	}
+	if doc["counters"]["a.first"] != float64(3) {
+		t.Errorf("a.first = %v, want 3", doc["counters"]["a.first"])
+	}
+	if doc["gauges"]["fn.gauge"] != float64(42) {
+		t.Errorf("fn.gauge = %v, want 42", doc["gauges"]["fn.gauge"])
+	}
+	if i, j := strings.Index(a.String(), "a.first"), strings.Index(a.String(), "z.last"); i > j {
+		t.Error("counter names not sorted in snapshot")
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const goroutines, adds = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared")
+			h := r.Histogram("hist", 0.5)
+			for i := 0; i < adds; i++ {
+				c.Inc()
+				h.Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != goroutines*adds {
+		t.Errorf("counter = %d, want %d", got, goroutines*adds)
+	}
+	if got := r.Histogram("hist").Count(); got != goroutines*adds {
+		t.Errorf("histogram count = %d, want %d", got, goroutines*adds)
+	}
+	if got := r.Histogram("hist").Sum(); got != float64(goroutines*adds) {
+		t.Errorf("histogram sum = %g, want %d", got, goroutines*adds)
+	}
+}
+
+func TestGaugeFuncFirstRegistrationWins(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("g", func() float64 { return 1 })
+	r.GaugeFunc("g", func() float64 { return 2 })
+	if got := r.gaugeValue("g"); got != 1 {
+		t.Errorf("gauge func = %g, want 1 (first registration)", got)
+	}
+}

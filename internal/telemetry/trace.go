@@ -1,0 +1,210 @@
+// Package telemetry is the observability layer of the reproduction:
+// a span tracer that exports Chrome trace-event JSON (open the file in
+// chrome://tracing or Perfetto), a process-wide metrics registry with
+// a deterministic snapshot serializer, a line-oriented progress writer
+// that keeps parallel workers from interleaving output, and an opt-in
+// debug HTTP endpoint exposing pprof and expvar.
+//
+// Everything is nil-safe and cheap when disabled: with no tracer
+// installed, StartSpan returns a nil *Span whose methods are no-ops,
+// StagesEnabled reports false so instrumented code skips its clock
+// reads, and the deterministic scoring pipeline produces byte-identical
+// output whether or not telemetry is active (the spans and counters
+// observe the computation; they never steer it).
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer records spans as Chrome trace-event "complete" events. All
+// methods are safe for concurrent use. Each top-level span gets its
+// own track (tid); child spans share their parent's track, which is
+// how the trace viewer nests them.
+type Tracer struct {
+	start time.Time
+	tids  atomic.Int64
+
+	mu     sync.Mutex
+	events []traceEvent
+}
+
+// NewTracer returns an empty tracer whose clock starts now.
+func NewTracer() *Tracer { return &Tracer{start: time.Now()} }
+
+// traceEvent is one completed span, in the tracer's clock domain.
+type traceEvent struct {
+	name    string
+	tid     int64
+	ts, dur time.Duration
+	args    []Arg
+}
+
+// Arg is one key/value annotation on a span. Values are serialized
+// with encoding/json; keep them to numbers and strings.
+type Arg struct {
+	Key string
+	Val interface{}
+}
+
+// Span is an in-progress interval. A nil *Span is valid and inert, so
+// callers never need to guard instrumentation sites.
+type Span struct {
+	t     *Tracer
+	name  string
+	tid   int64
+	start time.Time
+
+	mu   sync.Mutex
+	args []Arg
+}
+
+// Start opens a top-level span on a fresh track. Safe on a nil tracer
+// (returns nil).
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, name: name, tid: t.tids.Add(1), start: time.Now()}
+}
+
+// Child opens a nested span on the receiver's track. The child must
+// End before its parent for the trace viewer to nest it correctly.
+// Safe on a nil span (returns nil).
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{t: s.t, name: name, tid: s.tid, start: time.Now()}
+}
+
+// Arg annotates the span. Safe on a nil span. Arguments appear in the
+// trace viewer in the order they were added.
+func (s *Span) Arg(key string, val interface{}) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.args = append(s.args, Arg{Key: key, Val: val})
+	s.mu.Unlock()
+}
+
+// End closes the span and records it. Safe on a nil span; ending a
+// span twice records it twice, so don't.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	t := s.t
+	s.mu.Lock()
+	args := s.args
+	s.mu.Unlock()
+	t.mu.Lock()
+	t.events = append(t.events, traceEvent{
+		name: s.name,
+		tid:  s.tid,
+		ts:   s.start.Sub(t.start),
+		dur:  now.Sub(s.start),
+		args: args,
+	})
+	t.mu.Unlock()
+}
+
+// Len reports how many spans have been recorded.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// WriteChromeTrace serializes the recorded spans in the Chrome
+// trace-event JSON object format. The output loads directly into
+// chrome://tracing and Perfetto.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	t.mu.Lock()
+	events := make([]traceEvent, len(t.events))
+	copy(events, t.events)
+	t.mu.Unlock()
+
+	bw := &errWriter{w: w}
+	bw.printf(`{"displayTimeUnit":"ms","traceEvents":[`)
+	bw.printf(`{"ph":"M","pid":1,"name":"process_name","args":{"name":"vbench"}}`)
+	for _, e := range events {
+		name, err := json.Marshal(e.name)
+		if err != nil {
+			return err
+		}
+		bw.printf(",\n{\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,\"name\":%s",
+			e.tid, float64(e.ts)/float64(time.Microsecond), float64(e.dur)/float64(time.Microsecond), name)
+		if len(e.args) > 0 {
+			bw.printf(",\"args\":{")
+			for i, a := range e.args {
+				k, err := json.Marshal(a.Key)
+				if err != nil {
+					return err
+				}
+				v, err := json.Marshal(a.Val)
+				if err != nil {
+					return err
+				}
+				if i > 0 {
+					bw.printf(",")
+				}
+				bw.printf("%s:%s", k, v)
+			}
+			bw.printf("}")
+		}
+		bw.printf("}")
+	}
+	bw.printf("]}\n")
+	return bw.err
+}
+
+// errWriter latches the first write error so serialization code can
+// skip per-write checks.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...interface{}) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}
+
+// active is the installed process-wide tracer (nil = tracing off).
+var active atomic.Pointer[Tracer]
+
+// stages gates the fine-grained stage clocks inside the codec: they
+// read time.Now per macroblock candidate, so they stay off unless a
+// trace or metrics snapshot was requested.
+var stages atomic.Bool
+
+// SetTracer installs (or, with nil, removes) the process-wide tracer
+// used by StartSpan.
+func SetTracer(t *Tracer) { active.Store(t) }
+
+// ActiveTracer returns the installed tracer, or nil.
+func ActiveTracer() *Tracer { return active.Load() }
+
+// StartSpan opens a top-level span on the installed tracer; it returns
+// nil (an inert span) when tracing is off.
+func StartSpan(name string) *Span { return ActiveTracer().Start(name) }
+
+// EnableStages switches the codec's per-stage clocks on or off.
+func EnableStages(on bool) { stages.Store(on) }
+
+// StagesEnabled reports whether instrumented code should sample its
+// stage clocks.
+func StagesEnabled() bool { return stages.Load() }

@@ -1,0 +1,143 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestSpanNesting(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start("root")
+	child := root.Child("child")
+	grand := child.Child("grand")
+	grand.End()
+	child.End()
+	root.Arg("cells", 42)
+	root.End()
+
+	if tr.Len() != 3 {
+		t.Fatalf("recorded %d spans, want 3", tr.Len())
+	}
+	byName := map[string]traceEvent{}
+	for _, e := range tr.events {
+		byName[e.name] = e
+	}
+	r, c, g := byName["root"], byName["child"], byName["grand"]
+	if r.tid != c.tid || c.tid != g.tid {
+		t.Errorf("nested spans landed on different tracks: %d/%d/%d", r.tid, c.tid, g.tid)
+	}
+	// Containment: child inside parent, grandchild inside child.
+	if c.ts < r.ts || c.ts+c.dur > r.ts+r.dur {
+		t.Errorf("child [%v,%v] escapes root [%v,%v]", c.ts, c.ts+c.dur, r.ts, r.ts+r.dur)
+	}
+	if g.ts < c.ts || g.ts+g.dur > c.ts+c.dur {
+		t.Errorf("grandchild [%v,%v] escapes child [%v,%v]", g.ts, g.ts+g.dur, c.ts, c.ts+c.dur)
+	}
+	if len(r.args) != 1 || r.args[0].Key != "cells" {
+		t.Errorf("root args = %v, want one 'cells' arg", r.args)
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer()
+	const goroutines, spans = 16, 50
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			top := tr.Start(fmt.Sprintf("worker %d", g))
+			for i := 0; i < spans; i++ {
+				sp := top.Child(fmt.Sprintf("cell %d", i))
+				sp.Arg("i", i)
+				sp.End()
+			}
+			top.End()
+		}(g)
+	}
+	wg.Wait()
+	if want := goroutines * (spans + 1); tr.Len() != want {
+		t.Errorf("recorded %d spans, want %d", tr.Len(), want)
+	}
+	// Distinct goroutines must have distinct tracks.
+	tids := map[int64]bool{}
+	for _, e := range tr.events {
+		tids[e.tid] = true
+	}
+	if len(tids) != goroutines {
+		t.Errorf("%d distinct tracks, want %d", len(tids), goroutines)
+	}
+}
+
+func TestNilSpanSafety(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("x")
+	if sp != nil {
+		t.Fatal("nil tracer produced a span")
+	}
+	// All methods must be inert on nil.
+	sp.Arg("k", 1)
+	child := sp.Child("y")
+	child.End()
+	sp.End()
+
+	SetTracer(nil)
+	if got := StartSpan("z"); got != nil {
+		t.Errorf("StartSpan with no tracer = %v, want nil", got)
+	}
+}
+
+func TestWriteChromeTraceValidJSON(t *testing.T) {
+	tr := NewTracer()
+	sp := tr.Start("encode swx264-medium")
+	sp.Arg("frames", 25)
+	sp.Arg("note", `quo"te`)
+	sp.Child("frame 0").End()
+	sp.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Ph   string                 `json:"ph"`
+			Name string                 `json:"name"`
+			Tid  int64                  `json:"tid"`
+			Ts   float64                `json:"ts"`
+			Dur  float64                `json:"dur"`
+			Args map[string]interface{} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	var complete int
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" {
+			complete++
+			if e.Dur < 0 || e.Ts < 0 {
+				t.Errorf("negative timestamp on %q", e.Name)
+			}
+		}
+	}
+	if complete != 2 {
+		t.Errorf("%d complete events, want 2", complete)
+	}
+}
+
+func TestStageGate(t *testing.T) {
+	EnableStages(false)
+	if StagesEnabled() {
+		t.Fatal("stages on after disable")
+	}
+	EnableStages(true)
+	if !StagesEnabled() {
+		t.Fatal("stages off after enable")
+	}
+	EnableStages(false)
+}
