@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench benchall
+.PHONY: check fmt vet lint build test race bench benchall
 
-check: fmt vet build race
+check: fmt vet lint build race
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -19,6 +19,14 @@ fmt:
 vet:
 	$(GO) vet ./...
 	$(GO) vet -tags vbench_nodebug ./...
+
+# lint runs the project analyzers (detorder, spanpair, metricname,
+# lockflow — see docs/LINT.md) through the go vet driver so results
+# cache per package, under both build-tag configurations like vet.
+lint:
+	$(GO) build -o bin/vbenchlint ./cmd/vbenchlint
+	$(GO) vet -vettool=$(CURDIR)/bin/vbenchlint ./...
+	$(GO) vet -vettool=$(CURDIR)/bin/vbenchlint -tags vbench_nodebug ./...
 
 build:
 	$(GO) build ./...

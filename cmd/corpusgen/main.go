@@ -72,7 +72,7 @@ func main() {
 				fatal(err)
 			}
 			if err := vwrite(f, seq); err != nil {
-				f.Close()
+				_ = f.Close() // the write error takes precedence
 				fatal(err)
 			}
 			if err := f.Close(); err != nil {

@@ -68,7 +68,7 @@ func encode(args []string) {
 		fatal(err)
 	}
 	seq, err := video.ReadY4M(f)
-	f.Close()
+	_ = f.Close() // read-only file; a close error loses no data
 	if err != nil {
 		fatal(err)
 	}
@@ -120,7 +120,7 @@ func decode(args []string) {
 		fatal(err)
 	}
 	if err := video.WriteY4M(f, seq); err != nil {
-		f.Close()
+		_ = f.Close() // the write error takes precedence
 		fatal(err)
 	}
 	if err := f.Close(); err != nil {

@@ -257,6 +257,7 @@ func (e *Engine) Encode(src *video.Sequence, cfg Config) (*Result, error) {
 		}
 		wg.Wait()
 		if encErr != nil {
+			fsp.End() // close the frame span on the panic-error path too
 			return nil, encErr
 		}
 		// Merge per-slice work in slice order (deterministic).

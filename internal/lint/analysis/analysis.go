@@ -1,0 +1,201 @@
+// Package analysis is a small, dependency-free core for writing
+// project-specific static checkers. It mirrors the shape of
+// golang.org/x/tools/go/analysis — an Analyzer owns a Run function
+// that inspects one type-checked package through a Pass and reports
+// Diagnostics — but is built only on the standard library so the
+// repository stays module-clean. Two drivers feed it: Load (a
+// `go list -export`-based loader used by cmd/vbenchlint's standalone
+// mode and the tests) and RunVet (the `go vet -vettool` protocol).
+//
+// Suppression: a diagnostic is dropped when the reported line, or the
+// line directly above it, carries a comment of the form
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// The reason is mandatory; a directive without one is inert. The
+// analyzer list may also be the word "all".
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:ignore directives. It must be a valid flag name.
+	Name string
+	// Doc is a one-paragraph description of the invariant guarded.
+	Doc string
+	// Run inspects the package behind pass and reports findings via
+	// pass.Reportf. A non-nil error aborts the whole run (reserved
+	// for internal failures, not findings).
+	Run func(pass *Pass) error
+}
+
+// Diagnostic is one finding, already positioned and formatted.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the diagnostic in the conventional
+// file:line:col: message [analyzer] form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// suppressed maps file:line to the analyzer names ignored there.
+	suppressed map[string][]string
+	diags      *[]Diagnostic
+}
+
+// Reportf records a finding at pos unless a //lint:ignore directive
+// covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	position := p.Fset.Position(pos)
+	if p.isSuppressed(position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+func (p *Pass) isSuppressed(pos token.Position) bool {
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range p.suppressed[suppressKey(pos.Filename, line)] {
+			if name == "all" || name == p.Analyzer.Name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func suppressKey(file string, line int) string {
+	return fmt.Sprintf("%s:%d", file, line)
+}
+
+// ignoreDirective matches "lint:ignore <names> <reason>" inside a
+// comment. The reason part is required.
+var ignoreDirective = regexp.MustCompile(`^lint:ignore\s+([A-Za-z0-9_,]+)\s+\S`)
+
+// suppressionIndex scans every comment in files and records which
+// analyzers are ignored on which lines.
+func suppressionIndex(fset *token.FileSet, files []*ast.File) map[string][]string {
+	idx := map[string][]string{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				m := ignoreDirective.FindStringSubmatch(text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := suppressKey(pos.Filename, pos.Line)
+				idx[key] = append(idx[key], strings.Split(m[1], ",")...)
+			}
+		}
+	}
+	return idx
+}
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	PkgPath   string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// Run applies each analyzer to each package and returns every
+// surviving (non-suppressed) diagnostic, sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		idx := suppressionIndex(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:   a,
+				Fset:       pkg.Fset,
+				Files:      pkg.Files,
+				Pkg:        pkg.Types,
+				TypesInfo:  pkg.TypesInfo,
+				suppressed: idx,
+				diags:      &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// CalleeFunc resolves the static callee of call, or nil when the
+// callee is not a declared function or method (e.g. a function
+// value, conversion, or builtin).
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// FromPackage reports whether fn is declared in a package with the
+// given name (matched by package name, not import path, so testdata
+// stub packages stand in for the real ones).
+func FromPackage(fn *types.Func, pkgName string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Name() == pkgName
+}
+
+// FromPath reports whether fn is declared in the package with the
+// exact import path (used for standard-library matches).
+func FromPath(fn *types.Func, pkgPath string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath
+}
+
+// IsTestFile reports whether pos sits in a _test.go file.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}

@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// vetConfig mirrors the JSON configuration cmd/go writes for each
+// package when invoking a -vettool binary (see buildVetConfig in
+// cmd/go/internal/work/exec.go). Fields the checker does not consume
+// are omitted; unknown JSON keys are ignored by encoding/json.
+type vetConfig struct {
+	ID          string
+	Compiler    string
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	NonGoFiles  []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	Standard    map[string]bool
+	GoVersion   string
+	VetxOnly    bool
+	VetxOutput  string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// RunVet executes the analyzers over the single package described by
+// the vet config file at cfgPath, following the go vet protocol:
+// diagnostics go to stderr, the exit code is 0 for a clean package, 2
+// when findings were reported, and 1 on internal errors. Packages
+// vetted only for their dependents (VetxOnly) are acknowledged
+// without analysis — the checkers keep no cross-package facts.
+func RunVet(cfgPath string, analyzers []*Analyzer) int {
+	cfg, err := readVetConfig(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vbenchlint: %v\n", err)
+		return 1
+	}
+	// Writing the (empty) vetx output tells cmd/go the package was
+	// processed, so dependency invocations cache instead of re-running.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+				fmt.Fprintf(os.Stderr, "vbenchlint: writing vetx output: %v\n", err)
+			}
+		}
+	}
+	if cfg.VetxOnly {
+		writeVetx()
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, cfg.PackageFile, cfg.ImportMap)
+	pkg, err := typecheck(fset, cfg.ImportPath, cfg.GoFiles, imp, cfg.GoVersion)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "vbenchlint: %v\n", err)
+		return 1
+	}
+
+	diags, err := Run([]*Package{pkg}, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vbenchlint: %v\n", err)
+		return 1
+	}
+	writeVetx()
+	if len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	return 2
+}
+
+func readVetConfig(path string) (*vetConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("parsing vet config %s: %v", path, err)
+	}
+	if cfg.ImportPath == "" {
+		return nil, fmt.Errorf("vet config %s has no import path", path)
+	}
+	if cfg.Compiler != "" && cfg.Compiler != "gc" {
+		return nil, fmt.Errorf("vet config %s: unsupported compiler %q", path, cfg.Compiler)
+	}
+	return cfg, nil
+}
+
+// PrintVersion implements the -V=full handshake cmd/go performs
+// before trusting a vettool: the output must be
+// "<path> version devel ... buildID=<content hash>", where the hash
+// changes whenever the tool binary changes so stale vet caches are
+// invalidated (see toolID in cmd/go/internal/work/buildid.go).
+func PrintVersion(w io.Writer) error {
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return err
+	}
+	// The first field must not contain spaces; cmd/go splits on them.
+	name := filepath.ToSlash(exe)
+	_, err = fmt.Fprintf(w, "%s version devel buildID=%x\n", name, h.Sum(nil))
+	return err
+}

@@ -1,0 +1,136 @@
+// Package analysistest runs an analyzer over a testdata tree and
+// checks its diagnostics against expectations embedded in the
+// sources, mirroring golang.org/x/tools/go/analysis/analysistest.
+//
+// Layout: <test dir>/testdata/src is a self-contained Go module
+// (with its own go.mod, typically `module lint.test`) holding one or
+// more packages. A line that should be flagged carries a trailing
+// comment of the form
+//
+//	// want "regexp" ["regexp" ...]
+//
+// Every want pattern must match a diagnostic reported on that line,
+// every diagnostic must be matched by a want, and suppressed
+// diagnostics (//lint:ignore) count as unreported.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"vbench/internal/lint/analysis"
+)
+
+// TestData returns the absolute path of the calling test's
+// testdata/src module.
+func TestData(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatalf("analysistest: resolving testdata: %v", err)
+	}
+	return dir
+}
+
+// Run loads every package under dir and applies the analyzer,
+// comparing diagnostics against the // want expectations.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	pkgs, err := analysis.Load(dir, nil, "./...")
+	if err != nil {
+		t.Fatalf("analysistest: loading %s: %v", dir, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("analysistest: no packages under %s", dir)
+	}
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analysistest: running %s: %v", a.Name, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	pending := map[key][]analysis.Diagnostic{}
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		pending[k] = append(pending[k], d)
+	}
+
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					patterns, err := wantPatterns(c.Text)
+					if err != nil {
+						t.Errorf("%s: %v", pkg.Fset.Position(c.Pos()), err)
+						continue
+					}
+					if patterns == nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					k := key{pos.Filename, pos.Line}
+					for _, pat := range patterns {
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Errorf("%s: bad want pattern %q: %v", pos, pat, err)
+							continue
+						}
+						if i := matchDiag(pending[k], re); i >= 0 {
+							pending[k] = append(pending[k][:i], pending[k][i+1:]...)
+						} else {
+							t.Errorf("%s: no diagnostic matching %q", pos, pat)
+						}
+					}
+				}
+			}
+		}
+	}
+	for _, rest := range pending {
+		for _, d := range rest {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+}
+
+func matchDiag(diags []analysis.Diagnostic, re *regexp.Regexp) int {
+	for i, d := range diags {
+		if re.MatchString(d.Message) {
+			return i
+		}
+	}
+	return -1
+}
+
+// wantPatterns extracts the quoted regexps from a "// want ..."
+// comment, or returns nil when the comment is not a want directive.
+func wantPatterns(comment string) ([]string, error) {
+	text := strings.TrimSpace(strings.TrimPrefix(comment, "//"))
+	if !strings.HasPrefix(text, "want ") {
+		return nil, nil
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, "want"))
+	var patterns []string
+	for rest != "" {
+		q, err := strconv.QuotedPrefix(rest)
+		if err != nil {
+			return nil, fmt.Errorf("malformed want directive at %q", rest)
+		}
+		unq, err := strconv.Unquote(q)
+		if err != nil {
+			return nil, fmt.Errorf("unquoting %q: %v", q, err)
+		}
+		patterns = append(patterns, unq)
+		rest = strings.TrimSpace(rest[len(q):])
+	}
+	if len(patterns) == 0 {
+		return nil, fmt.Errorf("want directive with no patterns")
+	}
+	return patterns, nil
+}

@@ -1,0 +1,404 @@
+// Package detorder guards the repository's byte-identical-output
+// invariant (ROADMAP tier-1, PR 1): scoring runs must be
+// deterministic at any worker count.
+//
+// It reports two hazard classes:
+//
+//  1. A `range` over a map whose body reaches an output sink
+//     (fmt printing, Write* methods, table rows, span args) emits in
+//     Go's randomized map order. Collecting into a slice is accepted
+//     only when the slice is passed to a sort call later in the same
+//     function.
+//  2. Wall-clock and math/rand calls inside the deterministic
+//     packages (codec, scoring, cluster, video) steer output unless
+//     they are telemetry-gated: dominated by a
+//     telemetry.StagesEnabled() condition (directly or via a local
+//     bool assigned from it), guarded by a nil check on a stage-times
+//     accumulator (a struct of time.Time/time.Duration fields), or
+//     inside a method of such an accumulator.
+//
+// Test files are exempt; deliberate exceptions use
+// //lint:ignore detorder <reason>.
+package detorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"vbench/internal/lint/analysis"
+)
+
+// Analyzer is the detorder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "detorder",
+	Doc:  "flags nondeterministic map iteration feeding output and ungated clock/rand use in deterministic packages",
+	Run:  run,
+}
+
+// DeterministicPaths marks the packages whose computation must not
+// observe wall-clock time or global randomness (matched by substring
+// of the import path).
+var DeterministicPaths = []string{
+	"internal/codec",
+	"internal/scoring",
+	"internal/cluster",
+	"internal/video",
+}
+
+func run(pass *analysis.Pass) error {
+	deterministic := false
+	for _, p := range DeterministicPaths {
+		if strings.Contains(pass.Pkg.Path(), p) {
+			deterministic = true
+			break
+		}
+	}
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		checkMapRanges(pass, file)
+		if deterministic {
+			checkClocks(pass, file)
+		}
+	}
+	return nil
+}
+
+// checkMapRanges finds range-over-map loops whose bodies leak the
+// iteration order into output.
+func checkMapRanges(pass *analysis.Pass, file *ast.File) {
+	// Walk per enclosing function so the sorted-later check has a
+	// scope to search.
+	ast.Inspect(file, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			body = fn.Body
+		case *ast.FuncLit:
+			body = fn.Body
+		}
+		if body == nil {
+			return true
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if t := pass.TypesInfo.TypeOf(rs.X); t == nil || !isMap(t) {
+				return true
+			}
+			checkOneRange(pass, body, rs)
+			return true
+		})
+		return false // inner Inspect already descended
+	})
+}
+
+func isMap(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkOneRange classifies the loop body's effects: a direct output
+// sink is always a finding; escaping appends are findings unless the
+// target slice is sorted later in funcBody.
+func checkOneRange(pass *analysis.Pass, funcBody *ast.BlockStmt, rs *ast.RangeStmt) {
+	mapName := types.ExprString(rs.X)
+	var appendTargets []types.Object
+	reported := false
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if reported {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if name, ok := sinkCall(pass.TypesInfo, n); ok {
+				pass.Reportf(rs.For, "iteration over map %s reaches output sink %s in random order; iterate sorted keys instead", mapName, name)
+				reported = true
+				return false
+			}
+		case *ast.AssignStmt:
+			for _, obj := range appendedOuterVars(pass.TypesInfo, n, rs) {
+				appendTargets = append(appendTargets, obj)
+			}
+		}
+		return true
+	})
+	if reported {
+		return
+	}
+	for _, obj := range appendTargets {
+		if !sortedAfter(pass.TypesInfo, funcBody, obj, rs.End()) {
+			pass.Reportf(rs.For, "map %s is ranged into slice %s which is never sorted; output depends on map iteration order", mapName, obj.Name())
+			return
+		}
+	}
+}
+
+// sinkCall reports whether call writes ordered output, returning a
+// display name for the sink.
+func sinkCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := analysis.CalleeFunc(info, call)
+	if fn == nil {
+		return "", false
+	}
+	name := fn.Name()
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() == nil {
+		// Package-level printers.
+		if analysis.FromPath(fn, "fmt") {
+			switch name {
+			case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+				return "fmt." + name, true
+			}
+		}
+		return "", false
+	}
+	// Methods: stream writers, the tables sink, span args, JSON
+	// encoding. These serialize in call order, so map order escapes.
+	switch name {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "WriteTo":
+		return fn.FullName(), true
+	case "AddRow", "AddRowf", "AddNote": // internal/tables
+		return fn.FullName(), true
+	case "Arg": // telemetry span annotations render in insertion order
+		if analysis.FromPackage(fn, "telemetry") {
+			return fn.FullName(), true
+		}
+	case "Encode":
+		if analysis.FromPath(fn, "encoding/json") {
+			return fn.FullName(), true
+		}
+	case "Printf", "Print", "Println":
+		return fn.FullName(), true
+	}
+	return "", false
+}
+
+// appendedOuterVars returns the variables declared outside the range
+// loop that assign receives an append(...) into.
+func appendedOuterVars(info *types.Info, assign *ast.AssignStmt, rs *ast.RangeStmt) []types.Object {
+	var out []types.Object
+	for i, rhs := range assign.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || len(assign.Lhs) <= i {
+			continue
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "append" {
+			continue
+		}
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+			continue // shadowed by a user identifier
+		}
+		lhs, ok := ast.Unparen(assign.Lhs[i]).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := info.Uses[lhs]
+		if obj == nil {
+			obj = info.Defs[lhs]
+		}
+		if obj == nil || obj.Pos() == token.NoPos {
+			continue
+		}
+		if obj.Pos() < rs.Pos() || obj.Pos() > rs.End() {
+			out = append(out, obj)
+		}
+	}
+	return out
+}
+
+// sortedAfter reports whether obj appears as (part of) an argument to
+// a sort or slices call positioned after pos within body.
+func sortedAfter(info *types.Info, body *ast.BlockStmt, obj types.Object, pos token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		fn := analysis.CalleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok && info.Uses[id] == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// checkClocks flags wall-clock and math/rand calls that are not
+// telemetry-gated.
+func checkClocks(pass *analysis.Pass, file *ast.File) {
+	gateVars := collectGateVars(pass, file)
+	var stack []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.CalleeFunc(pass.TypesInfo, call)
+		if fn == nil || !isClockOrRand(fn) {
+			return true
+		}
+		if gated(pass, stack, call, gateVars) {
+			return true
+		}
+		pass.Reportf(call.Pos(), "%s in deterministic package %s outside a telemetry gate; guard with telemetry.StagesEnabled() or a stage-times nil check", fn.FullName(), pass.Pkg.Name())
+		return true
+	})
+}
+
+func isClockOrRand(fn *types.Func) bool {
+	if analysis.FromPath(fn, "time") {
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			return true
+		}
+		return false
+	}
+	if fn.Pkg() != nil {
+		switch fn.Pkg().Path() {
+		case "math/rand", "math/rand/v2":
+			return true
+		}
+	}
+	return false
+}
+
+// collectGateVars finds local bools assigned from
+// telemetry.StagesEnabled(), e.g. `stagesOn := telemetry.StagesEnabled()`.
+func collectGateVars(pass *analysis.Pass, file *ast.File) map[types.Object]bool {
+	gates := map[types.Object]bool{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != len(assign.Rhs) {
+			return true
+		}
+		for i, rhs := range assign.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || !isStagesEnabled(pass.TypesInfo, call) {
+				continue
+			}
+			if id, ok := assign.Lhs[i].(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Defs[id]; obj != nil {
+					gates[obj] = true
+				} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+					gates[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return gates
+}
+
+func isStagesEnabled(info *types.Info, call *ast.CallExpr) bool {
+	fn := analysis.CalleeFunc(info, call)
+	return fn != nil && fn.Name() == "StagesEnabled" && analysis.FromPackage(fn, "telemetry")
+}
+
+// gated walks the enclosing-node stack looking for a telemetry gate
+// that dominates the call.
+func gated(pass *analysis.Pass, stack []ast.Node, call *ast.CallExpr, gateVars map[types.Object]bool) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.IfStmt:
+			// The condition itself is evaluated unconditionally; only
+			// the branches are gated.
+			if !within(call, n.Cond) && condGates(pass, n.Cond, gateVars) {
+				return true
+			}
+		case *ast.FuncDecl:
+			if n.Recv != nil && len(n.Recv.List) == 1 &&
+				isAccumulator(pass.TypesInfo.TypeOf(n.Recv.List[0].Type)) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func within(n ast.Node, outer ast.Expr) bool {
+	return outer != nil && n.Pos() >= outer.Pos() && n.End() <= outer.End()
+}
+
+// condGates reports whether cond contains a telemetry gate term: a
+// StagesEnabled() call, a bool derived from one, or a nil comparison
+// of a stage-times accumulator.
+func condGates(pass *analysis.Pass, cond ast.Expr, gateVars map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isStagesEnabled(pass.TypesInfo, n) {
+				found = true
+			}
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[n]; obj != nil && gateVars[obj] {
+				found = true
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.NEQ || n.Op == token.EQL {
+				for _, side := range []ast.Expr{n.X, n.Y} {
+					if isAccumulator(pass.TypesInfo.TypeOf(side)) {
+						found = true
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isAccumulator matches pointers to structs whose fields are all
+// time.Time or time.Duration — the shape of a per-slice stage-times
+// accumulator, which only exists when stage clocks were requested.
+func isAccumulator(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	ptr, ok := t.Underlying().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	st, ok := ptr.Elem().Underlying().(*types.Struct)
+	if !ok || st.NumFields() == 0 {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		switch st.Field(i).Type().String() {
+		case "time.Time", "time.Duration":
+		default:
+			return false
+		}
+	}
+	return true
+}

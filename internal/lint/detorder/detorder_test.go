@@ -1,0 +1,12 @@
+package detorder_test
+
+import (
+	"testing"
+
+	"vbench/internal/lint/analysistest"
+	"vbench/internal/lint/detorder"
+)
+
+func TestDetorder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), detorder.Analyzer)
+}

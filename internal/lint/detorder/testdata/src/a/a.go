@@ -1,0 +1,66 @@
+// Package a exercises detorder's map-iteration-order checks.
+package a
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"lint.test/telemetry"
+)
+
+func directPrint(m map[string]int) {
+	for k, v := range m { // want `iteration over map m reaches output sink fmt.Printf`
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+func writerSink(m map[string]int, w io.Writer) {
+	for k := range m { // want `reaches output sink`
+		w.Write([]byte(k))
+	}
+}
+
+func spanArgSink(m map[string]int, sp *telemetry.Span) {
+	for k, v := range m { // want `reaches output sink`
+		sp.Arg(k, v)
+	}
+}
+
+func unsortedAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map m is ranged into slice keys which is never sorted`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func sortedAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sliceRange(xs []string) {
+	for _, x := range xs {
+		fmt.Println(x)
+	}
+}
+
+func localAccumulation(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func suppressed(m map[string]int) {
+	//lint:ignore detorder order does not matter for debug dumps
+	for k := range m {
+		fmt.Println(k)
+	}
+}

@@ -1,0 +1,55 @@
+// Package codec exercises detorder's clock/rand gating checks; its
+// import path contains internal/codec, so it counts as deterministic.
+package codec
+
+import (
+	"math/rand"
+	"time"
+
+	"lint.test/telemetry"
+)
+
+type stageTimes struct {
+	motion  time.Duration
+	started time.Time
+}
+
+func ungatedClock() time.Time {
+	return time.Now() // want `time.Now in deterministic package codec outside a telemetry gate`
+}
+
+func ungatedRand() int {
+	return rand.Intn(10) // want `math/rand.Intn in deterministic package codec`
+}
+
+func gatedDirect() time.Duration {
+	if telemetry.StagesEnabled() {
+		start := time.Now()
+		return time.Since(start)
+	}
+	return 0
+}
+
+func gatedViaVar() time.Duration {
+	stagesOn := telemetry.StagesEnabled()
+	if stagesOn {
+		start := time.Now()
+		return time.Since(start)
+	}
+	return 0
+}
+
+func gatedByAccumulator(st *stageTimes) {
+	if st != nil {
+		st.started = time.Now()
+	}
+}
+
+func (st *stageTimes) mark() {
+	st.motion += time.Since(st.started)
+}
+
+func suppressedClock() time.Time {
+	//lint:ignore detorder coarse timestamp for log file names only
+	return time.Now()
+}

@@ -1,0 +1,23 @@
+// Package lint aggregates the project's analyzers for the
+// cmd/vbenchlint driver and the self-lint test. Each analyzer guards
+// one repository invariant; docs/LINT.md describes them in detail.
+package lint
+
+import (
+	"vbench/internal/lint/analysis"
+	"vbench/internal/lint/detorder"
+	"vbench/internal/lint/lockflow"
+	"vbench/internal/lint/metricname"
+	"vbench/internal/lint/spanpair"
+)
+
+// Analyzers returns every project analyzer, in the order they are
+// reported.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		detorder.Analyzer,
+		lockflow.Analyzer,
+		metricname.Analyzer,
+		spanpair.Analyzer,
+	}
+}

@@ -1,0 +1,242 @@
+// Package lockflow detects check-then-act races on locked maps: a
+// function that reads a map under a mutex, releases the lock, and
+// later reacquires it to fill the same map without re-checking has a
+// window in which two goroutines both miss and both compute the
+// value. The fix is either the double-checked idiom (re-read after
+// reacquiring) or, for caches, syncx.Memo which additionally
+// deduplicates the in-flight computation.
+//
+// The analysis is linear and per-function: it records Lock/Unlock
+// calls on sync mutexes (a deferred Unlock extends its critical
+// section to the end of the function) and map reads/writes keyed by
+// the map expression text, then flags a write in a later critical
+// section of the same mutex when an earlier section only read the map
+// and the later one did not re-read before writing.
+package lockflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"vbench/internal/lint/analysis"
+)
+
+// Analyzer is the lockflow pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockflow",
+	Doc:  "detects check-then-act map access split across separate critical sections of one mutex",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// lockEvent is a Lock or Unlock call on a mutex expression.
+type lockEvent struct {
+	pos    token.Pos
+	key    string // types.ExprString of the receiver
+	unlock bool
+}
+
+// mapEvent is a read or write of a map index expression.
+type mapEvent struct {
+	pos   token.Pos
+	key   string // types.ExprString of the map operand
+	write bool
+}
+
+// region is one critical section of a mutex.
+type region struct {
+	key        token.Pos // position of the Lock call, used as an ID
+	start, end token.Pos
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	locks, maps := collectEvents(pass, body)
+	if len(locks) == 0 || len(maps) == 0 {
+		return
+	}
+	regions := buildRegions(locks, body.End())
+	checkRegions(pass, regions, maps)
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			checkFunc(pass, lit.Body)
+			return false
+		}
+		return true
+	})
+}
+
+// collectEvents gathers lock and map events directly inside body,
+// not descending into nested function literals.
+func collectEvents(pass *analysis.Pass, body *ast.BlockStmt) (map[string][]lockEvent, []mapEvent) {
+	locks := map[string][]lockEvent{}
+	var maps []mapEvent
+	writes := map[*ast.IndexExpr]bool{}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					writes[ix] = true
+				}
+			}
+		case *ast.DeferStmt:
+			if key, unlock, ok := mutexCall(pass.TypesInfo, n.Call); ok && unlock {
+				// A deferred unlock closes the section at function end.
+				locks[key] = append(locks[key], lockEvent{pos: body.End(), key: key, unlock: true})
+			}
+			return false // a deferred call runs later; skip its args
+		case *ast.CallExpr:
+			if key, unlock, ok := mutexCall(pass.TypesInfo, n); ok {
+				locks[key] = append(locks[key], lockEvent{pos: n.Pos(), key: key, unlock: unlock})
+			}
+		case *ast.IndexExpr:
+			tv, ok := pass.TypesInfo.Types[n.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			maps = append(maps, mapEvent{pos: n.Pos(), key: types.ExprString(n.X), write: writes[n]})
+		}
+		return true
+	})
+	for _, evs := range locks {
+		sort.Slice(evs, func(i, j int) bool { return evs[i].pos < evs[j].pos })
+	}
+	sort.Slice(maps, func(i, j int) bool { return maps[i].pos < maps[j].pos })
+	return locks, maps
+}
+
+// mutexCall classifies a call as Lock/RLock (unlock=false) or
+// Unlock/RUnlock (unlock=true) on a sync mutex, returning the
+// receiver expression text as the mutex key.
+func mutexCall(info *types.Info, call *ast.CallExpr) (key string, unlock, ok bool) {
+	fn := analysis.CalleeFunc(info, call)
+	if fn == nil || !analysis.FromPath(fn, "sync") {
+		return "", false, false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		unlock = false
+	case "Unlock", "RUnlock":
+		unlock = true
+	default:
+		return "", false, false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	return types.ExprString(sel.X), unlock, true
+}
+
+// buildRegions pairs Lock events with the next Unlock of the same
+// mutex (position-ordered), per mutex key.
+func buildRegions(locks map[string][]lockEvent, bodyEnd token.Pos) map[string][]region {
+	out := map[string][]region{}
+	for key, evs := range locks {
+		var open *region
+		for _, ev := range evs {
+			if ev.unlock {
+				if open != nil {
+					open.end = ev.pos
+					out[key] = append(out[key], *open)
+					open = nil
+				}
+				continue
+			}
+			if open != nil {
+				// Re-lock without an observed unlock (branchy code):
+				// close the previous section conservatively.
+				open.end = ev.pos
+				out[key] = append(out[key], *open)
+			}
+			open = &region{key: ev.pos, start: ev.pos, end: bodyEnd}
+		}
+		if open != nil {
+			out[key] = append(out[key], *open)
+		}
+	}
+	return out
+}
+
+// checkRegions flags map writes that complete a check-then-act pair.
+func checkRegions(pass *analysis.Pass, regions map[string][]region, maps []mapEvent) {
+	for _, secs := range regions {
+		if len(secs) < 2 {
+			continue
+		}
+		sort.Slice(secs, func(i, j int) bool { return secs[i].start < secs[j].start })
+		// Classify map events per section and map key.
+		type access struct{ read, write, readBeforeWrite bool }
+		perSec := make([]map[string]*access, len(secs))
+		for i := range secs {
+			perSec[i] = map[string]*access{}
+		}
+		for _, ev := range maps {
+			for i, sec := range secs {
+				if ev.pos < sec.start || ev.pos >= sec.end {
+					continue
+				}
+				a := perSec[i][ev.key]
+				if a == nil {
+					a = &access{}
+					perSec[i][ev.key] = a
+				}
+				if ev.write {
+					a.write = true
+				} else {
+					a.read = true
+					if !a.write {
+						a.readBeforeWrite = true
+					}
+				}
+			}
+		}
+		for i := 1; i < len(secs); i++ {
+			for mapKey, b := range perSec[i] {
+				if !b.write || b.readBeforeWrite {
+					continue // no fill, or double-checked: re-read after reacquiring
+				}
+				for j := 0; j < i; j++ {
+					a := perSec[j][mapKey]
+					if a != nil && a.read && !a.write {
+						pos := writePos(maps, mapKey, secs[i])
+						pass.Reportf(pos, "map %s is checked in one critical section and filled in a later one without re-checking (check-then-act race); re-check after locking or use syncx.Memo", mapKey)
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
+// writePos returns the first write of mapKey inside sec, for the
+// diagnostic position.
+func writePos(maps []mapEvent, mapKey string, sec region) token.Pos {
+	for _, ev := range maps {
+		if ev.write && ev.key == mapKey && ev.pos >= sec.start && ev.pos < sec.end {
+			return ev.pos
+		}
+	}
+	return sec.start
+}

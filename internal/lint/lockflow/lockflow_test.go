@@ -1,0 +1,12 @@
+package lockflow_test
+
+import (
+	"testing"
+
+	"vbench/internal/lint/analysistest"
+	"vbench/internal/lint/lockflow"
+)
+
+func TestLockflow(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), lockflow.Analyzer)
+}

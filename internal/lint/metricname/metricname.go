@@ -1,0 +1,72 @@
+// Package metricname enforces the metric naming schema documented in
+// docs/FORMAT.md: every name registered through the telemetry metric
+// constructors must be dotted lower_snake_case with at least two
+// segments (subsystem prefix plus metric), e.g. "codec.encodes" or
+// "harness.memo.seqs.hits". A misnamed metric is not an error at
+// runtime — it just silently fragments the stats export — so the
+// schema is machine-checked here instead.
+//
+// Only constant string arguments are checked; dynamically built names
+// (fmt.Sprintf, base+".hits") are out of scope. Test files are
+// skipped: scratch registries in tests use deliberately short names.
+package metricname
+
+import (
+	"go/ast"
+	"go/constant"
+	"regexp"
+
+	"vbench/internal/lint/analysis"
+)
+
+// Analyzer is the metricname pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "metricname",
+	Doc:  "checks metric names passed to telemetry constructors against the docs/FORMAT.md schema",
+	Run:  run,
+}
+
+// namePattern is the FORMAT.md schema: dot-separated segments, each
+// lower_snake_case starting with a letter, two segments minimum.
+var namePattern = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*(\.[a-z][a-z0-9]*(_[a-z0-9]+)*)+$`)
+
+// constructors maps the telemetry functions and methods whose first
+// argument is a metric name.
+var constructors = map[string]bool{
+	"GetCounter":   true,
+	"GetGauge":     true,
+	"GetHistogram": true,
+	"Counter":      true,
+	"Gauge":        true,
+	"GaugeFunc":    true,
+	"Histogram":    true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn := analysis.CalleeFunc(pass.TypesInfo, call)
+			if fn == nil || !analysis.FromPackage(fn, "telemetry") || !constructors[fn.Name()] {
+				return true
+			}
+			arg := call.Args[0]
+			tv, ok := pass.TypesInfo.Types[arg]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				return true // dynamic name: out of scope
+			}
+			name := constant.StringVal(tv.Value)
+			if !namePattern.MatchString(name) {
+				pass.Reportf(arg.Pos(), "metric name %q does not match the dotted lower_snake_case schema (see docs/FORMAT.md), e.g. \"codec.encodes\"", name)
+			}
+			return true
+		})
+	}
+	return nil
+}

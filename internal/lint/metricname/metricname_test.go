@@ -1,0 +1,12 @@
+package metricname_test
+
+import (
+	"testing"
+
+	"vbench/internal/lint/analysistest"
+	"vbench/internal/lint/metricname"
+)
+
+func TestMetricname(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), metricname.Analyzer)
+}

@@ -1,0 +1,36 @@
+// Package c exercises metricname's schema checks.
+package c
+
+import "lint.test/telemetry"
+
+const histName = "codec.slice_gate_wait_seconds"
+
+func good(r *telemetry.Registry) {
+	telemetry.GetCounter("codec.encodes")
+	telemetry.GetGauge("harness.memo.seqs.hits")
+	telemetry.GetHistogram(histName)
+	r.Counter("codec.stage.motion_ns")
+	r.GaugeFunc("harness.workers.active", func() float64 { return 0 })
+}
+
+func bad(r *telemetry.Registry) {
+	telemetry.GetCounter("Encodes")        // want `metric name "Encodes" does not match`
+	telemetry.GetGauge("codec")            // want `metric name "codec" does not match`
+	telemetry.GetHistogram("codec.Stage")  // want `metric name "codec.Stage" does not match`
+	r.Counter("codec..double_dot")         // want `does not match`
+	r.Gauge("codec.stage-motion")          // want `does not match`
+	r.Histogram("codec.stage_")            // want `does not match`
+	telemetry.GetCounter("_codec.encodes") // want `does not match`
+	telemetry.GetCounter("codec.9encodes") // want `does not match`
+}
+
+func dynamic(base string, r *telemetry.Registry) {
+	// Dynamically built names are out of scope for the checker.
+	telemetry.GetCounter(base + ".hits")
+	r.Gauge(base)
+}
+
+func suppressed() {
+	//lint:ignore metricname legacy dashboard expects this exact name
+	telemetry.GetCounter("LegacyEncodes")
+}

@@ -1,0 +1,37 @@
+// Package telemetry is a stub standing in for vbench/internal/telemetry;
+// metricname matches the constructors by package name.
+package telemetry
+
+// Counter, Gauge, and Histogram mirror the real metric kinds.
+type (
+	Counter   struct{}
+	Gauge     struct{}
+	Histogram struct{}
+)
+
+// Registry mirrors the real metric registry.
+type Registry struct{}
+
+// Default mirrors the process-wide registry.
+var Default = &Registry{}
+
+// GetCounter mirrors the package-level convenience constructor.
+func GetCounter(name string) *Counter { return nil }
+
+// GetGauge mirrors the package-level convenience constructor.
+func GetGauge(name string) *Gauge { return nil }
+
+// GetHistogram mirrors the package-level convenience constructor.
+func GetHistogram(name string, bounds ...float64) *Histogram { return nil }
+
+// Counter mirrors the registry constructor.
+func (r *Registry) Counter(name string) *Counter { return nil }
+
+// Gauge mirrors the registry constructor.
+func (r *Registry) Gauge(name string) *Gauge { return nil }
+
+// GaugeFunc mirrors the callback-gauge constructor.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {}
+
+// Histogram mirrors the registry constructor.
+func (r *Registry) Histogram(name string, bounds ...float64) *Histogram { return nil }

@@ -1,0 +1,32 @@
+package lint_test
+
+import (
+	"testing"
+
+	"vbench/internal/lint"
+	"vbench/internal/lint/analysis"
+)
+
+// TestRepositoryIsLintClean runs every project analyzer over the whole
+// repository and fails on any finding, so `make check` (via go test)
+// guards the invariants even when `make lint` is not invoked directly.
+func TestRepositoryIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	root, err := analysis.ModuleDir(".")
+	if err != nil {
+		t.Fatalf("locating module root: %v", err)
+	}
+	pkgs, err := analysis.Load(root, nil, "./...")
+	if err != nil {
+		t.Fatalf("loading packages: %v", err)
+	}
+	diags, err := analysis.Run(pkgs, lint.Analyzers())
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,12 @@
+package spanpair_test
+
+import (
+	"testing"
+
+	"vbench/internal/lint/analysistest"
+	"vbench/internal/lint/spanpair"
+)
+
+func TestSpanpair(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), spanpair.Analyzer)
+}

@@ -1,0 +1,120 @@
+// Package b exercises spanpair's End-on-all-paths checks.
+package b
+
+import (
+	"errors"
+
+	"lint.test/telemetry"
+)
+
+func deferred() {
+	sp := telemetry.StartSpan("ok")
+	defer sp.End()
+	work()
+}
+
+func deferredClosure() {
+	sp := telemetry.StartSpan("ok")
+	defer func() {
+		sp.End()
+	}()
+	work()
+}
+
+func explicitAllPaths(fail bool) error {
+	sp := telemetry.StartSpan("ok")
+	if fail {
+		sp.End()
+		return errors.New("fail")
+	}
+	work()
+	sp.End()
+	return nil
+}
+
+func dropped() {
+	telemetry.StartSpan("x") // want `result of .*StartSpan is dropped`
+	work()
+}
+
+func blankAssigned() {
+	_ = telemetry.StartSpan("x") // want `assigned to _`
+	work()
+}
+
+func leakyReturn(fail bool) error {
+	sp := telemetry.StartSpan("x")
+	if fail {
+		return errors.New("fail") // want `return leaks span sp`
+	}
+	work()
+	sp.End()
+	return nil
+}
+
+func fallThroughLeak() {
+	sp := telemetry.StartSpan("x") // want `span sp is not ended on the fall-through return path`
+	work()
+	sp.Arg("k", 1)
+}
+
+func nilGuardedEnd() {
+	sp := telemetry.StartSpan("ok")
+	work()
+	if sp != nil {
+		sp.Arg("k", 1)
+		sp.End()
+	}
+}
+
+func nilGuardEarlyOut() {
+	sp := telemetry.StartSpan("ok")
+	if sp == nil {
+		return
+	}
+	work()
+	sp.End()
+}
+
+func chainedChild(parent *telemetry.Span) {
+	sp := telemetry.StartSpan("ok")
+	defer sp.End()
+	sp.Child("sub").End()
+}
+
+func loopLeak(n int) {
+	for i := 0; i < n; i++ {
+		sp := telemetry.StartSpan("iter") // want `created inside a loop but not ended within the loop body`
+		work()
+		sp.Arg("i", i)
+	}
+}
+
+func loopEnded(n int) {
+	for i := 0; i < n; i++ {
+		sp := telemetry.StartSpan("iter")
+		work()
+		sp.End()
+	}
+}
+
+func escapes() *telemetry.Span {
+	sp := telemetry.StartSpan("caller-owned")
+	return sp
+}
+
+func escapesToCall() {
+	sp := telemetry.StartSpan("callee-owned")
+	take(sp)
+}
+
+func suppressed() {
+	//lint:ignore spanpair process-lifetime span, closed by the exporter
+	sp := telemetry.StartSpan("x")
+	work()
+	sp.Arg("k", 1)
+}
+
+func take(sp *telemetry.Span) { _ = sp }
+
+func work() {}

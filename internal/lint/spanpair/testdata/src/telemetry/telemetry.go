@@ -1,0 +1,18 @@
+// Package telemetry is a stub standing in for vbench/internal/telemetry;
+// spanpair matches span constructors by package name and result shape.
+package telemetry
+
+// Span mirrors the real nil-safe span.
+type Span struct{}
+
+// StartSpan mirrors the real constructor.
+func StartSpan(name string) *Span { return nil }
+
+// Child mirrors the real child-span constructor.
+func (s *Span) Child(name string) *Span { return nil }
+
+// Arg mirrors the annotation method.
+func (s *Span) Arg(key string, value any) *Span { return s }
+
+// End closes the span.
+func (s *Span) End() {}

@@ -38,6 +38,8 @@ func StartDebugServer(addr string) (shutdown func() error, err error) {
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
+		// A failed write means the HTTP client went away; there is
+		// no caller to surface the error to.
 		_ = Default.WriteJSON(w)
 	})
 	ln, err := net.Listen("tcp", addr)
@@ -45,6 +47,8 @@ func StartDebugServer(addr string) (shutdown func() error, err error) {
 		return nil, err
 	}
 	srv := &http.Server{Handler: mux}
+	// Serve returns ErrServerClosed once the stop function calls
+	// Close; any earlier error just stops the optional endpoint.
 	go func() { _ = srv.Serve(ln) }()
 	return srv.Close, nil
 }

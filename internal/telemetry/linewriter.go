@@ -67,6 +67,7 @@ func (lw *LineWriter) Write(p []byte) (int, error) {
 		} else {
 			p = nil
 		}
+		// bytes.Buffer writes are documented to never return an error.
 		buf.WriteString(prefix)
 		buf.Write(line)
 		buf.WriteByte('\n')

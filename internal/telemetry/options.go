@@ -78,7 +78,7 @@ func writeFile(path string, write func(w io.Writer) error) error {
 		return err
 	}
 	if err := write(f); err != nil {
-		f.Close()
+		_ = f.Close() // the write error takes precedence
 		return err
 	}
 	return f.Close()
