@@ -37,11 +37,12 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench runs the harness-grid scaling benchmark plus the telemetry
-# overhead benchmark (acceptance budget: "on" < 5% over "off") and
+# bench runs the harness-grid scaling benchmark, the telemetry
+# overhead benchmark (acceptance budget: "on" < 5% over "off"), and the
+# encode allocation benchmark (budget in ALLOC_BUDGET.json), and
 # records the machine-readable report in BENCH_harness.json.
 bench:
-	$(GO) test -bench 'HarnessGrid|TelemetryOverhead' -benchmem -run '^$$' . \
+	$(GO) test -bench 'HarnessGrid|TelemetryOverhead|EncodeAllocs' -benchmem -run '^$$' . \
 		| $(GO) run ./cmd/benchjson -o BENCH_harness.json
 
 # benchall runs every benchmark in the repository.

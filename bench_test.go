@@ -1,7 +1,9 @@
 package vbench
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
 	"runtime"
 	"testing"
 	"time"
@@ -248,6 +250,70 @@ func BenchmarkEncodeMedium(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkEncodeAllocs measures heap allocations per single-clip
+// encode and enforces the checked-in budget (ALLOC_BUDGET.json). The
+// per-macroblock encode path is allocation-free by design — level
+// arenas, candidate recycling, and pooled reconstruction frames (see
+// DESIGN.md, "Memory management in the encode hot path") — so
+// allocs/op scales with frame count, not macroblock count. A
+// regression that reintroduces per-MB allocation overshoots the budget
+// by orders of magnitude and fails this benchmark, which CI runs with
+// -benchtime=1x as a smoke gate.
+func BenchmarkEncodeAllocs(b *testing.B) {
+	budget, err := readAllocBudget("ALLOC_BUDGET.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	clip, err := corpus.ClipByName("girl")
+	if err != nil {
+		b.Fatal(err)
+	}
+	seq, err := clip.Generate(benchScale, benchDuration)
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc := X264(PresetMedium)
+	// Warm the scratch pools so the measurement reflects steady state.
+	if _, err := enc.Encode(seq, Config{RC: RCConstQP, QP: 28}); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(seq.PixelCount())
+	b.ReportAllocs()
+	b.ResetTimer()
+	var ms1, ms2 runtime.MemStats
+	runtime.ReadMemStats(&ms1)
+	for i := 0; i < b.N; i++ {
+		if _, err := enc.Encode(seq, Config{RC: RCConstQP, QP: 28}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	runtime.ReadMemStats(&ms2)
+	perOp := float64(ms2.Mallocs-ms1.Mallocs) / float64(b.N)
+	b.ReportMetric(perOp, "mallocs/op")
+	if perOp > float64(budget) {
+		b.Fatalf("encode allocations %.0f/op exceed the ALLOC_BUDGET.json budget of %d/op", perOp, budget)
+	}
+}
+
+// readAllocBudget loads the allocation budget the repository commits
+// to (repo root, next to BENCH_harness.json).
+func readAllocBudget(path string) (int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("reading alloc budget: %w", err)
+	}
+	var budget struct {
+		EncodeAllocsPerOp int64 `json:"encode_allocs_per_op"`
+	}
+	if err := json.Unmarshal(data, &budget); err != nil {
+		return 0, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if budget.EncodeAllocsPerOp <= 0 {
+		return 0, fmt.Errorf("%s: encode_allocs_per_op must be positive", path)
+	}
+	return budget.EncodeAllocsPerOp, nil
 }
 
 // BenchmarkDecode measures decoder throughput.

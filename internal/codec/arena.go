@@ -1,0 +1,116 @@
+package codec
+
+import "vbench/internal/codec/motion"
+
+// This file holds the scratch memory that makes the per-macroblock
+// encode and decode paths allocation-free in steady state. Three
+// mechanisms cooperate (see DESIGN.md, "Memory management in the
+// encode hot path"):
+//
+//   - levelArena: one flat []int32 backing array per slice
+//     encoder/decoder from which every quantized-level slice is bump-
+//     allocated, reset at each macroblock.
+//   - candPool: a small free list of mbCand values recycled across
+//     mode trials, replacing a fresh heap allocation per candidate.
+//   - motion.Scratch: caller-owned buffers for the motion search and
+//     sharp-interpolation temporaries.
+//
+// Determinism contract: recycled memory is always fully overwritten
+// before use (candidates by whole-struct literal assignment, level
+// slices by copy of exactly the bytes returned), so a pooled object is
+// indistinguishable from a fresh allocation and bitstreams do not
+// change.
+
+// candLevelInt32s is the worst-case level storage a single candidate
+// can reference: 16 luma blocks of 16 (or 4 of 64 — same total) plus
+// 2 chroma planes × 4 blocks of 16.
+const candLevelInt32s = MBSize*MBSize + 2*4*16
+
+// levelArenaCap sizes the arena for the maximum number of candidates
+// holding levels simultaneously within one macroblock decision (skip,
+// two inter trials, intra 16×16, intra 4×4, tx8 retry), with slack so
+// steady state never overflows.
+const levelArenaCap = 8 * candLevelInt32s
+
+// levelArena bump-allocates []int32 level storage from one backing
+// array. take returns capacity-clamped sub-slices so an append by a
+// future caller cannot bleed into a neighbouring block's levels. reset
+// rewinds the arena; outstanding slices from before the reset must no
+// longer be referenced (the per-macroblock lifecycle guarantees this:
+// the winning candidate's levels are serialized before the next
+// macroblock resets the arena).
+type levelArena struct {
+	buf       []int32
+	off       int
+	overflows int64
+}
+
+func (a *levelArena) reset() { a.off = 0 }
+
+// take returns an n-int32 slice of arena storage. Contents are
+// unspecified; every caller overwrites all n entries. If the arena is
+// exhausted (or a is nil, for callers outside the hot path) it falls
+// back to the heap and counts the overflow for the
+// codec.arena.level_overflows telemetry counter.
+func (a *levelArena) take(n int) []int32 {
+	if a == nil {
+		return make([]int32, n)
+	}
+	if a.buf == nil {
+		a.buf = make([]int32, levelArenaCap)
+	}
+	if a.off+n > len(a.buf) {
+		a.overflows++
+		return make([]int32, n)
+	}
+	s := a.buf[a.off : a.off+n : a.off+n]
+	a.off += n
+	return s
+}
+
+// candPool recycles mbCand values within one slice encoder. Mode
+// trials get a candidate, losers are released back, and the per-MB
+// winner is released after serialization — so steady state cycles the
+// same two or three structs (a best/trial ping-pong) instead of
+// allocating ~1 KiB per trial. fresh counts heap allocations for the
+// codec.arena.cand_allocs telemetry counter.
+type candPool struct {
+	free  []*mbCand
+	fresh int64
+}
+
+func (p *candPool) get() *mbCand {
+	if n := len(p.free); n > 0 {
+		c := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return c
+	}
+	p.fresh++
+	return new(mbCand)
+}
+
+func (p *candPool) put(c *mbCand) {
+	if c == nil {
+		return
+	}
+	p.free = append(p.free, c)
+}
+
+// encScratch is the per-slice-encoder scratch state. One value lives
+// per worker for the whole encode; nothing in it is shared across
+// goroutines.
+type encScratch struct {
+	levels levelArena
+	cands  candPool
+	motion motion.Scratch
+}
+
+// decScratch is the decoder-side counterpart. The decoder has exactly
+// one candidate live at a time, so it embeds the struct directly
+// instead of pooling.
+type decScratch struct {
+	levels levelArena
+	cand   mbCand
+	motion motion.Scratch
+}

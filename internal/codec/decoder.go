@@ -27,6 +27,12 @@ func Decode(data []byte) (*video.Sequence, *perf.Counters, error) {
 
 	var refs []*video.Frame
 	bounds := sliceBounds(mbH, hdr.slices)
+	// Same pooling rule as the encoder: padded reconstructions are
+	// decoder-private (cropFrame copies them) and recyclable; aligned
+	// ones escape through the returned sequence.
+	pooledRefs := hdr.paddedWidth() != hdr.width || hdr.paddedHeight() != hdr.height
+	scratches := make([]decScratch, hdr.slices)
+	qpGrid := make([]int, mbW*mbH)
 	for fi := 0; fi < hdr.frames; fi++ {
 		if off+2 > len(data) {
 			return nil, nil, fmt.Errorf("codec: truncated frame header at frame %d", fi)
@@ -44,8 +50,7 @@ func Decode(data []byte) (*video.Sequence, *perf.Counters, error) {
 			return nil, nil, fmt.Errorf("codec: P frame %d without reference", fi)
 		}
 
-		recon := video.NewFrame(hdr.paddedWidth(), hdr.paddedHeight())
-		qpGrid := make([]int, mbW*mbH)
+		recon := video.GetFrame(hdr.paddedWidth(), hdr.paddedHeight())
 		for s := 0; s < hdr.slices; s++ {
 			if off+4 > len(data) {
 				return nil, nil, fmt.Errorf("codec: truncated slice header at frame %d slice %d", fi, s)
@@ -70,6 +75,7 @@ func Decode(data []byte) (*video.Sequence, *perf.Counters, error) {
 				ftype:    ftype,
 				qpBase:   qpBase,
 				c:        c,
+				sc:       &scratches[s],
 			}
 			if hdr.entropy == EntropyArith {
 				fd.r = newArithReader(payload)
@@ -85,11 +91,21 @@ func Decode(data []byte) (*video.Sequence, *perf.Counters, error) {
 		}
 		refs = append([]*video.Frame{recon}, refs...)
 		if len(refs) > hdr.refs {
+			if pooledRefs {
+				for _, evicted := range refs[hdr.refs:] {
+					video.PutFrame(evicted)
+				}
+			}
 			refs = refs[:hdr.refs]
 		}
 		seq.Frames = append(seq.Frames, cropFrame(recon, hdr.width, hdr.height))
 		c.Frames++
 		c.Pixels += int64(hdr.paddedWidth() * hdr.paddedHeight())
+	}
+	if pooledRefs {
+		for _, r := range refs {
+			video.PutFrame(r)
+		}
 	}
 	return seq, c, nil
 }
@@ -109,6 +125,7 @@ type frameDecoder struct {
 	ftype    int
 	qpBase   int
 	c        *perf.Counters
+	sc       *decScratch // persistent per-slice-lane scratch (arena.go)
 }
 
 // sliceTopPx returns the luma row of the slice's first sample.
@@ -134,7 +151,13 @@ func (fd *frameDecoder) decodeMB(mbx, local int) error {
 	px, py := mbx*MBSize, (fd.rowStart+local)*MBSize
 	predMV := fd.grid.predMV(mbx, local)
 
-	cand := &mbCand{qp: fd.qpBase}
+	// The previous macroblock has been committed, so its level storage
+	// and candidate struct are dead; reuse both. The whole-struct
+	// assignment resets every field exactly as a fresh allocation
+	// would.
+	fd.sc.levels.reset()
+	cand := &fd.sc.cand
+	*cand = mbCand{qp: fd.qpBase}
 	if fd.ftype == frameP {
 		skip, err := fd.r.Bit(ctxSkip)
 		if err != nil {
@@ -260,13 +283,16 @@ func (fd *frameDecoder) readMBTail(cand *mbCand) error {
 		}
 		planeCoded[p] = b == 1
 	}
-	cand.lumaLevels = make([][]int32, cand.lumaBlockCount())
+	// Coded-block levels live in the slice lane's arena; uncoded
+	// blocks keep the nil entries the candidate reset left behind.
+	// readResidualBlock zeroes its buffer first, so dirty arena memory
+	// is harmless.
 	if cand.tx8 {
 		for q := 0; q < 4; q++ {
 			if !quadCoded[q] {
 				continue
 			}
-			zz := make([]int32, 64)
+			zz := fd.sc.levels.take(64)
 			if err := readResidualBlock(r, zz, rich); err != nil {
 				return err
 			}
@@ -283,7 +309,7 @@ func (fd *frameDecoder) readMBTail(cand *mbCand) error {
 					return err
 				}
 				if flag == 1 {
-					zz := make([]int32, 16)
+					zz := fd.sc.levels.take(16)
 					if err := readResidualBlock(r, zz, rich); err != nil {
 						return err
 					}
@@ -293,7 +319,6 @@ func (fd *frameDecoder) readMBTail(cand *mbCand) error {
 		}
 	}
 	for p := 0; p < 2; p++ {
-		cand.chromaLevels[p] = make([][]int32, 4)
 		if !planeCoded[p] {
 			continue
 		}
@@ -303,7 +328,7 @@ func (fd *frameDecoder) readMBTail(cand *mbCand) error {
 				return err
 			}
 			if flag == 1 {
-				zz := make([]int32, 16)
+				zz := fd.sc.levels.take(16)
 				if err := readResidualBlock(r, zz, rich); err != nil {
 					return err
 				}
@@ -321,7 +346,7 @@ func (fd *frameDecoder) reconstructInter(cand *mbCand, mbx, local, px, py int) e
 	}
 	ref := fd.refs[cand.ref]
 	var pred [MBSize * MBSize]uint8
-	mcLuma(fd.hdr, pred[:], lumaPlane(ref), px, py, cand.mv, fd.c)
+	mcLuma(fd.hdr, pred[:], lumaPlane(ref), px, py, cand.mv, &fd.sc.motion, fd.c)
 	fd.composeLuma(cand, pred[:], px, py)
 
 	var cpred [64]uint8
@@ -385,7 +410,7 @@ func (fd *frameDecoder) reconstructIntra4Luma(cand *mbCand, px, py int) error {
 		for i := range rblk {
 			rblk[i] = 0
 		}
-		if cand.lumaLevels != nil && cand.lumaLevels[b] != nil {
+		if cand.lumaLevels[b] != nil {
 			reconstructBlockFromLevels(cand.lumaLevels[b], rblk[:], 4, cand.qp, fd.c)
 		}
 		for y := 0; y < 4; y++ {
@@ -407,27 +432,25 @@ func (fd *frameDecoder) reconstructIntra4Luma(cand *mbCand, px, py int) error {
 // plus decoded residual.
 func (fd *frameDecoder) composeLuma(cand *mbCand, pred []uint8, px, py int) {
 	var reconRes [MBSize * MBSize]int32
-	if cand.lumaLevels != nil {
-		if cand.tx8 {
-			var rblk [64]int32
-			for q := 0; q < 4; q++ {
-				if cand.lumaLevels[q] == nil {
-					continue
-				}
-				reconstructBlockFromLevels(cand.lumaLevels[q], rblk[:], 8, cand.qp, fd.c)
-				ox, oy := block8Offset(q)
-				scatterBlock(reconRes[:], MBSize, ox, oy, 8, rblk[:])
+	if cand.tx8 {
+		var rblk [64]int32
+		for q := 0; q < 4; q++ {
+			if cand.lumaLevels[q] == nil {
+				continue
 			}
-		} else {
-			var rblk [16]int32
-			for b := 0; b < 16; b++ {
-				if cand.lumaLevels[b] == nil {
-					continue
-				}
-				reconstructBlockFromLevels(cand.lumaLevels[b], rblk[:], 4, cand.qp, fd.c)
-				ox, oy := block4Offset(b)
-				scatterBlock(reconRes[:], MBSize, ox, oy, 4, rblk[:])
+			reconstructBlockFromLevels(cand.lumaLevels[q], rblk[:], 8, cand.qp, fd.c)
+			ox, oy := block8Offset(q)
+			scatterBlock(reconRes[:], MBSize, ox, oy, 8, rblk[:])
+		}
+	} else {
+		var rblk [16]int32
+		for b := 0; b < 16; b++ {
+			if cand.lumaLevels[b] == nil {
+				continue
 			}
+			reconstructBlockFromLevels(cand.lumaLevels[b], rblk[:], 4, cand.qp, fd.c)
+			ox, oy := block4Offset(b)
+			scatterBlock(reconRes[:], MBSize, ox, oy, 4, rblk[:])
 		}
 	}
 	composeRecon(cand.lumaRecon[:], pred, reconRes[:], MBSize*MBSize)
@@ -436,16 +459,14 @@ func (fd *frameDecoder) composeLuma(cand *mbCand, pred []uint8, px, py int) {
 // composeChroma reconstructs one chroma plane of the MB.
 func (fd *frameDecoder) composeChroma(cand *mbCand, p int, pred []uint8, px, py int) {
 	var reconRes [64]int32
-	if cand.chromaLevels[p] != nil {
-		var rblk [16]int32
-		for b := 0; b < 4; b++ {
-			if cand.chromaLevels[p][b] == nil {
-				continue
-			}
-			reconstructBlockFromLevels(cand.chromaLevels[p][b], rblk[:], 4, cand.qp, fd.c)
-			ox, oy := (b%2)*4, (b/2)*4
-			scatterBlock(reconRes[:], 8, ox, oy, 4, rblk[:])
+	var rblk [16]int32
+	for b := 0; b < 4; b++ {
+		if cand.chromaLevels[p][b] == nil {
+			continue
 		}
+		reconstructBlockFromLevels(cand.chromaLevels[p][b], rblk[:], 4, cand.qp, fd.c)
+		ox, oy := (b%2)*4, (b/2)*4
+		scatterBlock(reconRes[:], 8, ox, oy, 4, rblk[:])
 	}
 	composeRecon(cand.chromaRecon[p][:], pred, reconRes[:], 64)
 }

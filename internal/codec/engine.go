@@ -135,6 +135,9 @@ func (e *Engine) Encode(src *video.Sequence, cfg Config) (*Result, error) {
 		}
 		res.Counters.Add(&fpRes.Counters)
 		rc = newRateControl(cfg, src.Width()*src.Height(), src.FrameRate, len(src.Frames), fpRes.PerFrameBits, firstPassQP)
+		// Only the bit budget and counters outlive the first pass;
+		// recycle its reconstruction buffers for this pass.
+		video.PutSequence(fpRes.Recon)
 	} else {
 		rc = newRateControl(cfg, src.Width()*src.Height(), src.FrameRate, len(src.Frames), nil, 0)
 	}
@@ -168,6 +171,22 @@ func (e *Engine) Encode(src *video.Sequence, cfg Config) (*Result, error) {
 	var refs []*video.Frame
 	var prevSrc *video.Frame
 	res.Recon = &video.Sequence{FrameRate: src.FrameRate}
+
+	// When the padded geometry differs from the display geometry,
+	// cropFrame copies the reconstruction, so the padded frames are
+	// encoder-private and can be recycled once evicted from the
+	// reference list. When they match, cropFrame returns the
+	// reconstruction itself — those frames escape through res.Recon
+	// and must never be returned to the pool.
+	pooledRefs := hdr.paddedWidth() != src.Width() || hdr.paddedHeight() != src.Height()
+
+	// Per-encode scratch state, one per slice lane: level arenas,
+	// candidate free lists, and motion-search buffers. Reused across
+	// every frame so the per-macroblock path allocates nothing in
+	// steady state.
+	scratches := make([]encScratch, nSlices)
+	qpGrid := make([]int, mbW*mbH) // every MB row is rewritten each frame
+	bounds := sliceBounds(mbH, nSlices)
 
 	// Scene-cut detection compares each frame's mean absolute
 	// difference against an exponential moving average of recent
@@ -207,15 +226,13 @@ func (e *Engine) Encode(src *video.Sequence, cfg Config) (*Result, error) {
 		// Per-frame shared state: the reconstruction buffer, the QP
 		// grid, and (with AQ) the frame-level activity map. Slices
 		// write disjoint rows, so they encode concurrently.
-		recon := video.NewFrame(hdr.paddedWidth(), hdr.paddedHeight())
-		qpGrid := make([]int, mbW*mbH)
+		recon := video.GetFrame(hdr.paddedWidth(), hdr.paddedHeight())
 		var varBits []int
 		avgVarBits := 0
 		if hdr.adaptiveQuant {
 			varBits, avgVarBits = computeActivity(srcP, mbW, mbH, &res.Counters)
 		}
 
-		bounds := sliceBounds(mbH, nSlices)
 		payloads := make([][]byte, nSlices)
 		sliceCounters := make([]perf.Counters, nSlices)
 		var sliceTimes []stageTimes
@@ -226,7 +243,7 @@ func (e *Engine) Encode(src *video.Sequence, cfg Config) (*Result, error) {
 		var encErr error
 		var errOnce sync.Once
 		for s := 0; s < nSlices; s++ {
-			fe := newFrameEncoder(e, hdr, srcP, recon, qpGrid, refs, mbW, ftype, qpBase, &sliceCounters[s])
+			fe := newFrameEncoder(e, hdr, srcP, recon, qpGrid, refs, mbW, ftype, qpBase, &sliceCounters[s], &scratches[s])
 			fe.rowStart, fe.rowEnd = bounds[s], bounds[s+1]
 			fe.varBits, fe.avgVarBits = varBits, avgVarBits
 			if stagesOn {
@@ -287,6 +304,11 @@ func (e *Engine) Encode(src *video.Sequence, cfg Config) (*Result, error) {
 		}
 		refs = append([]*video.Frame{recon}, refs...)
 		if len(refs) > e.Tools.MaxRefs {
+			if pooledRefs {
+				for _, evicted := range refs[e.Tools.MaxRefs:] {
+					video.PutFrame(evicted)
+				}
+			}
 			refs = refs[:e.Tools.MaxRefs]
 		}
 		res.Recon.Frames = append(res.Recon.Frames, cropFrame(recon, src.Width(), src.Height()))
@@ -307,6 +329,19 @@ func (e *Engine) Encode(src *video.Sequence, cfg Config) (*Result, error) {
 			fsp.End()
 		}
 	}
+
+	if pooledRefs {
+		for _, r := range refs {
+			video.PutFrame(r)
+		}
+	}
+	var candAllocs, levelOverflows int64
+	for s := range scratches {
+		candAllocs += scratches[s].cands.fresh
+		levelOverflows += scratches[s].levels.overflows
+	}
+	obsCandAllocs.Add(candAllocs)
+	obsLevelOverflows.Add(levelOverflows)
 
 	res.Bitstream = out
 	if e.Model != nil {
@@ -372,10 +407,14 @@ type frameEncoder struct {
 	varBits    []int
 	avgVarBits int
 
+	// sc is the slice lane's persistent scratch memory (level arena,
+	// candidate free list, motion buffers); see arena.go.
+	sc *encScratch
+
 	scratch [MBSize * MBSize]uint8
 }
 
-func newFrameEncoder(e *Engine, hdr *seqHeader, src, recon *video.Frame, qpGrid []int, refs []*video.Frame, mbW, ftype, qpBase int, c *perf.Counters) *frameEncoder {
+func newFrameEncoder(e *Engine, hdr *seqHeader, src, recon *video.Frame, qpGrid []int, refs []*video.Frame, mbW, ftype, qpBase int, c *perf.Counters, sc *encScratch) *frameEncoder {
 	fe := &frameEncoder{
 		eng:    e,
 		hdr:    hdr,
@@ -387,6 +426,7 @@ func newFrameEncoder(e *Engine, hdr *seqHeader, src, recon *video.Frame, qpGrid 
 		ftype:  ftype,
 		qpBase: qpBase,
 		c:      c,
+		sc:     sc,
 	}
 	if hdr.entropy == EntropyArith {
 		fe.w = newArithWriter()
@@ -493,6 +533,9 @@ func chromaPlane(f *video.Frame, p int) motion.Plane {
 
 // encodeMB codes the macroblock at column mbx, slice-local row local.
 func (fe *frameEncoder) encodeMB(mbx, local int) {
+	// The previous macroblock's levels were serialized by writeCand,
+	// so its arena storage is dead; rewind before the new trials.
+	fe.sc.levels.reset()
 	gRow := fe.rowStart + local
 	qp, qpDelta := fe.mbQP(mbx, gRow)
 	px, py := mbx*MBSize, gRow*MBSize
@@ -518,6 +561,7 @@ func (fe *frameEncoder) encodeMB(mbx, local int) {
 	case mbIntra:
 		fe.c.MBIntra++
 	}
+	fe.sc.cands.put(cand)
 }
 
 // decideIntraMB evaluates intra modes by SATD and returns the best
@@ -629,7 +673,7 @@ func (fe *frameEncoder) decideInterMB(mbx, mby, px, py, qp, qpDelta int) *mbCand
 	bestMV := motion.MV{}
 	var bestCost int64 = math.MaxInt64
 	for r := 0; r < len(fe.refs) && r < t.MaxRefs; r++ {
-		mv, cost := motion.Search(srcY, px, py, lumaPlane(fe.refs[r]), predMV, MBSize, MBSize, params, fe.c)
+		mv, cost := motion.Search(srcY, px, py, lumaPlane(fe.refs[r]), predMV, MBSize, MBSize, params, &fe.sc.motion, fe.c)
 		cost += lambdaSATDQ4[qp] * int64(r) / 4 // reference index rate
 		if cost < bestCost {
 			bestCost = cost
@@ -671,6 +715,8 @@ func (fe *frameEncoder) decideInterMB(mbx, mby, px, py, qp, qpDelta int) *mbCand
 }
 
 // pickByRD compares two candidates by SSE + λ·bits; either may be nil.
+// The loser is recycled into the candidate pool, so callers must not
+// hold onto both arguments after the call.
 func (fe *frameEncoder) pickByRD(px, py int, a, b *mbCand) *mbCand {
 	if a == nil {
 		return b
@@ -682,8 +728,10 @@ func (fe *frameEncoder) pickByRD(px, py int, a, b *mbCand) *mbCand {
 	costA := float64(fe.candSSE(px, py, a)) + lambdaMode[a.qp]*float64(fe.candBits(a))
 	costB := float64(fe.candSSE(px, py, b)) + lambdaMode[b.qp]*float64(fe.candBits(b))
 	if costB < costA {
+		fe.sc.cands.put(a)
 		return b
 	}
+	fe.sc.cands.put(b)
 	return a
 }
 
@@ -759,17 +807,22 @@ func (fe *frameEncoder) lumaResidual(px, py int, pred []uint8, out []int32) {
 func (fe *frameEncoder) buildSkipCand(px, py int, predMV motion.MV, qp int) *mbCand {
 	cand := fe.buildInterCand(px, py, predMV, 0, false, qp, 0)
 	cand.qp = fe.qpBase // skip MBs carry no QP delta
+	coded := false
 	for _, blk := range cand.lumaLevels {
 		if blk != nil {
-			return nil
+			coded = true
 		}
 	}
 	for p := 0; p < 2; p++ {
 		for _, blk := range cand.chromaLevels[p] {
 			if blk != nil {
-				return nil
+				coded = true
 			}
 		}
+	}
+	if coded {
+		fe.sc.cands.put(cand)
+		return nil
 	}
 	cand.mode = mbSkip
 	return cand
@@ -777,9 +830,9 @@ func (fe *frameEncoder) buildSkipCand(px, py int, predMV motion.MV, qp int) *mbC
 
 // mcLuma produces the luma motion-compensated prediction using the
 // stream's interpolation mode.
-func mcLuma(hdr *seqHeader, dst []uint8, ref motion.Plane, px, py int, mv motion.MV, c *perf.Counters) {
+func mcLuma(hdr *seqHeader, dst []uint8, ref motion.Plane, px, py int, mv motion.MV, sc *motion.Scratch, c *perf.Counters) {
 	if hdr.sharpInterp {
-		motion.PredictLumaSharp(dst, ref, px, py, mv, MBSize, MBSize)
+		motion.PredictLumaSharp(dst, ref, px, py, mv, MBSize, MBSize, sc)
 		c.Count(perf.KInterp, MBSize*MBSize*2)
 		return
 	}
@@ -790,10 +843,14 @@ func mcLuma(hdr *seqHeader, dst []uint8, ref motion.Plane, px, py int, mv motion
 // buildInterCand constructs a fully reconstructed inter candidate.
 func (fe *frameEncoder) buildInterCand(px, py int, mv motion.MV, ref int, tx8 bool, qp, qpDelta int) *mbCand {
 	t := &fe.eng.Tools
-	cand := &mbCand{mode: mbInter, mv: mv, ref: ref, tx8: tx8, qp: qp, qpDelta: qpDelta}
+	cand := fe.sc.cands.get()
+	// Whole-struct assignment resets every recycled field (levels,
+	// modes, recon), making a pooled candidate indistinguishable from
+	// a fresh allocation.
+	*cand = mbCand{mode: mbInter, mv: mv, ref: ref, tx8: tx8, qp: qp, qpDelta: qpDelta}
 
 	var pred [MBSize * MBSize]uint8
-	mcLuma(fe.hdr, pred[:], lumaPlane(fe.refs[ref]), px, py, mv, fe.c)
+	mcLuma(fe.hdr, pred[:], lumaPlane(fe.refs[ref]), px, py, mv, &fe.sc.motion, fe.c)
 
 	var resid [MBSize * MBSize]int32
 	fe.lumaResidual(px, py, pred[:], resid[:])
@@ -813,7 +870,8 @@ func (fe *frameEncoder) buildInterCand(px, py int, mv motion.MV, ref int, tx8 bo
 // buildIntraCand constructs a fully reconstructed intra candidate.
 func (fe *frameEncoder) buildIntraCand(px, py int, lumaMode, chromaMode predict.Mode, tx8 bool, qp, qpDelta int) *mbCand {
 	t := &fe.eng.Tools
-	cand := &mbCand{mode: mbIntra, lumaMode: lumaMode, chromaMode: chromaMode, tx8: tx8, qp: qp, qpDelta: qpDelta}
+	cand := fe.sc.cands.get()
+	*cand = mbCand{mode: mbIntra, lumaMode: lumaMode, chromaMode: chromaMode, tx8: tx8, qp: qp, qpDelta: qpDelta}
 
 	var pred [MBSize * MBSize]uint8
 	predict.PredictClipped(pred[:], lumaPlane(fe.recon), px, py, MBSize, lumaMode, py > fe.sliceTopPx(), px > 0)
@@ -846,8 +904,8 @@ func (fe *frameEncoder) codeChromaIntra(cand *mbCand, px, py int, chromaMode pre
 // reconstructed before it.
 func (fe *frameEncoder) buildIntra4Cand(px, py int, chromaMode predict.Mode, qp, qpDelta int) *mbCand {
 	t := &fe.eng.Tools
-	cand := &mbCand{mode: mbIntra, intra4: true, chromaMode: chromaMode, qp: qp, qpDelta: qpDelta}
-	cand.lumaLevels = make([][]int32, 16)
+	cand := fe.sc.cands.get()
+	*cand = mbCand{mode: mbIntra, intra4: true, chromaMode: chromaMode, qp: qp, qpDelta: qpDelta}
 	reconY := lumaPlane(fe.recon)
 	w := fe.src.Width
 
@@ -891,7 +949,7 @@ func (fe *frameEncoder) buildIntra4Cand(px, py int, chromaMode predict.Mode, qp,
 				blk[y*4+x] = int32(fe.src.Y[row+px+ox+x]) - int32(bestPred[y*4+x])
 			}
 		}
-		levels := quantizeBlock(blk[:], rblk[:], 4, qp, transform.DeadZoneIntra, t.Trellis, fe.c)
+		levels := quantizeBlock(blk[:], rblk[:], 4, qp, transform.DeadZoneIntra, t.Trellis, &fe.sc.levels, fe.c)
 		cand.lumaLevels[b] = levels
 		if levels != nil {
 			fe.c.BlocksCoded++
@@ -938,12 +996,11 @@ func (fe *frameEncoder) codeLuma(cand *mbCand, pred []uint8, resid []int32, dz t
 	}
 	var reconRes [MBSize * MBSize]int32
 	if cand.tx8 {
-		cand.lumaLevels = make([][]int32, 4)
 		var blk, rblk [64]int32
 		for q := 0; q < 4; q++ {
 			ox, oy := block8Offset(q)
 			gatherBlock(resid, MBSize, ox, oy, 8, blk[:])
-			levels := quantizeBlock(blk[:], rblk[:], 8, cand.qp, dz, trellis, fe.c)
+			levels := quantizeBlock(blk[:], rblk[:], 8, cand.qp, dz, trellis, &fe.sc.levels, fe.c)
 			cand.lumaLevels[q] = levels
 			scatterBlock(reconRes[:], MBSize, ox, oy, 8, rblk[:])
 			if levels != nil {
@@ -951,12 +1008,11 @@ func (fe *frameEncoder) codeLuma(cand *mbCand, pred []uint8, resid []int32, dz t
 			}
 		}
 	} else {
-		cand.lumaLevels = make([][]int32, 16)
 		var blk, rblk [16]int32
 		for b := 0; b < 16; b++ {
 			ox, oy := block4Offset(b)
 			gatherBlock(resid, MBSize, ox, oy, 4, blk[:])
-			levels := quantizeBlock(blk[:], rblk[:], 4, cand.qp, dz, trellis, fe.c)
+			levels := quantizeBlock(blk[:], rblk[:], 4, cand.qp, dz, trellis, &fe.sc.levels, fe.c)
 			cand.lumaLevels[b] = levels
 			scatterBlock(reconRes[:], MBSize, ox, oy, 4, rblk[:])
 			if levels != nil {
@@ -974,12 +1030,11 @@ func (fe *frameEncoder) codeChroma(cand *mbCand, p int, pred []uint8, resid []in
 		defer fe.tm.sinceTransform(time.Now())
 	}
 	var reconRes [64]int32
-	cand.chromaLevels[p] = make([][]int32, 4)
 	var blk, rblk [16]int32
 	for b := 0; b < 4; b++ {
 		ox, oy := (b%2)*4, (b/2)*4
 		gatherBlock(resid, 8, ox, oy, 4, blk[:])
-		levels := quantizeBlock(blk[:], rblk[:], 4, cand.qp, dz, trellis, fe.c)
+		levels := quantizeBlock(blk[:], rblk[:], 4, cand.qp, dz, trellis, &fe.sc.levels, fe.c)
 		cand.chromaLevels[p][b] = levels
 		scatterBlock(reconRes[:], 8, ox, oy, 4, rblk[:])
 		if levels != nil {

@@ -73,6 +73,42 @@ func SAD(cur Plane, cx, cy int, ref Plane, rx, ry int, bw, bh int) int64 {
 	return sum
 }
 
+// Scratch holds the reusable buffers of one motion-search /
+// motion-compensation caller, hoisted out of the per-call hot path so
+// steady-state search and sub-pel interpolation perform no heap
+// allocations. Buffers grow on demand and are retained across calls;
+// each Scratch must be owned by a single goroutine (the codec gives
+// every slice encoder its own). A nil *Scratch is valid and falls back
+// to per-call allocation, preserving the old behaviour for callers
+// that do not keep one.
+type Scratch struct {
+	pred []uint8
+	tmp  []int32
+}
+
+// predBuf returns an n-sample prediction buffer.
+func (s *Scratch) predBuf(n int) []uint8 {
+	if s == nil {
+		return make([]uint8, n)
+	}
+	if cap(s.pred) < n {
+		s.pred = make([]uint8, n)
+	}
+	return s.pred[:n]
+}
+
+// tmpBuf returns an n-element intermediate buffer for the separable
+// interpolation passes.
+func (s *Scratch) tmpBuf(n int) []int32 {
+	if s == nil {
+		return make([]int32, n)
+	}
+	if cap(s.tmp) < n {
+		s.tmp = make([]int32, n)
+	}
+	return s.tmp[:n]
+}
+
 // sharpTaps are the 4-tap Catmull-Rom interpolation kernels for
 // quarter-pel fractions 1..3 (×64). The HEVC-generation encoders use
 // these instead of bilinear interpolation: the sharper kernel
@@ -88,8 +124,9 @@ var sharpTaps = [4][4]int{
 // PredictLumaSharp writes the motion-compensated prediction like
 // PredictLuma but interpolates sub-pel positions with the separable
 // 4-tap kernel (applied horizontally then vertically with
-// intermediate 14-bit precision).
-func PredictLumaSharp(dst []uint8, ref Plane, bx, by int, mv MV, bw, bh int) {
+// intermediate 14-bit precision). sc provides the intermediate-pass
+// buffer; nil allocates one per call.
+func PredictLumaSharp(dst []uint8, ref Plane, bx, by int, mv MV, bw, bh int, sc *Scratch) {
 	ix := bx + int(mv.X>>2)
 	iy := by + int(mv.Y>>2)
 	fx := int(mv.X & 3)
@@ -106,7 +143,7 @@ func PredictLumaSharp(dst []uint8, ref Plane, bx, by int, mv MV, bw, bh int) {
 	wy := sharpTaps[fy]
 	// Horizontal pass over bh+3 rows (one above, two below), Q6.
 	tmpH := bh + 3
-	tmp := make([]int32, bw*tmpH)
+	tmp := sc.tmpBuf(bw * tmpH)
 	for y := 0; y < tmpH; y++ {
 		sy := iy + y - 1
 		for x := 0; x < bw; x++ {
@@ -273,30 +310,46 @@ func mvdBits(mv, pred MV) int64 {
 	return int64(bitstream.SEBits(mv.X-pred.X) + bitstream.SEBits(mv.Y-pred.Y))
 }
 
+// intSearcher evaluates integer-pel candidates for one Search call.
+// It replaces the closure the search loops used to capture: a plain
+// struct passed by pointer stays on the caller's stack, where the
+// escaping closure (and every variable it captured) cost a handful of
+// heap allocations per macroblock.
+type intSearcher struct {
+	cur, ref Plane
+	bx, by   int
+	bw, bh   int
+	pred     MV
+	lambda   int64
+	evals    int
+}
+
+// cost returns SAD + λ·bits(mvd) for the integer-pel vector (mx, my).
+func (s *intSearcher) cost(mx, my int) int64 {
+	s.evals++
+	sad := SAD(s.cur, s.bx, s.by, s.ref, s.bx+mx, s.by+my, s.bw, s.bh)
+	mv := MV{int32(mx) * 4, int32(my) * 4}
+	return sad + s.lambda*mvdBits(mv, s.pred)/16
+}
+
 // Search finds a motion vector for the bw×bh block at (bx, by) of cur
 // in ref. pred is the motion-vector predictor used for rate costing
-// and as the search start point. Returns the best vector (quarter-pel)
-// and its cost. Work is accounted into c.
-func Search(cur Plane, bx, by int, ref Plane, pred MV, bw, bh int, p Params, c *perf.Counters) (MV, int64) {
+// and as the search start point. sc provides the sub-pel interpolation
+// scratch (nil allocates per call). Returns the best vector
+// (quarter-pel) and its cost. Work is accounted into c.
+func Search(cur Plane, bx, by int, ref Plane, pred MV, bw, bh int, p Params, sc *Scratch, c *perf.Counters) (MV, int64) {
 	blockOps := int64(bw * bh)
-	// Integer-pel candidate evaluation helper.
-	evals := 0
-	cost := func(mx, my int) int64 {
-		evals++
-		sad := SAD(cur, bx, by, ref, bx+mx, by+my, bw, bh)
-		mv := MV{int32(mx) * 4, int32(my) * 4}
-		return sad + p.Lambda*mvdBits(mv, pred)/16
-	}
+	s := intSearcher{cur: cur, ref: ref, bx: bx, by: by, bw: bw, bh: bh, pred: pred, lambda: p.Lambda}
 
 	// Start from the predictor rounded to integer pel, clamped to range.
 	startX := clampInt(int(pred.X)/4, -p.Range, p.Range)
 	startY := clampInt(int(pred.Y)/4, -p.Range, p.Range)
 
 	bestX, bestY := 0, 0
-	bestCost := cost(0, 0)
+	bestCost := s.cost(0, 0)
 	if startX != 0 || startY != 0 {
-		if sc := cost(startX, startY); sc < bestCost {
-			bestCost, bestX, bestY = sc, startX, startY
+		if c := s.cost(startX, startY); c < bestCost {
+			bestCost, bestX, bestY = c, startX, startY
 		}
 	}
 
@@ -307,18 +360,18 @@ func Search(cur Plane, bx, by int, ref Plane, pred MV, bw, bh int, p Params, c *
 				if mx == 0 && my == 0 {
 					continue
 				}
-				if sc := cost(mx, my); sc < bestCost {
-					bestCost, bestX, bestY = sc, mx, my
+				if c := s.cost(mx, my); c < bestCost {
+					bestCost, bestX, bestY = c, mx, my
 				}
 			}
 		}
 	case SearchDiamond:
-		bestX, bestY, bestCost = patternSearch(bestX, bestY, bestCost, p.Range, diamondLarge[:], diamondSmall[:], cost)
+		bestX, bestY, bestCost = patternSearch(bestX, bestY, bestCost, p.Range, diamondLarge[:], diamondSmall[:], &s)
 	case SearchHex:
-		bestX, bestY, bestCost = patternSearch(bestX, bestY, bestCost, p.Range, hexPattern[:], diamondSmall[:], cost)
+		bestX, bestY, bestCost = patternSearch(bestX, bestY, bestCost, p.Range, hexPattern[:], diamondSmall[:], &s)
 	}
-	c.Count(perf.KSAD, blockOps*int64(evals))
-	c.DataDepBranches += int64(evals)
+	c.Count(perf.KSAD, blockOps*int64(s.evals))
+	c.DataDepBranches += int64(s.evals)
 
 	best := MV{int32(bestX) * 4, int32(bestY) * 4}
 	if p.SubPel == 0 {
@@ -327,17 +380,14 @@ func Search(cur Plane, bx, by int, ref Plane, pred MV, bw, bh int, p Params, c *
 
 	// Sub-pel refinement: half-pel, then quarter-pel, each testing the
 	// 8 neighbours of the incumbent.
-	scratch := make([]uint8, bw*bh)
+	scratch := sc.predBuf(bw * bh)
 	subEvals := 0
-	subCost := func(mv MV) int64 {
-		subEvals++
-		return sadSubpel(cur, bx, by, ref, mv, bw, bh, scratch) + p.Lambda*mvdBits(mv, pred)/16
-	}
-	steps := []int32{2}
+	steps := [2]int32{2, 1}
+	nSteps := 1
 	if p.SubPel >= 2 {
-		steps = append(steps, 1)
+		nSteps = 2
 	}
-	for _, step := range steps {
+	for _, step := range steps[:nSteps] {
 		improved := true
 		for improved {
 			improved = false
@@ -347,8 +397,10 @@ func Search(cur Plane, bx, by int, ref Plane, pred MV, bw, bh int, p Params, c *
 					int(cand.Y)/4 < -p.Range || int(cand.Y)/4 > p.Range {
 					continue
 				}
-				if sc := subCost(cand); sc < bestCost {
-					bestCost = sc
+				subEvals++
+				cost := sadSubpel(cur, bx, by, ref, cand, bw, bh, scratch) + p.Lambda*mvdBits(cand, pred)/16
+				if cost < bestCost {
+					bestCost = cost
 					best = cand
 					improved = true
 				}
@@ -374,7 +426,7 @@ var hexPattern = [6][2]int{{-2, 0}, {-1, -2}, {1, -2}, {2, 0}, {1, 2}, {-1, 2}}
 
 // patternSearch iterates a coarse pattern until no candidate improves,
 // then refines once with a fine pattern.
-func patternSearch(bx, by int, bestCost int64, searchRange int, coarse, fine [][2]int, cost func(x, y int) int64) (int, int, int64) {
+func patternSearch(bx, by int, bestCost int64, searchRange int, coarse, fine [][2]int, s *intSearcher) (int, int, int64) {
 	for iter := 0; iter < 4*searchRange+16; iter++ {
 		improved := false
 		for _, d := range coarse {
@@ -382,7 +434,7 @@ func patternSearch(bx, by int, bestCost int64, searchRange int, coarse, fine [][
 			if x < -searchRange || x > searchRange || y < -searchRange || y > searchRange {
 				continue
 			}
-			if sc := cost(x, y); sc < bestCost {
+			if sc := s.cost(x, y); sc < bestCost {
 				bestCost, bx, by = sc, x, y
 				improved = true
 			}
@@ -396,7 +448,7 @@ func patternSearch(bx, by int, bestCost int64, searchRange int, coarse, fine [][
 		if x < -searchRange || x > searchRange || y < -searchRange || y > searchRange {
 			continue
 		}
-		if sc := cost(x, y); sc < bestCost {
+		if sc := s.cost(x, y); sc < bestCost {
 			bestCost, bx, by = sc, x, y
 		}
 	}

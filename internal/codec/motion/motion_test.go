@@ -128,7 +128,7 @@ func searchFindsShift(t *testing.T, kind SearchKind, dx, dy int) {
 	cur := shiftPlane(ref, dx, dy)
 	var c perf.Counters
 	p := Params{Kind: kind, Range: 12, SubPel: 0, Lambda: 0}
-	mv, _ := Search(cur, 32, 32, ref, MV{}, 16, 16, p, &c)
+	mv, _ := Search(cur, 32, 32, ref, MV{}, 16, 16, p, nil, &c)
 	if int(mv.X/4) != -dx || int(mv.Y/4) != -dy {
 		t.Errorf("%v search: found (%d,%d), want (%d,%d)", kind, mv.X/4, mv.Y/4, -dx, -dy)
 	}
@@ -179,8 +179,8 @@ func TestFullSearchCostsMoreThanDiamond(t *testing.T) {
 	ref := makeSmooth(96, 96, 9)
 	cur := shiftPlane(ref, 3, 1)
 	var cFull, cDia perf.Counters
-	Search(cur, 32, 32, ref, MV{}, 16, 16, Params{Kind: SearchFull, Range: 12}, &cFull)
-	Search(cur, 32, 32, ref, MV{}, 16, 16, Params{Kind: SearchDiamond, Range: 12}, &cDia)
+	Search(cur, 32, 32, ref, MV{}, 16, 16, Params{Kind: SearchFull, Range: 12}, nil, &cFull)
+	Search(cur, 32, 32, ref, MV{}, 16, 16, Params{Kind: SearchDiamond, Range: 12}, nil, &cDia)
 	if cFull.Ops[perf.KSAD] <= cDia.Ops[perf.KSAD]*2 {
 		t.Errorf("full search ops (%d) not ≫ diamond ops (%d)", cFull.Ops[perf.KSAD], cDia.Ops[perf.KSAD])
 	}
@@ -198,8 +198,8 @@ func TestSubPelRefinementImprovesSAD(t *testing.T) {
 	}
 	var c perf.Counters
 	scratch := make([]uint8, 256)
-	mvInt, _ := Search(cur, 32, 32, ref, MV{}, 16, 16, Params{Kind: SearchFull, Range: 4, SubPel: 0}, &c)
-	mvHalf, _ := Search(cur, 32, 32, ref, MV{}, 16, 16, Params{Kind: SearchFull, Range: 4, SubPel: 2}, &c)
+	mvInt, _ := Search(cur, 32, 32, ref, MV{}, 16, 16, Params{Kind: SearchFull, Range: 4, SubPel: 0}, nil, &c)
+	mvHalf, _ := Search(cur, 32, 32, ref, MV{}, 16, 16, Params{Kind: SearchFull, Range: 4, SubPel: 2}, nil, &c)
 	sadInt := PredSAD(cur, 32, 32, ref, mvInt, 16, 16, scratch, &c)
 	sadHalf := PredSAD(cur, 32, 32, ref, mvHalf, 16, 16, scratch, &c)
 	if sadHalf > sadInt {
@@ -230,7 +230,7 @@ func TestSearchRespectsRange(t *testing.T) {
 	ref := makePlane(128, 128, 21)
 	cur := shiftPlane(ref, 20, 0) // shift beyond range
 	var c perf.Counters
-	mv, _ := Search(cur, 48, 48, ref, MV{}, 16, 16, Params{Kind: SearchFull, Range: 8, SubPel: 2}, &c)
+	mv, _ := Search(cur, 48, 48, ref, MV{}, 16, 16, Params{Kind: SearchFull, Range: 8, SubPel: 2}, nil, &c)
 	if mv.X/4 > 8 || mv.X/4 < -8 || mv.Y/4 > 8 || mv.Y/4 < -8 {
 		t.Errorf("search returned out-of-range vector %v", mv)
 	}
@@ -244,7 +244,7 @@ func TestLambdaPenalizesLongVectors(t *testing.T) {
 		p.Pix[i] = 100
 	}
 	var c perf.Counters
-	mv, _ := Search(p, 24, 24, p, MV{}, 16, 16, Params{Kind: SearchFull, Range: 6, Lambda: 160}, &c)
+	mv, _ := Search(p, 24, 24, p, MV{}, 16, 16, Params{Kind: SearchFull, Range: 6, Lambda: 160}, nil, &c)
 	if mv.X != 0 || mv.Y != 0 {
 		t.Errorf("flat-plane search with rate penalty returned %v, want (0,0)", mv)
 	}
@@ -256,7 +256,7 @@ func TestSharpInterpFullPelMatchesCopy(t *testing.T) {
 	b := make([]uint8, 256)
 	mv := MV{X: 8, Y: -12} // integer vector
 	PredictLuma(a, p, 24, 24, mv, 16, 16)
-	PredictLumaSharp(b, p, 24, 24, mv, 16, 16)
+	PredictLumaSharp(b, p, 24, 24, mv, 16, 16, nil)
 	for i := range a {
 		if a[i] != b[i] {
 			t.Fatalf("full-pel sharp prediction differs at %d", i)
@@ -276,7 +276,7 @@ func TestSharpInterpHalfPelNearBilinear(t *testing.T) {
 	b := make([]uint8, 64)
 	mv := MV{X: 2, Y: 2}
 	PredictLuma(a, p, 24, 24, mv, 8, 8)
-	PredictLumaSharp(b, p, 24, 24, mv, 8, 8)
+	PredictLumaSharp(b, p, 24, 24, mv, 8, 8, nil)
 	for i := range a {
 		d := int(a[i]) - int(b[i])
 		if d < -2 || d > 2 {
@@ -304,7 +304,7 @@ func TestSharpInterpSharperOnTexture(t *testing.T) {
 	sh := make([]uint8, 64)
 	mv := MV{X: 1, Y: 0} // quarter-pel
 	PredictLuma(bi, p, 24, 24, mv, 8, 8)
-	PredictLumaSharp(sh, p, 24, 24, mv, 8, 8)
+	PredictLumaSharp(sh, p, 24, 24, mv, 8, 8, nil)
 	variance := func(xs []uint8) float64 {
 		var s, ss float64
 		for _, v := range xs {
@@ -326,6 +326,6 @@ func TestSharpInterpEdgeClamped(t *testing.T) {
 	p := makePlane(32, 32, 41)
 	dst := make([]uint8, 256)
 	for _, mv := range []MV{{X: -200, Y: -200}, {X: 300, Y: 300}, {X: -199, Y: 299}} {
-		PredictLumaSharp(dst, p, 0, 0, mv, 16, 16)
+		PredictLumaSharp(dst, p, 0, 0, mv, 16, 16, nil)
 	}
 }

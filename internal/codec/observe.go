@@ -5,6 +5,7 @@ import (
 
 	"vbench/internal/perf"
 	"vbench/internal/telemetry"
+	"vbench/internal/video"
 )
 
 // Telemetry handles for the encoder hot path. The counters are plain
@@ -23,7 +24,34 @@ var (
 	obsGateWaitNS  = telemetry.GetCounter("codec.stage.slice_gate_wait_ns")
 	obsGateWait    = telemetry.GetHistogram("codec.slice_gate_wait_seconds",
 		1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1)
+
+	// Scratch-memory health (see arena.go): candidate structs that had
+	// to be heap-allocated because the free list was empty, and level
+	// slices that fell back to the heap because an arena filled up. In
+	// steady state both should stay near the number of slice lanes;
+	// growth means the recycling regressed.
+	obsCandAllocs     = telemetry.GetCounter("codec.arena.cand_allocs")
+	obsLevelOverflows = telemetry.GetCounter("codec.arena.level_overflows")
 )
+
+// The frame pool lives in internal/video (both encoder and decoder
+// draw reconstruction frames from it); its traffic is surfaced here as
+// gauges so the reuse-hit rate shows up in metrics snapshots alongside
+// the codec counters.
+func init() {
+	telemetry.Default.GaugeFunc("codec.arena.frame_gets", func() float64 {
+		gets, _, _ := video.FramePoolStats()
+		return float64(gets)
+	})
+	telemetry.Default.GaugeFunc("codec.arena.frame_hits", func() float64 {
+		_, hits, _ := video.FramePoolStats()
+		return float64(hits)
+	})
+	telemetry.Default.GaugeFunc("codec.arena.frame_puts", func() float64 {
+		_, _, puts := video.FramePoolStats()
+		return float64(puts)
+	})
+}
 
 // stageTimes accumulates one slice encoder's time per pipeline stage.
 // Each slice owns its instance (merged in slice order after the frame

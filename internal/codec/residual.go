@@ -16,8 +16,10 @@ const maxLevel = 1 << 16
 // refinement, and the reconstruction path (dequantize + inverse
 // transform). It returns the zigzag levels (nil if the block
 // quantized to zero) and writes the reconstructed residual into
-// reconRes (raster order).
-func quantizeBlock(res []int32, reconRes []int32, n, qp int, dz transform.DeadZone, trellis bool, c *perf.Counters) []int32 {
+// reconRes (raster order). The returned slice is arena storage from
+// la, valid until the owner's next reset (nil la falls back to the
+// heap).
+func quantizeBlock(res []int32, reconRes []int32, n, qp int, dz transform.DeadZone, trellis bool, la *levelArena, c *perf.Counters) []int32 {
 	nn := n * n
 	var coeffs [64]int32
 	transform.Forward(res, coeffs[:nn], n)
@@ -57,7 +59,7 @@ func quantizeBlock(res []int32, reconRes []int32, n, qp int, dz transform.DeadZo
 	c.Count(perf.KQuant, int64(nn))
 	c.Count(perf.KDCT, int64(4*n*nn))
 
-	out := make([]int32, nn)
+	out := la.take(nn)
 	copy(out, zz[:nn])
 	return out
 }

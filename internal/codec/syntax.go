@@ -223,23 +223,18 @@ type mbCand struct {
 	qp         int
 	qpDelta    int
 
-	// Quantized levels in zigzag order. Luma has 4 blocks of 64 when
-	// tx8, else 16 blocks of 16; chroma always 4 blocks of 16 per
-	// plane. nil slices mean uncoded (all-zero) blocks.
-	lumaLevels   [][]int32
-	chromaLevels [2][]([]int32)
+	// Quantized levels in zigzag order, referencing slices of the
+	// owning encoder/decoder's levelArena. Luma has 4 blocks of 64
+	// when tx8 (entries 4..15 unused), else 16 blocks of 16; chroma
+	// always 4 blocks of 16 per plane. nil slices mean uncoded
+	// (all-zero) blocks. Fixed-size arrays so recycling a candidate
+	// allocates nothing.
+	lumaLevels   [16][]int32
+	chromaLevels [2][4][]int32
 
 	// Reconstructed samples.
 	lumaRecon   [MBSize * MBSize]uint8
 	chromaRecon [2][64]uint8
-}
-
-// lumaBlockCount returns the number of luma residual blocks.
-func (c *mbCand) lumaBlockCount() int {
-	if c.tx8 {
-		return 4
-	}
-	return 16
 }
 
 // lumaQuadCoded reports whether any block in luma quadrant q (0..3)

@@ -12,6 +12,8 @@ package video
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 )
 
 // Frame is a single planar YUV 4:2:0 picture. Y holds Width×Height
@@ -30,12 +32,7 @@ type Frame struct {
 // if either dimension is non-positive or odd, because 4:2:0 chroma
 // requires even luma dimensions.
 func NewFrame(width, height int) *Frame {
-	if width <= 0 || height <= 0 {
-		panic(fmt.Sprintf("video: invalid frame size %dx%d", width, height))
-	}
-	if width%2 != 0 || height%2 != 0 {
-		panic(fmt.Sprintf("video: 4:2:0 frames need even dimensions, got %dx%d", width, height))
-	}
+	validateDims(width, height)
 	cw, ch := width/2, height/2
 	f := &Frame{
 		Width:  width,
@@ -49,6 +46,109 @@ func NewFrame(width, height int) *Frame {
 		f.Cr[i] = 128
 	}
 	return f
+}
+
+func validateDims(width, height int) {
+	if width <= 0 || height <= 0 {
+		panic(fmt.Sprintf("video: invalid frame size %dx%d", width, height))
+	}
+	if width%2 != 0 || height%2 != 0 {
+		panic(fmt.Sprintf("video: 4:2:0 frames need even dimensions, got %dx%d", width, height))
+	}
+}
+
+// framePool recycles frame buffers between encodes/decodes: the codec
+// allocates one reconstruction frame per coded frame, and under a
+// benchmark grid those dominate the heap churn after the per-macroblock
+// paths went allocation-free. sync.Pool keeps reuse goroutine-safe and
+// lets the GC reclaim idle frames under memory pressure.
+var framePool sync.Pool
+
+// framePoolOff disables reuse when set (GetFrame falls back to
+// NewFrame and PutFrame drops frames). Tests use it to compare pooled
+// against fresh-allocation behaviour byte for byte.
+var framePoolOff atomic.Bool
+
+var framePoolGets, framePoolHits, framePoolPuts atomic.Int64
+
+// SetFramePooling toggles the frame pool (enabled by default).
+// Disabling does not drop frames already pooled; re-enabling reuses
+// them.
+func SetFramePooling(on bool) { framePoolOff.Store(!on) }
+
+// FramePoolStats returns the cumulative pool traffic: GetFrame calls
+// made while pooling was enabled, gets satisfied by reuse, and frames
+// returned via PutFrame. Exported by the codec as the
+// codec.arena.frame_{gets,hits,puts} gauges.
+func FramePoolStats() (gets, hits, puts int64) {
+	return framePoolGets.Load(), framePoolHits.Load(), framePoolPuts.Load()
+}
+
+// GetFrame returns a width×height frame from the pool, falling back to
+// NewFrame when the pool is empty, disabled, or holds a frame of
+// insufficient capacity. The frame's contents are reset to NewFrame
+// state (black luma, neutral chroma), so pooled and fresh frames are
+// indistinguishable — a determinism requirement for the codec, whose
+// bitstreams must not depend on where a reconstruction buffer came
+// from.
+func GetFrame(width, height int) *Frame {
+	validateDims(width, height)
+	if framePoolOff.Load() {
+		return NewFrame(width, height)
+	}
+	framePoolGets.Add(1)
+	v := framePool.Get()
+	if v == nil {
+		return NewFrame(width, height)
+	}
+	f := v.(*Frame)
+	n := width * height
+	cn := (width / 2) * (height / 2)
+	if cap(f.Y) < n || cap(f.Cb) < cn || cap(f.Cr) < cn {
+		// Wrong geometry: drop it for the GC and allocate the right
+		// size. The pool self-cleans when the workload's frame size
+		// changes.
+		return NewFrame(width, height)
+	}
+	framePoolHits.Add(1)
+	f.Width, f.Height = width, height
+	f.Y = f.Y[:n]
+	f.Cb, f.Cr = f.Cb[:cn], f.Cr[:cn]
+	for i := range f.Y {
+		f.Y[i] = 0
+	}
+	for i := range f.Cb {
+		f.Cb[i] = 128
+		f.Cr[i] = 128
+	}
+	return f
+}
+
+// PutFrame returns f to the pool for reuse by a later GetFrame. The
+// caller must hold the only live reference: a frame still reachable
+// through a Result, a Sequence, or a reference list would be
+// overwritten by its next user. nil is a no-op.
+func PutFrame(f *Frame) {
+	if f == nil || framePoolOff.Load() {
+		return
+	}
+	framePoolPuts.Add(1)
+	framePool.Put(f)
+}
+
+// PutSequence returns every frame of s to the pool and empties the
+// sequence. Same ownership contract as PutFrame; the codec uses it to
+// recycle the measurement-pass reconstruction that two-pass encodes
+// discard.
+func PutSequence(s *Sequence) {
+	if s == nil {
+		return
+	}
+	for i, f := range s.Frames {
+		PutFrame(f)
+		s.Frames[i] = nil
+	}
+	s.Frames = s.Frames[:0]
 }
 
 // ChromaWidth returns the width of the Cb/Cr planes.

@@ -1,0 +1,129 @@
+package video
+
+import "testing"
+
+// drainFramePool empties the shared pool so a test observes only its
+// own traffic.
+func drainFramePool(t *testing.T) {
+	t.Helper()
+	for i := 0; i < 1024; i++ {
+		if framePool.Get() == nil {
+			return
+		}
+	}
+	t.Fatal("frame pool did not drain")
+}
+
+func TestGetFrameIsPristine(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts randomly under the race detector")
+	}
+	drainFramePool(t)
+	f := GetFrame(32, 16)
+	for i := range f.Y {
+		f.Y[i] = 200
+	}
+	for i := range f.Cb {
+		f.Cb[i] = 7
+		f.Cr[i] = 9
+	}
+	PutFrame(f)
+	g := GetFrame(32, 16)
+	if g != f {
+		t.Fatal("pool did not reuse the returned frame")
+	}
+	fresh := NewFrame(32, 16)
+	if !g.Equal(fresh) {
+		t.Fatal("recycled frame is not reset to NewFrame state")
+	}
+}
+
+func TestGetFrameSizeMismatchFallsBack(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts randomly under the race detector")
+	}
+	drainFramePool(t)
+	small := GetFrame(16, 16)
+	PutFrame(small)
+	big := GetFrame(64, 64)
+	if big == small {
+		t.Fatal("pool handed out an undersized frame")
+	}
+	if big.Width != 64 || big.Height != 64 || len(big.Y) != 64*64 {
+		t.Fatalf("fallback frame has wrong geometry %dx%d", big.Width, big.Height)
+	}
+	// A larger pooled frame may serve a smaller request by reslicing.
+	PutFrame(big)
+	shrunk := GetFrame(16, 16)
+	if shrunk != big {
+		t.Fatal("pool did not reslice the larger frame")
+	}
+	if shrunk.Width != 16 || shrunk.Height != 16 || len(shrunk.Y) != 16*16 || len(shrunk.Cb) != 8*8 {
+		t.Fatalf("resliced frame has wrong geometry %dx%d", shrunk.Width, shrunk.Height)
+	}
+	if !shrunk.Equal(NewFrame(16, 16)) {
+		t.Fatal("resliced frame is not reset to NewFrame state")
+	}
+}
+
+func TestSetFramePoolingOffBypassesPool(t *testing.T) {
+	drainFramePool(t)
+	SetFramePooling(false)
+	defer SetFramePooling(true)
+	f := GetFrame(16, 16)
+	PutFrame(f) // dropped, not pooled
+	g := GetFrame(16, 16)
+	if g == f {
+		t.Fatal("pooling disabled but frame was reused")
+	}
+}
+
+func TestFramePoolStatsCount(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts randomly under the race detector")
+	}
+	drainFramePool(t)
+	g0, h0, p0 := FramePoolStats()
+	f := GetFrame(16, 16)
+	PutFrame(f)
+	GetFrame(16, 16)
+	g1, h1, p1 := FramePoolStats()
+	if g1-g0 != 2 {
+		t.Errorf("gets delta = %d, want 2", g1-g0)
+	}
+	if h1-h0 != 1 {
+		t.Errorf("hits delta = %d, want 1", h1-h0)
+	}
+	if p1-p0 != 1 {
+		t.Errorf("puts delta = %d, want 1", p1-p0)
+	}
+}
+
+func TestPutSequenceReleasesAllFrames(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts randomly under the race detector")
+	}
+	drainFramePool(t)
+	s := &Sequence{FrameRate: 30}
+	for i := 0; i < 3; i++ {
+		s.Frames = append(s.Frames, GetFrame(16, 16))
+	}
+	PutSequence(s)
+	if len(s.Frames) != 0 {
+		t.Fatalf("PutSequence left %d frames", len(s.Frames))
+	}
+	reused := 0
+	for i := 0; i < 3; i++ {
+		if framePool.Get() != nil {
+			reused++
+		}
+	}
+	if reused != 3 {
+		t.Fatalf("pool holds %d frames after PutSequence, want 3", reused)
+	}
+	PutSequence(nil) // nil-safe
+}
+
+func TestPutFrameNilIsNoOp(t *testing.T) {
+	PutFrame(nil)
+}

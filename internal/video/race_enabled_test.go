@@ -1,0 +1,8 @@
+//go:build race
+
+package video
+
+// raceEnabled reports whether the race detector is compiled in. Under
+// the race detector sync.Pool intentionally drops Puts at random, so
+// tests that assert deterministic pool reuse must skip.
+const raceEnabled = true
