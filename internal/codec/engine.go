@@ -5,27 +5,33 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
-	"runtime"
 	"sync"
 	"time"
 
+	"vbench/internal/codec/kern"
 	"vbench/internal/codec/motion"
 	"vbench/internal/codec/predict"
 	"vbench/internal/codec/transform"
 	"vbench/internal/perf"
+	"vbench/internal/syncx"
 	"vbench/internal/telemetry"
 	"vbench/internal/video"
 )
 
-// sliceGate bounds how many slice encoders run at once across ALL
-// concurrent Encode calls in the process. Without it, every encode
-// spawns one goroutine per slice, so N concurrent encodes × K slices
-// oversubscribe the machine when a harness worker pool already
-// saturates the cores. Tokens are held only while a slice encodes, so
-// nested parallelism degrades gracefully to GOMAXPROCS runnable
-// slices; determinism is unaffected because payloads and counters are
-// still merged in slice order.
-var sliceGate = make(chan struct{}, runtime.GOMAXPROCS(0))
+// cpuGate bounds how many slice encoders run at once across ALL
+// concurrent Encode calls in the process — and, because it is the
+// same gate the harness worker pool draws cell slots from
+// (syncx.CPU), across both layers of nesting at once: N pool workers
+// × K slices can never put more than GOMAXPROCS goroutines to work.
+// The encoding goroutine never blocks on the gate: it drains the
+// slice queue itself (it already represents a granted execution
+// context — the pool worker's slot, in a harness run) and extra
+// helper goroutines join only if they win a slot via AcquireOrQuit
+// before the queue empties. No holder ever waits on the gate for work
+// a fellow waiter must finish, so the shared budget cannot deadlock
+// at any capacity. Determinism is unaffected because payloads and
+// counters are still merged in slice order.
+var cpuGate = syncx.CPU
 
 // intraAvailClipped is predict.Available restricted to a slice:
 // prediction from above must not cross the slice's first row
@@ -236,12 +242,12 @@ func (e *Engine) Encode(src *video.Sequence, cfg Config) (*Result, error) {
 		payloads := make([][]byte, nSlices)
 		sliceCounters := make([]perf.Counters, nSlices)
 		var sliceTimes []stageTimes
+		var helperWaits []time.Duration // per-helper gate wait, stages only
 		if stagesOn {
 			sliceTimes = make([]stageTimes, nSlices)
+			helperWaits = make([]time.Duration, nSlices)
 		}
-		var wg sync.WaitGroup
-		var encErr error
-		var errOnce sync.Once
+		fes := make([]*frameEncoder, nSlices)
 		for s := 0; s < nSlices; s++ {
 			fe := newFrameEncoder(e, hdr, srcP, recon, qpGrid, refs, mbW, ftype, qpBase, &sliceCounters[s], &scratches[s])
 			fe.rowStart, fe.rowEnd = bounds[s], bounds[s+1]
@@ -249,30 +255,67 @@ func (e *Engine) Encode(src *video.Sequence, cfg Config) (*Result, error) {
 			if stagesOn {
 				fe.tm = &sliceTimes[s]
 			}
-			if nSlices == 1 {
-				payloads[s] = fe.encodeFrame()
-				continue
-			}
-			wg.Add(1)
-			go func(s int, fe *frameEncoder) {
-				defer wg.Done()
-				if fe.tm != nil {
-					t0 := time.Now()
-					sliceGate <- struct{}{}
-					fe.tm.gateWait += time.Since(t0)
-				} else {
-					sliceGate <- struct{}{}
-				}
-				defer func() { <-sliceGate }()
+			fes[s] = fe
+		}
+		var encErr error
+		if nSlices == 1 {
+			payloads[0] = fes[0].encodeFrame()
+		} else {
+			// Caller-participates join: slice indices go through a
+			// queue that this goroutine drains itself — it represents
+			// its caller's already-granted execution context (the
+			// pool worker's gate slot, in a harness run) and must not
+			// block on the gate while holding it. Helper goroutines
+			// only join with a slot of their own via AcquireOrQuit;
+			// once the queue is drained, quit releases any helper
+			// still waiting. No goroutine ever waits on the gate for
+			// work another waiter must finish, so the shared budget
+			// cannot deadlock at any capacity or nesting.
+			var errOnce sync.Once
+			runSlice := func(s int) {
 				defer func() {
 					if r := recover(); r != nil {
 						errOnce.Do(func() { encErr = fmt.Errorf("codec: slice %d panicked: %v", s, r) })
 					}
 				}()
-				payloads[s] = fe.encodeFrame()
-			}(s, fe)
+				payloads[s] = fes[s].encodeFrame()
+			}
+			jobs := make(chan int, nSlices)
+			for s := 0; s < nSlices; s++ {
+				jobs <- s
+			}
+			close(jobs)
+			quit := make(chan struct{})
+			var wg sync.WaitGroup
+			helpers := nSlices - 1
+			if c := cpuGate.Capacity(); helpers > c {
+				helpers = c
+			}
+			for w := 0; w < helpers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					if stagesOn {
+						t0 := time.Now()
+						if !cpuGate.AcquireOrQuit(quit) {
+							return
+						}
+						helperWaits[w] = time.Since(t0)
+					} else if !cpuGate.AcquireOrQuit(quit) {
+						return
+					}
+					defer cpuGate.Release()
+					for s := range jobs {
+						runSlice(s)
+					}
+				}(w)
+			}
+			for s := range jobs {
+				runSlice(s)
+			}
+			close(quit)
+			wg.Wait()
 		}
-		wg.Wait()
 		if encErr != nil {
 			fsp.End() // close the frame span on the panic-error path too
 			return nil, encErr
@@ -283,8 +326,13 @@ func (e *Engine) Encode(src *video.Sequence, cfg Config) (*Result, error) {
 		}
 		for s := range sliceTimes {
 			st.add(&sliceTimes[s])
-			if nSlices > 1 {
-				obsGateWait.ObserveDuration(sliceTimes[s].gateWait)
+		}
+		// Gate waits belong to the helper goroutines now, not to
+		// slices: a helper that quit without a slot records nothing.
+		for _, hw := range helperWaits {
+			if hw > 0 {
+				st.gateWait += hw
+				obsGateWait.ObserveDuration(hw)
 			}
 		}
 
@@ -335,13 +383,15 @@ func (e *Engine) Encode(src *video.Sequence, cfg Config) (*Result, error) {
 			video.PutFrame(r)
 		}
 	}
-	var candAllocs, levelOverflows int64
+	var candAllocs, levelOverflows, sadEarlyExits int64
 	for s := range scratches {
 		candAllocs += scratches[s].cands.fresh
 		levelOverflows += scratches[s].levels.overflows
+		sadEarlyExits += scratches[s].motion.SADEarlyExits
 	}
 	obsCandAllocs.Add(candAllocs)
 	obsLevelOverflows.Add(levelOverflows)
+	obsKernSADEarlyExits.Add(sadEarlyExits)
 
 	res.Bitstream = out
 	if e.Model != nil {
@@ -607,16 +657,7 @@ func (fe *frameEncoder) decideIntraMB(px, py, qp, qpDelta int) *mbCand {
 			predict.PredictClipped(cpred[:], cp, px/2, py/2, 8, m, py/2 > fe.sliceTopPx()/2, px > 0)
 			fe.c.Count(perf.KIntra, 64)
 			srcp := chromaPlane(fe.src, p)
-			for y := 0; y < 8; y++ {
-				row := (py/2 + y) * srcp.W
-				for x := 0; x < 8; x++ {
-					d := int(srcp.Pix[row+px/2+x]) - int(cpred[y*8+x])
-					if d < 0 {
-						d = -d
-					}
-					sad += int64(d)
-				}
-			}
+			sad += kern.SAD(srcp.Pix[(py/2)*srcp.W+px/2:], srcp.W, cpred[:], 8, 8, 8)
 		}
 		if ok && sad < bestCSAD {
 			bestCSAD = sad
@@ -647,9 +688,15 @@ func (fe *frameEncoder) decideInterMB(mbx, mby, px, py, qp, qpDelta int) *mbCand
 	// 1. Early skip: if the prediction at the predicted MV is already
 	// tight, test whether the whole MB quantizes to zero.
 	ref0 := lumaPlane(fe.refs[0])
-	skipSAD := motion.PredSAD(srcY, px, py, ref0, predMV, MBSize, MBSize, fe.scratch[:], fe.c)
-	fe.c.DataDepBranches++
 	skipThresh := int64(transform.QStepQ6(qp)) * MBSize * MBSize / 64 / 2
+	// The SAD scan may abort at skipThresh+1: an aborted value is
+	// > skipThresh, so the skip decision below is identical to the one
+	// the exact SAD would make, and counter accounting is unchanged.
+	skipSAD, skipEarly := motion.PredSADThresh(srcY, px, py, ref0, predMV, MBSize, MBSize, fe.scratch[:], skipThresh+1, fe.c)
+	if skipEarly {
+		fe.sc.motion.SADEarlyExits++
+	}
+	fe.c.DataDepBranches++
 	var skipCand *mbCand
 	if skipSAD <= skipThresh {
 		skipCand = fe.buildSkipCand(px, py, predMV, qp)
@@ -923,17 +970,7 @@ func (fe *frameEncoder) buildIntra4Cand(px, py int, chromaMode predict.Mode, qp,
 				continue
 			}
 			fe.c.Count(perf.KIntra, 16)
-			var sad int64
-			for y := 0; y < 4; y++ {
-				row := (py + oy + y) * w
-				for x := 0; x < 4; x++ {
-					d := int(fe.src.Y[row+px+ox+x]) - int(pred[y*4+x])
-					if d < 0 {
-						d = -d
-					}
-					sad += int64(d)
-				}
-			}
+			sad := kern.SAD(fe.src.Y[(py+oy)*w+px+ox:], w, pred[:], 4, 4, 4)
 			fe.c.DataDepBranches++
 			if sad < bestSAD {
 				bestSAD = sad

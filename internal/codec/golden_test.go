@@ -1,0 +1,205 @@
+package codec
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"vbench/internal/video"
+)
+
+// The golden-digest suite pins the encoder's exact output bytes across
+// a small config matrix (dimensions × tool variants × rate-control
+// modes). Digests are committed in testdata/golden_digests.json, so a
+// kernel swap (see internal/codec/kern) proves bitstream, recon, and
+// decode byte-identity against the historical encoder in CI — not just
+// against an in-process re-encode that would share any new bug.
+//
+// Regenerate (only when an intentional format/behaviour change is
+// reviewed and documented in docs/FORMAT.md):
+//
+//	go test ./internal/codec -run TestGoldenDigests -update-golden
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden_digests.json from the current encoder")
+
+const goldenPath = "testdata/golden_digests.json"
+
+// goldenDigest records the SHA-256 of an encode's bitstream and of its
+// reconstruction planes (all frames, Y then Cb then Cr, concatenated).
+type goldenDigest struct {
+	Bitstream string `json:"bitstream"`
+	Recon     string `json:"recon"`
+}
+
+// goldenCase is one cell of the matrix.
+type goldenCase struct {
+	name string
+	w, h int
+	tool Tools
+	cfg  Config
+}
+
+// goldenTools builds the tool variants exercised by the matrix: the
+// preset ladder ends plus targeted single-tool deltas over medium, so
+// each optimized kernel path (tx8, intra4, sharp interp, AQ, deblock,
+// rich arithmetic contexts, trellis, multi-ref) is pinned by at least
+// one digest.
+func goldenTools() map[string]Tools {
+	medium := BaselineTools(PresetMedium)
+
+	rich := BaselineTools(PresetSlow)
+	rich.Name = "golden-rich"
+	rich.Entropy = EntropyArith
+	rich.RichContexts = true
+	rich.SharpInterp = true
+	rich.AdaptiveQuant = true
+	rich.Deblock = true
+	rich.Intra4x4 = true
+	rich.Transform8x8 = true
+	rich.MaxRefs = 2
+	rich.SceneCut = true
+
+	return map[string]Tools{
+		"ultrafast": BaselineTools(PresetUltraFast),
+		"medium":    medium,
+		"rich":      rich,
+	}
+}
+
+func goldenCases() []goldenCase {
+	dims := []struct{ w, h int }{
+		{48, 32}, // macroblock aligned
+		{36, 20}, // padded (not a multiple of 16): exercises cropFrame + edge clamping
+		{64, 48},
+	}
+	var cases []goldenCase
+	for _, d := range dims {
+		for toolName, tool := range goldenTools() {
+			add := func(cfgName string, cfg Config) {
+				cases = append(cases, goldenCase{
+					name: fmt.Sprintf("%dx%d/%s/%s", d.w, d.h, toolName, cfgName),
+					w:    d.w, h: d.h, tool: tool, cfg: cfg,
+				})
+			}
+			add("constqp", Config{RC: RCConstQP, QP: 28, KeyInterval: 4})
+			add("twopass", Config{RC: RCTwoPass, BitrateBPS: 90e3})
+			add("slices3", Config{RC: RCConstQP, QP: 24, Slices: 3})
+		}
+	}
+	sort.Slice(cases, func(i, j int) bool { return cases[i].name < cases[j].name })
+	return cases
+}
+
+// goldenSequence synthesizes the deterministic source clip for one
+// dimension cell. Content parameters are fixed forever: changing them
+// invalidates every digest.
+func goldenSequence(t *testing.T, w, h int) *video.Sequence {
+	t.Helper()
+	seq, err := video.Generate(video.ContentParams{
+		Seed: 77, Detail: 0.5, Motion: 0.4, Noise: 0.1,
+		Sprites: 2, TextRegions: 1, ChromaVariety: 0.4,
+	}, w, h, 6, 30)
+	if err != nil {
+		t.Fatalf("generating golden sequence: %v", err)
+	}
+	return seq
+}
+
+// reconDigest hashes every reconstruction plane in frame order.
+func reconDigest(seq *video.Sequence) string {
+	h := sha256.New()
+	for _, f := range seq.Frames {
+		h.Write(f.Y)
+		h.Write(f.Cb)
+		h.Write(f.Cr)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func bitstreamDigest(bs []byte) string {
+	sum := sha256.Sum256(bs)
+	return hex.EncodeToString(sum[:])
+}
+
+func TestGoldenDigests(t *testing.T) {
+	want := map[string]goldenDigest{}
+	if !*updateGolden {
+		data, err := os.ReadFile(goldenPath)
+		if err != nil {
+			t.Fatalf("reading golden digests (run with -update-golden to create): %v", err)
+		}
+		if err := json.Unmarshal(data, &want); err != nil {
+			t.Fatalf("parsing %s: %v", goldenPath, err)
+		}
+	}
+
+	got := map[string]goldenDigest{}
+	seqs := map[string]*video.Sequence{}
+	for _, gc := range goldenCases() {
+		gc := gc
+		t.Run(gc.name, func(t *testing.T) {
+			key := fmt.Sprintf("%dx%d", gc.w, gc.h)
+			seq := seqs[key]
+			if seq == nil {
+				seq = goldenSequence(t, gc.w, gc.h)
+				seqs[key] = seq
+			}
+			eng := &Engine{Tools: gc.tool}
+			res, err := eng.Encode(seq, gc.cfg)
+			if err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			d := goldenDigest{
+				Bitstream: bitstreamDigest(res.Bitstream),
+				Recon:     reconDigest(res.Recon),
+			}
+			got[gc.name] = d
+
+			// Decode must land exactly on the encoder reconstruction,
+			// so one digest pins all three artifacts.
+			dec, _, err := Decode(res.Bitstream)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if dd := reconDigest(dec); dd != d.Recon {
+				t.Fatalf("decode digest %s != recon digest %s", dd, d.Recon)
+			}
+
+			if !*updateGolden {
+				w, ok := want[gc.name]
+				if !ok {
+					t.Fatalf("no committed digest for %q (run -update-golden and review)", gc.name)
+				}
+				if w != d {
+					t.Errorf("digest mismatch:\n  bitstream got %s want %s\n  recon     got %s want %s",
+						d.Bitstream, w.Bitstream, d.Recon, w.Recon)
+				}
+			}
+		})
+	}
+
+	if *updateGolden {
+		if t.Failed() {
+			t.Fatal("not rewriting golden digests: encode failures above")
+		}
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d digests to %s", len(got), goldenPath)
+	} else if len(want) != len(got) {
+		t.Errorf("committed digest count %d != case count %d (stale file?)", len(want), len(got))
+	}
+}

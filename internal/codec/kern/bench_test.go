@@ -1,0 +1,191 @@
+package kern
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Scalar baselines for the scalar-vs-SWAR micro-benchmarks. They
+// restate the straightforward loops the kernels replaced (the
+// normative copies live next to their call sites in
+// internal/codec/motion and internal/codec/transform); keeping a
+// local copy lets the comparison run without exporting those.
+
+func sadScalar(a []uint8, aStride int, b []uint8, bStride int, w, h int) int64 {
+	var sum int64
+	for y := 0; y < h; y++ {
+		ar := a[y*aStride:]
+		br := b[y*bStride:]
+		for x := 0; x < w; x++ {
+			d := int(ar[x]) - int(br[x])
+			if d < 0 {
+				d = -d
+			}
+			sum += int64(d)
+		}
+	}
+	return sum
+}
+
+func quantScalar(coeffs, zz []int32, scan []int, step, dz int64) {
+	offset := step * dz / 64
+	for i, idx := range scan {
+		v := int64(coeffs[idx]) * 8
+		neg := v < 0
+		if neg {
+			v = -v
+		}
+		l := (v + offset) / step
+		if neg {
+			l = -l
+		}
+		zz[i] = int32(l)
+	}
+}
+
+func benchPlanes(n int) (a, b []uint8) {
+	rng := rand.New(rand.NewSource(31))
+	a = make([]uint8, n)
+	b = make([]uint8, n)
+	rng.Read(a)
+	rng.Read(b)
+	return a, b
+}
+
+var sinkI64 int64
+var sinkBool bool
+
+func BenchmarkSAD(b *testing.B) {
+	const stride, h = 64, 64
+	cur, ref := benchPlanes(stride * h)
+	for _, impl := range []struct {
+		name string
+		fn   func() int64
+	}{
+		{"scalar/16x16", func() int64 { return sadScalar(cur, stride, ref, stride, 16, 16) }},
+		{"swar/16x16", func() int64 { return SAD(cur, stride, ref, stride, 16, 16) }},
+		{"swar/8x8", func() int64 { return SAD(cur, stride, ref, stride, 8, 8) }},
+	} {
+		b.Run(impl.name, func(b *testing.B) {
+			b.SetBytes(2 * 16 * 16)
+			if impl.name == "swar/8x8" {
+				b.SetBytes(2 * 8 * 8)
+			}
+			for i := 0; i < b.N; i++ {
+				sinkI64 = impl.fn()
+			}
+		})
+	}
+	// Threshold kernel with an immediately-failing bound: the early
+	// exit's best case, dominated by the first row.
+	b.Run("swar_thresh_early/16x16", func(b *testing.B) {
+		b.SetBytes(2 * 16 * 16)
+		for i := 0; i < b.N; i++ {
+			sinkI64, sinkBool = SADThresh(cur, stride, ref, stride, 16, 16, 1)
+		}
+	})
+}
+
+func BenchmarkSATD(b *testing.B) {
+	rng := rand.New(rand.NewSource(32))
+	res := make([]int32, 16*16)
+	for i := range res {
+		res[i] = int32(rng.Intn(511) - 255)
+	}
+	b.Run("scalar/16x16", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sinkI64 = satdScalar(res, 16, 16)
+		}
+	})
+	b.Run("unrolled/16x16", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sinkI64 = SATD(res, 16, 16)
+		}
+	})
+}
+
+// satdScalar is the copy-based loop the strided SATD kernel replaced.
+func satdScalar(res []int32, w, h int) int64 {
+	var total int64
+	var blk [16]int32
+	for by := 0; by < h; by += 4 {
+		for bx := 0; bx < w; bx += 4 {
+			for y := 0; y < 4; y++ {
+				copy(blk[y*4:y*4+4], res[(by+y)*w+bx:(by+y)*w+bx+4])
+			}
+			total += satd4(blk[:], 4)
+		}
+	}
+	return total
+}
+
+func BenchmarkDCT(b *testing.B) {
+	rng := rand.New(rand.NewSource(33))
+	src4 := make([]int32, 16)
+	src8 := make([]int32, 64)
+	dst := make([]int32, 64)
+	for i := range src8 {
+		src8[i] = int32(rng.Intn(511) - 255)
+	}
+	copy(src4, src8)
+	b.Run("fwd4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			FwdDCT4(src4, dst[:16])
+		}
+	})
+	b.Run("inv4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			InvDCT4(src4, dst[:16])
+		}
+	})
+	b.Run("fwd8", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			FwdDCT8(src8, dst)
+		}
+	})
+	b.Run("inv8", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			InvDCT8(src8, dst)
+		}
+	})
+}
+
+func BenchmarkQuant(b *testing.B) {
+	rng := rand.New(rand.NewSource(34))
+	coeffs := make([]int32, 64)
+	for i := range coeffs {
+		coeffs[i] = int32(rng.Intn(1<<15) - 1<<14)
+	}
+	scan := identityScan(64)
+	zz := make([]int32, 64)
+	const qp, dz = 28, 11
+	b.Run("scalar_div/8x8", func(b *testing.B) {
+		step := refStep(qp)
+		for i := 0; i < b.N; i++ {
+			quantScalar(coeffs, zz, scan, step, dz)
+		}
+	})
+	b.Run("reciprocal/8x8", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sinkBool = QuantScan(coeffs, zz, scan, qp, dz)
+		}
+	})
+}
+
+func BenchmarkInterp(b *testing.B) {
+	const stride, h = 64, 64
+	cur, ref := benchPlanes(stride * h)
+	dst := make([]uint8, 16*16)
+	b.Run("bilinear/16x16", func(b *testing.B) {
+		b.SetBytes(16 * 16)
+		for i := 0; i < b.N; i++ {
+			PredictBilinear(dst, 16, ref, stride, 4, 4, 4, 4, 8, 4, 16, 16)
+		}
+	})
+	b.Run("bilinear_sad_fused/16x16", func(b *testing.B) {
+		b.SetBytes(2 * 16 * 16)
+		for i := 0; i < b.N; i++ {
+			sinkI64, sinkBool = BilinearSADThresh(cur, stride, ref, stride, 4, 4, 4, 4, 8, 4, 16, 16, 1<<40)
+		}
+	})
+}

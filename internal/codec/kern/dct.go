@@ -1,0 +1,172 @@
+package kern
+
+// Fixed-size integer DCT kernels. These compute exactly the same
+// matrix products as transform.Forward/Inverse (Q10 basis, Q3
+// coefficient scale) but with the butterfly factorization of the
+// DCT-II basis symmetry: row k of the basis is symmetric (even k) or
+// antisymmetric (odd k) about its midpoint, so an N-point product
+// splits into an N/2-point product over sums and one over differences.
+// Every intermediate is an int64 sum of exact integer terms, so the
+// result is bit-identical to the reference matrix multiply — only the
+// association of additions changes, which is exact in integer
+// arithmetic. Slice-to-array-pointer conversions hoist all bounds
+// checks to one guard per call.
+//
+// Shifts and basis constants mirror internal/codec/transform and are
+// locked by the cross-check tests there and in this package.
+
+const (
+	fwdShift = 17 // Q10·Q10 product → Q3 coefficients
+	invShift = 23 // Q3·Q10·Q10 product → Q0 residual
+)
+
+func roundShift(v int64, shift uint) int64 {
+	if v >= 0 {
+		return (v + 1<<(shift-1)) >> shift
+	}
+	return -((-v + 1<<(shift-1)) >> shift)
+}
+
+// FwdDCT4 applies the 4×4 forward DCT to src (row-major residual) and
+// writes Q3 coefficients to dst. src and dst may alias; both must
+// hold at least 16 elements.
+func FwdDCT4(src, dst []int32) {
+	s := (*[16]int32)(src)
+	d := (*[16]int32)(dst)
+	var t [16]int64
+	for c := 0; c < 4; c++ {
+		s0 := int64(s[c])
+		s1 := int64(s[4+c])
+		s2 := int64(s[8+c])
+		s3 := int64(s[12+c])
+		e0, e1 := s0+s3, s1+s2
+		o0, o1 := s0-s3, s1-s2
+		t[c] = 512 * (e0 + e1)
+		t[8+c] = 512 * (e0 - e1)
+		t[4+c] = 669*o0 + 277*o1
+		t[12+c] = 277*o0 - 669*o1
+	}
+	for r := 0; r < 16; r += 4 {
+		r0, r1, r2, r3 := t[r], t[r+1], t[r+2], t[r+3]
+		e0, e1 := r0+r3, r1+r2
+		o0, o1 := r0-r3, r1-r2
+		d[r] = int32(roundShift(512*(e0+e1), fwdShift))
+		d[r+2] = int32(roundShift(512*(e0-e1), fwdShift))
+		d[r+1] = int32(roundShift(669*o0+277*o1, fwdShift))
+		d[r+3] = int32(roundShift(277*o0-669*o1, fwdShift))
+	}
+}
+
+// InvDCT4 applies the 4×4 inverse DCT to Q3 coefficients in src and
+// writes the reconstructed residual to dst. src and dst may alias.
+func InvDCT4(src, dst []int32) {
+	s := (*[16]int32)(src)
+	d := (*[16]int32)(dst)
+	var t [16]int64
+	for c := 0; c < 4; c++ {
+		c0 := int64(s[c])
+		c1 := int64(s[4+c])
+		c2 := int64(s[8+c])
+		c3 := int64(s[12+c])
+		e0 := 512 * (c0 + c2)
+		e1 := 512 * (c0 - c2)
+		o0 := 669*c1 + 277*c3
+		o1 := 277*c1 - 669*c3
+		t[c] = e0 + o0
+		t[4+c] = e1 + o1
+		t[8+c] = e1 - o1
+		t[12+c] = e0 - o0
+	}
+	for r := 0; r < 16; r += 4 {
+		r0, r1, r2, r3 := t[r], t[r+1], t[r+2], t[r+3]
+		e0 := 512 * (r0 + r2)
+		e1 := 512 * (r0 - r2)
+		o0 := 669*r1 + 277*r3
+		o1 := 277*r1 - 669*r3
+		d[r] = int32(roundShift(e0+o0, invShift))
+		d[r+1] = int32(roundShift(e1+o1, invShift))
+		d[r+2] = int32(roundShift(e1-o1, invShift))
+		d[r+3] = int32(roundShift(e0-o0, invShift))
+	}
+}
+
+// fwd8 runs the 8-point forward butterfly on one column or row,
+// writing the eight Q10-weighted sums to out.
+func fwd8(s0, s1, s2, s3, s4, s5, s6, s7 int64, out *[8]int64) {
+	a0, a1, a2, a3 := s0+s7, s1+s6, s2+s5, s3+s4
+	b0, b1, b2, b3 := s0-s7, s1-s6, s2-s5, s3-s4
+	ee0, ee1 := a0+a3, a1+a2
+	eo0, eo1 := a0-a3, a1-a2
+	out[0] = 362 * (ee0 + ee1)
+	out[4] = 362 * (ee0 - ee1)
+	out[2] = 473*eo0 + 196*eo1
+	out[6] = 196*eo0 - 473*eo1
+	out[1] = 502*b0 + 426*b1 + 284*b2 + 100*b3
+	out[3] = 426*b0 - 100*b1 - 502*b2 - 284*b3
+	out[5] = 284*b0 - 502*b1 + 100*b2 + 426*b3
+	out[7] = 100*b0 - 284*b1 + 426*b2 - 502*b3
+}
+
+// inv8 runs the 8-point inverse butterfly (transposed basis) on one
+// column or row of coefficients.
+func inv8(c0, c1, c2, c3, c4, c5, c6, c7 int64, out *[8]int64) {
+	ee0 := 362 * (c0 + c4)
+	ee1 := 362 * (c0 - c4)
+	eo0 := 473*c2 + 196*c6
+	eo1 := 196*c2 - 473*c6
+	e0, e1, e2, e3 := ee0+eo0, ee1+eo1, ee1-eo1, ee0-eo0
+	o0 := 502*c1 + 426*c3 + 284*c5 + 100*c7
+	o1 := 426*c1 - 100*c3 - 502*c5 - 284*c7
+	o2 := 284*c1 - 502*c3 + 100*c5 + 426*c7
+	o3 := 100*c1 - 284*c3 + 426*c5 - 502*c7
+	out[0] = e0 + o0
+	out[1] = e1 + o1
+	out[2] = e2 + o2
+	out[3] = e3 + o3
+	out[4] = e3 - o3
+	out[5] = e2 - o2
+	out[6] = e1 - o1
+	out[7] = e0 - o0
+}
+
+// FwdDCT8 applies the 8×8 forward DCT; see FwdDCT4.
+func FwdDCT8(src, dst []int32) {
+	s := (*[64]int32)(src)
+	d := (*[64]int32)(dst)
+	var t [64]int64
+	var col [8]int64
+	for c := 0; c < 8; c++ {
+		fwd8(int64(s[c]), int64(s[8+c]), int64(s[16+c]), int64(s[24+c]),
+			int64(s[32+c]), int64(s[40+c]), int64(s[48+c]), int64(s[56+c]), &col)
+		for k := 0; k < 8; k++ {
+			t[k*8+c] = col[k]
+		}
+	}
+	for r := 0; r < 64; r += 8 {
+		fwd8(t[r], t[r+1], t[r+2], t[r+3], t[r+4], t[r+5], t[r+6], t[r+7], &col)
+		for k := 0; k < 8; k++ {
+			d[r+k] = int32(roundShift(col[k], fwdShift))
+		}
+	}
+}
+
+// InvDCT8 applies the 8×8 inverse DCT; see InvDCT4.
+func InvDCT8(src, dst []int32) {
+	s := (*[64]int32)(src)
+	d := (*[64]int32)(dst)
+	var t [64]int64
+	var col [8]int64
+	for c := 0; c < 8; c++ {
+		inv8(int64(s[c]), int64(s[8+c]), int64(s[16+c]), int64(s[24+c]),
+			int64(s[32+c]), int64(s[40+c]), int64(s[48+c]), int64(s[56+c]), &col)
+		for k := 0; k < 8; k++ {
+			t[k*8+c] = col[k]
+		}
+	}
+	for r := 0; r < 64; r += 8 {
+		inv8(t[r], t[r+1], t[r+2], t[r+3], t[r+4], t[r+5], t[r+6], t[r+7], &col)
+		for k := 0; k < 8; k++ {
+			d[r+k] = int32(roundShift(col[k], invShift))
+		}
+	}
+}

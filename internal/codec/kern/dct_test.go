@@ -1,0 +1,164 @@
+package kern
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The reference below is an independent restatement of the transform
+// definition (Q10 basis matrices, full matrix multiplies) so the
+// butterfly factorization is checked against the mathematical
+// definition, not against shared code.
+
+var refDCT4 = [4][4]int64{
+	{512, 512, 512, 512},
+	{669, 277, -277, -669},
+	{512, -512, -512, 512},
+	{277, -669, 669, -277},
+}
+
+var refDCT8 = [8][8]int64{
+	{362, 362, 362, 362, 362, 362, 362, 362},
+	{502, 426, 284, 100, -100, -284, -426, -502},
+	{473, 196, -196, -473, -473, -196, 196, 473},
+	{426, -100, -502, -284, 284, 502, 100, -426},
+	{362, -362, -362, 362, 362, -362, -362, 362},
+	{284, -502, 100, 426, -426, -100, 502, -284},
+	{196, -473, 473, -196, -196, 473, -473, 196},
+	{100, -284, 426, -502, 502, -426, 284, -100},
+}
+
+func basis(n int) func(k, j int) int64 {
+	if n == 4 {
+		return func(k, j int) int64 { return refDCT4[k][j] }
+	}
+	return func(k, j int) int64 { return refDCT8[k][j] }
+}
+
+// fwdRef computes round((A·src·Aᵀ) >> fwdShift) by direct matrix multiply.
+func fwdRef(src, dst []int32, n int) {
+	a := basis(n)
+	var tmp [64]int64
+	for k := 0; k < n; k++ {
+		for col := 0; col < n; col++ {
+			var s int64
+			for j := 0; j < n; j++ {
+				s += a(k, j) * int64(src[j*n+col])
+			}
+			tmp[k*n+col] = s
+		}
+	}
+	for k := 0; k < n; k++ {
+		for l := 0; l < n; l++ {
+			var s int64
+			for j := 0; j < n; j++ {
+				s += tmp[k*n+j] * a(l, j)
+			}
+			dst[k*n+l] = int32(roundShift(s, fwdShift))
+		}
+	}
+}
+
+// invRef computes round((Aᵀ·src·A) >> invShift) by direct matrix multiply.
+func invRef(src, dst []int32, n int) {
+	a := basis(n)
+	var tmp [64]int64
+	for i := 0; i < n; i++ {
+		for col := 0; col < n; col++ {
+			var s int64
+			for k := 0; k < n; k++ {
+				s += a(k, i) * int64(src[k*n+col])
+			}
+			tmp[i*n+col] = s
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s int64
+			for l := 0; l < n; l++ {
+				s += tmp[i*n+l] * a(l, j)
+			}
+			dst[i*n+j] = int32(roundShift(s, invShift))
+		}
+	}
+}
+
+// randBlock draws residuals or coefficients spanning the codec's real
+// ranges plus extremes: pixel residuals are within ±255, Q3
+// coefficients within ~±2¹⁴, and the extreme modes probe headroom.
+func randBlock(rng *rand.Rand, nn int, mode int) []int32 {
+	blk := make([]int32, nn)
+	for i := range blk {
+		switch mode {
+		case 0:
+			blk[i] = int32(rng.Intn(511) - 255)
+		case 1:
+			blk[i] = int32(rng.Intn(1<<15) - 1<<14)
+		default:
+			blk[i] = int32([3]int{-(1 << 14), 0, 1 << 14}[rng.Intn(3)])
+		}
+	}
+	return blk
+}
+
+func TestDCTCrossCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{4, 8} {
+		nn := n * n
+		for iter := 0; iter < 3000; iter++ {
+			src := randBlock(rng, nn, iter%3)
+			want := make([]int32, nn)
+			got := make([]int32, nn)
+
+			fwdRef(src, want, n)
+			cp := append([]int32(nil), src...)
+			if n == 4 {
+				FwdDCT4(cp, got)
+			} else {
+				FwdDCT8(cp, got)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("FwdDCT%d[%d]: got %d want %d (src=%v)", n, i, got[i], want[i], src)
+				}
+			}
+
+			invRef(src, want, n)
+			if n == 4 {
+				InvDCT4(cp, got)
+			} else {
+				InvDCT8(cp, got)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("InvDCT%d[%d]: got %d want %d (src=%v)", n, i, got[i], want[i], src)
+				}
+			}
+		}
+	}
+}
+
+// TestDCTAliasing verifies src==dst operation, which quantizeBlock
+// relies on for in-place transforms.
+func TestDCTAliasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, n := range []int{4, 8} {
+		nn := n * n
+		for iter := 0; iter < 200; iter++ {
+			src := randBlock(rng, nn, iter%3)
+			want := make([]int32, nn)
+			fwdRef(src, want, n)
+			inplace := append([]int32(nil), src...)
+			if n == 4 {
+				FwdDCT4(inplace, inplace)
+			} else {
+				FwdDCT8(inplace, inplace)
+			}
+			for i := range want {
+				if inplace[i] != want[i] {
+					t.Fatalf("aliased FwdDCT%d[%d]: got %d want %d", n, i, inplace[i], want[i])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package kern
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bilerpRef is the scalar bilinear reference over the interior window.
+func bilerpRef(dst []uint8, ds int, ref []uint8, rs int, w00, w10, w01, w11, round int, shift uint, bw, bh int) {
+	for y := 0; y < bh; y++ {
+		for x := 0; x < bw; x++ {
+			a := int(ref[y*rs+x])
+			b := int(ref[y*rs+x+1])
+			c := int(ref[(y+1)*rs+x])
+			d := int(ref[(y+1)*rs+x+1])
+			dst[y*ds+x] = uint8((a*w00 + b*w10 + c*w01 + d*w11 + round) >> shift)
+		}
+	}
+}
+
+// weightSets enumerates every sub-pel phase of the two bilinear
+// kernels in the codec: quarter-pel luma (Σw=16, round 8, shift 4)
+// and eighth-pel chroma (Σw=64, round 32, shift 6).
+type weightSet struct {
+	w00, w10, w01, w11, round int
+	shift                     uint
+}
+
+func weightSets() []weightSet {
+	var sets []weightSet
+	for fy := 0; fy < 4; fy++ {
+		for fx := 0; fx < 4; fx++ {
+			sets = append(sets, weightSet{(4 - fx) * (4 - fy), fx * (4 - fy), (4 - fx) * fy, fx * fy, 8, 4})
+		}
+	}
+	for fy := 0; fy < 8; fy++ {
+		for fx := 0; fx < 8; fx++ {
+			sets = append(sets, weightSet{(8 - fx) * (8 - fy), fx * (8 - fy), (8 - fx) * fy, fx * fy, 32, 6})
+		}
+	}
+	return sets
+}
+
+func TestPredictBilinearCrossCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	sets := weightSets()
+	for iter := 0; iter < 1500; iter++ {
+		ws := sets[iter%len(sets)]
+		bw := 1 + rng.Intn(20)
+		bh := 1 + rng.Intn(18)
+		rs := bw + 1 + rng.Intn(8)
+		ds := bw + rng.Intn(5)
+		ref := make([]uint8, (bh+1)*rs+8)
+		fillRand(rng, ref, iter%3)
+		got := make([]uint8, bh*ds+8)
+		want := make([]uint8, bh*ds+8)
+		PredictBilinear(got, ds, ref, rs, ws.w00, ws.w10, ws.w01, ws.w11, ws.round, ws.shift, bw, bh)
+		bilerpRef(want, ds, ref, rs, ws.w00, ws.w10, ws.w01, ws.w11, ws.round, ws.shift, bw, bh)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("PredictBilinear mismatch at %d: got %d want %d (bw=%d bh=%d rs=%d ds=%d ws=%+v)",
+					i, got[i], want[i], bw, bh, rs, ds, ws)
+			}
+		}
+	}
+}
+
+func TestBilinearSADThreshCrossCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	sets := weightSets()
+	for iter := 0; iter < 1500; iter++ {
+		ws := sets[iter%len(sets)]
+		bw := 1 + rng.Intn(20)
+		bh := 1 + rng.Intn(18)
+		rs := bw + 1 + rng.Intn(8)
+		cs := bw + rng.Intn(5)
+		ref := make([]uint8, (bh+1)*rs+8)
+		cur := make([]uint8, bh*cs+8)
+		fillRand(rng, ref, iter%3)
+		fillRand(rng, cur, (iter+1)%3)
+
+		pred := make([]uint8, bh*bw)
+		bilerpRef(pred, bw, ref, rs, ws.w00, ws.w10, ws.w01, ws.w11, ws.round, ws.shift, bw, bh)
+		exact := sadRef(cur, cs, pred, bw, bw, bh)
+
+		for _, th := range []int64{0, 1, exact / 2, exact, exact + 1, 1 << 40} {
+			got, early := BilinearSADThresh(cur, cs, ref, rs, ws.w00, ws.w10, ws.w01, ws.w11, ws.round, ws.shift, bw, bh, th)
+			if !early && got != exact {
+				t.Fatalf("BilinearSADThresh(th=%d) complete scan got %d want %d (bw=%d bh=%d ws=%+v)",
+					th, got, exact, bw, bh, ws)
+			}
+			if early && (got < th || exact < th) {
+				t.Fatalf("BilinearSADThresh(th=%d) bad abort: got %d exact %d", th, got, exact)
+			}
+			if exact < th && (early || got != exact) {
+				t.Fatalf("BilinearSADThresh(th=%d) must be exact below thresh (got %d early=%v exact %d)",
+					th, got, early, exact)
+			}
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package kern
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// quantRefLevel restates the quantizer definition directly:
+// level = sign(c) · floor((|c|·8 + step·dz/64) / step).
+func quantRefLevel(c int32, step, dz int64) int32 {
+	v := int64(c) * 8
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	l := (v + step*dz/64) / step
+	if neg {
+		l = -l
+	}
+	return int32(l)
+}
+
+func refStep(qp int) int64 {
+	base := [6]int64{40, 45, 50, 57, 63, 71}
+	return base[qp%6] << uint(qp/6)
+}
+
+// identityScan maps zz[i] = levels[i]; the scan-order behaviour is
+// checked separately with a shuffled table.
+func identityScan(nn int) []int {
+	s := make([]int, nn)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}
+
+func TestQuantScanCrossCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	dzs := []int64{21, 11, 0, 63}
+	for qp := 0; qp <= 51; qp++ {
+		step := refStep(qp)
+		for iter := 0; iter < 60; iter++ {
+			dz := dzs[iter%len(dzs)]
+			nn := 16
+			if iter%2 == 1 {
+				nn = 64
+			}
+			coeffs := make([]int32, nn)
+			for i := range coeffs {
+				switch iter % 4 {
+				case 0: // realistic Q3 DCT range
+					coeffs[i] = int32(rng.Intn(1<<15) - 1<<14)
+				case 1: // small values straddling the deadzone
+					coeffs[i] = int32(rng.Intn(2*int(step)+1) - int(step))
+				case 2: // extremes, including the divide-fallback range
+					coeffs[i] = int32(rng.Intn(math.MaxInt32)) - math.MaxInt32/2
+				default: // exact multiples of the step (floor boundaries)
+					coeffs[i] = int32((int64(rng.Intn(64)) * step) / 8 * int64(1-2*rng.Intn(2)))
+				}
+			}
+
+			scan := identityScan(nn)
+			// Shuffled scan order exercises the fused gather.
+			if iter%3 == 0 {
+				rng.Shuffle(nn, func(i, j int) { scan[i], scan[j] = scan[j], scan[i] })
+			}
+
+			zz := make([]int32, nn)
+			gotNZ := QuantScan(coeffs, zz, scan, qp, dz)
+			wantNZ := false
+			for i, idx := range scan {
+				want := quantRefLevel(coeffs[idx], step, dz)
+				if zz[i] != want {
+					t.Fatalf("qp=%d dz=%d c=%d: got level %d want %d", qp, dz, coeffs[idx], zz[i], want)
+				}
+				if want != 0 {
+					wantNZ = true
+				}
+			}
+			if gotNZ != wantNZ {
+				t.Fatalf("qp=%d dz=%d: nonzero flag %v want %v", qp, dz, gotNZ, wantNZ)
+			}
+		}
+	}
+}
+
+// TestQuantMagicBoundary sweeps u values around every QP's reciprocal
+// exactness cutoff and around each floor boundary near it, where an
+// off-by-one magic constant would first diverge.
+func TestQuantMagicBoundary(t *testing.T) {
+	for qp := 0; qp <= 51; qp++ {
+		tab := quantTabs[qp]
+		for _, u := range []uint64{0, 1, uint64(tab.step) - 1, uint64(tab.step), uint64(tab.step) + 1,
+			quantMaxU - uint64(tab.step), quantMaxU - 2, quantMaxU - 1} {
+			want := u / uint64(tab.step)
+			if got := u * tab.magic >> quantShift; got != want {
+				t.Fatalf("qp=%d u=%d: magic division %d want %d", qp, u, got, want)
+			}
+		}
+		// Dense sweep over the top of the exact range.
+		for u := uint64(quantMaxU) - 4096; u < quantMaxU; u++ {
+			if got, want := u*tab.magic>>quantShift, u/uint64(tab.step); got != want {
+				t.Fatalf("qp=%d u=%d: magic division %d want %d", qp, u, got, want)
+			}
+		}
+	}
+}
+
+// TestQuantDivFallback confirms oversized magnitudes take the exact
+// scalar path and are counted.
+func TestQuantDivFallback(t *testing.T) {
+	before := QuantDivFallbacks()
+	coeffs := []int32{math.MaxInt32, math.MinInt32 + 1, 1 << 24, 0}
+	zz := make([]int32, 4)
+	QuantScan(coeffs, zz, identityScan(4), 28, 11)
+	step := refStep(28)
+	for i, c := range coeffs {
+		if want := quantRefLevel(c, step, 11); zz[i] != want {
+			t.Fatalf("fallback level for %d: got %d want %d", c, zz[i], want)
+		}
+	}
+	if got := QuantDivFallbacks() - before; got < 3 {
+		t.Fatalf("expected ≥3 divide fallbacks, counted %d", got)
+	}
+}

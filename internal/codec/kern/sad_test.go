@@ -1,0 +1,124 @@
+package kern
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// sadRef is the plain scalar reference: sum of |a−b| over the block.
+func sadRef(a []uint8, as int, b []uint8, bs int, w, h int) int64 {
+	var sum int64
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			d := int(a[y*as+x]) - int(b[y*bs+x])
+			if d < 0 {
+				d = -d
+			}
+			sum += int64(d)
+		}
+	}
+	return sum
+}
+
+// fillRand fills buf with one of several adversarial distributions:
+// uniform bytes, saturated extremes (maximizing per-lane diffs), and
+// near-equal planes (exercising the a≥b / a<b lane split).
+func fillRand(rng *rand.Rand, buf []uint8, mode int) {
+	switch mode {
+	case 0:
+		rng.Read(buf)
+	case 1:
+		for i := range buf {
+			buf[i] = uint8(255 * (rng.Intn(2)))
+		}
+	default:
+		base := uint8(rng.Intn(256))
+		for i := range buf {
+			buf[i] = base + uint8(rng.Intn(3)) - 1
+		}
+	}
+}
+
+func TestSADCrossCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 4000; iter++ {
+		w := 1 + rng.Intn(25)
+		h := 1 + rng.Intn(20)
+		as := w + rng.Intn(10)
+		bs := w + rng.Intn(10)
+		offA := rng.Intn(8) // vary alignment of the block base
+		offB := rng.Intn(8)
+		a := make([]uint8, offA+as*h+8)
+		b := make([]uint8, offB+bs*h+8)
+		fillRand(rng, a, iter%3)
+		fillRand(rng, b, (iter+1)%3)
+		av, bv := a[offA:], b[offB:]
+
+		want := sadRef(av, as, bv, bs, w, h)
+		if got := SAD(av, as, bv, bs, w, h); got != want {
+			t.Fatalf("SAD w=%d h=%d as=%d bs=%d offA=%d offB=%d: got %d want %d",
+				w, h, as, bs, offA, offB, got, want)
+		}
+		if got := SAD(av, as, bv, bs, w, h); got != want {
+			t.Fatalf("SAD not deterministic at w=%d h=%d", w, h)
+		}
+	}
+}
+
+func TestSADThreshProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for iter := 0; iter < 4000; iter++ {
+		w := 1 + rng.Intn(25)
+		h := 1 + rng.Intn(20)
+		as := w + rng.Intn(6)
+		bs := w + rng.Intn(6)
+		a := make([]uint8, as*h+8)
+		b := make([]uint8, bs*h+8)
+		fillRand(rng, a, iter%3)
+		fillRand(rng, b, (iter+2)%3)
+
+		exact := sadRef(a, as, b, bs, w, h)
+		// Thresholds spanning below, at, and above the exact SAD.
+		threshes := []int64{-5, 0, 1, exact / 2, exact, exact + 1, exact + 1000}
+		for _, th := range threshes {
+			got, early := SADThresh(a, as, b, bs, w, h, th)
+			if !early && got != exact {
+				t.Fatalf("SADThresh(th=%d) complete scan returned %d, want exact %d", th, got, exact)
+			}
+			if early {
+				if got < th {
+					t.Fatalf("SADThresh(th=%d) aborted with %d < thresh", th, got)
+				}
+				if exact < th {
+					t.Fatalf("SADThresh(th=%d) aborted but exact SAD %d is below thresh", th, exact)
+				}
+			}
+			if exact < th && (early || got != exact) {
+				t.Fatalf("SADThresh(th=%d) must be exact when SAD %d < thresh (got %d early=%v)", th, exact, got, early)
+			}
+			// Determinism: identical inputs, identical outcome.
+			got2, early2 := SADThresh(a, as, b, bs, w, h, th)
+			if got2 != got || early2 != early {
+				t.Fatalf("SADThresh(th=%d) nondeterministic: (%d,%v) vs (%d,%v)", th, got, early, got2, early2)
+			}
+		}
+	}
+}
+
+// TestSADWideAccumulation forces the mid-block flush path: enough
+// saturated chunks that an unflushed lane accumulator would overflow.
+func TestSADWideAccumulation(t *testing.T) {
+	w, h := 512, 8
+	a := make([]uint8, w*h)
+	b := make([]uint8, w*h)
+	for i := range a {
+		a[i] = 255
+	}
+	want := int64(255 * w * h)
+	if got := SAD(a, w, b, w, w, h); got != want {
+		t.Fatalf("saturated wide SAD: got %d want %d", got, want)
+	}
+	if got, early := SADThresh(a, w, b, w, w, h, want+1); early || got != want {
+		t.Fatalf("saturated wide SADThresh: got %d early=%v want %d", got, early, want)
+	}
+}

@@ -1,0 +1,76 @@
+package kern
+
+// satd4 computes the 4×4 Hadamard SATD of a residual block stored
+// with the given row stride. The butterflies match transform.SATD4
+// exactly; operating in place on the strided source removes the
+// per-subblock copy the strided transform.SATD reference performs.
+func satd4(r []int32, stride int) int64 {
+	r0 := (*[4]int32)(r[0:])
+	r1 := (*[4]int32)(r[stride:])
+	r2 := (*[4]int32)(r[2*stride:])
+	r3 := (*[4]int32)(r[3*stride:])
+
+	// Horizontal butterflies, one row per set of four locals.
+	s0 := int64(r0[0]) + int64(r0[2])
+	d0 := int64(r0[0]) - int64(r0[2])
+	s1 := int64(r0[1]) + int64(r0[3])
+	d1 := int64(r0[1]) - int64(r0[3])
+	m00, m01, m02, m03 := s0+s1, s0-s1, d0+d1, d0-d1
+
+	s0 = int64(r1[0]) + int64(r1[2])
+	d0 = int64(r1[0]) - int64(r1[2])
+	s1 = int64(r1[1]) + int64(r1[3])
+	d1 = int64(r1[1]) - int64(r1[3])
+	m10, m11, m12, m13 := s0+s1, s0-s1, d0+d1, d0-d1
+
+	s0 = int64(r2[0]) + int64(r2[2])
+	d0 = int64(r2[0]) - int64(r2[2])
+	s1 = int64(r2[1]) + int64(r2[3])
+	d1 = int64(r2[1]) - int64(r2[3])
+	m20, m21, m22, m23 := s0+s1, s0-s1, d0+d1, d0-d1
+
+	s0 = int64(r3[0]) + int64(r3[2])
+	d0 = int64(r3[0]) - int64(r3[2])
+	s1 = int64(r3[1]) + int64(r3[3])
+	d1 = int64(r3[1]) - int64(r3[3])
+	m30, m31, m32, m33 := s0+s1, s0-s1, d0+d1, d0-d1
+
+	// Vertical butterflies and accumulation, one column per line.
+	var sum int64
+	s0, d0, s1, d1 = m00+m20, m00-m20, m10+m30, m10-m30
+	sum += abs64(s0+s1) + abs64(s0-s1) + abs64(d0+d1) + abs64(d0-d1)
+	s0, d0, s1, d1 = m01+m21, m01-m21, m11+m31, m11-m31
+	sum += abs64(s0+s1) + abs64(s0-s1) + abs64(d0+d1) + abs64(d0-d1)
+	s0, d0, s1, d1 = m02+m22, m02-m22, m12+m32, m12-m32
+	sum += abs64(s0+s1) + abs64(s0-s1) + abs64(d0+d1) + abs64(d0-d1)
+	s0, d0, s1, d1 = m03+m23, m03-m23, m13+m33, m13-m33
+	sum += abs64(s0+s1) + abs64(s0-s1) + abs64(d0+d1) + abs64(d0-d1)
+	return sum
+}
+
+// SATD4 computes the Hadamard SATD of a packed 4×4 residual block
+// (16 contiguous samples).
+func SATD4(res []int32) int64 {
+	return satd4(res, 4)
+}
+
+// SATD computes the Hadamard SATD of a w×h residual region (both
+// multiples of 4) stored row-major with stride w, without copying
+// 4×4 sub-blocks.
+func SATD(res []int32, w, h int) int64 {
+	var total int64
+	for by := 0; by < h; by += 4 {
+		row := res[by*w:]
+		for bx := 0; bx+4 <= w; bx += 4 {
+			total += satd4(row[bx:], w)
+		}
+	}
+	return total
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

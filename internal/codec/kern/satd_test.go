@@ -1,0 +1,72 @@
+package kern
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// satdRef computes Σ|H·B·Hᵀ| with the 4×4 Hadamard matrix directly.
+// The butterfly network in transform.SATD4 evaluates the same
+// transform with its rows in a different order; the absolute-sum is
+// invariant under row/column permutation and sign flips, so this is a
+// valid independent reference for the exact value.
+var hadamard4 = [4][4]int64{
+	{1, 1, 1, 1},
+	{1, 1, -1, -1},
+	{1, -1, -1, 1},
+	{1, -1, 1, -1},
+}
+
+func satdRef(res []int32, stride int) int64 {
+	var tmp [4][4]int64
+	for k := 0; k < 4; k++ {
+		for col := 0; col < 4; col++ {
+			var s int64
+			for j := 0; j < 4; j++ {
+				s += hadamard4[k][j] * int64(res[j*stride+col])
+			}
+			tmp[k][col] = s
+		}
+	}
+	var sum int64
+	for k := 0; k < 4; k++ {
+		for l := 0; l < 4; l++ {
+			var s int64
+			for j := 0; j < 4; j++ {
+				s += tmp[k][j] * hadamard4[l][j]
+			}
+			sum += abs64(s)
+		}
+	}
+	return sum
+}
+
+func TestSATD4CrossCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 3000; iter++ {
+		blk := randBlock(rng, 16, iter%3)
+		want := satdRef(blk, 4)
+		if got := SATD4(blk); got != want {
+			t.Fatalf("SATD4: got %d want %d (blk=%v)", got, want, blk)
+		}
+	}
+}
+
+func TestSATDStridedCrossCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	dims := []struct{ w, h int }{{4, 4}, {8, 4}, {4, 8}, {8, 8}, {16, 8}, {16, 16}, {12, 20}}
+	for _, d := range dims {
+		for iter := 0; iter < 400; iter++ {
+			res := randBlock(rng, d.w*d.h, iter%3)
+			var want int64
+			for by := 0; by < d.h; by += 4 {
+				for bx := 0; bx < d.w; bx += 4 {
+					want += satdRef(res[by*d.w+bx:], d.w)
+				}
+			}
+			if got := SATD(res, d.w, d.h); got != want {
+				t.Fatalf("SATD %dx%d: got %d want %d", d.w, d.h, got, want)
+			}
+		}
+	}
+}

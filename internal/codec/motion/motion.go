@@ -10,7 +10,10 @@
 package motion
 
 import (
+	"math"
+
 	"vbench/internal/codec/bitstream"
+	"vbench/internal/codec/kern"
 	"vbench/internal/perf"
 )
 
@@ -43,7 +46,35 @@ func (p Plane) clampedSample(x, y int) uint8 {
 // SAD returns the sum of absolute differences between the bw×bh block
 // of cur at (cx, cy) — which must lie fully inside cur — and the block
 // of ref at (rx, ry), which is clamped to the reference bounds.
+// Interior references take the packed SWAR kernel; edge-clamped ones
+// stay on the scalar loop. sadRef preserves the all-scalar original as
+// the cross-check reference.
 func SAD(cur Plane, cx, cy int, ref Plane, rx, ry int, bw, bh int) int64 {
+	if rx >= 0 && ry >= 0 && rx+bw <= ref.W && ry+bh <= ref.H {
+		return kern.SAD(cur.Pix[cy*cur.W+cx:], cur.W, ref.Pix[ry*ref.W+rx:], ref.W, bw, bh)
+	}
+	return sadClamped(cur, cx, cy, ref, rx, ry, bw, bh)
+}
+
+// sadClamped is the edge-replicating SAD slow path.
+func sadClamped(cur Plane, cx, cy int, ref Plane, rx, ry int, bw, bh int) int64 {
+	var sum int64
+	for y := 0; y < bh; y++ {
+		cRow := cur.Pix[(cy+y)*cur.W+cx:]
+		for x := 0; x < bw; x++ {
+			d := int(cRow[x]) - int(ref.clampedSample(rx+x, ry+y))
+			if d < 0 {
+				d = -d
+			}
+			sum += int64(d)
+		}
+	}
+	return sum
+}
+
+// sadRef is the original all-scalar SAD, kept verbatim as the
+// reference implementation for the kernel cross-check tests.
+func sadRef(cur Plane, cx, cy int, ref Plane, rx, ry int, bw, bh int) int64 {
 	var sum int64
 	fastPath := rx >= 0 && ry >= 0 && rx+bw <= ref.W && ry+bh <= ref.H
 	if fastPath {
@@ -60,6 +91,24 @@ func SAD(cur Plane, cx, cy int, ref Plane, rx, ry int, bw, bh int) int64 {
 		}
 		return sum
 	}
+	return sadClamped(cur, cx, cy, ref, rx, ry, bw, bh)
+}
+
+// sadThresh is SAD with deterministic early termination (see
+// kern.SADThresh): once the running sum reaches thresh the scan stops
+// and returns the partial sum with early=true. Abort depends only on
+// the pixel data and thresh, never on timing, so results are
+// bit-reproducible. Callers must only use aborted values in
+// comparisons they are guaranteed to lose (cost ≥ thresh + mvCost ≥
+// incumbent best).
+func sadThresh(cur Plane, cx, cy int, ref Plane, rx, ry int, bw, bh int, thresh int64) (int64, bool) {
+	if rx >= 0 && ry >= 0 && rx+bw <= ref.W && ry+bh <= ref.H {
+		return kern.SADThresh(cur.Pix[cy*cur.W+cx:], cur.W, ref.Pix[ry*ref.W+rx:], ref.W, bw, bh, thresh)
+	}
+	if thresh <= 0 {
+		return 0, true
+	}
+	var sum int64
 	for y := 0; y < bh; y++ {
 		cRow := cur.Pix[(cy+y)*cur.W+cx:]
 		for x := 0; x < bw; x++ {
@@ -69,8 +118,11 @@ func SAD(cur Plane, cx, cy int, ref Plane, rx, ry int, bw, bh int) int64 {
 			}
 			sum += int64(d)
 		}
+		if sum >= thresh && y+1 < bh {
+			return sum, true
+		}
 	}
-	return sum
+	return sum, false
 }
 
 // Scratch holds the reusable buffers of one motion-search /
@@ -84,6 +136,13 @@ func SAD(cur Plane, cx, cy int, ref Plane, rx, ry int, bw, bh int) int64 {
 type Scratch struct {
 	pred []uint8
 	tmp  []int32
+
+	// SADEarlyExits counts SAD evaluations the threshold kernels
+	// aborted early during searches using this Scratch. Telemetry
+	// only: the count is deterministic for a given input but feeds no
+	// coding decision, and perf.Counters op counts stay at their
+	// nominal (full-block) values regardless of aborts.
+	SADEarlyExits int64
 }
 
 // predBuf returns an n-sample prediction buffer.
@@ -177,7 +236,40 @@ func PredictLumaSharp(dst []uint8, ref Plane, bx, by int, mv MV, bw, bh int, sc 
 // dst (row-major, stride bw). Sub-pel positions use bilinear
 // interpolation with 1/16 rounding; out-of-frame references replicate
 // edges.
+// Interior blocks — the overwhelmingly common case away from frame
+// edges — skip per-sample clamping: integer vectors become row
+// copies and sub-pel vectors take the SWAR kernel. Edge positions
+// fall back to predictLumaRef, the preserved scalar original, which
+// is also the cross-check reference.
 func PredictLuma(dst []uint8, ref Plane, bx, by int, mv MV, bw, bh int) {
+	ix := bx + int(mv.X>>2)
+	iy := by + int(mv.Y>>2)
+	fx := int(mv.X & 3)
+	fy := int(mv.Y & 3)
+	if fx == 0 && fy == 0 {
+		if ix >= 0 && iy >= 0 && ix+bw <= ref.W && iy+bh <= ref.H {
+			for y := 0; y < bh; y++ {
+				copy(dst[y*bw:(y+1)*bw], ref.Pix[(iy+y)*ref.W+ix:])
+			}
+			return
+		}
+		predictLumaRef(dst, ref, bx, by, mv, bw, bh)
+		return
+	}
+	if ix >= 0 && iy >= 0 && ix+bw+1 <= ref.W && iy+bh+1 <= ref.H {
+		w00 := (4 - fx) * (4 - fy)
+		w10 := fx * (4 - fy)
+		w01 := (4 - fx) * fy
+		w11 := fx * fy
+		kern.PredictBilinear(dst, bw, ref.Pix[iy*ref.W+ix:], ref.W, w00, w10, w01, w11, 8, 4, bw, bh)
+		return
+	}
+	predictLumaRef(dst, ref, bx, by, mv, bw, bh)
+}
+
+// predictLumaRef is the original clamped scalar implementation of
+// PredictLuma, the normative reference for all luma prediction paths.
+func predictLumaRef(dst []uint8, ref Plane, bx, by int, mv MV, bw, bh int) {
 	ix := bx + int(mv.X>>2)
 	iy := by + int(mv.Y>>2)
 	fx := int(mv.X & 3)
@@ -214,6 +306,34 @@ func PredictChroma(dst []uint8, ref Plane, bx, by int, mv MV, bw, bh int) {
 	fx := int(mv.X & 7)
 	fy := int(mv.Y & 7)
 	if fx == 0 && fy == 0 {
+		if ix >= 0 && iy >= 0 && ix+bw <= ref.W && iy+bh <= ref.H {
+			for y := 0; y < bh; y++ {
+				copy(dst[y*bw:(y+1)*bw], ref.Pix[(iy+y)*ref.W+ix:])
+			}
+			return
+		}
+		predictChromaRef(dst, ref, bx, by, mv, bw, bh)
+		return
+	}
+	if ix >= 0 && iy >= 0 && ix+bw+1 <= ref.W && iy+bh+1 <= ref.H {
+		w00 := (8 - fx) * (8 - fy)
+		w10 := fx * (8 - fy)
+		w01 := (8 - fx) * fy
+		w11 := fx * fy
+		kern.PredictBilinear(dst, bw, ref.Pix[iy*ref.W+ix:], ref.W, w00, w10, w01, w11, 32, 6, bw, bh)
+		return
+	}
+	predictChromaRef(dst, ref, bx, by, mv, bw, bh)
+}
+
+// predictChromaRef is the original clamped scalar implementation of
+// PredictChroma, the normative reference for chroma prediction.
+func predictChromaRef(dst []uint8, ref Plane, bx, by int, mv MV, bw, bh int) {
+	ix := bx + int(mv.X>>3)
+	iy := by + int(mv.Y>>3)
+	fx := int(mv.X & 7)
+	fy := int(mv.Y & 7)
+	if fx == 0 && fy == 0 {
 		for y := 0; y < bh; y++ {
 			for x := 0; x < bw; x++ {
 				dst[y*bw+x] = ref.clampedSample(ix+x, iy+y)
@@ -236,10 +356,44 @@ func PredictChroma(dst []uint8, ref Plane, bx, by int, mv MV, bw, bh int) {
 	}
 }
 
-// sadSubpel computes the SAD of the current block against the
+// sadSubpelThresh computes the SAD of the current block against the
+// interpolated reference at quarter-pel vector mv, aborting (like
+// sadThresh) once the running sum reaches thresh. Interior sub-pel
+// windows take the fused SWAR interpolate+SAD kernel, which never
+// materializes the prediction; all other cases predict into scratch
+// with the normative path and difference the packed buffer. Both
+// routes produce the exact PredictLuma+SAD value when not aborted.
+func sadSubpelThresh(cur Plane, cx, cy int, ref Plane, mv MV, bw, bh int, scratch []uint8, thresh int64) (int64, bool) {
+	ix := cx + int(mv.X>>2)
+	iy := cy + int(mv.Y>>2)
+	fx := int(mv.X & 3)
+	fy := int(mv.Y & 3)
+	if fx == 0 && fy == 0 {
+		return sadThresh(cur, cx, cy, ref, ix, iy, bw, bh, thresh)
+	}
+	if ix >= 0 && iy >= 0 && ix+bw+1 <= ref.W && iy+bh+1 <= ref.H {
+		w00 := (4 - fx) * (4 - fy)
+		w10 := fx * (4 - fy)
+		w01 := (4 - fx) * fy
+		w11 := fx * fy
+		return kern.BilinearSADThresh(cur.Pix[cy*cur.W+cx:], cur.W, ref.Pix[iy*ref.W+ix:], ref.W,
+			w00, w10, w01, w11, 8, 4, bw, bh, thresh)
+	}
+	PredictLuma(scratch, ref, cx, cy, mv, bw, bh)
+	return kern.SADThresh(cur.Pix[cy*cur.W+cx:], cur.W, scratch, bw, bw, bh, thresh)
+}
+
+// sadSubpel computes the exact SAD of the current block against the
 // interpolated reference at quarter-pel vector mv.
 func sadSubpel(cur Plane, cx, cy int, ref Plane, mv MV, bw, bh int, scratch []uint8) int64 {
-	PredictLuma(scratch, ref, cx, cy, mv, bw, bh)
+	sad, _ := sadSubpelThresh(cur, cx, cy, ref, mv, bw, bh, scratch, math.MaxInt64)
+	return sad
+}
+
+// sadSubpelRef is the original predict-then-difference scalar
+// implementation, kept as the cross-check reference.
+func sadSubpelRef(cur Plane, cx, cy int, ref Plane, mv MV, bw, bh int, scratch []uint8) int64 {
+	predictLumaRef(scratch, ref, cx, cy, mv, bw, bh)
 	var sum int64
 	for y := 0; y < bh; y++ {
 		cRow := cur.Pix[(cy+y)*cur.W+cx:]
@@ -259,14 +413,24 @@ func sadSubpel(cur Plane, cx, cy int, ref Plane, mv MV, bw, bh int, scratch []ui
 // and its motion-compensated prediction from ref at quarter-pel vector
 // mv. scratch must hold bw×bh samples. Work is accounted into c.
 func PredSAD(cur Plane, bx, by int, ref Plane, mv MV, bw, bh int, scratch []uint8, c *perf.Counters) int64 {
+	sad, _ := PredSADThresh(cur, bx, by, ref, mv, bw, bh, scratch, math.MaxInt64, c)
+	return sad
+}
+
+// PredSADThresh is PredSAD with deterministic early termination: if
+// the SAD reaches thresh the scan aborts, returning a partial sum
+// ≥ thresh and early=true. Counter accounting is identical to PredSAD
+// — op counts are nominal full-block work, unaffected by aborts, so
+// modeled speeds stay deterministic (see docs/FORMAT.md).
+func PredSADThresh(cur Plane, bx, by int, ref Plane, mv MV, bw, bh int, scratch []uint8, thresh int64, c *perf.Counters) (int64, bool) {
 	blockOps := int64(bw * bh)
 	if mv.X&3 == 0 && mv.Y&3 == 0 {
 		c.Count(perf.KSAD, blockOps)
-		return SAD(cur, bx, by, ref, bx+int(mv.X>>2), by+int(mv.Y>>2), bw, bh)
+		return sadThresh(cur, bx, by, ref, bx+int(mv.X>>2), by+int(mv.Y>>2), bw, bh, thresh)
 	}
 	c.Count(perf.KInterp, blockOps*4)
 	c.Count(perf.KSAD, blockOps)
-	return sadSubpel(cur, bx, by, ref, mv, bw, bh, scratch)
+	return sadSubpelThresh(cur, bx, by, ref, mv, bw, bh, scratch, thresh)
 }
 
 // SearchKind selects the integer-pel search strategy.
@@ -322,14 +486,28 @@ type intSearcher struct {
 	pred     MV
 	lambda   int64
 	evals    int
+	// best mirrors the caller's incumbent best cost so SAD evaluation
+	// can stop as soon as a candidate is provably losing. earlyExits
+	// counts aborted evaluations (telemetry only).
+	best       int64
+	earlyExits int64
 }
 
 // cost returns SAD + λ·bits(mvd) for the integer-pel vector (mx, my).
+// The SAD scan aborts once it reaches best−mvCost: an aborted return
+// value is ≥ best, so the caller's `< best` comparison loses exactly
+// as it would on the full SAD, and best (always set from exact,
+// non-aborted evaluations) follows the same trajectory as a full
+// search — the selected vector and cost are bit-identical.
 func (s *intSearcher) cost(mx, my int) int64 {
 	s.evals++
-	sad := SAD(s.cur, s.bx, s.by, s.ref, s.bx+mx, s.by+my, s.bw, s.bh)
 	mv := MV{int32(mx) * 4, int32(my) * 4}
-	return sad + s.lambda*mvdBits(mv, s.pred)/16
+	mvCost := s.lambda * mvdBits(mv, s.pred) / 16
+	sad, early := sadThresh(s.cur, s.bx, s.by, s.ref, s.bx+mx, s.by+my, s.bw, s.bh, s.best-mvCost)
+	if early {
+		s.earlyExits++
+	}
+	return sad + mvCost
 }
 
 // Search finds a motion vector for the bw×bh block at (bx, by) of cur
@@ -339,7 +517,7 @@ func (s *intSearcher) cost(mx, my int) int64 {
 // (quarter-pel) and its cost. Work is accounted into c.
 func Search(cur Plane, bx, by int, ref Plane, pred MV, bw, bh int, p Params, sc *Scratch, c *perf.Counters) (MV, int64) {
 	blockOps := int64(bw * bh)
-	s := intSearcher{cur: cur, ref: ref, bx: bx, by: by, bw: bw, bh: bh, pred: pred, lambda: p.Lambda}
+	s := intSearcher{cur: cur, ref: ref, bx: bx, by: by, bw: bw, bh: bh, pred: pred, lambda: p.Lambda, best: math.MaxInt64}
 
 	// Start from the predictor rounded to integer pel, clamped to range.
 	startX := clampInt(int(pred.X)/4, -p.Range, p.Range)
@@ -347,9 +525,11 @@ func Search(cur Plane, bx, by int, ref Plane, pred MV, bw, bh int, p Params, sc 
 
 	bestX, bestY := 0, 0
 	bestCost := s.cost(0, 0)
+	s.best = bestCost
 	if startX != 0 || startY != 0 {
 		if c := s.cost(startX, startY); c < bestCost {
 			bestCost, bestX, bestY = c, startX, startY
+			s.best = c
 		}
 	}
 
@@ -362,6 +542,7 @@ func Search(cur Plane, bx, by int, ref Plane, pred MV, bw, bh int, p Params, sc 
 				}
 				if c := s.cost(mx, my); c < bestCost {
 					bestCost, bestX, bestY = c, mx, my
+					s.best = c
 				}
 			}
 		}
@@ -375,11 +556,17 @@ func Search(cur Plane, bx, by int, ref Plane, pred MV, bw, bh int, p Params, sc 
 
 	best := MV{int32(bestX) * 4, int32(bestY) * 4}
 	if p.SubPel == 0 {
+		if sc != nil {
+			sc.SADEarlyExits += s.earlyExits
+		}
 		return best, bestCost
 	}
 
 	// Sub-pel refinement: half-pel, then quarter-pel, each testing the
-	// 8 neighbours of the incumbent.
+	// 8 neighbours of the incumbent. As in the integer stage, each
+	// candidate's SAD aborts once it reaches bestCost−mvCost; aborted
+	// values cannot win the comparison, so the refinement trajectory
+	// matches the full evaluation exactly.
 	scratch := sc.predBuf(bw * bh)
 	subEvals := 0
 	steps := [2]int32{2, 1}
@@ -398,8 +585,12 @@ func Search(cur Plane, bx, by int, ref Plane, pred MV, bw, bh int, p Params, sc 
 					continue
 				}
 				subEvals++
-				cost := sadSubpel(cur, bx, by, ref, cand, bw, bh, scratch) + p.Lambda*mvdBits(cand, pred)/16
-				if cost < bestCost {
+				mvCost := p.Lambda * mvdBits(cand, pred) / 16
+				sad, early := sadSubpelThresh(cur, bx, by, ref, cand, bw, bh, scratch, bestCost-mvCost)
+				if early {
+					s.earlyExits++
+				}
+				if cost := sad + mvCost; cost < bestCost {
 					bestCost = cost
 					best = cand
 					improved = true
@@ -408,9 +599,14 @@ func Search(cur Plane, bx, by int, ref Plane, pred MV, bw, bh int, p Params, sc 
 		}
 	}
 	// Each sub-pel eval interpolates and compares the whole block.
+	// Counts are nominal: an early-terminated SAD still counts the
+	// full block, keeping modeled speeds independent of abort points.
 	c.Count(perf.KInterp, blockOps*int64(subEvals)*4)
 	c.Count(perf.KSAD, blockOps*int64(subEvals))
 	c.DataDepBranches += int64(subEvals)
+	if sc != nil {
+		sc.SADEarlyExits += s.earlyExits
+	}
 	return best, bestCost
 }
 
@@ -436,6 +632,7 @@ func patternSearch(bx, by int, bestCost int64, searchRange int, coarse, fine [][
 			}
 			if sc := s.cost(x, y); sc < bestCost {
 				bestCost, bx, by = sc, x, y
+				s.best = sc
 				improved = true
 			}
 		}
@@ -450,6 +647,7 @@ func patternSearch(bx, by int, bestCost int64, searchRange int, coarse, fine [][
 		}
 		if sc := s.cost(x, y); sc < bestCost {
 			bestCost, bx, by = sc, x, y
+			s.best = sc
 		}
 	}
 	return bx, by, bestCost

@@ -3,6 +3,7 @@ package codec
 import (
 	"time"
 
+	"vbench/internal/codec/kern"
 	"vbench/internal/perf"
 	"vbench/internal/telemetry"
 	"vbench/internal/video"
@@ -32,6 +33,13 @@ var (
 	// growth means the recycling regressed.
 	obsCandAllocs     = telemetry.GetCounter("codec.arena.cand_allocs")
 	obsLevelOverflows = telemetry.GetCounter("codec.arena.level_overflows")
+
+	// Kernel-layer health (see internal/codec/kern): SAD evaluations the
+	// threshold kernels cut short. Deterministic for a given input —
+	// early termination never changes coding decisions or perf counter
+	// values, only wall-clock work — so a fixed workload always reports
+	// the same count.
+	obsKernSADEarlyExits = telemetry.GetCounter("codec.kern.sad_early_exits")
 )
 
 // The frame pool lives in internal/video (both encoder and decoder
@@ -50,6 +58,13 @@ func init() {
 	telemetry.Default.GaugeFunc("codec.arena.frame_puts", func() float64 {
 		_, _, puts := video.FramePoolStats()
 		return float64(puts)
+	})
+	// Coefficients too large for the reciprocal quantizer's exact range
+	// (|c|·8 ≥ 2²⁶) fall back to a scalar divide inside kern. Real
+	// residuals never reach that range, so a nonzero rate signals an
+	// upstream scaling bug.
+	telemetry.Default.GaugeFunc("codec.kern.quant_div_fallbacks", func() float64 {
+		return float64(kern.QuantDivFallbacks())
 	})
 }
 

@@ -3,6 +3,7 @@ package codec
 import (
 	"errors"
 
+	"vbench/internal/codec/kern"
 	"vbench/internal/codec/transform"
 	"vbench/internal/perf"
 )
@@ -25,23 +26,28 @@ func quantizeBlock(res []int32, reconRes []int32, n, qp int, dz transform.DeadZo
 	transform.Forward(res, coeffs[:nn], n)
 	c.Count(perf.KDCT, int64(4*n*nn))
 
-	var levels [64]int32
-	transform.Quantize(coeffs[:nn], levels[:nn], qp, dz)
+	scan := transform.ZigZag4[:]
+	if n == 8 {
+		scan = transform.ZigZag8[:]
+	}
+	// Fused reciprocal quantize + zigzag gather; produces exactly
+	// transform.Quantize followed by transform.Scan (locked together by
+	// TestQuantScanMatchesReference). Counter accounting is unchanged.
+	var zz [64]int32
+	nonzero := kern.QuantScan(coeffs[:nn], zz[:nn], scan, qp, int64(dz))
 	c.Count(perf.KQuant, int64(nn))
 	c.DataDepBranches += int64(nn)
 
-	var zz [64]int32
-	transform.Scan(levels[:nn], zz[:nn], n)
-
 	if trellis {
 		trellisRefine(zz[:nn], coeffs[:nn], n, qp, c)
-	}
-
-	nonzero := false
-	for _, v := range zz[:nn] {
-		if v != 0 {
-			nonzero = true
-			break
+		// The refinement only ever zeroes levels, so a coded block can
+		// become empty; recheck before committing to the coded path.
+		nonzero = false
+		for _, v := range zz[:nn] {
+			if v != 0 {
+				nonzero = true
+				break
+			}
 		}
 	}
 	if !nonzero {
@@ -52,7 +58,7 @@ func quantizeBlock(res []int32, reconRes []int32, n, qp int, dz transform.DeadZo
 	}
 
 	// Reconstruction path shared bit-for-bit with the decoder.
-	var deq [64]int32
+	var levels, deq [64]int32
 	transform.Unscan(zz[:nn], levels[:nn], n)
 	transform.Dequantize(levels[:nn], deq[:nn], qp)
 	transform.Inverse(deq[:nn], reconRes[:nn], n)

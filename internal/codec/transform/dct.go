@@ -11,6 +11,8 @@
 // of any floating-point library behaviour.
 package transform
 
+import "vbench/internal/codec/kern"
+
 // Basis matrices scaled by 1024 (Q10). Row k holds
 // round(s(k)·cos((2n+1)kπ/2N)·1024) with s(0)=√(1/N), s(k)=√(2/N).
 var dct4 = [4][4]int64{
@@ -51,12 +53,16 @@ func roundShift(v int64, shift uint) int64 {
 // Forward applies the N×N forward DCT to the residual block src
 // (row-major, N=4 or 8) and writes Q3-scaled coefficients to dst.
 // src and dst may alias.
+//
+// The work is done by the butterfly kernels in internal/codec/kern;
+// forwardN below remains the normative matrix-multiply reference, and
+// TestKernMatchesReference locks the two together bit-for-bit.
 func Forward(src, dst []int32, n int) {
 	switch n {
 	case 4:
-		forwardN(src, dst, 4, dct4Flat[:])
+		kern.FwdDCT4(src, dst)
 	case 8:
-		forwardN(src, dst, 8, dct8Flat[:])
+		kern.FwdDCT8(src, dst)
 	default:
 		panic("transform: unsupported block size")
 	}
@@ -67,9 +73,9 @@ func Forward(src, dst []int32, n int) {
 func Inverse(src, dst []int32, n int) {
 	switch n {
 	case 4:
-		inverseN(src, dst, 4, dct4Flat[:])
+		kern.InvDCT4(src, dst)
 	case 8:
-		inverseN(src, dst, 8, dct8Flat[:])
+		kern.InvDCT8(src, dst)
 	default:
 		panic("transform: unsupported block size")
 	}
@@ -143,11 +149,17 @@ func init() {
 
 // SATD4 returns the sum of absolute transformed differences of a 4×4
 // residual block using the Hadamard transform — the encoder's cheap
-// frequency-domain cost metric for mode decisions.
+// frequency-domain cost metric for mode decisions. The unrolled
+// kernel satisfies the same definition as satd4Ref below.
 func SATD4(res []int32) int64 {
 	if len(res) < 16 {
 		panic("transform: SATD4 needs 16 samples")
 	}
+	return kern.SATD4(res)
+}
+
+// satd4Ref is the loop-form reference for SATD4.
+func satd4Ref(res []int32) int64 {
 	var m [16]int64
 	// Horizontal butterflies.
 	for i := 0; i < 4; i++ {
@@ -176,6 +188,11 @@ func SATD4(res []int32) int64 {
 // SATD computes the SATD of an arbitrary residual region of width w
 // and height h (both multiples of 4) stored row-major with stride w.
 func SATD(res []int32, w, h int) int64 {
+	return kern.SATD(res, w, h)
+}
+
+// satdRef is the copy-and-transform reference for SATD.
+func satdRef(res []int32, w, h int) int64 {
 	var total int64
 	var blk [16]int32
 	for by := 0; by < h; by += 4 {
@@ -183,7 +200,7 @@ func SATD(res []int32, w, h int) int64 {
 			for y := 0; y < 4; y++ {
 				copy(blk[y*4:y*4+4], res[(by+y)*w+bx:(by+y)*w+bx+4])
 			}
-			total += SATD4(blk[:])
+			total += satd4Ref(blk[:])
 		}
 	}
 	return total

@@ -1,0 +1,142 @@
+package transform
+
+import (
+	"math/rand"
+	"testing"
+
+	"vbench/internal/codec/kern"
+)
+
+// These tests lock the kern-backed exported API to the in-package
+// scalar references (forwardN/inverseN matrix multiplies, the SATD
+// butterfly loop, and divide-based Quantize), which remain the
+// normative definitions of the transform stage. They complement the
+// kern package's own cross-checks against independent restatements.
+
+func randResidual(rng *rand.Rand, nn int, mode int) []int32 {
+	blk := make([]int32, nn)
+	for i := range blk {
+		switch mode {
+		case 0:
+			blk[i] = int32(rng.Intn(511) - 255)
+		case 1:
+			blk[i] = int32(rng.Intn(1<<15) - 1<<14)
+		default:
+			blk[i] = int32([3]int{-(1 << 14), 0, 1 << 14}[rng.Intn(3)])
+		}
+	}
+	return blk
+}
+
+func TestKernMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{4, 8} {
+		nn := n * n
+		flat := dct4Flat[:]
+		if n == 8 {
+			flat = dct8Flat[:]
+		}
+		for iter := 0; iter < 2000; iter++ {
+			src := randResidual(rng, nn, iter%3)
+			want := make([]int32, nn)
+			got := make([]int32, nn)
+
+			forwardN(src, want, n, flat)
+			Forward(src, got, n)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("Forward n=%d [%d]: got %d want %d", n, i, got[i], want[i])
+				}
+			}
+
+			inverseN(src, want, n, flat)
+			Inverse(src, got, n)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("Inverse n=%d [%d]: got %d want %d", n, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSATDMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	dims := []struct{ w, h int }{{4, 4}, {8, 8}, {16, 16}, {16, 8}, {8, 16}}
+	for _, d := range dims {
+		for iter := 0; iter < 500; iter++ {
+			res := randResidual(rng, d.w*d.h, iter%3)
+			if got, want := SATD(res, d.w, d.h), satdRef(res, d.w, d.h); got != want {
+				t.Fatalf("SATD %dx%d: got %d want %d", d.w, d.h, got, want)
+			}
+		}
+	}
+	for iter := 0; iter < 2000; iter++ {
+		blk := randResidual(rng, 16, iter%3)
+		if got, want := SATD4(blk), satd4Ref(blk); got != want {
+			t.Fatalf("SATD4: got %d want %d", got, want)
+		}
+	}
+}
+
+// TestQuantScanMatchesReference locks kern's fused reciprocal
+// quantize+scan to Quantize followed by Scan, across every QP, both
+// dead zones, and both block sizes.
+func TestQuantScanMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for qp := MinQP; qp <= MaxQP; qp++ {
+		for _, dz := range []DeadZone{DeadZoneIntra, DeadZoneInter} {
+			for _, n := range []int{4, 8} {
+				nn := n * n
+				scan := ZigZag4[:]
+				if n == 8 {
+					scan = ZigZag8[:]
+				}
+				for iter := 0; iter < 20; iter++ {
+					coeffs := randResidual(rng, nn, iter%3)
+					levels := make([]int32, nn)
+					want := make([]int32, nn)
+					Quantize(coeffs, levels, qp, dz)
+					Scan(levels, want, n)
+					wantNZ := false
+					for _, v := range want {
+						if v != 0 {
+							wantNZ = true
+						}
+					}
+
+					got := make([]int32, nn)
+					gotNZ := kern.QuantScan(coeffs, got, scan, qp, int64(dz))
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("QuantScan qp=%d dz=%d n=%d [%d]: got %d want %d", qp, dz, n, i, got[i], want[i])
+						}
+					}
+					if gotNZ != wantNZ {
+						t.Fatalf("QuantScan qp=%d dz=%d: nonzero %v want %v", qp, dz, gotNZ, wantNZ)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestQuantStepTablesAgree pins kern's internal step table to
+// QStepQ6, so the two definitions cannot drift apart.
+func TestQuantStepTablesAgree(t *testing.T) {
+	for qp := MinQP; qp <= MaxQP; qp++ {
+		// A coefficient exactly at k·step quantizes to k with dz=0;
+		// probing a few k values detects any step divergence.
+		for k := int64(1); k <= 4; k++ {
+			step := int64(QStepQ6(qp))
+			c := []int32{int32(k * step / 8)}
+			zz := make([]int32, 1)
+			kern.QuantScan(c, zz, []int{0}, qp, 0)
+			want := make([]int32, 1)
+			Quantize(c, want, qp, 0)
+			if zz[0] != want[0] {
+				t.Fatalf("qp=%d k=%d: kern %d want %d", qp, k, zz[0], want[0])
+			}
+		}
+	}
+}

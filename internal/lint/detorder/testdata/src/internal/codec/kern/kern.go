@@ -1,0 +1,76 @@
+// Package kern mirrors the patterns of the real internal/codec/kern
+// package so detorder's deterministic-package checks keep covering
+// the kernel layer: package-level lookup tables built by immediately
+// invoked function literals, atomic telemetry counters, and output
+// written through fixed-size loops must all pass clean, while
+// wall-clock or global-rand use inside a kernel stays flagged.
+package kern
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// quantTabs is built at init by a func literal, like the real kern
+// package's reciprocal tables; loops and integer math in package-level
+// initializers must not trip the clock/rand or map-order checks.
+var quantTabs = func() [52]uint64 {
+	var tabs [52]uint64
+	for qp := range tabs {
+		step := uint64(40 + qp)
+		tabs[qp] = uint64(1)<<41/step + 1
+	}
+	return tabs
+}()
+
+// divFallbacks is the kernel layer's atomic telemetry counter idiom.
+var divFallbacks atomic.Int64
+
+func countFallback() {
+	divFallbacks.Add(1)
+}
+
+func reciprocal(qp int) uint64 {
+	return quantTabs[qp]
+}
+
+// timedKernel measures its own latency with an ungated wall-clock
+// read — the exact hazard the check exists for: kernel timings must
+// come from the modeled cost layer, never the host clock.
+func timedKernel(block []uint8) time.Duration {
+	start := time.Now() // want `time.Now in deterministic package kern outside a telemetry gate`
+	var sum int
+	for _, v := range block {
+		sum += int(v)
+	}
+	_ = sum
+	return time.Since(start) // want `time.Since in deterministic package kern outside a telemetry gate`
+}
+
+// ditheredQuant draws from the global RNG, which would make encode
+// output depend on call order across goroutines.
+func ditheredQuant(c int64, step int64) int64 {
+	return (c + int64(rand.Intn(int(step)))) / step // want `math/rand.Intn in deterministic package kern`
+}
+
+// dumpTables leaks map iteration order into output.
+func dumpTables(byName map[string]uint64) {
+	for name, magic := range byName { // want `iteration over map byName reaches output sink fmt.Printf`
+		fmt.Printf("%s=%d\n", name, magic)
+	}
+}
+
+// dumpTablesSorted collects and sorts first, the accepted pattern.
+func dumpTablesSorted(byName map[string]uint64) {
+	var names []string
+	for name := range byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("%s=%d\n", name, byName[name])
+	}
+}

@@ -1,0 +1,71 @@
+// Package kern mirrors a lazily built kernel-table cache (per-QP
+// reciprocal tables, per-geometry dispatch entries) so lockflow keeps
+// covering the kernel layer's locking idioms: a table filled with
+// check-then-act across two critical sections is flagged, while the
+// double-checked fill and the precomputed-at-init table pass clean.
+package kern
+
+import "sync"
+
+type tab struct {
+	step  int64
+	magic uint64
+}
+
+func buildTab(qp int) tab {
+	step := int64(40 + qp)
+	return tab{step: step, magic: uint64(1)<<41/uint64(step) + 1}
+}
+
+type lazyTabs struct {
+	mu sync.RWMutex
+	m  map[int]tab
+}
+
+// lookupRacy drops the lock between the miss check and the fill: two
+// encoders can both miss and both build the table.
+func (t *lazyTabs) lookupRacy(qp int) tab {
+	t.mu.RLock()
+	v, ok := t.m[qp]
+	t.mu.RUnlock()
+	if ok {
+		return v
+	}
+	v = buildTab(qp)
+	t.mu.Lock()
+	t.m[qp] = v // want `map t.m is checked in one critical section and filled in a later one without re-checking`
+	t.mu.Unlock()
+	return v
+}
+
+// lookupDoubleChecked re-reads under the write lock before filling.
+func (t *lazyTabs) lookupDoubleChecked(qp int) tab {
+	t.mu.RLock()
+	v, ok := t.m[qp]
+	t.mu.RUnlock()
+	if ok {
+		return v
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if v, ok := t.m[qp]; ok {
+		return v
+	}
+	v = buildTab(qp)
+	t.m[qp] = v
+	return v
+}
+
+// precomputed is the real kern package's answer: build every entry up
+// front and never lock at all.
+var precomputed = func() [52]tab {
+	var tabs [52]tab
+	for qp := range tabs {
+		tabs[qp] = buildTab(qp)
+	}
+	return tabs
+}()
+
+func lookupPrecomputed(qp int) tab {
+	return precomputed[qp]
+}

@@ -1,0 +1,124 @@
+package syncx
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCPUGateBoundsConcurrency(t *testing.T) {
+	g := NewCPUGate(3)
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g.Acquire()
+			defer g.Release()
+			n := cur.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(100 * time.Microsecond)
+			cur.Add(-1)
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > 3 {
+		t.Fatalf("gate admitted %d concurrent holders, capacity 3", p)
+	}
+}
+
+func TestCPUGateAcquireOrQuit(t *testing.T) {
+	g := NewCPUGate(1)
+	quit := make(chan struct{})
+	if !g.AcquireOrQuit(quit) {
+		t.Fatal("AcquireOrQuit failed with a free slot and open quit")
+	}
+	// Gate is now full: a closed quit must release the waiter without
+	// granting a slot.
+	closed := make(chan struct{})
+	close(closed)
+	if g.AcquireOrQuit(closed) {
+		t.Fatal("AcquireOrQuit granted a slot past capacity")
+	}
+	// A waiter blocked on a full gate must wake when quit closes.
+	got := make(chan bool, 1)
+	go func() { got <- g.AcquireOrQuit(quit) }()
+	select {
+	case ok := <-got:
+		t.Fatalf("AcquireOrQuit returned %v while gate full and quit open", ok)
+	case <-time.After(10 * time.Millisecond):
+	}
+	close(quit)
+	select {
+	case ok := <-got:
+		if ok {
+			t.Fatal("AcquireOrQuit reported a slot after quit closed on a full gate")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("AcquireOrQuit did not wake on quit")
+	}
+	g.Release()
+	if g.Capacity() != 1 {
+		t.Fatalf("capacity %d want 1", g.Capacity())
+	}
+}
+
+// TestCPUGateConcurrentFanOuts models several concurrent encodes
+// sharing a capacity-1 gate, each using the caller-participates join:
+// the spawner drains its own queue without ever blocking on the gate,
+// helpers join only via AcquireOrQuit. An earlier lend-based design
+// deadlocked exactly here — one spawner's non-blocking "lend" could
+// steal the token a different fan-out's worker had deposited, leaving
+// that worker stuck in Release while its spawner waited on it.
+func TestCPUGateConcurrentFanOuts(t *testing.T) {
+	g := NewCPUGate(1)
+	done := make(chan struct{})
+	go func() {
+		var outer sync.WaitGroup
+		for e := 0; e < 3; e++ {
+			outer.Add(1)
+			go func() {
+				defer outer.Done()
+				jobs := make(chan int, 8)
+				for j := 0; j < 8; j++ {
+					jobs <- j
+				}
+				close(jobs)
+				quit := make(chan struct{})
+				var wg sync.WaitGroup
+				for h := 0; h < 2; h++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						if !g.AcquireOrQuit(quit) {
+							return
+						}
+						defer g.Release()
+						for range jobs {
+							time.Sleep(10 * time.Microsecond)
+						}
+					}()
+				}
+				for range jobs {
+					time.Sleep(10 * time.Microsecond)
+				}
+				close(quit)
+				wg.Wait()
+			}()
+		}
+		outer.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("concurrent fan-outs deadlocked on a capacity-1 gate")
+	}
+}
