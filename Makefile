@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet lint build test race bench benchall
+.PHONY: check fmt vet lint build test race bench benchall e2e
 
-check: fmt vet lint build race
+check: fmt vet lint build race e2e
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -36,6 +36,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# e2e runs the loopback master/worker smoke: 50 jobs across two
+# vbenchd workers with one SIGKILLed mid-lease — every job must drain
+# exactly once (see scripts/e2e_fleet.sh).
+e2e:
+	./scripts/e2e_fleet.sh
 
 # bench runs the harness-grid scaling benchmark, the telemetry
 # overhead benchmark (acceptance budget: "on" < 5% over "off"), the

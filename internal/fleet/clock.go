@@ -1,0 +1,54 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for the scheduler core. The queue never calls
+// time.Now directly: vbenchd drives it with WallClock, and the
+// discrete-event twin drives the very same lease/retry/state-machine
+// code with a SimClock it advances between events — which is what
+// makes the simulator a faithful, deterministic model of the
+// networked master rather than a parallel implementation.
+type Clock interface {
+	Now() time.Time
+}
+
+// WallClock is the real-time clock used by the networked master.
+type WallClock struct{}
+
+// Now returns the wall time.
+func (WallClock) Now() time.Time { return time.Now() }
+
+// SimClock is a manually advanced clock for the discrete-event twin.
+// It is safe for concurrent reads; advancing is the event loop's job
+// and must be monotonic.
+type SimClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewSimClock returns a clock pinned at start.
+func NewSimClock(start time.Time) *SimClock {
+	return &SimClock{now: start}
+}
+
+// Now returns the current simulated time.
+func (c *SimClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock to t. Moving backwards is a bug in the
+// event loop and panics.
+func (c *SimClock) Advance(t time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t.Before(c.now) {
+		panic(fmt.Sprintf("fleet: sim clock moved backwards: %v -> %v", c.now, t))
+	}
+	c.now = t
+}

@@ -1,0 +1,210 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Wire types of the master's JSON API (all under /api/v1/). The
+// protocol is pull-based: workers ask for work, the master never
+// dials out — the shape that survives NATs, worker churn, and
+// restarts at large job counts.
+
+// SubmitRequest enqueues a batch of jobs.
+type SubmitRequest struct {
+	Jobs []JobSpec `json:"jobs"`
+}
+
+// SubmitResponse returns the assigned IDs, in request order.
+type SubmitResponse struct {
+	IDs []int `json:"ids"`
+}
+
+// LeaseRequest asks for one job on behalf of a worker.
+type LeaseRequest struct {
+	Worker string `json:"worker"`
+}
+
+// LeaseResponse carries the leased job, or a nil Job when nothing is
+// ready. LeaseTTLMS tells the worker how often it must heartbeat.
+type LeaseResponse struct {
+	Job        *Job  `json:"job,omitempty"`
+	LeaseTTLMS int64 `json:"lease_ttl_ms"`
+}
+
+// AckRequest reports on a leased attempt: heartbeat, completion, or
+// failure (with its transient/terminal classification).
+type AckRequest struct {
+	Worker   string  `json:"worker"`
+	JobID    int     `json:"job_id"`
+	Attempt  int     `json:"attempt"`
+	Result   *Result `json:"result,omitempty"`
+	Terminal bool    `json:"terminal,omitempty"`
+	Error    string  `json:"error,omitempty"`
+}
+
+// AckResponse reports whether the ack was applied (completions) or
+// the lease is still current (heartbeats).
+type AckResponse struct {
+	Applied bool `json:"applied,omitempty"`
+	OK      bool `json:"ok"`
+}
+
+// JobsResponse lists every job.
+type JobsResponse struct {
+	Jobs []Job `json:"jobs"`
+}
+
+// Server exposes a Queue over HTTP.
+type Server struct {
+	q *Queue
+}
+
+// NewServer wraps q.
+func NewServer(q *Queue) *Server { return &Server{q: q} }
+
+// Handler returns the API routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/submit", s.handleSubmit)
+	mux.HandleFunc("POST /api/v1/lease", s.handleLease)
+	mux.HandleFunc("POST /api/v1/heartbeat", s.handleHeartbeat)
+	mux.HandleFunc("POST /api/v1/complete", s.handleComplete)
+	mux.HandleFunc("POST /api/v1/fail", s.handleFail)
+	mux.HandleFunc("GET /api/v1/stats", s.handleStats)
+	mux.HandleFunc("GET /api/v1/jobs", s.handleJobs)
+	mux.HandleFunc("GET /api/v1/metrics", s.handleMetrics)
+	return mux
+}
+
+// Sweep expires lapsed leases every interval until ctx is done; the
+// master runs it so leases of crashed workers requeue even while no
+// surviving worker is polling.
+func (s *Server) Sweep(ctx context.Context, every time.Duration) {
+	if every <= 0 {
+		every = time.Second
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			s.q.ExpireLeases()
+		}
+	}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	ids := make([]int, 0, len(req.Jobs))
+	for _, spec := range req.Jobs {
+		id, err := s.q.Submit(spec)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		ids = append(ids, id)
+	}
+	writeJSON(w, SubmitResponse{IDs: ids})
+}
+
+func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.Worker == "" {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("fleet: lease needs a worker id"))
+		return
+	}
+	resp := LeaseResponse{LeaseTTLMS: s.q.LeaseTTL().Milliseconds()}
+	if j, ok := s.q.Lease(req.Worker); ok {
+		resp.Job = &j
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req AckRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	// A failed heartbeat is a protocol answer ("your lease lapsed"),
+	// not a transport error: the worker must abandon the attempt.
+	err := s.q.Heartbeat(req.JobID, req.Attempt, req.Worker)
+	writeJSON(w, AckResponse{OK: err == nil})
+}
+
+func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req AckRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	var res Result
+	if req.Result != nil {
+		res = *req.Result
+	}
+	applied, err := s.q.Complete(req.JobID, req.Attempt, req.Worker, res)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, AckResponse{Applied: applied, OK: true})
+}
+
+func (s *Server) handleFail(w http.ResponseWriter, r *http.Request) {
+	var req AckRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if err := s.q.Fail(req.JobID, req.Attempt, req.Worker, req.Terminal, req.Error); err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, AckResponse{OK: true})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.q.Stats())
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, JobsResponse{Jobs: s.q.Jobs()})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	// Serialization errors at this point mean the client went away;
+	// there is nothing useful left to do with them.
+	_ = s.q.Metrics().WriteJSON(w)
+}
+
+// decode parses the JSON request body, answering 400 on failure.
+func decode(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("fleet: bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	// Encoding errors mean the client disconnected mid-response; the
+	// server has no channel left to report them on.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,262 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"vbench/internal/syncx"
+)
+
+// WorkerOptions configures a pull worker.
+type WorkerOptions struct {
+	// Master is the base URL of the master, e.g. "http://127.0.0.1:7933".
+	Master string
+	// ID names this worker in leases and logs.
+	ID string
+	// Concurrency is how many jobs run at once (each encode still
+	// shares the process CPU gate). Default 1.
+	Concurrency int
+	// Poll is the idle re-poll interval. Default 200ms.
+	Poll time.Duration
+	// Heartbeat is the lease-renewal interval; it should be well
+	// under the master's lease TTL. Non-positive derives it from the
+	// TTL the master advertises on each lease (TTL/3).
+	Heartbeat time.Duration
+	// Gate bounds concurrent encode work; nil selects the process-
+	// wide syncx.CPU gate, so a worker colocated with other encode
+	// work cannot oversubscribe the machine.
+	Gate *syncx.CPUGate
+	// Client is the HTTP client; nil selects one with a 15s timeout.
+	Client *http.Client
+	// Log receives progress lines; nil discards them.
+	Log io.Writer
+}
+
+// Worker pulls jobs from a master and runs them with real encoders.
+// Run blocks until the context is canceled and then drains: in-flight
+// jobs finish and their completions are delivered before Run returns
+// — the SIGTERM path of cmd/vbenchd worker.
+type Worker struct {
+	opt WorkerOptions
+}
+
+// NewWorker validates options and builds a worker.
+func NewWorker(opt WorkerOptions) (*Worker, error) {
+	if opt.Master == "" {
+		return nil, fmt.Errorf("fleet: worker needs a master URL")
+	}
+	if opt.ID == "" {
+		return nil, fmt.Errorf("fleet: worker needs an id")
+	}
+	if opt.Concurrency <= 0 {
+		opt.Concurrency = 1
+	}
+	if opt.Poll <= 0 {
+		opt.Poll = 200 * time.Millisecond
+	}
+	if opt.Gate == nil {
+		opt.Gate = syncx.CPU
+	}
+	if opt.Client == nil {
+		opt.Client = &http.Client{Timeout: 15 * time.Second}
+	}
+	if opt.Log == nil {
+		opt.Log = io.Discard
+	}
+	return &Worker{opt: opt}, nil
+}
+
+// Run pulls and executes jobs until ctx is canceled, then drains.
+func (w *Worker) Run(ctx context.Context) error {
+	var wg sync.WaitGroup
+	for i := 0; i < w.opt.Concurrency; i++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			w.loop(ctx, slot)
+		}(i)
+	}
+	wg.Wait()
+	return nil
+}
+
+// loop is one lease-execute-ack cycle until shutdown.
+func (w *Worker) loop(ctx context.Context, slot int) {
+	for ctx.Err() == nil {
+		job, ttl, err := w.lease(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			w.logf("lease: %v", err)
+			w.sleep(ctx, w.opt.Poll)
+			continue
+		}
+		if job == nil {
+			w.sleep(ctx, w.opt.Poll)
+			continue
+		}
+		w.runJob(job, ttl)
+	}
+}
+
+// runJob executes one leased job under the CPU gate with heartbeats,
+// then delivers the completion or classified failure. Acks run on a
+// background context so a drain still reports in-flight work.
+func (w *Worker) runJob(job *Job, ttl time.Duration) {
+	hb := w.opt.Heartbeat
+	if hb <= 0 {
+		hb = ttl / 3
+		if hb <= 0 {
+			hb = time.Second
+		}
+	}
+	hbCtx, stopHB := context.WithCancel(context.Background())
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func() {
+		defer hbWG.Done()
+		w.heartbeats(hbCtx, job, hb)
+	}()
+
+	w.opt.Gate.Acquire()
+	res, err := Execute(job.Spec, job.Attempt, time.Sleep)
+	w.opt.Gate.Release()
+	stopHB()
+	hbWG.Wait()
+
+	if err != nil {
+		terminal := IsTerminal(err)
+		w.logf("job %d attempt %d failed (%s): %v", job.ID, job.Attempt, failureClass(terminal), err)
+		if ackErr := w.ack(context.Background(), "/api/v1/fail", &AckRequest{
+			Worker: w.opt.ID, JobID: job.ID, Attempt: job.Attempt,
+			Terminal: terminal, Error: err.Error(),
+		}, nil); ackErr != nil {
+			w.logf("job %d: reporting failure: %v", job.ID, ackErr)
+		}
+		return
+	}
+	var resp AckResponse
+	if ackErr := w.ack(context.Background(), "/api/v1/complete", &AckRequest{
+		Worker: w.opt.ID, JobID: job.ID, Attempt: job.Attempt, Result: &res,
+	}, &resp); ackErr != nil {
+		// The master will expire the lease and retry the job; with
+		// idempotent completion a duplicate re-run is absorbed.
+		w.logf("job %d: reporting completion: %v", job.ID, ackErr)
+		return
+	}
+	if resp.Applied {
+		w.logf("job %d attempt %d done", job.ID, job.Attempt)
+	} else {
+		w.logf("job %d attempt %d completion ignored (duplicate or stale)", job.ID, job.Attempt)
+	}
+}
+
+// heartbeats renews the lease until ctx is canceled or the master
+// says the lease lapsed.
+func (w *Worker) heartbeats(ctx context.Context, job *Job, every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			var resp AckResponse
+			err := w.ack(ctx, "/api/v1/heartbeat", &AckRequest{
+				Worker: w.opt.ID, JobID: job.ID, Attempt: job.Attempt,
+			}, &resp)
+			if err == nil && !resp.OK {
+				// Lease lost (e.g. the master expired it during a
+				// network partition). The encode cannot be canceled
+				// mid-flight; its completion will be ignored as stale.
+				w.logf("job %d attempt %d: lease lost", job.ID, job.Attempt)
+				return
+			}
+		}
+	}
+}
+
+// lease asks the master for one job; nil job means nothing is ready.
+func (w *Worker) lease(ctx context.Context) (*Job, time.Duration, error) {
+	var resp LeaseResponse
+	if err := w.post(ctx, "/api/v1/lease", &LeaseRequest{Worker: w.opt.ID}, &resp); err != nil {
+		return nil, 0, err
+	}
+	return resp.Job, time.Duration(resp.LeaseTTLMS) * time.Millisecond, nil
+}
+
+// ack posts a report with bounded retries — transient master
+// unavailability must not turn a finished encode into a lost ack.
+func (w *Worker) ack(ctx context.Context, path string, req *AckRequest, resp *AckResponse) error {
+	if resp == nil {
+		// A typed-nil *AckResponse would defeat post's interface nil
+		// check and make json.Decode error — which would retry an ack
+		// the master already applied.
+		resp = &AckResponse{}
+	}
+	var err error
+	for i := 0; i < 3; i++ {
+		if i > 0 {
+			w.sleep(ctx, 150*time.Millisecond)
+		}
+		if err = w.post(ctx, path, req, resp); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// post sends one JSON request to the master.
+func (w *Worker) post(ctx context.Context, path string, req, resp interface{}) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, w.opt.Master+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hresp, err := w.opt.Client.Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(hresp.Body, 1024))
+		return fmt.Errorf("fleet: %s: %s: %s", path, hresp.Status, bytes.TrimSpace(b))
+	}
+	if resp == nil {
+		return nil
+	}
+	return json.NewDecoder(hresp.Body).Decode(resp)
+}
+
+// sleep waits without outliving the context.
+func (w *Worker) sleep(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
+
+func (w *Worker) logf(format string, args ...interface{}) {
+	fmt.Fprintf(w.opt.Log, "[%s] %s\n", w.opt.ID, fmt.Sprintf(format, args...))
+}
+
+// failureClass names the retry class for logs.
+func failureClass(terminal bool) string {
+	if terminal {
+		return "terminal"
+	}
+	return "transient"
+}

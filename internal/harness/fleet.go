@@ -1,0 +1,41 @@
+package harness
+
+import (
+	"fmt"
+
+	"vbench/internal/corpus"
+	"vbench/internal/fleet"
+)
+
+// FleetJobSpecs renders a clip × encoder benchmark grid as fleet job
+// specs, so the same cells the in-process worker pool evaluates can be
+// submitted to a vbenchd master and spread across networked workers
+// (`vbenchd submit -suite`). Encoder names use the fleet "family-
+// preset" form (e.g. "x264-medium", "x265-veryslow"); each spec is
+// tagged "clip/encoder" so results map back to grid cells.
+func FleetJobSpecs(clips []corpus.Clip, encoders []string, scale int, duration float64, qp int) []fleet.JobSpec {
+	if scale <= 0 {
+		scale = 8
+	}
+	if duration <= 0 {
+		duration = 1.0
+	}
+	if qp <= 0 {
+		qp = 28
+	}
+	specs := make([]fleet.JobSpec, 0, len(clips)*len(encoders))
+	for _, c := range clips {
+		for _, enc := range encoders {
+			specs = append(specs, fleet.JobSpec{
+				Kind:     fleet.KindEncode,
+				Tag:      fmt.Sprintf("%s/%s", c.Name, enc),
+				Clip:     c.Name,
+				Scale:    scale,
+				Duration: duration,
+				Encoder:  enc,
+				QP:       qp,
+			})
+		}
+	}
+	return specs
+}

@@ -6,35 +6,43 @@
 // videos that turn out to be popular at high effort — trading one-off
 // compute for multiplied storage and egress savings.
 //
-// The simulator is discrete-event over upload arrivals and uses the
-// real encoders of this repository (with their deterministic cost
-// models) for every transcode, so fleet sizing, queue waits, and the
+// The simulator runs on the internal/fleet discrete-event twin: the
+// same Queue state machine cmd/vbenchd drives over net/http with a
+// wall clock is driven here with a simulated clock and virtual
+// workers, so the simulated fleet's leases, queue waits, and
+// utilization come from the exact scheduler code of the networked
+// service. Every transcode uses the real encoders of this repository
+// (with their deterministic cost models), so fleet sizing and the
 // compute/storage/egress cost balance all derive from measured work,
 // not assumed constants.
 package service
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
+	"time"
 
 	"vbench/internal/codec"
 	"vbench/internal/codec/profiles"
 	"vbench/internal/corpus"
+	"vbench/internal/fleet"
 	"vbench/internal/metrics"
 	"vbench/internal/rng"
 	"vbench/internal/telemetry"
 )
 
-// Telemetry handles for the fleet simulator. Queue waits are simulated
-// seconds (discrete-event time), not wall time, so observing them
-// costs one atomic add per scheduled job.
-var (
-	obsTranscodes  = telemetry.GetCounter("service.transcodes")
-	obsUtilization = telemetry.GetGauge("service.fleet_utilization")
-	obsQueueWait   = telemetry.GetHistogram("service.queue_wait_seconds",
-		1e-3, 1e-2, 1e-1, 1, 10, 100)
+// Metric names reported by the simulator (into Config.Metrics).
+// Queue waits are simulated seconds (discrete-event time), not wall
+// time, so observing them costs one atomic add per scheduled job.
+const (
+	metricTranscodes  = "service.transcodes"
+	metricUtilization = "service.fleet_utilization"
+	metricQueueWait   = "service.queue_wait_seconds"
 )
+
+// kindModel marks simulator jobs: they carry modeled encode seconds
+// (in Spec.Duration) instead of a payload a live worker would run.
+const kindModel = "service-model"
 
 // Config parameterizes a simulation run.
 type Config struct {
@@ -66,6 +74,17 @@ type Config struct {
 	UploadEncoder  *codec.Engine
 	VODEncoder     *codec.Engine
 	PopularEncoder *codec.Engine
+
+	// Metrics receives the service.* (and underlying fleet.*)
+	// telemetry of this run; nil selects telemetry.Default. Passing a
+	// private registry isolates concurrent runs from each other and
+	// from the process-wide metrics.
+	Metrics *telemetry.Registry
+
+	// RecordLog captures the fleet job-state transition log of the
+	// run in Stats.TransitionLog — byte-for-byte reproducible for a
+	// fixed seed, the determinism witness of the discrete-event twin.
+	RecordLog bool
 }
 
 // DefaultConfig returns a small but representative simulation.
@@ -100,7 +119,12 @@ func (c *Config) withDefaults() error {
 		c.VODEncoder = profiles.X264(codec.PresetMedium)
 	}
 	if c.PopularEncoder == nil {
-		c.PopularEncoder = profiles.X265(codec.PresetSlow)
+		// The documented ladder re-transcodes hot videos at x265-class
+		// veryslow effort (the paper's storage/egress trade).
+		c.PopularEncoder = profiles.X265(codec.PresetVerySlow)
+	}
+	if c.Metrics == nil {
+		c.Metrics = telemetry.Default
 	}
 	return nil
 }
@@ -133,26 +157,15 @@ type Stats struct {
 
 	// Quality bookkeeping: mean PSNR of the served copies.
 	MeanServedPSNR float64
+
+	// TransitionLog is the fleet job-state transition log (empty
+	// unless Config.RecordLog is set).
+	TransitionLog string
 }
 
 // TotalComputeSeconds sums the three passes.
 func (s *Stats) TotalComputeSeconds() float64 {
 	return s.UploadComputeSeconds + s.VODComputeSeconds + s.PopularComputeSeconds
-}
-
-// workerHeap tracks when each fleet worker becomes free.
-type workerHeap []float64
-
-func (h workerHeap) Len() int            { return len(h) }
-func (h workerHeap) Less(i, j int) bool  { return h[i] < h[j] }
-func (h workerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *workerHeap) Push(x interface{}) { *h = append(*h, x.(float64)) }
-func (h *workerHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	v := old[n-1]
-	*h = old[:n-1]
-	return v
 }
 
 // cachedTranscode holds the per-clip encode results reused across
@@ -176,6 +189,11 @@ func Run(cfg Config) (*Stats, error) {
 	}
 	sp := telemetry.StartSpan("service simulation")
 	defer sp.End()
+	obsTranscodes := cfg.Metrics.Counter(metricTranscodes)
+	obsUtilization := cfg.Metrics.Gauge(metricUtilization)
+	obsQueueWait := cfg.Metrics.Histogram(metricQueueWait,
+		1e-3, 1e-2, 1e-1, 1, 10, 100)
+
 	r := rng.New(cfg.Seed)
 	clips := corpus.VBenchClips()
 	// Weight upload categories toward the corpus distribution: sample
@@ -234,30 +252,33 @@ func Run(cfg Config) (*Stats, error) {
 		return ct, nil
 	}
 
-	stats := &Stats{}
-	free := make(workerHeap, cfg.Workers)
-	heap.Init(&free)
-	now := 0.0
-	var busySeconds, totalWait, maxWait float64
-	var psnrSum float64
-
-	schedule := func(arrival, seconds float64) float64 {
-		worker := heap.Pop(&free).(float64)
-		start := arrival
-		if worker > start {
-			start = worker
-		}
-		wait := start - arrival
-		totalWait += wait
-		if wait > maxWait {
-			maxWait = wait
-		}
-		busySeconds += seconds
+	// The fleet twin: the networked master's Queue under a simulated
+	// clock. Leases never expire and nothing retries — the economics
+	// model assumes reliable workers; the fault paths are exercised by
+	// the fleet package's own tests and the live service.
+	sim := fleet.NewSim(fleet.SimConfig{
+		Workers: cfg.Workers,
+		Model: func(j fleet.Job) (float64, fleet.Outcome, fleet.Result) {
+			return j.Spec.Duration, fleet.OutcomeDone, fleet.Result{}
+		},
+		Queue: fleet.Options{
+			Metrics:   cfg.Metrics,
+			LeaseTTL:  365 * 24 * time.Hour,
+			RecordLog: cfg.RecordLog,
+		},
+	})
+	sim.OnLease(func(j fleet.Job, waitSeconds float64) {
 		obsTranscodes.Inc()
-		obsQueueWait.Observe(wait)
-		heap.Push(&free, start+seconds)
-		return start + seconds
+		obsQueueWait.Observe(waitSeconds)
+	})
+	// spec wraps one modeled transcode (seconds ride in Duration).
+	spec := func(tag string, seconds float64) fleet.JobSpec {
+		return fleet.JobSpec{Kind: kindModel, Tag: tag, Duration: seconds}
 	}
+
+	stats := &Stats{}
+	now := 0.0
+	var psnrSum float64
 
 	for u := 0; u < cfg.Uploads; u++ {
 		now += r.ExpFloat64() * cfg.MeanInterarrivalSeconds
@@ -268,27 +289,22 @@ func Run(cfg Config) (*Stats, error) {
 		}
 		stats.Uploads++
 
-		// Pass 1: universal transcode.
-		done := schedule(now, ct.uploadSeconds)
-		stats.UploadTranscodes++
-		stats.UploadComputeSeconds += ct.uploadSeconds
-
-		// Pass 2: VOD ladder.
-		done = schedule(done, ct.vodSeconds)
-		stats.VODTranscodes++
-		stats.VODComputeSeconds += ct.vodSeconds
-
-		// Watch traffic.
+		// All economics are fixed at upload time by the clip and the
+		// popularity draw; the fleet twin decides only when each pass
+		// runs (queue waits, utilization, makespan).
 		popular := r.Float64() < cfg.PopularShare
 		views := cfg.ViewsPerTail
 		if popular {
 			views = cfg.ViewsPerPopular
 		}
+		stats.UploadTranscodes++
+		stats.UploadComputeSeconds += ct.uploadSeconds
+		stats.VODTranscodes++
+		stats.VODComputeSeconds += ct.vodSeconds
+		retranscode := popular && ct.popValid
 		servedBytes := ct.vodBytes
 		servedPSNR := ct.vodPSNR
-		if popular && ct.popValid {
-			// Pass 3: high-effort re-transcode once hot.
-			schedule(done, ct.popSeconds)
+		if retranscode {
 			stats.PopularRetranscodes++
 			stats.PopularComputeSeconds += ct.popSeconds
 			stats.EgressSavedBytes += int64(float64(ct.vodBytes-ct.popBytes) * views)
@@ -298,25 +314,40 @@ func Run(cfg Config) (*Stats, error) {
 		stats.StorageBytes += servedBytes
 		stats.EgressBytes += int64(float64(servedBytes) * views)
 		psnrSum += servedPSNR
+
+		// Pass 1 (universal) at arrival; pass 2 (VOD ladder) chains on
+		// its completion; pass 3 (high-effort re-transcode once hot)
+		// chains on the VOD's.
+		arrival := time.Duration(now * float64(time.Second))
+		sim.SubmitAt(arrival, spec("upload", ct.uploadSeconds), func(s *fleet.Sim, _ fleet.Job) {
+			s.SubmitNow(spec("vod", ct.vodSeconds), func(s *fleet.Sim, _ fleet.Job) {
+				if retranscode {
+					s.SubmitNow(spec("popular", ct.popSeconds), nil)
+				}
+			})
+		})
+	}
+
+	if err := sim.Run(); err != nil {
+		return nil, err
+	}
+	if st := sim.Q.Stats(); st.Done != st.Submitted {
+		return nil, fmt.Errorf("service: fleet twin left %d of %d jobs unresolved", st.Submitted-st.Done, st.Submitted)
 	}
 
 	if stats.Uploads > 0 {
 		jobs := float64(stats.UploadTranscodes + stats.VODTranscodes + stats.PopularRetranscodes)
-		stats.MeanQueueWaitSeconds = totalWait / jobs
-		stats.MaxQueueWaitSeconds = maxWait
+		stats.MeanQueueWaitSeconds = sim.TotalWaitSeconds() / jobs
+		stats.MaxQueueWaitSeconds = sim.MaxWaitSeconds()
 		stats.MeanServedPSNR = psnrSum / float64(stats.Uploads)
 	}
-	// Utilization over the makespan.
-	makespan := 0.0
-	for _, f := range free {
-		if f > makespan {
-			makespan = f
-		}
-	}
-	if makespan > 0 {
-		stats.FleetUtilization = busySeconds / (makespan * float64(cfg.Workers))
+	// Utilization over the makespan (simulated time of the last
+	// completion).
+	if makespan := sim.ElapsedSeconds(); makespan > 0 {
+		stats.FleetUtilization = sim.BusySeconds() / (makespan * float64(cfg.Workers))
 	}
 	obsUtilization.Set(stats.FleetUtilization)
+	stats.TransitionLog = sim.Q.TransitionLog()
 	if sp != nil {
 		sp.Arg("uploads", stats.Uploads)
 		sp.Arg("transcodes", stats.UploadTranscodes+stats.VODTranscodes+stats.PopularRetranscodes)

@@ -1,10 +1,12 @@
 package service
 
 import (
+	"strings"
 	"testing"
 
 	"vbench/internal/codec"
 	"vbench/internal/codec/profiles"
+	"vbench/internal/telemetry"
 )
 
 func smallConfig() Config {
@@ -12,6 +14,15 @@ func smallConfig() Config {
 	cfg.Uploads = 12
 	cfg.Workers = 2
 	cfg.PopularShare = 0.3
+	return cfg
+}
+
+// cheapConfig trims the encode work for tests that only exercise the
+// scheduling and accounting around the encodes.
+func cheapConfig() Config {
+	cfg := smallConfig()
+	cfg.Uploads = 8
+	cfg.DurationSeconds = 0.2
 	return cfg
 }
 
@@ -127,6 +138,94 @@ func TestConfigValidation(t *testing.T) {
 	bad.MeanInterarrivalSeconds = 0
 	if _, err := Run(bad); err == nil {
 		t.Error("zero interarrival accepted")
+	}
+}
+
+func TestDefaultEncoderLadder(t *testing.T) {
+	// Pin the documented reference ladder: veryfast upload, medium
+	// two-pass VOD, and — the part that once silently shipped as
+	// x265-slow — an x265-class VERYSLOW popular re-transcode.
+	cfg := DefaultConfig()
+	if err := cfg.withDefaults(); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"upload":  profiles.X264(codec.PresetVeryFast).Tools.Name,
+		"vod":     profiles.X264(codec.PresetMedium).Tools.Name,
+		"popular": profiles.X265(codec.PresetVerySlow).Tools.Name,
+	}
+	got := map[string]string{
+		"upload":  cfg.UploadEncoder.Tools.Name,
+		"vod":     cfg.VODEncoder.Tools.Name,
+		"popular": cfg.PopularEncoder.Tools.Name,
+	}
+	for pass, name := range want {
+		if got[pass] != name {
+			t.Errorf("default %s encoder = %s, want %s", pass, got[pass], name)
+		}
+	}
+}
+
+func TestRunMetricsIsolation(t *testing.T) {
+	// Two runs with private registries must not contaminate each other
+	// or the process default.
+	regA, regB := telemetry.NewRegistry(), telemetry.NewRegistry()
+	defBefore := telemetry.Default.Counter("service.transcodes").Value()
+
+	cfgA := cheapConfig()
+	cfgA.Metrics = regA
+	statsA, err := Run(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgB := cheapConfig()
+	cfgB.Uploads = 4
+	cfgB.Metrics = regB
+	statsB, err := Run(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	jobsA := int64(statsA.UploadTranscodes + statsA.VODTranscodes + statsA.PopularRetranscodes)
+	jobsB := int64(statsB.UploadTranscodes + statsB.VODTranscodes + statsB.PopularRetranscodes)
+	if got := regA.Counter("service.transcodes").Value(); got != jobsA {
+		t.Errorf("registry A counted %d transcodes, want %d", got, jobsA)
+	}
+	if got := regB.Counter("service.transcodes").Value(); got != jobsB {
+		t.Errorf("registry B counted %d transcodes, want %d", got, jobsB)
+	}
+	if got := telemetry.Default.Counter("service.transcodes").Value(); got != defBefore {
+		t.Errorf("per-run registries leaked %d observations into telemetry.Default", got-defBefore)
+	}
+	// The fleet twin reports into the same per-run registry.
+	if got := regA.Counter("fleet.jobs_submitted").Value(); got != jobsA {
+		t.Errorf("registry A fleet.jobs_submitted = %d, want %d", got, jobsA)
+	}
+}
+
+func TestRunTransitionLogDeterministic(t *testing.T) {
+	cfg := cheapConfig()
+	cfg.RecordLog = true
+	cfg.Metrics = telemetry.NewRegistry()
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Metrics = telemetry.NewRegistry()
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TransitionLog == "" {
+		t.Fatal("RecordLog produced no transition log")
+	}
+	if a.TransitionLog != b.TransitionLog {
+		t.Error("same-seed runs produced different transition logs")
+	}
+	for _, tag := range []string{"reason=submit", "reason=lease", "reason=complete"} {
+		if !strings.Contains(a.TransitionLog, tag) {
+			t.Errorf("transition log missing %q", tag)
+		}
 	}
 }
 

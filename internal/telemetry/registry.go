@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"math"
 	"sort"
@@ -152,8 +153,12 @@ func (r *Registry) GaugeFunc(name string, fn func() float64) {
 }
 
 // Histogram returns the named histogram, creating it with the given
-// sorted upper bounds on first use (later calls reuse the existing
-// buckets regardless of bounds).
+// sorted upper bounds on first use. Later calls that pass bounds must
+// pass the same set (order-insensitive): two callers silently sharing
+// one histogram while believing they own different bucket layouts
+// would corrupt both views, so a conflicting re-registration panics
+// instead of being ignored. Calls with no bounds are pure lookups
+// (the snapshot writers use them) and never conflict.
 func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -163,8 +168,30 @@ func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
 		sort.Float64s(bs)
 		h = &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
 		r.hists[name] = h
+		return h
+	}
+	if len(bounds) > 0 {
+		bs := append([]float64(nil), bounds...)
+		sort.Float64s(bs)
+		if !equalBounds(h.bounds, bs) {
+			panic(fmt.Sprintf("telemetry: histogram %q re-registered with conflicting buckets %v (existing %v)",
+				name, bs, h.bounds))
+		}
 	}
 	return h
+}
+
+// equalBounds reports whether two sorted bound sets are identical.
+func equalBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Reset drops every metric. Intended for tests.

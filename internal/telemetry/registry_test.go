@@ -49,6 +49,49 @@ func TestHistogramUnsortedBoundsAreSorted(t *testing.T) {
 	}
 }
 
+func TestHistogramReRegistration(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", 1, 10, 100)
+
+	// Same bounds (any order) are a legitimate shared registration.
+	if got := r.Histogram("lat", 100, 10, 1); got != h {
+		t.Error("same-bounds re-registration returned a different histogram")
+	}
+	// A bound-less call is a pure lookup.
+	if got := r.Histogram("lat"); got != h {
+		t.Error("bound-less lookup returned a different histogram")
+	}
+
+	// Conflicting bounds must fail loudly, not silently hand the
+	// caller someone else's bucket layout.
+	for _, conflict := range [][]float64{{1, 10}, {1, 10, 100, 1000}, {2, 10, 100}, {}} {
+		func() {
+			defer func() {
+				if len(conflict) == 0 {
+					if recover() != nil {
+						t.Error("bound-less lookup panicked")
+					}
+					return
+				}
+				if recover() == nil {
+					t.Errorf("re-registering %q with bounds %v did not panic", "lat", conflict)
+				}
+			}()
+			r.Histogram("lat", conflict...)
+		}()
+	}
+
+	// A first registration with no bounds creates an overflow-only
+	// histogram; a later bounded registration of that name conflicts.
+	r.Histogram("bare")
+	defer func() {
+		if recover() == nil {
+			t.Error("bounded re-registration of an overflow-only histogram did not panic")
+		}
+	}()
+	r.Histogram("bare", 5)
+}
+
 func TestSnapshotDeterministic(t *testing.T) {
 	build := func() *Registry {
 		r := NewRegistry()

@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# e2e_fleet.sh — loopback smoke test of the vbenchd master/worker
+# service, including the hard fault case: a worker SIGKILLed while it
+# holds a lease. Asserts the batch drains with every job done exactly
+# once (zero lost jobs, zero double-completions) and that the lease
+# expiry and retry machinery actually fired.
+#
+# Usage: scripts/e2e_fleet.sh [workdir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+WORK="${1:-$(mktemp -d /tmp/vbench-e2e.XXXXXX)}"
+mkdir -p "$WORK"
+
+JOBS=50          # total batch size
+LONG_NOOPS=2     # long jobs that pin both workers' leases for the kill
+ENCODES=4        # real codec transcodes in the mix
+SHORT_NOOPS=$((JOBS - LONG_NOOPS - ENCODES - 1))  # -1 for the fail-first job
+
+cleanup() {
+    local rc=$?
+    kill -TERM "${WA_PID:-}" "${MASTER_PID:-}" 2>/dev/null || true
+    wait 2>/dev/null || true
+    if [ $rc -ne 0 ]; then
+        echo "=== master log ==="; cat "$WORK/master.log" || true
+        echo "=== worker A log ==="; cat "$WORK/workerA.log" || true
+        echo "=== worker B log ==="; cat "$WORK/workerB.log" || true
+    fi
+    rm -rf "$WORK"
+    exit $rc
+}
+trap cleanup EXIT
+
+echo "e2e: building vbenchd"
+go build -o "$WORK/vbenchd" ./cmd/vbenchd
+VBD="$WORK/vbenchd"
+
+echo "e2e: starting master"
+"$VBD" master -addr 127.0.0.1:0 -addr-file "$WORK/addr" \
+    -lease-ttl 2s -backoff 100ms -sweep 200ms -max-attempts 5 \
+    2>"$WORK/master.log" &
+MASTER_PID=$!
+for _ in $(seq 100); do [ -s "$WORK/addr" ] && break; sleep 0.1; done
+[ -s "$WORK/addr" ] || { echo "e2e: master never bound"; exit 1; }
+MASTER="http://$(cat "$WORK/addr")"
+echo "e2e: master at $MASTER"
+
+"$VBD" worker -master "$MASTER" -id workerA -poll 25ms -heartbeat 500ms \
+    2>"$WORK/workerA.log" &
+WA_PID=$!
+"$VBD" worker -master "$MASTER" -id workerB -poll 25ms -heartbeat 500ms \
+    2>"$WORK/workerB.log" &
+WB_PID=$!
+
+# Two long noops first: both workers lease one immediately and hold it
+# for 3 seconds, guaranteeing workerB dies mid-lease below.
+"$VBD" submit -master "$MASTER" -kind noop -n $LONG_NOOPS -sleep-ms 3000 -tag pin
+"$VBD" submit -master "$MASTER" -kind noop -n $SHORT_NOOPS -sleep-ms 20 -tag bulk
+"$VBD" submit -master "$MASTER" -kind noop -n 1 -sleep-ms 20 -fail-first 1 -tag flaky
+"$VBD" submit -master "$MASTER" -n $ENCODES -clip girl -encoder x264-veryfast \
+    -scale 16 -duration 0.2 -qp 30 -tag encode
+
+sleep 0.8   # both workers are now mid-lease on the long noops
+echo "e2e: SIGKILL workerB (pid $WB_PID) mid-lease"
+kill -9 "$WB_PID"
+
+OUT=$("$VBD" wait -master "$MASTER" -expect $JOBS -timeout 120s)
+echo "$OUT"
+
+# The killed worker's lease must have expired and requeued, and the
+# injected transient failure must have retried.
+case "$OUT" in
+    *" 0 lease expiries"*) echo "e2e: FAIL — workerB's lease never expired"; exit 1;;
+esac
+case "$OUT" in
+    *" 0 retries"*) echo "e2e: FAIL — nothing retried"; exit 1;;
+esac
+# In this controlled scenario every ack lands exactly once: the killed
+# worker never reports, and live workers never re-post applied acks.
+case "$OUT" in
+    *" 0 duplicate acks, 0 stale acks"*) ;;
+    *) echo "e2e: FAIL — unexpected duplicate or stale acks"; exit 1;;
+esac
+
+echo "e2e: draining workerA and master"
+kill -TERM "$WA_PID"; wait "$WA_PID"
+kill -TERM "$MASTER_PID"; wait "$MASTER_PID" || true
+
+echo "e2e: PASS — $JOBS jobs done exactly once through a worker kill"
