@@ -54,6 +54,10 @@ func main() {
 		err = runSubmit(os.Args[2:])
 	case "wait":
 		err = runWait(os.Args[2:])
+	case "status":
+		err = runStatus(os.Args[2:])
+	case "trace":
+		err = runTrace(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 		return
@@ -76,6 +80,8 @@ usage: vbenchd <subcommand> [flags]
   worker   pull jobs from a master and run real encodes
   submit   enqueue jobs on a master
   wait     block until a master's queue drains, then verify it
+  status   render a master's live ops snapshot (or one job's timeline)
+  trace    stitch master + worker Chrome-trace files into one timeline
 
 Run "vbenchd <subcommand> -h" for the subcommand's flags.
 `))
@@ -92,6 +98,8 @@ func runMaster(args []string) error {
 	sweep := fs.Duration("sweep", time.Second, "lease-expiry sweep interval")
 	state := fs.String("state", "", "snapshot file: restored at boot, written on shutdown")
 	logTransitions := fs.Bool("log-transitions", false, "record the job-state transition log and dump it on shutdown")
+	tracePath := fs.String("trace", "", "write a Chrome trace of master-side lease spans here on shutdown")
+	debugAddr := fs.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address (e.g. localhost:6060)")
 	fs.Parse(args)
 
 	opt := fleet.Options{
@@ -108,6 +116,19 @@ func runMaster(args []string) error {
 	}
 
 	srv := fleet.NewServer(q)
+	var tracer *telemetry.Tracer
+	if *tracePath != "" {
+		tracer = telemetry.NewProcessTracer("vbenchd-master")
+		srv.EnableTracing(tracer)
+	}
+	if *debugAddr != "" {
+		stopDebug, err := telemetry.StartDebugServer(*debugAddr)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = stopDebug() }() // best-effort: the process is exiting anyway
+		fmt.Fprintf(os.Stderr, "vbenchd master: debug endpoint on http://%s/debug/pprof\n", *debugAddr)
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
@@ -147,6 +168,12 @@ func runMaster(args []string) error {
 	}
 	if *logTransitions {
 		io.WriteString(os.Stderr, q.TransitionLog())
+	}
+	if tracer != nil {
+		if err := writeTrace(tracer, *tracePath); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "vbenchd master: trace written to %s (%d spans)\n", *tracePath, tracer.Len())
 	}
 	st := q.Stats()
 	fmt.Fprintf(os.Stderr, "vbenchd master: exiting (%d submitted, %d done, %d failed)\n",
@@ -198,6 +225,8 @@ func runWorker(args []string) error {
 	concurrency := fs.Int("concurrency", 1, "jobs run at once (encodes still share the process CPU gate)")
 	poll := fs.Duration("poll", 200*time.Millisecond, "idle re-poll interval")
 	heartbeat := fs.Duration("heartbeat", 0, "lease renewal interval (0 = a third of the master's lease TTL)")
+	tracePath := fs.String("trace", "", "write a Chrome trace of execution spans here on drain")
+	noPush := fs.Bool("no-push", false, "do not piggyback worker metric snapshots on heartbeats")
 	fs.Parse(args)
 
 	if *id == "" {
@@ -207,13 +236,27 @@ func runWorker(args []string) error {
 		}
 		*id = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
+	var tracer *telemetry.Tracer
+	if *tracePath != "" {
+		tracer = telemetry.NewProcessTracer("worker-" + *id)
+		// Stage clocks feed the worker.stage.* push mirror; they only
+		// cost time.Now calls while an encode runs.
+		telemetry.EnableStages(true)
+	}
+	// All progress lines flow through one LineWriter bound to the
+	// worker's identity, so colocated workers (and the heartbeat
+	// goroutines of one worker) never interleave mid-line and every
+	// line carries "[<id> +elapsed]".
+	lw := telemetry.NewLineWriter(os.Stderr)
 	w, err := fleet.NewWorker(fleet.WorkerOptions{
 		Master:      *master,
 		ID:          *id,
 		Concurrency: *concurrency,
 		Poll:        *poll,
 		Heartbeat:   *heartbeat,
-		Log:         os.Stderr,
+		Log:         lw.Labeled(*id),
+		Tracer:      tracer,
+		DisablePush: *noPush,
 	})
 	if err != nil {
 		return err
@@ -222,8 +265,28 @@ func runWorker(args []string) error {
 	defer stop()
 	fmt.Fprintf(os.Stderr, "vbenchd worker %s: pulling from %s\n", *id, *master)
 	err = w.Run(ctx)
+	if err == nil && tracer != nil {
+		if terr := writeTrace(tracer, *tracePath); terr != nil {
+			err = terr
+		} else {
+			fmt.Fprintf(os.Stderr, "vbenchd worker %s: trace written to %s (%d spans)\n", *id, *tracePath, tracer.Len())
+		}
+	}
 	fmt.Fprintf(os.Stderr, "vbenchd worker %s: drained\n", *id)
 	return err
+}
+
+// writeTrace dumps a tracer's spans as Chrome trace-event JSON.
+func writeTrace(t *telemetry.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteChromeTrace(f); err != nil {
+		_ = f.Close() // the write error takes precedence
+		return err
+	}
+	return f.Close()
 }
 
 func runSubmit(args []string) error {
@@ -321,6 +384,116 @@ func runWait(args []string) error {
 	}
 	if *expect >= 0 && st.Done != *expect {
 		return fmt.Errorf("done = %d, want %d", st.Done, *expect)
+	}
+	return nil
+}
+
+func runStatus(args []string) error {
+	fs := flag.NewFlagSet("vbenchd status", flag.ExitOnError)
+	master := fs.String("master", "http://127.0.0.1:7933", "master base URL")
+	asJSON := fs.Bool("json", false, "print the raw /status JSON instead of rendering it")
+	job := fs.Int("job", 0, "print this job's event timeline instead of the fleet status")
+	fs.Parse(args)
+
+	if *job > 0 {
+		var tl fleet.TimelineResponse
+		if err := getJSON(fmt.Sprintf("%s/api/v1/timeline?id=%d", *master, *job), &tl); err != nil {
+			return err
+		}
+		if tl.Dropped > 0 {
+			fmt.Printf("job %d: %d older events dropped by the ring\n", tl.Job, tl.Dropped)
+		}
+		for _, e := range tl.Events {
+			fmt.Println(e.String())
+		}
+		return nil
+	}
+
+	if *asJSON {
+		r, err := http.Get(*master + "/status")
+		if err != nil {
+			return err
+		}
+		defer r.Body.Close()
+		_, err = io.Copy(os.Stdout, r.Body)
+		return err
+	}
+
+	var st fleet.Status
+	if err := getJSON(*master+"/status", &st); err != nil {
+		return err
+	}
+	fmt.Printf("master up %.1fs: %d submitted, %d pending, %d leased, %d done, %d failed\n",
+		st.UptimeSeconds, st.Stats.Submitted, st.Stats.Pending, st.Stats.Leased, st.Stats.Done, st.Stats.Failed)
+	fmt.Printf("activity: %d leases, %d retries, %d lease expiries, %d duplicate acks, %d stale acks, %d timeline events\n",
+		st.Stats.Leases, st.Stats.Retries, st.Stats.LeaseExpiries, st.Stats.DuplicateAcks, st.Stats.StaleAcks, st.TimelineEvents)
+	fmt.Printf("policy: lease-ttl %.1fs, max-attempts %d, backoff %.3fs..%.1fs\n",
+		st.Policy.LeaseTTLSeconds, st.Policy.MaxAttempts, st.Policy.BackoffBaseSeconds, st.Policy.BackoffMaxSeconds)
+	fmt.Printf("leases (%d):\n", len(st.Leases))
+	for _, l := range st.Leases {
+		fmt.Printf("  job %d attempt %d worker %s age %.1fs expires in %.1fs\n",
+			l.Job, l.Attempt, l.Worker, l.AgeSeconds, l.ExpiresSeconds)
+	}
+	fmt.Printf("workers (%d):\n", len(st.Workers))
+	for _, w := range st.Workers {
+		live := "live"
+		if !w.Live {
+			live = "silent"
+		}
+		fmt.Printf("  %s %s (seen %.1fs ago): %d in flight, %d leases, %d heartbeats, %d completions, %d failures\n",
+			w.ID, live, w.LastSeenSeconds, w.InFlight, w.Leases, w.Heartbeats, w.Completions, w.Failures)
+	}
+	return nil
+}
+
+func runTrace(args []string) error {
+	fs := flag.NewFlagSet("vbenchd trace", flag.ExitOnError)
+	out := fs.String("o", "", "write the stitched trace here (default stdout)")
+	minProcs := fs.Int("min-processes", 0, "fail unless the merge spans at least this many processes")
+	minLinks := fs.Int("min-links", 0, "fail unless at least this many cross-process parent links resolved")
+	maxOrphans := fs.Int("max-orphans", -1, "fail if more spans than this declared unresolvable parents (-1 = no limit)")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		return fmt.Errorf("trace: need at least one input trace file")
+	}
+
+	inputs := make([]*telemetry.ChromeTrace, 0, fs.NArg())
+	for _, path := range fs.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		t, err := telemetry.ParseChromeTrace(f)
+		_ = f.Close() // read-only; a parse error takes precedence
+		if err != nil {
+			return fmt.Errorf("trace: %s: %w", path, err)
+		}
+		inputs = append(inputs, t)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	stats, err := telemetry.MergeChromeTraces(w, inputs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "vbenchd trace: %d processes, %d spans, %d cross-process links, %d orphans\n",
+		stats.Processes, stats.Spans, stats.Links, stats.Orphans)
+	if stats.Processes < *minProcs {
+		return fmt.Errorf("trace: %d processes, want >= %d", stats.Processes, *minProcs)
+	}
+	if stats.Links < *minLinks {
+		return fmt.Errorf("trace: %d cross-process links, want >= %d", stats.Links, *minLinks)
+	}
+	if *maxOrphans >= 0 && stats.Orphans > *maxOrphans {
+		return fmt.Errorf("trace: %d orphaned spans, want <= %d", stats.Orphans, *maxOrphans)
 	}
 	return nil
 }

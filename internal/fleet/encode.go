@@ -126,8 +126,9 @@ func executeEncode(spec JobSpec) (Result, error) {
 		return Result{}, Terminal(err)
 	}
 	return Result{
-		Bytes:   int64(len(res.Bitstream)),
-		PSNR:    psnr,
-		Seconds: res.Seconds,
+		Bytes:      int64(len(res.Bitstream)),
+		PSNR:       psnr,
+		Seconds:    res.Seconds,
+		InputBytes: int64(seq.PixelCount()) * 3 / 2, // 4:2:0 bytes in
 	}, nil
 }

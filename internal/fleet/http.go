@@ -5,7 +5,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
+	"sync"
 	"time"
+
+	"vbench/internal/telemetry"
 )
 
 // Wire types of the master's JSON API (all under /api/v1/). The
@@ -36,14 +40,23 @@ type LeaseResponse struct {
 }
 
 // AckRequest reports on a leased attempt: heartbeat, completion, or
-// failure (with its transient/terminal classification).
+// failure (with its transient/terminal classification). Push, when
+// present, piggybacks the worker's cumulative metric snapshot — the
+// master absorbs the delta since the worker's previous push, so
+// worker encode histograms appear in master-side snapshots without a
+// scrape path.
 type AckRequest struct {
-	Worker   string  `json:"worker"`
-	JobID    int     `json:"job_id"`
-	Attempt  int     `json:"attempt"`
-	Result   *Result `json:"result,omitempty"`
-	Terminal bool    `json:"terminal,omitempty"`
-	Error    string  `json:"error,omitempty"`
+	Worker   string            `json:"worker"`
+	JobID    int               `json:"job_id"`
+	Attempt  int               `json:"attempt"`
+	Result   *Result           `json:"result,omitempty"`
+	Terminal bool              `json:"terminal,omitempty"`
+	Error    string            `json:"error,omitempty"`
+	Push     *telemetry.Export `json:"push,omitempty"`
+	// PushSeq orders pushes from one worker; the master drops
+	// out-of-order arrivals (cumulative snapshots must be absorbed in
+	// the order they were taken).
+	PushSeq int64 `json:"push_seq,omitempty"`
 }
 
 // AckResponse reports whether the ack was applied (completions) or
@@ -58,13 +71,42 @@ type JobsResponse struct {
 	Jobs []Job `json:"jobs"`
 }
 
+// TimelineResponse carries one job's event ring.
+type TimelineResponse struct {
+	Job     int             `json:"job"`
+	Dropped int             `json:"dropped,omitempty"`
+	Events  []TimelineEvent `json:"events"`
+}
+
 // Server exposes a Queue over HTTP.
 type Server struct {
 	q *Queue
+
+	// Tracing state; leaseSpans is only touched by observeTransition,
+	// which the queue serializes under its lock.
+	tracer     *telemetry.Tracer
+	leaseSpans map[int]*telemetry.Span
+
+	// Metric-push state: the last cumulative export per worker (the
+	// baseline for delta absorption) and its sequence number.
+	pushMu   sync.Mutex
+	lastPush map[string]telemetry.Export
+	lastSeq  map[string]int64
+
+	mTraceAcks, mMetricPushes *telemetry.Counter
 }
 
 // NewServer wraps q.
-func NewServer(q *Queue) *Server { return &Server{q: q} }
+func NewServer(q *Queue) *Server {
+	return &Server{
+		q:             q,
+		leaseSpans:    map[int]*telemetry.Span{},
+		lastPush:      map[string]telemetry.Export{},
+		lastSeq:       map[string]int64{},
+		mTraceAcks:    q.Metrics().Counter("fleet.trace_acks"),
+		mMetricPushes: q.Metrics().Counter("fleet.metric_pushes"),
+	}
+}
 
 // Handler returns the API routes.
 func (s *Server) Handler() http.Handler {
@@ -77,6 +119,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/stats", s.handleStats)
 	mux.HandleFunc("GET /api/v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /api/v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /api/v1/timeline", s.handleTimeline)
+	mux.HandleFunc("GET /status", s.handleStatus)
+	mux.HandleFunc("GET /metrics", s.handleMetricsText)
 	return mux
 }
 
@@ -128,8 +173,38 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 	resp := LeaseResponse{LeaseTTLMS: s.q.LeaseTTL().Milliseconds()}
 	if j, ok := s.q.Lease(req.Worker); ok {
 		resp.Job = &j
+		// Trace context rides on response headers: the worker parents
+		// its execution span under the master's lease span and echoes
+		// both IDs on every heartbeat and ack.
+		w.Header().Set(HeaderTraceID, JobTraceID(j.ID))
+		w.Header().Set(HeaderSpanID, LeaseSpanID(j.ID, j.Attempt))
 	}
 	writeJSON(w, resp)
+}
+
+// observeAck records the observability side channels every ack-shaped
+// request can carry: an echoed trace context and a piggybacked metric
+// push. Pushes are cumulative and sequenced by the sender; one that
+// arrives out of order (a worker runs concurrent jobs, so pushes can
+// race) is dropped rather than absorbed — the next in-order push
+// carries its events anyway.
+func (s *Server) observeAck(r *http.Request, req *AckRequest) {
+	if r.Header.Get(HeaderSpanID) != "" {
+		s.mTraceAcks.Inc()
+	}
+	if req.Push == nil || req.Worker == "" {
+		return
+	}
+	s.pushMu.Lock()
+	defer s.pushMu.Unlock()
+	if last, ok := s.lastSeq[req.Worker]; ok && req.PushSeq <= last {
+		return
+	}
+	prev := s.lastPush[req.Worker]
+	s.lastPush[req.Worker] = *req.Push
+	s.lastSeq[req.Worker] = req.PushSeq
+	s.q.Metrics().Absorb(*req.Push, prev)
+	s.mMetricPushes.Inc()
 }
 
 func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
@@ -137,6 +212,7 @@ func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
+	s.observeAck(r, &req)
 	// A failed heartbeat is a protocol answer ("your lease lapsed"),
 	// not a transport error: the worker must abandon the attempt.
 	err := s.q.Heartbeat(req.JobID, req.Attempt, req.Worker)
@@ -148,6 +224,7 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
+	s.observeAck(r, &req)
 	var res Result
 	if req.Result != nil {
 		res = *req.Result
@@ -165,6 +242,7 @@ func (s *Server) handleFail(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
+	s.observeAck(r, &req)
 	if err := s.q.Fail(req.JobID, req.Attempt, req.Worker, req.Terminal, req.Error); err != nil {
 		httpError(w, http.StatusNotFound, err)
 		return
@@ -185,6 +263,29 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	// Serialization errors at this point mean the client went away;
 	// there is nothing useful left to do with them.
 	_ = s.q.Metrics().WriteJSON(w)
+}
+
+func (s *Server) handleMetricsText(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_ = s.q.Metrics().WriteText(w)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.q.Status())
+}
+
+func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.URL.Query().Get("id"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("fleet: timeline needs ?id=<job>: %w", err))
+		return
+	}
+	events, dropped, err := s.q.Timeline(id)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, TimelineResponse{Job: id, Dropped: dropped, Events: events})
 }
 
 // decode parses the JSON request body, answering 400 on failure.

@@ -129,6 +129,9 @@ type Result struct {
 	// Seconds is the modeled encode time under the engine's cost
 	// model (or the slept time for noop jobs).
 	Seconds float64 `json:"seconds,omitempty"`
+	// InputBytes is the raw 4:2:0 input size (encode jobs); workers
+	// derive their MB/s throughput histograms from it.
+	InputBytes int64 `json:"input_bytes,omitempty"`
 	// Worker and Attempt identify the execution that produced the
 	// result.
 	Worker  string `json:"worker,omitempty"`
@@ -154,8 +157,11 @@ type Job struct {
 	ReadyAt time.Time `json:"ready_at"`
 	// LeaseExpiry is the heartbeat deadline of the current lease.
 	LeaseExpiry time.Time `json:"lease_expiry,omitempty"`
-	StartedAt   time.Time `json:"started_at,omitempty"`
-	DoneAt      time.Time `json:"done_at,omitempty"`
+	// LeasedAt is when the current (or last) lease was granted; the
+	// ops surface derives lease ages from it.
+	LeasedAt  time.Time `json:"leased_at,omitempty"`
+	StartedAt time.Time `json:"started_at,omitempty"`
+	DoneAt    time.Time `json:"done_at,omitempty"`
 
 	// Completions counts applied completions; the exactly-once
 	// invariant is Completions <= 1, always.
@@ -171,6 +177,12 @@ type Job struct {
 
 	Result  *Result `json:"result,omitempty"`
 	LastErr string  `json:"last_err,omitempty"`
+
+	// Timeline is the job's bounded event ring (most recent
+	// timelineCap transitions); TimelineDropped counts older events
+	// the ring shed. Persisted in snapshots like the rest of the job.
+	Timeline        []TimelineEvent `json:"timeline,omitempty"`
+	TimelineDropped int             `json:"timeline_dropped,omitempty"`
 }
 
 // clone returns a detached copy safe to hand outside the queue lock.
@@ -179,6 +191,9 @@ func (j *Job) clone() Job {
 	if j.Result != nil {
 		r := *j.Result
 		c.Result = &r
+	}
+	if j.Timeline != nil {
+		c.Timeline = append([]TimelineEvent(nil), j.Timeline...)
 	}
 	return c
 }

@@ -32,6 +32,12 @@ type Options struct {
 	// RecordLog enables the job-state transition log (used by the
 	// determinism tests and by vbenchd master -log-transitions).
 	RecordLog bool
+	// OnTransition observes every validated state change (including
+	// submission, as from "none"). It is invoked under the queue lock
+	// with a detached job copy, in transition order; it must be fast
+	// and must not call back into the queue. Server.EnableTracing uses
+	// it to open and close master-side lease spans.
+	OnTransition func(j Job, from, to, reason string)
 }
 
 func (o Options) withDefaults() Options {
@@ -80,24 +86,37 @@ type Stats struct {
 // is safe for concurrent use; all methods take the queue lock, and
 // hot-path metric updates are lock-free atomics on cached handles.
 type Queue struct {
-	mu    sync.Mutex
-	opt   Options
-	start time.Time
-	jobs  []*Job // jobs[i].ID == i+1
-	ready readyHeap
-	exp   expiryHeap
-	stats Stats
-	log   bytes.Buffer
+	mu       sync.Mutex
+	opt      Options
+	start    time.Time
+	jobs     []*Job // jobs[i].ID == i+1
+	ready    readyHeap
+	exp      expiryHeap
+	stats    Stats
+	log      bytes.Buffer
+	eventSeq int64 // queue-wide timeline sequence
+	workers  map[string]*workerAccount
 
 	mSubmitted, mLeases, mCompletions, mFailures *telemetry.Counter
 	mRetries, mExpiries, mDupAcks, mStaleAcks    *telemetry.Counter
+	mHeartbeats, mTimelineEvents                 *telemetry.Counter
 	gPending, gLeased, gDone, gFailed, gDepth    *telemetry.Gauge
+	gWorkersSeen                                 *telemetry.Gauge
+}
+
+// workerAccount is the master's per-worker liveness and activity
+// ledger, fed by every request a worker makes. It observes the
+// workers; it never steers scheduling, so the deterministic twin's
+// transition logs and stats are unaffected by it.
+type workerAccount struct {
+	lastSeen                                  time.Time
+	leases, heartbeats, completions, failures int64
 }
 
 // NewQueue returns an empty queue.
 func NewQueue(opt Options) *Queue {
 	opt = opt.withDefaults()
-	q := &Queue{opt: opt, start: opt.Clock.Now()}
+	q := &Queue{opt: opt, start: opt.Clock.Now(), workers: map[string]*workerAccount{}}
 	q.bindMetrics()
 	return q
 }
@@ -112,6 +131,9 @@ func (q *Queue) bindMetrics() {
 	q.mExpiries = r.Counter("fleet.lease_expiries")
 	q.mDupAcks = r.Counter("fleet.duplicate_acks")
 	q.mStaleAcks = r.Counter("fleet.stale_acks")
+	q.mHeartbeats = r.Counter("fleet.heartbeats")
+	q.mTimelineEvents = r.Counter("fleet.timeline_events")
+	q.gWorkersSeen = r.Gauge("fleet.workers_seen")
 	q.gPending = r.Gauge("fleet.jobs_pending")
 	q.gLeased = r.Gauge("fleet.jobs_leased")
 	q.gDone = r.Gauge("fleet.jobs_done")
@@ -129,8 +151,9 @@ func (q *Queue) LeaseTTL() time.Duration { return q.opt.LeaseTTL }
 func (q *Queue) now() time.Time { return q.opt.Clock.Now() }
 
 // setState performs one validated transition and all the bookkeeping
-// that hangs off it: per-state gauges, the transition log, and the
-// per-state counts in Stats. Callers hold q.mu.
+// that hangs off it: per-state gauges, the transition log, the job's
+// event timeline, and the per-state counts in Stats. Callers hold
+// q.mu.
 func (q *Queue) setState(j *Job, to State, reason string) {
 	from := j.State
 	if !validEdge[from][to] {
@@ -139,7 +162,32 @@ func (q *Queue) setState(j *Job, to State, reason string) {
 	q.countState(from, -1)
 	j.State = to
 	q.countState(to, +1)
-	q.logTransition(j, from.String(), to.String(), reason)
+	q.record(j, from.String(), to.String(), reason)
+}
+
+// record funnels every state change — setState edges plus submission
+// — into the three observability sinks: the byte-stable transition
+// log, the job's bounded event timeline, and the optional transition
+// observer. Callers hold q.mu.
+func (q *Queue) record(j *Job, from, to, reason string) {
+	q.logTransition(j, from, to, reason)
+	q.recordTimeline(j, from, to, reason)
+	if q.opt.OnTransition != nil {
+		q.opt.OnTransition(j.clone(), from, to, reason)
+	}
+}
+
+// touchWorker updates worker's liveness ledger. Callers hold q.mu and
+// then bump the relevant per-activity counter on the returned account.
+func (q *Queue) touchWorker(worker string) *workerAccount {
+	a, ok := q.workers[worker]
+	if !ok {
+		a = &workerAccount{}
+		q.workers[worker] = a
+		q.gWorkersSeen.Set(float64(len(q.workers)))
+	}
+	a.lastSeen = q.now()
+	return a
 }
 
 // countState maintains the per-state tallies and gauges.
@@ -176,6 +224,15 @@ func (q *Queue) logTransition(j *Job, from, to, reason string) {
 		q.now().Sub(q.start).Seconds(), j.ID, j.Attempt, from, to, reason, w)
 }
 
+// SetOnTransition installs (or, with nil, removes) the transition
+// observer after construction; see Options.OnTransition for the
+// contract. Server.EnableTracing uses it.
+func (q *Queue) SetOnTransition(fn func(j Job, from, to, reason string)) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.opt.OnTransition = fn
+}
+
 // TransitionLog returns a copy of the recorded transition log.
 func (q *Queue) TransitionLog() string {
 	q.mu.Lock()
@@ -203,7 +260,7 @@ func (q *Queue) Submit(spec JobSpec) (int, error) {
 	q.stats.Submitted++
 	q.mSubmitted.Inc()
 	q.countState(Pending, +1)
-	q.logTransition(j, "none", "pending", "submit")
+	q.record(j, "none", "pending", "submit")
 	heap.Push(&q.ready, readyEntry{at: j.ReadyAt, id: j.ID})
 	return j.ID, nil
 }
@@ -225,6 +282,7 @@ func (q *Queue) Lease(worker string) (Job, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	now := q.now()
+	acct := q.touchWorker(worker) // a polling worker is a live worker
 	q.expireLocked(now)
 	for q.ready.Len() > 0 {
 		e := q.ready[0]
@@ -242,12 +300,14 @@ func (q *Queue) Lease(worker string) (Job, bool) {
 		j.Attempt++
 		j.Worker = worker
 		j.LeaseExpiry = now.Add(q.opt.LeaseTTL)
+		j.LeasedAt = now
 		if j.StartedAt.IsZero() {
 			j.StartedAt = now
 		}
 		q.setState(j, Leased, "lease")
 		q.stats.Leases++
 		q.mLeases.Inc()
+		acct.leases++
 		heap.Push(&q.exp, expiryEntry{at: j.LeaseExpiry, id: j.ID, attempt: j.Attempt})
 		return j.clone(), true
 	}
@@ -261,6 +321,8 @@ func (q *Queue) Lease(worker string) (Job, bool) {
 func (q *Queue) Heartbeat(id, attempt int, worker string) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	q.touchWorker(worker).heartbeats++
+	q.mHeartbeats.Inc()
 	j, err := q.get(id)
 	if err != nil {
 		return err
@@ -282,6 +344,7 @@ func (q *Queue) Heartbeat(id, attempt int, worker string) error {
 func (q *Queue) Complete(id, attempt int, worker string, res Result) (applied bool, err error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	q.touchWorker(worker).completions++
 	j, err := q.get(id)
 	if err != nil {
 		return false, err
@@ -318,6 +381,7 @@ func (q *Queue) Complete(id, attempt int, worker string, res Result) (applied bo
 func (q *Queue) Fail(id, attempt int, worker string, terminal bool, msg string) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	q.touchWorker(worker).failures++
 	j, err := q.get(id)
 	if err != nil {
 		return err

@@ -127,6 +127,12 @@ func (s *Sim) ElapsedSeconds() float64 { return s.clock.Now().Sub(s.start).Secon
 // to a report (crashed attempts contribute nothing).
 func (s *Sim) BusySeconds() float64 { return s.busy }
 
+// Timelines renders every job's event timeline in the fixed
+// DumpTimelines format. Because the sim's schedule is deterministic,
+// repeated runs of the same configuration produce byte-identical
+// output — pinned by the timeline determinism tests.
+func (s *Sim) Timelines() string { return s.Q.DumpTimelines() }
+
 // TotalWaitSeconds and MaxWaitSeconds aggregate queue waits over all
 // leases.
 func (s *Sim) TotalWaitSeconds() float64 { return s.totalWait }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"time"
 )
 
 // snapshot is the on-disk master state: every job record plus the
@@ -17,6 +18,11 @@ type snapshot struct {
 	Version int   `json:"version"`
 	Stats   Stats `json:"stats"`
 	Jobs    []Job `json:"jobs"`
+	// Start anchors the queue's relative clock (transition-log and
+	// timeline timestamps), so timelines stay monotonic across a
+	// master restart. Absent in pre-timeline snapshots; the restored
+	// queue then restarts its clock at restore time.
+	Start time.Time `json:"start,omitempty"`
 }
 
 const snapshotVersion = 1
@@ -25,7 +31,7 @@ const snapshotVersion = 1
 // of the snapshot (it is an observability artifact, not state).
 func (q *Queue) Snapshot(w io.Writer) error {
 	q.mu.Lock()
-	s := snapshot{Version: snapshotVersion, Stats: q.stats}
+	s := snapshot{Version: snapshotVersion, Stats: q.stats, Start: q.start}
 	s.Jobs = make([]Job, len(q.jobs))
 	for i, j := range q.jobs {
 		s.Jobs[i] = j.clone()
@@ -52,6 +58,9 @@ func Restore(r io.Reader, opt Options) (*Queue, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	q.stats = s.Stats
+	if !s.Start.IsZero() {
+		q.start = s.Start
+	}
 	q.jobs = make([]*Job, len(s.Jobs))
 	for i := range s.Jobs {
 		j := s.Jobs[i]
@@ -59,6 +68,14 @@ func Restore(r io.Reader, opt Options) (*Queue, error) {
 			return nil, fmt.Errorf("fleet: snapshot job %d has ID %d (IDs must be dense)", i, j.ID)
 		}
 		q.jobs[i] = &j
+		// The timeline rings ride in the job records; resuming the
+		// queue-wide sequence past the highest persisted event keeps
+		// post-restart events ordered after pre-restart ones.
+		for _, e := range j.Timeline {
+			if e.Seq > q.eventSeq {
+				q.eventSeq = e.Seq
+			}
+		}
 		switch j.State {
 		case Pending:
 			heap.Push(&q.ready, readyEntry{at: j.ReadyAt, id: j.ID})
@@ -76,6 +93,7 @@ func Restore(r io.Reader, opt Options) (*Queue, error) {
 	q.mExpiries.Add(int64(q.stats.LeaseExpiries))
 	q.mDupAcks.Add(int64(q.stats.DuplicateAcks))
 	q.mStaleAcks.Add(int64(q.stats.StaleAcks))
+	q.mTimelineEvents.Add(q.eventSeq)
 	q.gPending.Set(float64(q.stats.Pending))
 	q.gLeased.Set(float64(q.stats.Leased))
 	q.gDone.Set(float64(q.stats.Done))

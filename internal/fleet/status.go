@@ -1,0 +1,110 @@
+package fleet
+
+import "sort"
+
+// Status is the live ops snapshot served at GET /status: queue depth
+// and accounting, active leases with their ages, per-worker liveness,
+// and the retry policy in force. The schema is fixed (all fields
+// always present, slices sorted) so responses diff cleanly and tests
+// can assert on it; see docs/FORMAT.md.
+type Status struct {
+	UptimeSeconds float64       `json:"uptime_seconds"`
+	Stats         Stats         `json:"stats"`
+	Policy        BackoffPolicy `json:"policy"`
+	// Leases lists every currently-leased job, sorted by job ID.
+	Leases []LeaseStatus `json:"leases"`
+	// Workers lists every worker the master has ever heard from,
+	// sorted by ID.
+	Workers []WorkerStatus `json:"workers"`
+	// TimelineEvents is the total number of timeline events recorded.
+	TimelineEvents int64 `json:"timeline_events"`
+}
+
+// BackoffPolicy echoes the queue's retry configuration.
+type BackoffPolicy struct {
+	LeaseTTLSeconds    float64 `json:"lease_ttl_seconds"`
+	MaxAttempts        int     `json:"max_attempts"`
+	BackoffBaseSeconds float64 `json:"backoff_base_seconds"`
+	BackoffMaxSeconds  float64 `json:"backoff_max_seconds"`
+}
+
+// LeaseStatus describes one active lease.
+type LeaseStatus struct {
+	Job     int    `json:"job"`
+	Attempt int    `json:"attempt"`
+	Worker  string `json:"worker"`
+	// AgeSeconds is how long the lease has been held; ExpiresSeconds
+	// is how much heartbeat budget remains (negative = lapsed but not
+	// yet swept).
+	AgeSeconds     float64 `json:"age_seconds"`
+	ExpiresSeconds float64 `json:"expires_seconds"`
+}
+
+// WorkerStatus describes one worker's liveness and activity as the
+// master observed it.
+type WorkerStatus struct {
+	ID string `json:"id"`
+	// LastSeenSeconds is how long ago the worker last made any
+	// request; Live is true while that is within the lease TTL.
+	LastSeenSeconds float64 `json:"last_seen_seconds"`
+	Live            bool    `json:"live"`
+	InFlight        int     `json:"in_flight"`
+	Leases          int64   `json:"leases"`
+	Heartbeats      int64   `json:"heartbeats"`
+	Completions     int64   `json:"completions"`
+	Failures        int64   `json:"failures"`
+}
+
+// Status assembles a consistent ops snapshot.
+func (q *Queue) Status() Status {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.now()
+	st := Status{
+		UptimeSeconds: now.Sub(q.start).Seconds(),
+		Stats:         q.stats,
+		Policy: BackoffPolicy{
+			LeaseTTLSeconds:    q.opt.LeaseTTL.Seconds(),
+			MaxAttempts:        q.opt.MaxAttempts,
+			BackoffBaseSeconds: q.opt.BackoffBase.Seconds(),
+			BackoffMaxSeconds:  q.opt.BackoffMax.Seconds(),
+		},
+		Leases:         []LeaseStatus{},
+		Workers:        []WorkerStatus{},
+		TimelineEvents: q.eventSeq,
+	}
+	inFlight := map[string]int{}
+	for _, j := range q.jobs {
+		if j.State != Leased {
+			continue
+		}
+		inFlight[j.Worker]++
+		st.Leases = append(st.Leases, LeaseStatus{
+			Job:            j.ID,
+			Attempt:        j.Attempt,
+			Worker:         j.Worker,
+			AgeSeconds:     now.Sub(j.LeasedAt).Seconds(),
+			ExpiresSeconds: j.LeaseExpiry.Sub(now).Seconds(),
+		})
+	}
+	ids := make([]string, 0, len(q.workers))
+	for id := range q.workers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		a := q.workers[id]
+		ago := now.Sub(a.lastSeen).Seconds()
+		st.Workers = append(st.Workers, WorkerStatus{
+			ID:              id,
+			LastSeenSeconds: ago,
+			Live:            ago <= q.opt.LeaseTTL.Seconds(),
+			InFlight:        inFlight[id],
+			Leases:          a.leases,
+			Heartbeats:      a.heartbeats,
+			Completions:     a.completions,
+			Failures:        a.failures,
+		})
+	}
+	return st
+}

@@ -1,0 +1,70 @@
+package fleet
+
+import (
+	"fmt"
+
+	"vbench/internal/telemetry"
+)
+
+// Trace-context HTTP headers. The master assigns span identities and
+// hands them to the worker on the lease response; the worker echoes
+// them on every heartbeat and ack for the same attempt, which is how
+// the master knows its trace context survived the round trip
+// (fleet.trace_acks).
+const (
+	HeaderTraceID = "X-Vbench-Trace-Id"
+	HeaderSpanID  = "X-Vbench-Span-Id"
+)
+
+// JobTraceID is the trace identity shared by every span a job touches
+// in any process.
+func JobTraceID(id int) string { return fmt.Sprintf("job%d", id) }
+
+// LeaseSpanID identifies the master-side span covering one lease
+// attempt. It is deterministic in (job, attempt), so the master never
+// has to transport span state — both sides can re-derive it.
+func LeaseSpanID(id, attempt int) string { return fmt.Sprintf("job%d.a%d", id, attempt) }
+
+// ExecSpanID identifies the worker-side execution span of one attempt
+// on one worker. The worker suffix keeps IDs unique even if two
+// workers ever observe the same attempt (e.g. a lease that expired
+// mid-flight and was re-leased).
+func ExecSpanID(id, attempt int, worker string) string {
+	return fmt.Sprintf("job%d.a%d.exec@%s", id, attempt, worker)
+}
+
+// EnableTracing opens a master-side span for every lease the queue
+// grants and closes it when the attempt resolves (completion, failure,
+// requeue, or lease expiry — every path funnels through the queue's
+// transition observer, so the expiry sweep is covered for free). The
+// spans carry LeaseSpanID identities; worker execution spans name them
+// as parents, and telemetry.MergeChromeTraces stitches the two files
+// into one timeline.
+func (s *Server) EnableTracing(t *telemetry.Tracer) {
+	s.tracer = t
+	s.q.SetOnTransition(s.observeTransition)
+}
+
+// observeTransition runs under the queue lock (see
+// Options.OnTransition), which serializes all access to leaseSpans.
+func (s *Server) observeTransition(j Job, from, to, reason string) {
+	switch {
+	case to == Leased.String():
+		sp := s.tracer.Start(fmt.Sprintf("lease job=%d", j.ID))
+		sp.SetID(LeaseSpanID(j.ID, j.Attempt))
+		sp.Arg("trace_id", JobTraceID(j.ID))
+		sp.Arg("job", j.ID)
+		sp.Arg("attempt", j.Attempt)
+		sp.Arg("worker", j.Worker)
+		s.leaseSpans[j.ID] = sp
+	case from == Leased.String():
+		sp, ok := s.leaseSpans[j.ID]
+		if !ok {
+			return // tracing enabled mid-lease
+		}
+		delete(s.leaseSpans, j.ID)
+		sp.Arg("outcome", to)
+		sp.Arg("reason", reason)
+		sp.End()
+	}
+}

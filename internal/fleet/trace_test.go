@@ -1,0 +1,163 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"vbench/internal/telemetry"
+)
+
+// execSpans extracts the worker-side execution spans ("X" events with
+// a job arg) from a parsed trace, keyed (job, attempt).
+type execSpan struct {
+	job, attempt int
+	ts, dur      float64
+	parent       string
+}
+
+func execSpansOf(tr *telemetry.ChromeTrace) []execSpan {
+	var out []execSpan
+	for i := range tr.TraceEvents {
+		e := &tr.TraceEvents[i]
+		if e.Ph != "X" || e.SpanID() == "" || e.ParentSpanID() == "" {
+			continue
+		}
+		job, ok1 := e.Args["job"].(float64)
+		attempt, ok2 := e.Args["attempt"].(float64)
+		if !ok1 || !ok2 {
+			continue
+		}
+		out = append(out, execSpan{
+			job: int(job), attempt: int(attempt),
+			ts: e.Ts, dur: e.Dur, parent: e.ParentSpanID(),
+		})
+	}
+	return out
+}
+
+// TestTracePropagationLoopback is the acceptance round trip: a real
+// worker pulls jobs from a loopback master, both sides trace, and the
+// stitched timeline must parent every execution span under its
+// master-side lease span — including the retry attempt, whose spans
+// must not overlap the first attempt's.
+func TestTracePropagationLoopback(t *testing.T) {
+	masterReg := telemetry.NewRegistry()
+	q := NewQueue(Options{
+		Metrics:     masterReg,
+		LeaseTTL:    2 * time.Second,
+		BackoffBase: 20 * time.Millisecond,
+		MaxAttempts: 3,
+	})
+	masterTracer := telemetry.NewProcessTracer("vbenchd-master")
+	api := NewServer(q)
+	api.EnableTracing(masterTracer)
+	srv := httptest.NewServer(api.Handler())
+	defer srv.Close()
+
+	submitNoops(t, srv.URL, 3, 5)
+	var flaky SubmitResponse
+	rawPost(t, srv.URL+"/api/v1/submit", &SubmitRequest{
+		Jobs: []JobSpec{{Kind: KindNoop, SleepMS: 5, FailFirst: 1}},
+	}, &flaky)
+	flakyID := flaky.IDs[0]
+
+	workerTracer := telemetry.NewProcessTracer("worker-w1")
+	w, err := NewWorker(WorkerOptions{
+		Master: srv.URL,
+		ID:     "w1",
+		Poll:   5 * time.Millisecond,
+		Tracer: workerTracer,
+		// A loopback worker needs its own registry: pushes absorbed into
+		// the master's registry must not feed back into the next push.
+		Metrics: telemetry.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); _ = w.Run(ctx) }()
+	waitDone(t, q, 4, 10*time.Second)
+	cancel()
+	<-done
+
+	// Serialize both sides and stitch.
+	var mbuf, wbuf bytes.Buffer
+	if err := masterTracer.WriteChromeTrace(&mbuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := workerTracer.WriteChromeTrace(&wbuf); err != nil {
+		t.Fatal(err)
+	}
+	mtr, err := telemetry.ParseChromeTrace(&mbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wtr, err := telemetry.ParseChromeTrace(&wbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var merged bytes.Buffer
+	stats, err := telemetry.MergeChromeTraces(&merged, []*telemetry.ChromeTrace{mtr, wtr})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 3 clean jobs + 1 retried job = 5 attempts; every execution span
+	// must resolve to a master-side lease span across the process
+	// boundary, with no orphans.
+	const attempts = 5
+	if stats.Processes != 2 {
+		t.Errorf("merged %d processes, want 2", stats.Processes)
+	}
+	if stats.Orphans != 0 {
+		t.Errorf("merge left %d orphan spans, want 0", stats.Orphans)
+	}
+	if stats.Links != attempts {
+		t.Errorf("merge resolved %d cross-process links, want %d", stats.Links, attempts)
+	}
+
+	execs := execSpansOf(wtr)
+	if len(execs) != attempts {
+		t.Fatalf("worker trace has %d execution spans, want %d", len(execs), attempts)
+	}
+	for _, e := range execs {
+		if want := LeaseSpanID(e.job, e.attempt); e.parent != want {
+			t.Errorf("job %d attempt %d parented under %q, want %q", e.job, e.attempt, e.parent, want)
+		}
+	}
+
+	// The retried job's attempts must be monotonic and non-overlapping:
+	// attempt 1 ends before attempt 2 begins.
+	var a1, a2 *execSpan
+	for i := range execs {
+		e := &execs[i]
+		if e.job != flakyID {
+			continue
+		}
+		switch e.attempt {
+		case 1:
+			a1 = e
+		case 2:
+			a2 = e
+		}
+	}
+	if a1 == nil || a2 == nil {
+		t.Fatalf("retried job %d missing attempt spans: %+v", flakyID, execs)
+	}
+	if end := a1.ts + a1.dur; end > a2.ts+0.01 {
+		t.Errorf("attempt spans overlap: attempt 1 ends at %.3fus, attempt 2 starts at %.3fus", end, a2.ts)
+	}
+
+	// The worker echoed the trace context on its acks.
+	if n := masterReg.Counter("fleet.trace_acks").Value(); n == 0 {
+		t.Error("master saw no trace-context acks")
+	}
+	// The merged output itself must re-parse.
+	if _, err := telemetry.ParseChromeTrace(&merged); err != nil {
+		t.Errorf("merged trace does not re-parse: %v", err)
+	}
+}

@@ -11,6 +11,26 @@ import (
 	"time"
 
 	"vbench/internal/syncx"
+	"vbench/internal/telemetry"
+)
+
+// Worker-side metric names. These live in the worker's registry and
+// ride to the master on metric pushes, so the master's snapshots show
+// fleet-wide encode throughput; schema rows in docs/FORMAT.md.
+const (
+	metricJobsExecuted  = "worker.jobs_executed"
+	metricExecFailures  = "worker.exec_failures"
+	metricEncodeSeconds = "worker.encode_seconds"
+	metricEncodeMBPS    = "worker.encode_mbps"
+	// The worker.stage.* counters mirror the process-wide
+	// codec.stage.*_ns clocks at push time (they only advance while
+	// telemetry.StagesEnabled; cmd/vbenchd worker enables stages when
+	// tracing). The mirror assumes one worker per process — the
+	// vbenchd deployment shape — since the codec clocks are global.
+	metricStageMotion    = "worker.stage.motion_ns"
+	metricStageTransform = "worker.stage.transform_ns"
+	metricStageEntropy   = "worker.stage.entropy_ns"
+	metricStageGateWait  = "worker.stage.slice_gate_wait_ns"
 )
 
 // WorkerOptions configures a pull worker.
@@ -34,8 +54,21 @@ type WorkerOptions struct {
 	Gate *syncx.CPUGate
 	// Client is the HTTP client; nil selects one with a 15s timeout.
 	Client *http.Client
-	// Log receives progress lines; nil discards them.
+	// Log receives progress lines; nil discards them. cmd/vbenchd
+	// passes a telemetry.LineWriter.Labeled writer so lines carry the
+	// worker's identity; the worker itself writes plain lines.
 	Log io.Writer
+	// Tracer records execution spans parented under the master's
+	// lease spans via the trace-context headers; nil disables tracing.
+	Tracer *telemetry.Tracer
+	// Metrics is the registry for the worker.* metrics; nil selects
+	// telemetry.Default. Loopback tests colocating a master and a
+	// worker in one process should pass the worker its own registry,
+	// or absorbed pushes would double-count into the shared one.
+	Metrics *telemetry.Registry
+	// DisablePush stops piggybacking metric snapshots on heartbeats
+	// and acks.
+	DisablePush bool
 }
 
 // Worker pulls jobs from a master and runs them with real encoders.
@@ -44,6 +77,18 @@ type WorkerOptions struct {
 // — the SIGTERM path of cmd/vbenchd worker.
 type Worker struct {
 	opt WorkerOptions
+
+	mExecuted, mFailures        *telemetry.Counter
+	hEncodeSeconds, hEncodeMBPS *telemetry.Histogram
+
+	pushMu  sync.Mutex
+	pushSeq int64
+}
+
+// traceCtx is the trace context a lease response carries; zero means
+// the master is not tracing.
+type traceCtx struct {
+	traceID, spanID string
 }
 
 // NewWorker validates options and builds a worker.
@@ -69,7 +114,17 @@ func NewWorker(opt WorkerOptions) (*Worker, error) {
 	if opt.Log == nil {
 		opt.Log = io.Discard
 	}
-	return &Worker{opt: opt}, nil
+	if opt.Metrics == nil {
+		opt.Metrics = telemetry.Default
+	}
+	w := &Worker{opt: opt}
+	w.mExecuted = opt.Metrics.Counter(metricJobsExecuted)
+	w.mFailures = opt.Metrics.Counter(metricExecFailures)
+	w.hEncodeSeconds = opt.Metrics.Histogram(metricEncodeSeconds,
+		0.01, 0.03, 0.1, 0.3, 1, 3, 10, 30)
+	w.hEncodeMBPS = opt.Metrics.Histogram(metricEncodeMBPS,
+		0.5, 1, 2, 4, 8, 16, 32)
+	return w, nil
 }
 
 // Run pulls and executes jobs until ctx is canceled, then drains.
@@ -89,7 +144,7 @@ func (w *Worker) Run(ctx context.Context) error {
 // loop is one lease-execute-ack cycle until shutdown.
 func (w *Worker) loop(ctx context.Context, slot int) {
 	for ctx.Err() == nil {
-		job, ttl, err := w.lease(ctx)
+		job, ttl, trace, err := w.lease(ctx)
 		if err != nil {
 			if ctx.Err() != nil {
 				return
@@ -102,14 +157,14 @@ func (w *Worker) loop(ctx context.Context, slot int) {
 			w.sleep(ctx, w.opt.Poll)
 			continue
 		}
-		w.runJob(job, ttl)
+		w.runJob(job, ttl, trace)
 	}
 }
 
 // runJob executes one leased job under the CPU gate with heartbeats,
 // then delivers the completion or classified failure. Acks run on a
 // background context so a drain still reports in-flight work.
-func (w *Worker) runJob(job *Job, ttl time.Duration) {
+func (w *Worker) runJob(job *Job, ttl time.Duration, trace traceCtx) {
 	hb := w.opt.Heartbeat
 	if hb <= 0 {
 		hb = ttl / 3
@@ -122,22 +177,25 @@ func (w *Worker) runJob(job *Job, ttl time.Duration) {
 	hbWG.Add(1)
 	go func() {
 		defer hbWG.Done()
-		w.heartbeats(hbCtx, job, hb)
+		w.heartbeats(hbCtx, job, hb, trace)
 	}()
 
 	w.opt.Gate.Acquire()
-	res, err := Execute(job.Spec, job.Attempt, time.Sleep)
+	res, elapsed, execErr := w.execute(job, trace)
 	w.opt.Gate.Release()
 	stopHB()
 	hbWG.Wait()
+	w.observeExec(job, res, execErr, elapsed)
 
-	if err != nil {
-		terminal := IsTerminal(err)
-		w.logf("job %d attempt %d failed (%s): %v", job.ID, job.Attempt, failureClass(terminal), err)
+	push, seq := w.buildPush()
+	if execErr != nil {
+		terminal := IsTerminal(execErr)
+		w.logf("job %d attempt %d failed (%s): %v", job.ID, job.Attempt, failureClass(terminal), execErr)
 		if ackErr := w.ack(context.Background(), "/api/v1/fail", &AckRequest{
 			Worker: w.opt.ID, JobID: job.ID, Attempt: job.Attempt,
-			Terminal: terminal, Error: err.Error(),
-		}, nil); ackErr != nil {
+			Terminal: terminal, Error: execErr.Error(),
+			Push: push, PushSeq: seq,
+		}, nil, trace); ackErr != nil {
 			w.logf("job %d: reporting failure: %v", job.ID, ackErr)
 		}
 		return
@@ -145,7 +203,8 @@ func (w *Worker) runJob(job *Job, ttl time.Duration) {
 	var resp AckResponse
 	if ackErr := w.ack(context.Background(), "/api/v1/complete", &AckRequest{
 		Worker: w.opt.ID, JobID: job.ID, Attempt: job.Attempt, Result: &res,
-	}, &resp); ackErr != nil {
+		Push: push, PushSeq: seq,
+	}, &resp, trace); ackErr != nil {
 		// The master will expire the lease and retry the job; with
 		// idempotent completion a duplicate re-run is absorbed.
 		w.logf("job %d: reporting completion: %v", job.ID, ackErr)
@@ -158,9 +217,80 @@ func (w *Worker) runJob(job *Job, ttl time.Duration) {
 	}
 }
 
+// execute runs the attempt inside an execution span parented (via the
+// trace context the lease carried) under the master's lease span, with
+// the actual work in a nested child span.
+func (w *Worker) execute(job *Job, trace traceCtx) (Result, time.Duration, error) {
+	sp := w.opt.Tracer.Start(fmt.Sprintf("execute job=%d", job.ID))
+	sp.SetID(ExecSpanID(job.ID, job.Attempt, w.opt.ID))
+	if trace.spanID != "" {
+		sp.SetParent(trace.spanID)
+	}
+	if trace.traceID != "" {
+		sp.Arg("trace_id", trace.traceID)
+	}
+	sp.Arg("job", job.ID)
+	sp.Arg("attempt", job.Attempt)
+	sp.Arg("worker", w.opt.ID)
+
+	kind := job.Spec.Kind
+	if kind == "" {
+		kind = KindEncode
+	}
+	child := sp.Child(kind)
+	if kind == KindEncode {
+		child.Arg("clip", job.Spec.Clip)
+		child.Arg("encoder", job.Spec.Encoder)
+	}
+	start := time.Now()
+	res, err := Execute(job.Spec, job.Attempt, time.Sleep)
+	elapsed := time.Since(start)
+	child.End()
+	if err != nil {
+		sp.Arg("error", failureClass(IsTerminal(err)))
+	}
+	sp.End()
+	return res, elapsed, err
+}
+
+// observeExec records the attempt in the worker.* metrics.
+func (w *Worker) observeExec(job *Job, res Result, err error, elapsed time.Duration) {
+	w.mExecuted.Inc()
+	if err != nil {
+		w.mFailures.Inc()
+		return
+	}
+	kind := job.Spec.Kind
+	if kind != "" && kind != KindEncode {
+		return
+	}
+	w.hEncodeSeconds.Observe(elapsed.Seconds())
+	if res.InputBytes > 0 && elapsed > 0 {
+		w.hEncodeMBPS.Observe(float64(res.InputBytes) / 1e6 / elapsed.Seconds())
+	}
+}
+
+// buildPush snapshots the worker.* metrics for a piggybacked push.
+// Snapshots are cumulative and sequenced under one lock, so the master
+// can absorb them as ordered deltas; see Server.observeAck.
+func (w *Worker) buildPush() (*telemetry.Export, int64) {
+	if w.opt.DisablePush {
+		return nil, 0
+	}
+	w.pushMu.Lock()
+	defer w.pushMu.Unlock()
+	e := w.opt.Metrics.Export("worker.")
+	e.Counters[metricStageMotion] = telemetry.GetCounter("codec.stage.motion_ns").Value()
+	e.Counters[metricStageTransform] = telemetry.GetCounter("codec.stage.transform_ns").Value()
+	e.Counters[metricStageEntropy] = telemetry.GetCounter("codec.stage.entropy_ns").Value()
+	e.Counters[metricStageGateWait] = telemetry.GetCounter("codec.stage.slice_gate_wait_ns").Value()
+	w.pushSeq++
+	return &e, w.pushSeq
+}
+
 // heartbeats renews the lease until ctx is canceled or the master
 // says the lease lapsed.
-func (w *Worker) heartbeats(ctx context.Context, job *Job, every time.Duration) {
+func (w *Worker) heartbeats(ctx context.Context, job *Job, every time.Duration, trace traceCtx) {
 	t := time.NewTicker(every)
 	defer t.Stop()
 	for {
@@ -168,10 +298,12 @@ func (w *Worker) heartbeats(ctx context.Context, job *Job, every time.Duration) 
 		case <-ctx.Done():
 			return
 		case <-t.C:
+			push, seq := w.buildPush()
 			var resp AckResponse
 			err := w.ack(ctx, "/api/v1/heartbeat", &AckRequest{
 				Worker: w.opt.ID, JobID: job.ID, Attempt: job.Attempt,
-			}, &resp)
+				Push: push, PushSeq: seq,
+			}, &resp, trace)
 			if err == nil && !resp.OK {
 				// Lease lost (e.g. the master expired it during a
 				// network partition). The encode cannot be canceled
@@ -184,17 +316,21 @@ func (w *Worker) heartbeats(ctx context.Context, job *Job, every time.Duration) 
 }
 
 // lease asks the master for one job; nil job means nothing is ready.
-func (w *Worker) lease(ctx context.Context) (*Job, time.Duration, error) {
+// The trace context, if the master is tracing, rides on the response
+// headers.
+func (w *Worker) lease(ctx context.Context) (*Job, time.Duration, traceCtx, error) {
 	var resp LeaseResponse
-	if err := w.post(ctx, "/api/v1/lease", &LeaseRequest{Worker: w.opt.ID}, &resp); err != nil {
-		return nil, 0, err
+	hdr, err := w.post(ctx, "/api/v1/lease", &LeaseRequest{Worker: w.opt.ID}, &resp, traceCtx{})
+	if err != nil {
+		return nil, 0, traceCtx{}, err
 	}
-	return resp.Job, time.Duration(resp.LeaseTTLMS) * time.Millisecond, nil
+	trace := traceCtx{traceID: hdr.Get(HeaderTraceID), spanID: hdr.Get(HeaderSpanID)}
+	return resp.Job, time.Duration(resp.LeaseTTLMS) * time.Millisecond, trace, nil
 }
 
 // ack posts a report with bounded retries — transient master
 // unavailability must not turn a finished encode into a lost ack.
-func (w *Worker) ack(ctx context.Context, path string, req *AckRequest, resp *AckResponse) error {
+func (w *Worker) ack(ctx context.Context, path string, req *AckRequest, resp *AckResponse, trace traceCtx) error {
 	if resp == nil {
 		// A typed-nil *AckResponse would defeat post's interface nil
 		// check and make json.Decode error — which would retry an ack
@@ -206,37 +342,44 @@ func (w *Worker) ack(ctx context.Context, path string, req *AckRequest, resp *Ac
 		if i > 0 {
 			w.sleep(ctx, 150*time.Millisecond)
 		}
-		if err = w.post(ctx, path, req, resp); err == nil {
+		if _, err = w.post(ctx, path, req, resp, trace); err == nil {
 			return nil
 		}
 	}
 	return err
 }
 
-// post sends one JSON request to the master.
-func (w *Worker) post(ctx context.Context, path string, req, resp interface{}) error {
+// post sends one JSON request to the master, echoing the trace context
+// on the request headers, and returns the response headers.
+func (w *Worker) post(ctx context.Context, path string, req, resp interface{}, trace traceCtx) (http.Header, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, w.opt.Master+path, bytes.NewReader(body))
 	if err != nil {
-		return err
+		return nil, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	if trace.traceID != "" {
+		hreq.Header.Set(HeaderTraceID, trace.traceID)
+	}
+	if trace.spanID != "" {
+		hreq.Header.Set(HeaderSpanID, trace.spanID)
+	}
 	hresp, err := w.opt.Client.Do(hreq)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer hresp.Body.Close()
 	if hresp.StatusCode != http.StatusOK {
 		b, _ := io.ReadAll(io.LimitReader(hresp.Body, 1024))
-		return fmt.Errorf("fleet: %s: %s: %s", path, hresp.Status, bytes.TrimSpace(b))
+		return hresp.Header, fmt.Errorf("fleet: %s: %s: %s", path, hresp.Status, bytes.TrimSpace(b))
 	}
 	if resp == nil {
-		return nil
+		return hresp.Header, nil
 	}
-	return json.NewDecoder(hresp.Body).Decode(resp)
+	return hresp.Header, json.NewDecoder(hresp.Body).Decode(resp)
 }
 
 // sleep waits without outliving the context.
@@ -249,8 +392,11 @@ func (w *Worker) sleep(ctx context.Context, d time.Duration) {
 	}
 }
 
+// logf writes one plain progress line; worker identity comes from the
+// Log writer (telemetry.LineWriter.Labeled in cmd/vbenchd), not from
+// the line itself.
 func (w *Worker) logf(format string, args ...interface{}) {
-	fmt.Fprintf(w.opt.Log, "[%s] %s\n", w.opt.ID, fmt.Sprintf(format, args...))
+	fmt.Fprintf(w.opt.Log, "%s\n", fmt.Sprintf(format, args...))
 }
 
 // failureClass names the retry class for logs.

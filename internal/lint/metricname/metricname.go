@@ -6,6 +6,16 @@
 // runtime — it just silently fragments the stats export — so the
 // schema is machine-checked here instead.
 //
+// Beyond the shape check, every well-formed constant name must appear
+// in the stable-names table of docs/FORMAT.md (resolved relative to
+// the analyzed module's root; the check is skipped when the module
+// carries no docs/FORMAT.md). The table is the external contract for
+// dashboards and snapshot diffing, so a metric that ships undocumented
+// is a lint error, not a docs nit. Table rows may list several names
+// separated by " / " and may compress families with brace expansion
+// (`codec.stage.{motion,transform}_ns`); tokens containing `*` are
+// informational and ignored.
+//
 // Only constant string arguments are checked; dynamically built names
 // (fmt.Sprintf, base+".hits") are out of scope. Test files are
 // skipped: scratch registries in tests use deliberately short names.
@@ -14,7 +24,11 @@ package metricname
 import (
 	"go/ast"
 	"go/constant"
+	"os"
+	"path/filepath"
 	"regexp"
+	"strings"
+	"sync"
 
 	"vbench/internal/lint/analysis"
 )
@@ -43,9 +57,15 @@ var constructors = map[string]bool{
 }
 
 func run(pass *analysis.Pass) error {
+	var docs docTable
+	docsLoaded := false
 	for _, file := range pass.Files {
 		if analysis.IsTestFile(pass.Fset, file.Pos()) {
 			continue
+		}
+		if !docsLoaded {
+			docsLoaded = true
+			docs = docsFor(pass.Fset.Position(file.Pos()).Filename)
 		}
 		ast.Inspect(file, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
@@ -64,9 +84,100 @@ func run(pass *analysis.Pass) error {
 			name := constant.StringVal(tv.Value)
 			if !namePattern.MatchString(name) {
 				pass.Reportf(arg.Pos(), "metric name %q does not match the dotted lower_snake_case schema (see docs/FORMAT.md), e.g. \"codec.encodes\"", name)
+				return true
+			}
+			if docs != nil && !docs[name] {
+				pass.Reportf(arg.Pos(), "metric name %q is not documented in the stable-names table of docs/FORMAT.md", name)
 			}
 			return true
 		})
 	}
 	return nil
+}
+
+// docTable is the set of documented metric names; nil means the module
+// has no docs/FORMAT.md and the documentation check is off.
+type docTable map[string]bool
+
+// docCache memoizes parsed tables per module root, since every package
+// of a module resolves to the same file.
+var (
+	docMu    sync.Mutex
+	docCache = map[string]docTable{}
+)
+
+// docsFor locates and parses <module root>/docs/FORMAT.md for the
+// source file at path, walking up to the nearest go.mod.
+func docsFor(path string) docTable {
+	dir := filepath.Dir(path)
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return nil // no module root
+		}
+		dir = parent
+	}
+	docMu.Lock()
+	defer docMu.Unlock()
+	if t, ok := docCache[dir]; ok {
+		return t
+	}
+	var t docTable
+	if data, err := os.ReadFile(filepath.Join(dir, "docs", "FORMAT.md")); err == nil {
+		t = parseDocTable(string(data))
+	}
+	docCache[dir] = t
+	return t
+}
+
+// backtickPat extracts `quoted` tokens from a table cell.
+var backtickPat = regexp.MustCompile("`([^`]+)`")
+
+// parseDocTable collects the documented metric names: every backtick-
+// quoted token in the first cell of a markdown table row, with brace
+// families expanded. Tokens containing "*" (or anything else that is
+// not a valid metric name after expansion) are ignored.
+func parseDocTable(md string) docTable {
+	t := docTable{}
+	for _, line := range strings.Split(md, "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "|") {
+			continue
+		}
+		cells := strings.Split(line, "|")
+		if len(cells) < 2 {
+			continue
+		}
+		for _, m := range backtickPat.FindAllStringSubmatch(cells[1], -1) {
+			for _, name := range expandBraces(m[1]) {
+				if namePattern.MatchString(name) {
+					t[name] = true
+				}
+			}
+		}
+	}
+	return t
+}
+
+// expandBraces expands every {a,b,c} alternation in s, e.g.
+// "x.{a,b}_ns" → ["x.a_ns", "x.b_ns"]. A string without braces (or
+// with unbalanced ones) is returned as-is.
+func expandBraces(s string) []string {
+	open := strings.IndexByte(s, '{')
+	if open < 0 {
+		return []string{s}
+	}
+	rest := strings.IndexByte(s[open:], '}')
+	if rest < 0 {
+		return []string{s}
+	}
+	end := open + rest
+	var out []string
+	for _, alt := range strings.Split(s[open+1:end], ",") {
+		out = append(out, expandBraces(s[:open]+strings.TrimSpace(alt)+s[end+1:])...)
+	}
+	return out
 }

@@ -1,0 +1,168 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// Export is a JSON-serializable snapshot of (a slice of) a Registry,
+// built for shipping metrics between processes: fleet workers attach
+// one to each heartbeat and the master folds it into its own registry
+// with Absorb. Exports carry cumulative values — the receiver, not the
+// sender, turns consecutive snapshots into deltas — so a lost or
+// duplicated push never double-counts and never loses events for good.
+type Export struct {
+	Counters   map[string]int64      `json:"counters,omitempty"`
+	Gauges     map[string]float64    `json:"gauges,omitempty"`
+	Histograms map[string]HistExport `json:"histograms,omitempty"`
+}
+
+// HistExport is one histogram's cumulative state.
+type HistExport struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"` // len(Bounds)+1, last = overflow
+	Sum    float64   `json:"sum"`
+}
+
+// Export snapshots every metric whose name starts with prefix (""
+// exports everything). Gauge functions are evaluated at export time.
+func (r *Registry) Export(prefix string) Export {
+	counters, gauges, hists := r.snapshotNames()
+	e := Export{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistExport{},
+	}
+	for _, n := range counters {
+		if strings.HasPrefix(n, prefix) {
+			e.Counters[n] = r.Counter(n).Value()
+		}
+	}
+	for _, n := range gauges {
+		if strings.HasPrefix(n, prefix) {
+			e.Gauges[n] = r.gaugeValue(n)
+		}
+	}
+	for _, n := range hists {
+		if !strings.HasPrefix(n, prefix) {
+			continue
+		}
+		h := r.Histogram(n)
+		he := HistExport{Bounds: h.Bounds(), Counts: make([]int64, len(h.bounds)+1)}
+		for i := range he.Counts {
+			he.Counts[i] = h.BucketCount(i)
+		}
+		he.Sum = h.Sum()
+		e.Histograms[n] = he
+	}
+	return e
+}
+
+// Absorb folds the change between two cumulative exports from the same
+// sender into the registry: counters and histogram buckets advance by
+// cur−prev, gauges take cur's value directly. Pass the sender's
+// previous export as prev (the zero Export for its first push). A
+// negative counter or bucket delta means the sender restarted and its
+// cumulative state reset, so cur is applied whole rather than dropped.
+// A histogram whose bounds conflict with an existing local layout is
+// skipped — remote data must never trip the local re-registration
+// panic.
+func (r *Registry) Absorb(cur, prev Export) {
+	for _, n := range sortedKeys(cur.Counters) {
+		d := cur.Counters[n] - prev.Counters[n]
+		if d < 0 {
+			d = cur.Counters[n]
+		}
+		if d != 0 {
+			r.Counter(n).Add(d)
+		}
+	}
+	for _, n := range sortedKeys(cur.Gauges) {
+		r.Gauge(n).Set(cur.Gauges[n])
+	}
+	for _, n := range sortedKeys(cur.Histograms) {
+		he := cur.Histograms[n]
+		if len(he.Counts) != len(he.Bounds)+1 {
+			continue // malformed push
+		}
+		h, ok := r.histogramIfCompatible(n, he.Bounds)
+		if !ok {
+			continue // conflicting local layout; drop, don't panic
+		}
+		pe, havePrev := prev.Histograms[n]
+		if havePrev && (len(pe.Counts) != len(he.Counts) || !equalBounds(sortedBounds(pe.Bounds), h.bounds)) {
+			havePrev = false
+		}
+		restarted := false
+		for i, c := range he.Counts {
+			if havePrev && c < pe.Counts[i] {
+				restarted = true
+				break
+			}
+		}
+		dsum := he.Sum
+		for i, c := range he.Counts {
+			d := c
+			if havePrev && !restarted {
+				d = c - pe.Counts[i]
+			}
+			if d != 0 {
+				h.counts[i].Add(d)
+				h.count.Add(d)
+			}
+		}
+		if havePrev && !restarted {
+			dsum = he.Sum - pe.Sum
+		}
+		if dsum != 0 {
+			h.addSum(dsum)
+		}
+	}
+}
+
+// histogramIfCompatible returns the named histogram, creating it with
+// the given bounds on first use. Unlike Histogram it reports false on
+// a bounds conflict instead of panicking: the bounds here come off the
+// wire, and remote data must never crash the receiver.
+func (r *Registry) histogramIfCompatible(name string, bounds []float64) (*Histogram, bool) {
+	bs := sortedBounds(bounds)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+		r.hists[name] = h
+		return h, true
+	}
+	return h, equalBounds(h.bounds, bs)
+}
+
+// addSum CAS-accumulates v into the histogram's float64-bits sum.
+func (h *Histogram) addSum(v float64) {
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// sortedBounds returns a sorted copy of bs.
+func sortedBounds(bs []float64) []float64 {
+	out := append([]float64(nil), bs...)
+	sort.Float64s(out)
+	return out
+}
+
+// sortedKeys returns m's keys in sorted order, so absorption touches
+// metrics in a deterministic sequence.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

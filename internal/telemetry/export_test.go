@@ -1,0 +1,107 @@
+package telemetry
+
+import (
+	"testing"
+)
+
+func TestExportPrefixFilter(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("worker.jobs").Add(3)
+	r.Counter("fleet.leases").Add(9)
+	r.Gauge("worker.depth").Set(2)
+	r.Histogram("worker.seconds", 1, 10).Observe(4)
+
+	e := r.Export("worker.")
+	if len(e.Counters) != 1 || e.Counters["worker.jobs"] != 3 {
+		t.Errorf("counters = %v, want only worker.jobs=3", e.Counters)
+	}
+	if len(e.Gauges) != 1 || e.Gauges["worker.depth"] != 2 {
+		t.Errorf("gauges = %v, want only worker.depth=2", e.Gauges)
+	}
+	h, ok := e.Histograms["worker.seconds"]
+	if !ok || len(e.Histograms) != 1 {
+		t.Fatalf("histograms = %v, want only worker.seconds", e.Histograms)
+	}
+	if len(h.Counts) != 3 || h.Counts[1] != 1 || h.Sum != 4 {
+		t.Errorf("hist export = %+v, want one observation of 4 in (1,10]", h)
+	}
+}
+
+func TestAbsorbDeltas(t *testing.T) {
+	r := NewRegistry()
+	prev := Export{Counters: map[string]int64{"worker.jobs": 5}}
+	cur := Export{Counters: map[string]int64{"worker.jobs": 8}}
+	r.Absorb(cur, prev)
+	if got := r.Counter("worker.jobs").Value(); got != 3 {
+		t.Errorf("absorbed %d, want delta 3", got)
+	}
+	// A second identical push is a zero delta, not a double count.
+	r.Absorb(cur, cur)
+	if got := r.Counter("worker.jobs").Value(); got != 3 {
+		t.Errorf("duplicate push changed counter to %d", got)
+	}
+}
+
+func TestAbsorbRestartFallback(t *testing.T) {
+	r := NewRegistry()
+	// The sender restarted: its cumulative value went backwards. The
+	// current snapshot is applied whole rather than dropped.
+	prev := Export{Counters: map[string]int64{"worker.jobs": 100}}
+	cur := Export{Counters: map[string]int64{"worker.jobs": 4}}
+	r.Absorb(cur, prev)
+	if got := r.Counter("worker.jobs").Value(); got != 4 {
+		t.Errorf("restart fallback absorbed %d, want 4", got)
+	}
+}
+
+func TestAbsorbGaugesTakeLastValue(t *testing.T) {
+	r := NewRegistry()
+	r.Absorb(Export{Gauges: map[string]float64{"worker.depth": 5}}, Export{})
+	r.Absorb(Export{Gauges: map[string]float64{"worker.depth": 2}},
+		Export{Gauges: map[string]float64{"worker.depth": 5}})
+	e := r.Export("worker.")
+	if e.Gauges["worker.depth"] != 2 {
+		t.Errorf("gauge = %v, want last-written 2", e.Gauges["worker.depth"])
+	}
+}
+
+func TestAbsorbHistogramDeltas(t *testing.T) {
+	r := NewRegistry()
+	prev := Export{Histograms: map[string]HistExport{
+		"worker.seconds": {Bounds: []float64{1, 10}, Counts: []int64{1, 0, 0}, Sum: 0.5},
+	}}
+	cur := Export{Histograms: map[string]HistExport{
+		"worker.seconds": {Bounds: []float64{1, 10}, Counts: []int64{1, 2, 0}, Sum: 8.5},
+	}}
+	r.Absorb(cur, prev)
+	h := r.Histogram("worker.seconds", 1, 10)
+	if h.Count() != 2 || h.BucketCount(1) != 2 {
+		t.Errorf("count = %d bucket1 = %d, want 2/2", h.Count(), h.BucketCount(1))
+	}
+	if got := h.Sum(); got != 8 {
+		t.Errorf("sum = %v, want delta 8", got)
+	}
+}
+
+func TestAbsorbSkipsConflictsAndMalformed(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("worker.seconds", 1, 10).Observe(0.5)
+
+	// Conflicting bounds from a remote must not panic and must not
+	// disturb the local histogram.
+	r.Absorb(Export{Histograms: map[string]HistExport{
+		"worker.seconds": {Bounds: []float64{5}, Counts: []int64{3, 3}, Sum: 9},
+	}}, Export{})
+	// Malformed: counts length does not match bounds.
+	r.Absorb(Export{Histograms: map[string]HistExport{
+		"worker.other": {Bounds: []float64{1}, Counts: []int64{1, 2, 3}, Sum: 1},
+	}}, Export{})
+
+	h := r.Histogram("worker.seconds", 1, 10)
+	if h.Count() != 1 {
+		t.Errorf("conflicting push disturbed local histogram: count = %d", h.Count())
+	}
+	if _, ok := r.Export("worker.").Histograms["worker.other"]; ok {
+		t.Error("malformed push materialized a histogram")
+	}
+}

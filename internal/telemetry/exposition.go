@@ -1,0 +1,46 @@
+package telemetry
+
+import "io"
+
+// WriteText serializes a snapshot of the registry as a line-oriented
+// text exposition (the `GET /metrics` format of the fleet master).
+// Like WriteJSON it is deterministic for a given metric state: three
+// fixed sections, names sorted within each, one value per line.
+//
+//	# counters
+//	codec.encodes 42
+//	# gauges
+//	harness.workers.active 3
+//	# histograms
+//	fleet.wait_seconds count 5
+//	fleet.wait_seconds sum 1.25
+//	fleet.wait_seconds bucket 0.1 3
+//	fleet.wait_seconds bucket +Inf 5
+//
+// Histogram bucket lines carry the bucket's upper bound; the final
+// "+Inf" bucket is the overflow count. The schema is documented in
+// docs/FORMAT.md.
+func (r *Registry) WriteText(w io.Writer) error {
+	counters, gauges, hists := r.snapshotNames()
+	bw := &errWriter{w: w}
+
+	bw.printf("# counters\n")
+	for _, n := range counters {
+		bw.printf("%s %d\n", n, r.Counter(n).Value())
+	}
+	bw.printf("# gauges\n")
+	for _, n := range gauges {
+		bw.printf("%s %s\n", n, mustJSON(r.gaugeValue(n)))
+	}
+	bw.printf("# histograms\n")
+	for _, n := range hists {
+		h := r.Histogram(n)
+		bw.printf("%s count %d\n", n, h.Count())
+		bw.printf("%s sum %s\n", n, mustJSON(h.Sum()))
+		for b, bound := range h.bounds {
+			bw.printf("%s bucket %s %d\n", n, mustJSON(bound), h.BucketCount(b))
+		}
+		bw.printf("%s bucket +Inf %d\n", n, h.BucketCount(len(h.bounds)))
+	}
+	return bw.err
+}

@@ -1,0 +1,44 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteTextDeterministicAndComplete(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.count").Add(2)
+	r.Counter("a.count").Add(1)
+	r.Gauge("fleet.depth").Set(3)
+	h := r.Histogram("fleet.wait_seconds", 0.1, 1)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var a, b strings.Builder
+	if err := r.WriteText(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("WriteText not deterministic:\n%s\nvs\n%s", a.String(), b.String())
+	}
+
+	want := `# counters
+a.count 1
+b.count 2
+# gauges
+fleet.depth 3
+# histograms
+fleet.wait_seconds count 3
+fleet.wait_seconds sum 5.55
+fleet.wait_seconds bucket 0.1 1
+fleet.wait_seconds bucket 1 1
+fleet.wait_seconds bucket +Inf 1
+`
+	if a.String() != want {
+		t.Errorf("WriteText =\n%s\nwant\n%s", a.String(), want)
+	}
+}

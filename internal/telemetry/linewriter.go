@@ -47,15 +47,41 @@ func (lw *LineWriter) Unbind() {
 	lw.mu.Unlock()
 }
 
-// Write emits p as one or more complete, prefixed lines.
+// Labeled returns a writer whose lines always carry label, regardless
+// of which goroutine writes. Fleet workers use it instead of Bind:
+// their HTTP and heartbeat goroutines come and go, so a per-goroutine
+// binding would miss most of their output, but the worker's identity
+// ("w1", "w2", …) is fixed for the process's life.
+func (lw *LineWriter) Labeled(label string) io.Writer {
+	return &labeledWriter{lw: lw, label: label}
+}
+
+type labeledWriter struct {
+	lw    *LineWriter
+	label string
+}
+
+func (w *labeledWriter) Write(p []byte) (int, error) {
+	return w.lw.write(w.label, p)
+}
+
+// Write emits p as one or more complete lines prefixed with the
+// calling goroutine's bound label ("main" when unbound).
 func (lw *LineWriter) Write(p []byte) (int, error) {
 	id := gid()
 	lw.mu.Lock()
-	defer lw.mu.Unlock()
 	label, ok := lw.labels[id]
+	lw.mu.Unlock()
 	if !ok {
 		label = "main"
 	}
+	return lw.write(label, p)
+}
+
+// write emits p under an explicit label.
+func (lw *LineWriter) write(label string, p []byte) (int, error) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
 	prefix := fmt.Sprintf("[%s +%.3fs] ", label, time.Since(lw.start).Seconds())
 
 	n := len(p)

@@ -74,6 +74,32 @@ func TestLineWriterUnboundIsMain(t *testing.T) {
 	}
 }
 
+func TestLineWriterLabeledIgnoresGoroutine(t *testing.T) {
+	var out syncBuffer
+	lw := NewLineWriter(&out)
+	w := lw.Labeled("w7")
+
+	// The label must hold across goroutines — fleet workers write from
+	// short-lived HTTP and heartbeat goroutines that never Bind.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		fmt.Fprintf(w, "from a goroutine\n")
+	}()
+	<-done
+	fmt.Fprintf(w, "from the caller\n")
+
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d lines, want 2: %q", len(lines), out.String())
+	}
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "[w7 +") {
+			t.Errorf("line %q lacks the [w7 ...] label", l)
+		}
+	}
+}
+
 func TestLineWriterSplitsMultiLineWrites(t *testing.T) {
 	var out syncBuffer
 	lw := NewLineWriter(&out)

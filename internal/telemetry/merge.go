@@ -1,0 +1,196 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ChromeTrace is the parsed form of a Chrome trace-event JSON file as
+// written by Tracer.WriteChromeTrace (and by MergeChromeTraces). It
+// round-trips through encoding/json, so tests and tools can inspect
+// stitched traces structurally instead of grepping bytes.
+type ChromeTrace struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+}
+
+// ChromeEvent is one trace event: "X" complete spans, "M" metadata,
+// and the "s"/"f" flow pairs the merge step emits for cross-process
+// parent links.
+type ChromeEvent struct {
+	Ph   string                 `json:"ph"`
+	Pid  int                    `json:"pid"`
+	Tid  int64                  `json:"tid"`
+	Ts   float64                `json:"ts"`
+	Dur  float64                `json:"dur,omitempty"`
+	Name string                 `json:"name,omitempty"`
+	Cat  string                 `json:"cat,omitempty"`
+	ID   string                 `json:"id,omitempty"`
+	BP   string                 `json:"bp,omitempty"`
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+// SpanID returns the event's stitchable identity (the ArgSpanID arg),
+// or "" when it has none.
+func (e *ChromeEvent) SpanID() string { return e.strArg(ArgSpanID) }
+
+// ParentSpanID returns the identity of the event's declared parent
+// (the ArgParentID arg), or "" when it declares none.
+func (e *ChromeEvent) ParentSpanID() string { return e.strArg(ArgParentID) }
+
+func (e *ChromeEvent) strArg(key string) string {
+	if s, ok := e.Args[key].(string); ok {
+		return s
+	}
+	return ""
+}
+
+// ParseChromeTrace decodes one trace file.
+func ParseChromeTrace(r io.Reader) (*ChromeTrace, error) {
+	var t ChromeTrace
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("telemetry: decoding chrome trace: %w", err)
+	}
+	return &t, nil
+}
+
+// ProcessName returns the trace's process_name metadata ("" if the
+// file carries none).
+func (t *ChromeTrace) ProcessName() string {
+	for i := range t.TraceEvents {
+		e := &t.TraceEvents[i]
+		if e.Ph == "M" && e.Name == "process_name" {
+			if s, ok := e.Args["name"].(string); ok {
+				return s
+			}
+		}
+	}
+	return ""
+}
+
+// EpochUS returns the trace's clock_sync anchor: the wall-clock time,
+// in Unix microseconds, that the file's relative timestamps are
+// measured from. Zero means the trace carries no anchor (pre-merge
+// files from older writers) and cannot be time-aligned.
+func (t *ChromeTrace) EpochUS() int64 {
+	for i := range t.TraceEvents {
+		e := &t.TraceEvents[i]
+		if e.Ph == "M" && e.Name == "clock_sync" {
+			if v, ok := e.Args["epoch_us"].(float64); ok {
+				return int64(v)
+			}
+		}
+	}
+	return 0
+}
+
+// MergeStats summarizes one stitch.
+type MergeStats struct {
+	// Processes and Spans count the merged inputs and their complete
+	// ("X") events.
+	Processes int
+	Spans     int
+	// Links counts parent links resolved across process boundaries
+	// (each also gets a flow-event pair in the output); Orphans counts
+	// spans that declared a parent no input defines.
+	Links   int
+	Orphans int
+}
+
+// MergeChromeTraces stitches per-process trace files into one Chrome
+// trace timeline: input i becomes pid i+1 (keeping its process_name),
+// timestamps are aligned onto a shared clock via each file's
+// clock_sync anchor, and every cross-process parent link declared
+// with ArgParentID is resolved and materialized as a flow-event pair,
+// so the viewer draws an arrow from the master's lease span to the
+// worker's encode span. The output is deterministic for fixed inputs.
+func MergeChromeTraces(w io.Writer, inputs []*ChromeTrace) (MergeStats, error) {
+	var stats MergeStats
+	stats.Processes = len(inputs)
+
+	// Align clocks: shift each input by its epoch relative to the
+	// earliest anchored input. Unanchored inputs (epoch 0) are left
+	// unshifted rather than dragged to 1970.
+	minEpoch := int64(0)
+	for _, in := range inputs {
+		if e := in.EpochUS(); e > 0 && (minEpoch == 0 || e < minEpoch) {
+			minEpoch = e
+		}
+	}
+
+	out := ChromeTrace{DisplayTimeUnit: "ms"}
+	type spanRef struct {
+		pid      int
+		tid      int64
+		ts       float64
+		hasChild bool
+	}
+	index := map[string]*spanRef{}
+	var spans []*ChromeEvent // merged X events, in input order
+	for i, in := range inputs {
+		pid := i + 1
+		shift := 0.0
+		if e := in.EpochUS(); e > 0 && minEpoch > 0 {
+			shift = float64(e - minEpoch)
+		}
+		name := in.ProcessName()
+		if name == "" {
+			name = fmt.Sprintf("process-%d", pid)
+		}
+		out.TraceEvents = append(out.TraceEvents, ChromeEvent{
+			Ph: "M", Pid: pid, Name: "process_name",
+			Args: map[string]interface{}{"name": name},
+		})
+		for j := range in.TraceEvents {
+			e := in.TraceEvents[j] // copy
+			if e.Ph != "X" {
+				continue
+			}
+			e.Pid = pid
+			e.Ts += shift
+			stats.Spans++
+			out.TraceEvents = append(out.TraceEvents, e)
+			ref := &out.TraceEvents[len(out.TraceEvents)-1]
+			spans = append(spans, ref)
+			if id := e.SpanID(); id != "" {
+				index[id] = &spanRef{pid: pid, tid: e.Tid, ts: e.Ts}
+			}
+		}
+	}
+
+	// Resolve declared parents and emit flow pairs for the links that
+	// cross a process boundary — within one process the viewer already
+	// nests by track and time.
+	for _, e := range spans {
+		parent := e.ParentSpanID()
+		if parent == "" {
+			continue
+		}
+		ref, ok := index[parent]
+		if !ok {
+			stats.Orphans++
+			continue
+		}
+		if ref.pid == e.Pid {
+			continue
+		}
+		stats.Links++
+		id := e.SpanID()
+		if id == "" {
+			id = fmt.Sprintf("link-%d", stats.Links)
+		}
+		out.TraceEvents = append(out.TraceEvents,
+			ChromeEvent{Ph: "s", Cat: "fleet", Name: "fleet.link", ID: id,
+				Pid: ref.pid, Tid: ref.tid, Ts: ref.ts},
+			ChromeEvent{Ph: "f", BP: "e", Cat: "fleet", Name: "fleet.link", ID: id,
+				Pid: e.Pid, Tid: e.Tid, Ts: e.Ts},
+		)
+	}
+
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(out); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}

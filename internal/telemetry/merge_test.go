@@ -1,0 +1,156 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// parseTrace serializes t's spans and parses them back.
+func parseTrace(t *testing.T, tr *Tracer) *ChromeTrace {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ct, err := ParseChromeTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ct
+}
+
+func TestParseChromeTraceRoundTrip(t *testing.T) {
+	tr := NewProcessTracer("proc-a")
+	sp := tr.Start("work")
+	sp.SetID("w1")
+	sp.Arg("job", 7)
+	sp.End()
+
+	ct := parseTrace(t, tr)
+	if ct.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", ct.DisplayTimeUnit)
+	}
+	if got := ct.ProcessName(); got != "proc-a" {
+		t.Errorf("process name = %q, want proc-a", got)
+	}
+	if ct.EpochUS() == 0 {
+		t.Error("trace carries no clock_sync anchor")
+	}
+	var span *ChromeEvent
+	for i := range ct.TraceEvents {
+		if ct.TraceEvents[i].Ph == "X" {
+			span = &ct.TraceEvents[i]
+		}
+	}
+	if span == nil {
+		t.Fatal("no X event in trace")
+	}
+	if span.Name != "work" || span.SpanID() != "w1" {
+		t.Errorf("span = %+v, want name work id w1", span)
+	}
+	if job, ok := span.Args["job"].(float64); !ok || job != 7 {
+		t.Errorf("span args = %v, want job 7", span.Args)
+	}
+}
+
+func TestMergeChromeTracesLinksAcrossProcesses(t *testing.T) {
+	master := NewProcessTracer("master")
+	lease := master.Start("lease")
+	lease.SetID("job1.a1")
+	lease.End()
+	solo := master.Start("solo") // no identity, links to nothing
+	solo.End()
+
+	worker := NewProcessTracer("worker")
+	exec := worker.Start("execute")
+	exec.SetID("job1.a1.exec@w1")
+	exec.SetParent("job1.a1")
+	exec.End()
+	lost := worker.Start("lost")
+	lost.SetID("job9.a1.exec@w1")
+	lost.SetParent("job9.a1") // parent no process defines
+	lost.End()
+
+	var out bytes.Buffer
+	stats, err := MergeChromeTraces(&out, []*ChromeTrace{parseTrace(t, master), parseTrace(t, worker)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Processes != 2 || stats.Spans != 4 {
+		t.Errorf("stats = %+v, want 2 processes 4 spans", stats)
+	}
+	if stats.Links != 1 {
+		t.Errorf("links = %d, want 1", stats.Links)
+	}
+	if stats.Orphans != 1 {
+		t.Errorf("orphans = %d, want 1", stats.Orphans)
+	}
+
+	merged, err := ParseChromeTrace(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both processes keep their names under distinct pids, and the
+	// resolved link materializes as an s/f flow pair.
+	names := map[int]string{}
+	var flowS, flowF *ChromeEvent
+	for i := range merged.TraceEvents {
+		e := &merged.TraceEvents[i]
+		switch e.Ph {
+		case "M":
+			if e.Name == "process_name" {
+				names[e.Pid], _ = e.Args["name"].(string)
+			}
+		case "s":
+			flowS = e
+		case "f":
+			flowF = e
+		}
+	}
+	if names[1] != "master" || names[2] != "worker" {
+		t.Errorf("process names = %v, want master/worker under pids 1/2", names)
+	}
+	if flowS == nil || flowF == nil {
+		t.Fatal("merged trace lacks the s/f flow pair")
+	}
+	if flowS.Pid != 1 || flowF.Pid != 2 || flowS.ID != flowF.ID {
+		t.Errorf("flow pair = %+v / %+v, want master→worker with shared id", flowS, flowF)
+	}
+	if !strings.Contains(flowS.Name, "fleet.link") {
+		t.Errorf("flow name = %q, want fleet.link", flowS.Name)
+	}
+}
+
+func TestMergeAlignsClocks(t *testing.T) {
+	// Hand-built inputs with controlled anchors: process B started
+	// 1500us after process A, so B's spans shift right by 1500us.
+	a := &ChromeTrace{TraceEvents: []ChromeEvent{
+		{Ph: "M", Pid: 1, Name: "clock_sync", Args: map[string]interface{}{"epoch_us": float64(1_000_000)}},
+		{Ph: "X", Pid: 1, Tid: 1, Ts: 100, Dur: 50, Name: "a"},
+	}}
+	b := &ChromeTrace{TraceEvents: []ChromeEvent{
+		{Ph: "M", Pid: 1, Name: "clock_sync", Args: map[string]interface{}{"epoch_us": float64(1_001_500)}},
+		{Ph: "X", Pid: 1, Tid: 1, Ts: 100, Dur: 50, Name: "b"},
+	}}
+	var out bytes.Buffer
+	if _, err := MergeChromeTraces(&out, []*ChromeTrace{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	merged, err := ParseChromeTrace(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := map[string]float64{}
+	for _, e := range merged.TraceEvents {
+		if e.Ph == "X" {
+			ts[e.Name] = e.Ts
+		}
+	}
+	if ts["a"] != 100 {
+		t.Errorf("earliest process shifted: ts = %v, want 100", ts["a"])
+	}
+	if ts["b"] != 1600 {
+		t.Errorf("later process ts = %v, want 1600 (100 + 1500 epoch skew)", ts["b"])
+	}
+}

@@ -28,6 +28,7 @@ import (
 // how the trace viewer nests them.
 type Tracer struct {
 	start time.Time
+	proc  string
 	tids  atomic.Int64
 
 	mu     sync.Mutex
@@ -36,6 +37,14 @@ type Tracer struct {
 
 // NewTracer returns an empty tracer whose clock starts now.
 func NewTracer() *Tracer { return &Tracer{start: time.Now()} }
+
+// NewProcessTracer returns a tracer whose Chrome-trace process is
+// labeled name. MergeChromeTraces keys stitched processes on the
+// label, so fleet binaries name themselves (e.g. "vbenchd-master",
+// "worker-w1") to stay distinguishable in one merged timeline.
+func NewProcessTracer(name string) *Tracer {
+	return &Tracer{start: time.Now(), proc: name}
+}
 
 // traceEvent is one completed span, in the tracer's clock domain.
 type traceEvent struct {
@@ -82,6 +91,25 @@ func (s *Span) Child(name string) *Span {
 	}
 	return &Span{t: s.t, name: name, tid: s.tid, start: time.Now()}
 }
+
+// Span-identity argument keys used for cross-process stitching: a
+// span that sets ArgSpanID can be named as the parent of spans in
+// other processes' traces via ArgParentID, and MergeChromeTraces
+// resolves the links when it stitches the files together.
+const (
+	ArgSpanID   = "span_id"
+	ArgParentID = "parent_span_id"
+)
+
+// SetID assigns the span a stitchable identity. IDs must be unique
+// across every process contributing to one merged trace; the fleet
+// derives them from (job, attempt), which the master allocates.
+func (s *Span) SetID(id string) { s.Arg(ArgSpanID, id) }
+
+// SetParent names the span's parent by the ID another process (or
+// this one) assigned with SetID. The link is resolved at merge time;
+// an unknown parent makes the span an orphan in the merge stats.
+func (s *Span) SetParent(id string) { s.Arg(ArgParentID, id) }
 
 // Arg annotates the span. Safe on a nil span. Arguments appear in the
 // trace viewer in the order they were added.
@@ -135,9 +163,21 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	copy(events, t.events)
 	t.mu.Unlock()
 
+	proc := t.proc
+	if proc == "" {
+		proc = "vbench"
+	}
+	procJSON, err := json.Marshal(proc)
+	if err != nil {
+		return err
+	}
 	bw := &errWriter{w: w}
 	bw.printf(`{"displayTimeUnit":"ms","traceEvents":[`)
-	bw.printf(`{"ph":"M","pid":1,"name":"process_name","args":{"name":"vbench"}}`)
+	bw.printf(`{"ph":"M","pid":1,"name":"process_name","args":{"name":%s}}`, procJSON)
+	// clock_sync anchors the tracer's relative timestamps to the wall
+	// clock, which is what lets the merge step align traces recorded
+	// by different processes onto one timeline.
+	bw.printf(",\n{\"ph\":\"M\",\"pid\":1,\"name\":\"clock_sync\",\"args\":{\"epoch_us\":%d}}", t.start.UnixMicro())
 	for _, e := range events {
 		name, err := json.Marshal(e.name)
 		if err != nil {

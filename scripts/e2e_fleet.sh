@@ -38,6 +38,7 @@ VBD="$WORK/vbenchd"
 echo "e2e: starting master"
 "$VBD" master -addr 127.0.0.1:0 -addr-file "$WORK/addr" \
     -lease-ttl 2s -backoff 100ms -sweep 200ms -max-attempts 5 \
+    -trace "$WORK/master-trace.json" \
     2>"$WORK/master.log" &
 MASTER_PID=$!
 for _ in $(seq 100); do [ -s "$WORK/addr" ] && break; sleep 0.1; done
@@ -45,10 +46,14 @@ for _ in $(seq 100); do [ -s "$WORK/addr" ] && break; sleep 0.1; done
 MASTER="http://$(cat "$WORK/addr")"
 echo "e2e: master at $MASTER"
 
+# Both workers trace; workerB is SIGKILLed below, so only workerA's
+# trace file ever appears — the merge asserts on exactly 2 processes.
 "$VBD" worker -master "$MASTER" -id workerA -poll 25ms -heartbeat 500ms \
+    -trace "$WORK/workerA-trace.json" \
     2>"$WORK/workerA.log" &
 WA_PID=$!
 "$VBD" worker -master "$MASTER" -id workerB -poll 25ms -heartbeat 500ms \
+    -trace "$WORK/workerB-trace.json" \
     2>"$WORK/workerB.log" &
 WB_PID=$!
 
@@ -61,6 +66,21 @@ WB_PID=$!
     -scale 16 -duration 0.2 -qp 30 -tag encode
 
 sleep 0.8   # both workers are now mid-lease on the long noops
+
+# Live ops surface, mid-run: /status must serve its fixed schema with
+# both workers visible, and /metrics must serve the text exposition.
+STATUS=$(curl -fsS "$MASTER/status")
+echo "$STATUS" | jq -e '.uptime_seconds >= 0 and (.leases | type == "array")
+    and ([.workers[].id] | contains(["workerA", "workerB"]))
+    and .timeline_events > 0' >/dev/null \
+    || { echo "e2e: FAIL — /status schema: $STATUS"; exit 1; }
+curl -fsS "$MASTER/metrics" | head -1 | grep -q '^# counters$' \
+    || { echo "e2e: FAIL — /metrics is not the text exposition"; exit 1; }
+"$VBD" status -master "$MASTER" >"$WORK/status.txt" \
+    || { echo "e2e: FAIL — vbenchd status"; exit 1; }
+grep -q '^master up ' "$WORK/status.txt" \
+    || { echo "e2e: FAIL — status rendering"; exit 1; }
+
 echo "e2e: SIGKILL workerB (pid $WB_PID) mid-lease"
 kill -9 "$WB_PID"
 
@@ -86,4 +106,19 @@ echo "e2e: draining workerA and master"
 kill -TERM "$WA_PID"; wait "$WA_PID"
 kill -TERM "$MASTER_PID"; wait "$MASTER_PID" || true
 
-echo "e2e: PASS — $JOBS jobs done exactly once through a worker kill"
+# Stitch the surviving trace files. The SIGKILLed workerB never wrote
+# one, so the merge covers exactly the master + workerA processes; it
+# must resolve at least one cross-process lease→execute link and leave
+# no orphans (every execution span's lease span is in the master file).
+[ -s "$WORK/master-trace.json" ] || { echo "e2e: FAIL — master wrote no trace"; exit 1; }
+[ -s "$WORK/workerA-trace.json" ] || { echo "e2e: FAIL — workerA wrote no trace"; exit 1; }
+[ ! -e "$WORK/workerB-trace.json" ] || { echo "e2e: FAIL — killed workerB left a trace"; exit 1; }
+"$VBD" trace -o "$WORK/merged-trace.json" \
+    -min-processes 2 -min-links 1 -max-orphans 0 \
+    "$WORK/master-trace.json" "$WORK/workerA-trace.json" \
+    || { echo "e2e: FAIL — trace stitch"; exit 1; }
+jq -e '[.traceEvents[] | select(.ph == "X")] | length > 0' \
+    "$WORK/merged-trace.json" >/dev/null \
+    || { echo "e2e: FAIL — merged trace is not valid JSON with spans"; exit 1; }
+
+echo "e2e: PASS — $JOBS jobs done exactly once through a worker kill, trace stitched across 2 processes"
