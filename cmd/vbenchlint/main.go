@@ -1,5 +1,6 @@
 // Command vbenchlint runs the repository's static analyzers
-// (detorder, spanpair, metricname, lockflow — see docs/LINT.md).
+// (detorder, hotalloc, leakgo, lockflow, locksafe, metricname,
+// spanpair, statemachine — see docs/LINT.md).
 //
 // It speaks two protocols:
 //
@@ -8,17 +9,22 @@
 //     file argument; this is what `make lint` uses and what keeps
 //     results cached per package.
 //
-//   - Standalone: `vbenchlint [-tags list] [-only names] [patterns]`
-//     loads the packages itself (via `go list -export`) and checks
-//     them in one process. Defaults to ./... in the current module.
+//   - Standalone: `vbenchlint [-tags list] [-only names] [-json]
+//     [patterns]` loads the packages itself (via `go list -export`)
+//     and checks them in one process. Defaults to ./... in the
+//     current module. With -json, diagnostics go to stdout as one
+//     sorted array of {file, line, col, analyzer, message} objects
+//     (CI uploads this as a build artifact).
 //
 // Exit status: 0 clean, 2 findings reported, 1 internal error —
 // matching go vet.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -53,6 +59,7 @@ func run(args []string) int {
 	tags := fs.String("tags", "", "build tags, passed to go list")
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := fs.Bool("list", false, "list the available analyzers and exit")
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array on stdout (always an array, [] when clean)")
 	if err := fs.Parse(args); err != nil {
 		return 1
 	}
@@ -103,11 +110,46 @@ func run(args []string) int {
 		fmt.Fprintf(os.Stderr, "vbenchlint: %v\n", err)
 		return 1
 	}
+	if *jsonOut {
+		if err := writeJSON(os.Stdout, diags); err != nil {
+			fmt.Fprintf(os.Stderr, "vbenchlint: %v\n", err)
+			return 1
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+		}
+	}
 	if len(diags) == 0 {
 		return 0
 	}
-	for _, d := range diags {
-		fmt.Fprintln(os.Stderr, d)
-	}
 	return 2
+}
+
+// jsonDiag is the machine-readable form of one finding. The fields
+// and their order are a stable interface for CI artifact consumers.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// writeJSON emits the diagnostics (already position-sorted by
+// analysis.Run) as one indented JSON array.
+func writeJSON(w io.Writer, diags []analysis.Diagnostic) error {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }

@@ -1082,6 +1082,8 @@ func (fe *frameEncoder) codeChroma(cand *mbCand, p int, pred []uint8, resid []in
 }
 
 // gatherBlock copies an n×n sub-block out of a stride-w region.
+//
+//vbench:noalloc
 func gatherBlock(src []int32, w, ox, oy, n int, dst []int32) {
 	for y := 0; y < n; y++ {
 		copy(dst[y*n:(y+1)*n], src[(oy+y)*w+ox:(oy+y)*w+ox+n])
@@ -1089,6 +1091,8 @@ func gatherBlock(src []int32, w, ox, oy, n int, dst []int32) {
 }
 
 // scatterBlock copies an n×n sub-block back into a stride-w region.
+//
+//vbench:noalloc
 func scatterBlock(dst []int32, w, ox, oy, n int, src []int32) {
 	for y := 0; y < n; y++ {
 		copy(dst[(oy+y)*w+ox:(oy+y)*w+ox+n], src[y*n:(y+1)*n])
@@ -1096,6 +1100,8 @@ func scatterBlock(dst []int32, w, ox, oy, n int, src []int32) {
 }
 
 // composeRecon writes clip(pred + residual) into dst.
+//
+//vbench:noalloc
 func composeRecon(dst []uint8, pred []uint8, res []int32, n int) {
 	for i := 0; i < n; i++ {
 		v := int32(pred[i]) + res[i]

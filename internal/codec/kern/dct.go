@@ -30,6 +30,8 @@ func roundShift(v int64, shift uint) int64 {
 // FwdDCT4 applies the 4×4 forward DCT to src (row-major residual) and
 // writes Q3 coefficients to dst. src and dst may alias; both must
 // hold at least 16 elements.
+//
+//vbench:noalloc
 func FwdDCT4(src, dst []int32) {
 	s := (*[16]int32)(src)
 	d := (*[16]int32)(dst)
@@ -59,6 +61,8 @@ func FwdDCT4(src, dst []int32) {
 
 // InvDCT4 applies the 4×4 inverse DCT to Q3 coefficients in src and
 // writes the reconstructed residual to dst. src and dst may alias.
+//
+//vbench:noalloc
 func InvDCT4(src, dst []int32) {
 	s := (*[16]int32)(src)
 	d := (*[16]int32)(dst)
@@ -130,6 +134,8 @@ func inv8(c0, c1, c2, c3, c4, c5, c6, c7 int64, out *[8]int64) {
 }
 
 // FwdDCT8 applies the 8×8 forward DCT; see FwdDCT4.
+//
+//vbench:noalloc
 func FwdDCT8(src, dst []int32) {
 	s := (*[64]int32)(src)
 	d := (*[64]int32)(dst)
@@ -151,6 +157,8 @@ func FwdDCT8(src, dst []int32) {
 }
 
 // InvDCT8 applies the 8×8 inverse DCT; see InvDCT4.
+//
+//vbench:noalloc
 func InvDCT8(src, dst []int32) {
 	s := (*[64]int32)(src)
 	d := (*[64]int32)(dst)

@@ -25,6 +25,8 @@ func bilerpLanes(a, b, c, d, w00, w10, w01, w11, rlanes uint64, shift uint) uint
 // rows of bw+1 samples with stride refStride); dst uses dstStride.
 // w00..w11 are the bilinear weights, with rounding term round and
 // right shift.
+//
+//vbench:noalloc
 func PredictBilinear(dst []uint8, dstStride int, ref []uint8, refStride int, w00, w10, w01, w11, round int, shift uint, bw, bh int) {
 	u00, u10, u01, u11 := uint64(w00), uint64(w10), uint64(w01), uint64(w11)
 	rlanes := uint64(round) * laneOnes
@@ -60,6 +62,8 @@ func PredictBilinear(dst []uint8, dstStride int, ref []uint8, refStride int, w00
 // and shift parameters follow PredictBilinear. The interpolated
 // samples are never materialized, saving a store/reload round trip
 // per sub-pel motion candidate.
+//
+//vbench:noalloc
 func BilinearSADThresh(cur []uint8, curStride int, ref []uint8, refStride int, w00, w10, w01, w11, round int, shift uint, bw, bh int, thresh int64) (sad int64, early bool) {
 	if thresh <= 0 {
 		return 0, true

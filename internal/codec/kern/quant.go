@@ -53,6 +53,8 @@ func QuantDivFallbacks() int64 { return quantDivFallbacks.Load() }
 // dz is the deadzone rounding offset in 1/64ths of the step. Returns
 // whether any level is nonzero. Results are bit-identical to
 // transform.Quantize followed by transform.Scan.
+//
+//vbench:noalloc
 func QuantScan(coeffs, zz []int32, scan []int, qp int, dz int64) bool {
 	t := &quantTabs[qp]
 	offset := uint64(t.step * dz / 64)

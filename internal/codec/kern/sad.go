@@ -16,6 +16,8 @@ const flushChunks = 24
 // indexed with their own row strides. Both blocks must lie fully
 // inside their backing planes (no edge clamping — callers handle the
 // clamped slow path).
+//
+//vbench:noalloc
 func SAD(a []uint8, aStride int, b []uint8, bStride int, w, h int) int64 {
 	var sum int64
 	var acc uint64
@@ -64,6 +66,8 @@ func SAD(a []uint8, aStride int, b []uint8, bStride int, w, h int) int64 {
 // runs and platforms; callers that compare the result against a best
 // cost derived from thresh observe exactly the same outcome as with a
 // full SAD, because an aborted value can never win the comparison.
+//
+//vbench:noalloc
 func SADThresh(a []uint8, aStride int, b []uint8, bStride int, w, h int, thresh int64) (sad int64, early bool) {
 	if thresh <= 0 {
 		return 0, true

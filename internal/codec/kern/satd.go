@@ -50,6 +50,8 @@ func satd4(r []int32, stride int) int64 {
 
 // SATD4 computes the Hadamard SATD of a packed 4×4 residual block
 // (16 contiguous samples).
+//
+//vbench:noalloc
 func SATD4(res []int32) int64 {
 	return satd4(res, 4)
 }
@@ -57,6 +59,8 @@ func SATD4(res []int32) int64 {
 // SATD computes the Hadamard SATD of a w×h residual region (both
 // multiples of 4) stored row-major with stride w, without copying
 // 4×4 sub-blocks.
+//
+//vbench:noalloc
 func SATD(res []int32, w, h int) int64 {
 	var total int64
 	for by := 0; by < h; by += 4 {

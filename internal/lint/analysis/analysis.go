@@ -52,6 +52,25 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
 }
 
+// Fact is one function-level observation an analyzer exported via
+// ExportFunctionFact. Facts are not findings: they describe what the
+// analyzer derived about a declaration (locksafe's acquisition-order
+// edges, hotalloc's recognized annotations) and exist so tests can
+// assert the derived model even when no diagnostic fires. They are
+// positioned at the function's declaration and never suppressed.
+type Fact struct {
+	Pos      token.Position
+	Analyzer string
+	// Object is the function's full name (types.Func.FullName).
+	Object string
+	Text   string
+}
+
+// String renders the fact as file:line:col: object: text [analyzer].
+func (f Fact) String() string {
+	return fmt.Sprintf("%s: %s: %s [%s]", f.Pos, f.Object, f.Text, f.Analyzer)
+}
+
 // Pass carries one type-checked package through one analyzer.
 type Pass struct {
 	Analyzer  *Analyzer
@@ -63,6 +82,7 @@ type Pass struct {
 	// suppressed maps file:line to the analyzer names ignored there.
 	suppressed map[string][]string
 	diags      *[]Diagnostic
+	facts      *[]Fact
 }
 
 // Reportf records a finding at pos unless a //lint:ignore directive
@@ -92,6 +112,21 @@ func (p *Pass) isSuppressed(pos token.Position) bool {
 
 func suppressKey(file string, line int) string {
 	return fmt.Sprintf("%s:%d", file, line)
+}
+
+// ExportFunctionFact records a function-level fact for fn; see Fact.
+// The fact is positioned at fn's declaration so the analysistest
+// runner can match it against a // want directive on that line.
+func (p *Pass) ExportFunctionFact(fn *types.Func, format string, args ...interface{}) {
+	if fn == nil || p.facts == nil {
+		return
+	}
+	*p.facts = append(*p.facts, Fact{
+		Pos:      p.Fset.Position(fn.Pos()),
+		Analyzer: p.Analyzer.Name,
+		Object:   fn.FullName(),
+		Text:     fmt.Sprintf(format, args...),
+	})
 }
 
 // ignoreDirective matches "lint:ignore <names> <reason>" inside a
@@ -131,7 +166,15 @@ type Package struct {
 // Run applies each analyzer to each package and returns every
 // surviving (non-suppressed) diagnostic, sorted by position.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, err := RunAll(pkgs, analyzers)
+	return diags, err
+}
+
+// RunAll is Run plus the function-level facts the analyzers exported,
+// sorted by position then analyzer then text.
+func RunAll(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []Fact, error) {
 	var diags []Diagnostic
+	var facts []Fact
 	for _, pkg := range pkgs {
 		idx := suppressionIndex(pkg.Fset, pkg.Files)
 		for _, a := range analyzers {
@@ -143,9 +186,10 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				TypesInfo:  pkg.TypesInfo,
 				suppressed: idx,
 				diags:      &diags,
+				facts:      &facts,
 			}
 			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.PkgPath, err)
+				return nil, nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.PkgPath, err)
 			}
 		}
 	}
@@ -162,7 +206,20 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags, nil
+	sort.Slice(facts, func(i, j int) bool {
+		a, b := facts[i], facts[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Text < b.Text
+	})
+	return diags, facts, nil
 }
 
 // CalleeFunc resolves the static callee of call, or nil when the

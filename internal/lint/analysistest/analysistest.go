@@ -12,6 +12,17 @@
 // Every want pattern must match a diagnostic reported on that line,
 // every diagnostic must be matched by a want, and suppressed
 // diagnostics (//lint:ignore) count as unreported.
+//
+// Function-level facts (analysis.Pass.ExportFunctionFact) are
+// asserted with the qualified form on the line of the function's
+// declaration:
+//
+//	func f() { // want locksafe:"acquires b while holding a"
+//
+// where the identifier names the exporting analyzer and the regexp
+// must match the fact text. Fact directives that match nothing are
+// errors; facts without a directive are not (facts are a derived
+// model, asserted only where a test cares).
 package analysistest
 
 import (
@@ -25,9 +36,19 @@ import (
 	"vbench/internal/lint/analysis"
 )
 
+// TB is the subset of testing.T the runner needs; it exists so the
+// runner itself is unit-testable against a recording fake.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...interface{})
+	Fatalf(format string, args ...interface{})
+}
+
+var _ TB = (*testing.T)(nil)
+
 // TestData returns the absolute path of the calling test's
 // testdata/src module.
-func TestData(t *testing.T) string {
+func TestData(t TB) string {
 	t.Helper()
 	dir, err := filepath.Abs(filepath.Join("testdata", "src"))
 	if err != nil {
@@ -37,8 +58,8 @@ func TestData(t *testing.T) string {
 }
 
 // Run loads every package under dir and applies the analyzer,
-// comparing diagnostics against the // want expectations.
-func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+// comparing diagnostics and facts against the // want expectations.
+func Run(t TB, dir string, a *analysis.Analyzer) {
 	t.Helper()
 	pkgs, err := analysis.Load(dir, nil, "./...")
 	if err != nil {
@@ -47,7 +68,7 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 	if len(pkgs) == 0 {
 		t.Fatalf("analysistest: no packages under %s", dir)
 	}
-	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
+	diags, facts, err := analysis.RunAll(pkgs, []*analysis.Analyzer{a})
 	if err != nil {
 		t.Fatalf("analysistest: running %s: %v", a.Name, err)
 	}
@@ -60,6 +81,11 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 	for _, d := range diags {
 		k := key{d.Pos.Filename, d.Pos.Line}
 		pending[k] = append(pending[k], d)
+	}
+	factsAt := map[key][]analysis.Fact{}
+	for _, f := range facts {
+		k := key{f.Pos.Filename, f.Pos.Line}
+		factsAt[k] = append(factsAt[k], f)
 	}
 
 	for _, pkg := range pkgs {
@@ -77,15 +103,21 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 					pos := pkg.Fset.Position(c.Pos())
 					k := key{pos.Filename, pos.Line}
 					for _, pat := range patterns {
-						re, err := regexp.Compile(pat)
+						re, err := regexp.Compile(pat.re)
 						if err != nil {
-							t.Errorf("%s: bad want pattern %q: %v", pos, pat, err)
+							t.Errorf("%s: bad want pattern %q: %v", pos, pat.re, err)
+							continue
+						}
+						if pat.analyzer != "" {
+							if !matchFact(factsAt[k], pat.analyzer, re) {
+								t.Errorf("%s: no %s fact matching %q", pos, pat.analyzer, pat.re)
+							}
 							continue
 						}
 						if i := matchDiag(pending[k], re); i >= 0 {
 							pending[k] = append(pending[k][:i], pending[k][i+1:]...)
 						} else {
-							t.Errorf("%s: no diagnostic matching %q", pos, pat)
+							t.Errorf("%s: no diagnostic matching %q", pos, pat.re)
 						}
 					}
 				}
@@ -108,16 +140,54 @@ func matchDiag(diags []analysis.Diagnostic, re *regexp.Regexp) int {
 	return -1
 }
 
-// wantPatterns extracts the quoted regexps from a "// want ..."
+func matchFact(facts []analysis.Fact, analyzer string, re *regexp.Regexp) bool {
+	for _, f := range facts {
+		if f.Analyzer == analyzer && re.MatchString(f.Text) {
+			return true
+		}
+	}
+	return false
+}
+
+// wantPattern is one expectation: a plain diagnostic regexp, or a
+// fact regexp qualified by the exporting analyzer's name.
+type wantPattern struct {
+	analyzer string // "" for a diagnostic pattern
+	re       string
+}
+
+// wantPatterns extracts the expectations from a "// want ..."
 // comment, or returns nil when the comment is not a want directive.
-func wantPatterns(comment string) ([]string, error) {
+// The directive may also be embedded at the end of another comment
+// ("//some:directive // want ..."), for lines where the flagged
+// construct is itself a comment.
+func wantPatterns(comment string) ([]wantPattern, error) {
 	text := strings.TrimSpace(strings.TrimPrefix(comment, "//"))
-	if !strings.HasPrefix(text, "want ") {
+	var rest string
+	if strings.HasPrefix(text, "want ") {
+		rest = strings.TrimSpace(strings.TrimPrefix(text, "want"))
+	} else if i := strings.Index(text, "// want "); i >= 0 {
+		rest = strings.TrimSpace(text[i+len("// want "):])
+	} else {
 		return nil, nil
 	}
-	rest := strings.TrimSpace(strings.TrimPrefix(text, "want"))
-	var patterns []string
+	var patterns []wantPattern
+	quoted := func(s string) bool {
+		return strings.HasPrefix(s, `"`) || strings.HasPrefix(s, "`")
+	}
 	for rest != "" {
+		var p wantPattern
+		if !quoted(rest) {
+			colon := strings.IndexByte(rest, ':')
+			if colon <= 0 || !isIdent(rest[:colon]) {
+				return nil, fmt.Errorf("malformed want directive at %q", rest)
+			}
+			p.analyzer = rest[:colon]
+			rest = rest[colon+1:]
+			if !quoted(rest) {
+				return nil, fmt.Errorf("want fact %s: expected quoted pattern at %q", p.analyzer, rest)
+			}
+		}
 		q, err := strconv.QuotedPrefix(rest)
 		if err != nil {
 			return nil, fmt.Errorf("malformed want directive at %q", rest)
@@ -126,11 +196,27 @@ func wantPatterns(comment string) ([]string, error) {
 		if err != nil {
 			return nil, fmt.Errorf("unquoting %q: %v", q, err)
 		}
-		patterns = append(patterns, unq)
+		p.re = unq
+		patterns = append(patterns, p)
 		rest = strings.TrimSpace(rest[len(q):])
 	}
 	if len(patterns) == 0 {
 		return nil, fmt.Errorf("want directive with no patterns")
 	}
 	return patterns, nil
+}
+
+func isIdent(s string) bool {
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return s != ""
 }

@@ -1,0 +1,138 @@
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vbench/internal/lint/analysis"
+)
+
+// toy flags every call to a function literally named "bad" and
+// exports a "marked <name>" fact for every Fact* function — just
+// enough surface to exercise diagnostic matching, suppression, and
+// fact directives in the runner.
+var toy = &analysis.Analyzer{
+	Name: "toy",
+	Doc:  "test analyzer for the analysistest runner",
+	Run: func(pass *analysis.Pass) error {
+		for _, file := range pass.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if strings.HasPrefix(fd.Name.Name, "Fact") {
+					if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+						pass.ExportFunctionFact(fn, "marked %s", fd.Name.Name)
+					}
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "bad" {
+						pass.Reportf(call.Pos(), "call to bad")
+					}
+					return true
+				})
+			}
+		}
+		return nil
+	},
+}
+
+// fakeTB records runner output instead of failing the real test.
+type fakeTB struct {
+	errs  []string
+	fatal string
+}
+
+type fatalSentinel struct{ msg string }
+
+func (f *fakeTB) Helper() {}
+func (f *fakeTB) Errorf(format string, args ...interface{}) {
+	f.errs = append(f.errs, fmt.Sprintf(format, args...))
+}
+func (f *fakeTB) Fatalf(format string, args ...interface{}) {
+	f.fatal = fmt.Sprintf(format, args...)
+	panic(fatalSentinel{f.fatal})
+}
+
+// runWith invokes Run, absorbing a Fatalf panic the way testing.T
+// absorbs runtime.Goexit.
+func runWith(fake *fakeTB, dir string, a *analysis.Analyzer) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(fatalSentinel); !ok {
+				panic(r)
+			}
+		}
+	}()
+	Run(fake, dir, a)
+}
+
+func TestRunnerAcceptsCorrectExpectations(t *testing.T) {
+	fake := &fakeTB{}
+	runWith(fake, TestData(t), toy)
+	if fake.fatal != "" {
+		t.Fatalf("runner aborted: %s", fake.fatal)
+	}
+	if len(fake.errs) != 0 {
+		t.Fatalf("runner reported errors on a correct module:\n%s", strings.Join(fake.errs, "\n"))
+	}
+}
+
+func TestRunnerReportsMismatches(t *testing.T) {
+	dir, err := filepath.Abs(filepath.Join("testdata", "mismatch", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fake := &fakeTB{}
+	runWith(fake, dir, toy)
+	if fake.fatal != "" {
+		t.Fatalf("runner aborted: %s", fake.fatal)
+	}
+	all := strings.Join(fake.errs, "\n")
+	for _, want := range []string{
+		"unexpected diagnostic",        // unreported() finding with no want
+		`no diagnostic matching "call`, // overclaimed() want never fires
+		`no toy fact matching "marked`, // wrongFact() fact directive unmet
+	} {
+		if !strings.Contains(all, want) {
+			t.Errorf("runner did not report %q; got:\n%s", want, all)
+		}
+	}
+	if len(fake.errs) != 3 {
+		t.Errorf("runner reported %d errors, want 3:\n%s", len(fake.errs), all)
+	}
+}
+
+func TestWantPatternParsing(t *testing.T) {
+	pats, err := wantPatterns(`// want "plain" toy:"a fact" "second"`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	want := []wantPattern{{"", "plain"}, {"toy", "a fact"}, {"", "second"}}
+	if len(pats) != len(want) {
+		t.Fatalf("got %d patterns, want %d", len(pats), len(want))
+	}
+	for i := range want {
+		if pats[i] != want[i] {
+			t.Errorf("pattern %d = %+v, want %+v", i, pats[i], want[i])
+		}
+	}
+	if _, err := wantPatterns(`// want 123:"x"`); err == nil {
+		t.Errorf("numeric analyzer name accepted")
+	}
+	if _, err := wantPatterns(`// want toy:unquoted`); err == nil {
+		t.Errorf("unquoted fact pattern accepted")
+	}
+	if pats, err := wantPatterns(`// not a want`); pats != nil || err != nil {
+		t.Errorf("non-directive comment misparsed: %v %v", pats, err)
+	}
+}

@@ -1,0 +1,3 @@
+module lint.mismatch
+
+go 1.22

@@ -1,0 +1,22 @@
+// Package m holds deliberate expectation mismatches; the runner unit
+// test asserts each one is reported.
+package m
+
+func bad() {}
+
+func ok() {}
+
+// unreported has a finding with no want directive.
+func unreported() {
+	bad()
+}
+
+// overclaimed wants a diagnostic that never fires.
+func overclaimed() {
+	ok() // want "call to bad"
+}
+
+// wrongFact wants a fact the toy analyzer never exports here.
+func wrongFact() { // want toy:"marked wrongFact"
+	ok()
+}

@@ -1,0 +1,3 @@
+module lint.test
+
+go 1.22

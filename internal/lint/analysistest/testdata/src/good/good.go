@@ -1,0 +1,27 @@
+// Package good exercises the analysistest runner itself against the
+// toy analyzer defined in analysistest_test.go: calls to bad() are
+// diagnostics, and functions named Fact* export a "marked <name>"
+// function-level fact.
+package good
+
+func bad() {}
+
+func ok() {}
+
+func flagged() {
+	bad() // want "call to bad"
+	ok()
+}
+
+func suppressed() {
+	//lint:ignore toy the call is deliberate here
+	bad()
+}
+
+func FactCarrier() { // want toy:"marked FactCarrier"
+	ok()
+}
+
+func FactAndDiag() { // want toy:"marked FactAndDiag"
+	bad() // want "call to bad"
+}

@@ -1,0 +1,235 @@
+// Package hotalloc enforces the //vbench:noalloc function annotation:
+// the static complement to the runtime ALLOC_BUDGET.json harness. A
+// function carrying the directive in its doc comment promises to do
+// no heap allocation per call — the contract of the arena-backed
+// encode paths in internal/codec and the kern kernels — and the
+// analyzer flags the constructs that break that promise:
+//
+//   - make and new
+//   - slice and map composite literals, and &lit escapes
+//   - append (its growth path reallocates; preallocate capacity and
+//     index instead, or prove capacity and suppress)
+//   - function literals (closures allocate their captures)
+//   - interface boxing: passing or assigning a non-word-sized
+//     concrete value where an interface is expected (fmt helpers are
+//     the classic offender on hot paths)
+//
+// The check is syntactic and deliberately conservative: escape
+// analysis might well keep a given composite literal on the stack,
+// but a //vbench:noalloc function is exactly the place where "might"
+// is not good enough. Use //lint:ignore hotalloc with a reason for
+// the cases you have proven cold or non-escaping.
+//
+// Every recognized annotation is exported as a "noalloc" function
+// fact, and a directive that is not a function's doc comment is
+// itself a finding (a misplaced annotation silently guards nothing).
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"vbench/internal/lint/analysis"
+)
+
+// Directive is the annotation marking a zero-allocation function.
+const Directive = "//vbench:noalloc"
+
+// Analyzer is the hotalloc pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "enforces //vbench:noalloc: no make/new, composite-literal, append, closure, or interface boxing in annotated functions",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		docs := map[*ast.CommentGroup]bool{}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fd.Doc != nil {
+				docs[fd.Doc] = true
+			}
+			if fd.Doc == nil || !hasDirective(fd.Doc) {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				pass.ExportFunctionFact(fn, "noalloc")
+			}
+			if fd.Body != nil {
+				checkBody(pass, fd.Body)
+			}
+		}
+		// A directive anywhere but a function doc comment guards
+		// nothing; flag it so it cannot rot silently.
+		for _, cg := range file.Comments {
+			if docs[cg] {
+				continue
+			}
+			for _, c := range cg.List {
+				if isDirective(c.Text) {
+					pass.Reportf(c.Pos(), "%s must be part of a function's doc comment", Directive)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func hasDirective(doc *ast.CommentGroup) bool {
+	for _, c := range doc.List {
+		if isDirective(c.Text) {
+			return true
+		}
+	}
+	return false
+}
+
+func isDirective(text string) bool {
+	return text == Directive || strings.HasPrefix(text, Directive+" ")
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure allocates its captures in a %s function", Directive)
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "address of composite literal escapes to the heap in a %s function", Directive)
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			if tv, ok := pass.TypesInfo.Types[n]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice:
+					pass.Reportf(n.Pos(), "slice literal allocates in a %s function", Directive)
+				case *types.Map:
+					pass.Reportf(n.Pos(), "map literal allocates in a %s function", Directive)
+				}
+			}
+		case *ast.CallExpr:
+			checkCall(pass, n)
+		case *ast.AssignStmt:
+			if n.Tok == token.ASSIGN {
+				for i, lhs := range n.Lhs {
+					if i < len(n.Rhs) {
+						checkBoxing(pass, typeOf(pass, lhs), n.Rhs[i])
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if n.Type != nil {
+				if tv, ok := pass.TypesInfo.Types[n.Type]; ok {
+					for _, v := range n.Values {
+						checkBoxing(pass, tv.Type, v)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				pass.Reportf(call.Pos(), "make allocates in a %s function; use a preallocated buffer or the arena", Directive)
+			case "new":
+				pass.Reportf(call.Pos(), "new allocates in a %s function; use a preallocated value", Directive)
+			case "append":
+				pass.Reportf(call.Pos(), "append may grow its backing array in a %s function; preallocate capacity and index", Directive)
+			}
+			return
+		}
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return
+	}
+	if tv.IsType() {
+		// Explicit conversion: T(x) boxes when T is an interface.
+		if len(call.Args) == 1 {
+			checkBoxing(pass, tv.Type, call.Args[0])
+		}
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		if call.Ellipsis.IsValid() && i == len(call.Args)-1 {
+			break // s... passes the slice through, no per-element boxing
+		}
+		checkBoxing(pass, paramType(sig, i), arg)
+	}
+}
+
+// paramType returns the type of argument i, unrolling the variadic
+// tail.
+func paramType(sig *types.Signature, i int) types.Type {
+	params := sig.Params()
+	if params == nil {
+		return nil
+	}
+	if sig.Variadic() && i >= params.Len()-1 {
+		if s, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+			return s.Elem()
+		}
+		return nil
+	}
+	if i >= params.Len() {
+		return nil
+	}
+	return params.At(i).Type()
+}
+
+// checkBoxing flags storing a non-word-sized concrete value into an
+// interface-typed destination.
+func checkBoxing(pass *analysis.Pass, dst types.Type, src ast.Expr) {
+	if dst == nil || !types.IsInterface(dst) {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[src]
+	if !ok || tv.Type == nil {
+		return
+	}
+	st := tv.Type
+	if types.IsInterface(st) {
+		return // interface-to-interface copies the header
+	}
+	switch st.Underlying().(type) {
+	case *types.Basic:
+		if st.Underlying().(*types.Basic).Kind() == types.UntypedNil {
+			return
+		}
+	case *types.Pointer, *types.Chan, *types.Signature:
+		return // word-sized: the interface data word holds it directly
+	case *types.Map:
+		return
+	}
+	pass.Reportf(src.Pos(), "value of type %s boxes into an interface in a %s function", types.TypeString(st, types.RelativeTo(pass.Pkg)), Directive)
+}
+
+func typeOf(pass *analysis.Pass, expr ast.Expr) types.Type {
+	if tv, ok := pass.TypesInfo.Types[expr]; ok {
+		return tv.Type
+	}
+	if id, ok := ast.Unparen(expr).(*ast.Ident); ok {
+		if obj := pass.TypesInfo.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}

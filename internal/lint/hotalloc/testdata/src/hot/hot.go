@@ -1,0 +1,82 @@
+// Package hot exercises hotalloc: every allocating construct inside
+// a //vbench:noalloc function is flagged, unannotated functions are
+// untouched, and a misplaced directive is itself a finding.
+package hot
+
+type block struct{ a, b int }
+
+func sink(v interface{})         {}
+func variadic(vs ...interface{}) {}
+func use(interface{})            {}
+
+// Makes allocates all over; each site is flagged.
+//
+//vbench:noalloc
+func Makes(n int) { // want hotalloc:"noalloc"
+	s := make([]int, n)    // want "make allocates"
+	p := new(block)        // want "new allocates"
+	s = append(s, 1)       // want "append may grow its backing array"
+	l := []int{1, 2}       // want "slice literal allocates"
+	m := map[int]int{1: 2} // want "map literal allocates"
+	q := &block{1, 2}      // want "address of composite literal escapes"
+	_, _, _, _, _ = s, p, l, m, q
+}
+
+//vbench:noalloc
+func Captures(n int) int { // want hotalloc:"noalloc"
+	f := func() int { return n } // want "closure allocates its captures"
+	return f()
+}
+
+//vbench:noalloc
+func Boxes(v block, s string) { // want hotalloc:"noalloc"
+	sink(v)               // want "value of type block boxes into an interface"
+	variadic(s, 1)        // want "value of type string boxes" "value of type int boxes"
+	var i interface{} = v // want "value of type block boxes"
+	i = s                 // want "value of type string boxes"
+	use(i)
+}
+
+// PointerThrough stores only word-sized values in interfaces and
+// writes into preallocated storage: clean.
+//
+//vbench:noalloc
+func PointerThrough(dst []int, v *block) { // want hotalloc:"noalloc"
+	sink(v)
+	for i := range dst {
+		dst[i] = v.a
+	}
+}
+
+// ValueLiteral builds a plain value composite, which stays on the
+// stack: clean.
+//
+//vbench:noalloc
+func ValueLiteral() int { // want hotalloc:"noalloc"
+	b := block{1, 2}
+	var buf [8]int
+	buf[0] = b.a
+	return buf[0]
+}
+
+// Unannotated may allocate freely.
+func Unannotated(n int) []int {
+	s := make([]int, n)
+	s = append(s, 1)
+	sink(n)
+	return s
+}
+
+//vbench:noalloc
+func Suppressed() []int { // want hotalloc:"noalloc"
+	//lint:ignore hotalloc called once at startup, not per frame
+	return make([]int, 16)
+}
+
+//vbench:noalloc misplaced inside a declaration group // want "must be part of a function's doc comment"
+var tables = map[string]int{}
+
+func body() {
+	//vbench:noalloc // want "must be part of a function's doc comment"
+	_ = tables
+}

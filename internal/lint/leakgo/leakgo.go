@@ -1,0 +1,188 @@
+// Package leakgo flags goroutines in the long-lived service packages
+// (fleet, telemetry, harness) that can never terminate: the launched
+// body's control-flow graph contains a trap — a reachable region from
+// which the function exit is unreachable — and the trap waits on
+// nothing that counts as cancellation. Such a goroutine outlives every
+// shutdown: the master drains, the test binary moves on, and the loop
+// keeps polling.
+//
+// The trap construction makes the usual healthy shapes pass without
+// special cases: a `for { select { case <-ctx.Done(): return ... } }`
+// loop reaches the exit through the return; `for v := range ch` has a
+// close-driven exit edge; a loop with a conditional return (pool
+// workers draining an atomic counter) reaches the exit too. What
+// remains is the genuinely unbounded loop — `for { ch <- poll() }` —
+// which is flagged unless the trap itself receives from a context or
+// a done-style channel (chan struct{}, or a name containing done/
+// quit/stop/cancel/clos/exit), on the theory that a cancellation
+// receive that doesn't return is a deliberate drain.
+//
+// The analysis is intraprocedural: only `go` statements launching a
+// function literal or a function/method declared in the same package
+// are inspected, and loops hidden behind a call are invisible.
+package leakgo
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"vbench/internal/lint/analysis"
+)
+
+// Analyzer is the leakgo pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "leakgo",
+	Doc:  "flags goroutines in long-lived packages with no termination or cancellation path",
+	Run:  run,
+}
+
+// longLived names the packages whose goroutines must be cancellable;
+// short-lived helpers (codec workers joined by a WaitGroup two lines
+// later) are out of scope.
+var longLived = map[string]bool{
+	"fleet":     true,
+	"telemetry": true,
+	"harness":   true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !longLived[pass.Pkg.Name()] {
+		return nil
+	}
+	decls := declIndex(pass)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body := launchedBody(pass, decls, g.Call)
+			if body == nil {
+				return true
+			}
+			checkBody(pass, g, body)
+			return true
+		})
+	}
+	return nil
+}
+
+// declIndex maps every function declared in the package to its body.
+func declIndex(pass *analysis.Pass) map[*types.Func]*ast.BlockStmt {
+	idx := map[*types.Func]*ast.BlockStmt{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				idx[fn] = fd.Body
+			}
+		}
+	}
+	return idx
+}
+
+// launchedBody resolves the body the go statement starts executing:
+// a literal's own body, or the declaration of a same-package callee.
+func launchedBody(pass *analysis.Pass, decls map[*types.Func]*ast.BlockStmt, call *ast.CallExpr) *ast.BlockStmt {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return lit.Body
+	}
+	if fn := analysis.CalleeFunc(pass.TypesInfo, call); fn != nil {
+		return decls[fn]
+	}
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, g *ast.GoStmt, body *ast.BlockStmt) {
+	cfg := analysis.BuildCFG(body)
+	trap := trapBlocks(cfg)
+	if len(trap) == 0 {
+		return
+	}
+	for _, b := range trap {
+		for _, n := range b.Nodes {
+			if hasCancellation(pass, n) {
+				return
+			}
+		}
+	}
+	pass.Reportf(g.Pos(), "goroutine never terminates and has no cancellation path (no context, done channel, or exit condition); it will leak on shutdown")
+}
+
+// trapBlocks returns the reachable blocks from which the exit is
+// unreachable.
+func trapBlocks(cfg *analysis.CFG) []*analysis.Block {
+	reach := cfg.Reachable()
+	canExit := map[*analysis.Block]bool{}
+	stack := []*analysis.Block{cfg.Exit}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if canExit[b] {
+			continue
+		}
+		canExit[b] = true
+		stack = append(stack, b.Preds...)
+	}
+	var trap []*analysis.Block
+	for _, b := range cfg.Blocks {
+		if reach[b] && !canExit[b] {
+			trap = append(trap, b)
+		}
+	}
+	return trap
+}
+
+// doneName matches channel identifiers that conventionally carry a
+// shutdown signal.
+var doneName = regexp.MustCompile(`(?i)(done|quit|stop|cancel|clos|exit)`)
+
+// hasCancellation reports whether the node waits on something that
+// counts as a shutdown signal.
+func hasCancellation(pass *analysis.Pass, n ast.Node) bool {
+	found := false
+	analysis.WalkNode(n, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := x.(type) {
+		case *ast.CallExpr:
+			fn := analysis.CalleeFunc(pass.TypesInfo, x)
+			if fn == nil {
+				return true
+			}
+			if analysis.FromPath(fn, "context") && fn.Name() == "Done" {
+				found = true
+			}
+			if analysis.FromPackage(fn, "syncx") && fn.Name() == "AcquireOrQuit" {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && doneChannel(pass, x.X) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// doneChannel reports whether expr looks like a shutdown channel: its
+// element type is struct{}, its static type is context.Context's Done
+// result, or its name says so.
+func doneChannel(pass *analysis.Pass, expr ast.Expr) bool {
+	expr = ast.Unparen(expr)
+	if tv, ok := pass.TypesInfo.Types[expr]; ok {
+		if ch, ok := tv.Type.Underlying().(*types.Chan); ok {
+			if st, ok := ch.Elem().Underlying().(*types.Struct); ok && st.NumFields() == 0 {
+				return true
+			}
+		}
+	}
+	return doneName.MatchString(types.ExprString(expr))
+}

@@ -1,0 +1,12 @@
+package leakgo_test
+
+import (
+	"testing"
+
+	"vbench/internal/lint/analysistest"
+	"vbench/internal/lint/leakgo"
+)
+
+func TestLeakgo(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), leakgo.Analyzer)
+}

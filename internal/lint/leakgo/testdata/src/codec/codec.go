@@ -1,0 +1,12 @@
+// Package codec is not in leakgo's long-lived set: even an eternal
+// goroutine here is out of scope (short-lived workers are joined by
+// their callers).
+package codec
+
+func pumpForever(ch chan int) {
+	go func() {
+		for {
+			ch <- 1
+		}
+	}()
+}

@@ -1,0 +1,137 @@
+// Package fleet exercises leakgo in a long-lived package: goroutines
+// whose control flow can never reach the function exit are flagged
+// unless the trapped region waits on a cancellation signal.
+package fleet
+
+import (
+	"context"
+	"time"
+)
+
+func poll() int    { return 0 }
+func handle(v int) {}
+func next() int    { return -1 }
+func work(n int)   {}
+
+// pumpForever feeds the channel with no way out: flagged.
+func pumpForever(ch chan int) {
+	go func() { // want "goroutine never terminates and has no cancellation path"
+		for {
+			ch <- poll()
+		}
+	}()
+}
+
+// drainData selects on a single data channel and loops back: the
+// select always blocks and nothing cancels it.
+func drainData(data chan int) {
+	go func() { // want "goroutine never terminates and has no cancellation path"
+		for {
+			select {
+			case v := <-data:
+				handle(v)
+			}
+		}
+	}()
+}
+
+// sleepPoll is the classic forgotten ticker: flagged.
+func sleepPoll() {
+	go func() { // want "goroutine never terminates and has no cancellation path"
+		for {
+			time.Sleep(time.Second)
+			poll()
+		}
+	}()
+}
+
+type pump struct{ ch chan int }
+
+// run loops forever; launching it as a goroutine is flagged at the go
+// statement.
+func (p *pump) run() {
+	for {
+		p.ch <- poll()
+	}
+}
+
+func launchNamed(p *pump) {
+	go p.run() // want "goroutine never terminates and has no cancellation path"
+}
+
+// ctxLoop returns when the context is cancelled: the return edge
+// makes the exit reachable, so there is no trap.
+func ctxLoop(ctx context.Context, data chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-data:
+				handle(v)
+			}
+		}
+	}()
+}
+
+// doneLoop uses a conventional done channel with a return: clean.
+func doneLoop(done chan struct{}, data chan int) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case v := <-data:
+				handle(v)
+			}
+		}
+	}()
+}
+
+// quitDrain never returns but its trapped loop receives the quit
+// signal — treated as a deliberate drain, not a leak.
+func quitDrain(quit chan int, data chan int) {
+	go func() {
+		for {
+			select {
+			case <-quit:
+				handle(0)
+			case v := <-data:
+				handle(v)
+			}
+		}
+	}()
+}
+
+// rangeLoop exits when the producer closes the channel: clean.
+func rangeLoop(ch chan int) {
+	go func() {
+		for v := range ch {
+			handle(v)
+		}
+	}()
+}
+
+// workerLoop drains a work source with a conditional return, the
+// harness pool idiom: clean.
+func workerLoop() {
+	go func() {
+		for {
+			n := next()
+			if n < 0 {
+				return
+			}
+			work(n)
+		}
+	}()
+}
+
+// suppressed documents why this loop is intentionally eternal.
+func suppressed(ch chan int) {
+	//lint:ignore leakgo this pump is owned by the process and dies with it
+	go func() {
+		for {
+			ch <- poll()
+		}
+	}()
+}

@@ -6,9 +6,13 @@ package lint
 import (
 	"vbench/internal/lint/analysis"
 	"vbench/internal/lint/detorder"
+	"vbench/internal/lint/hotalloc"
+	"vbench/internal/lint/leakgo"
 	"vbench/internal/lint/lockflow"
+	"vbench/internal/lint/locksafe"
 	"vbench/internal/lint/metricname"
 	"vbench/internal/lint/spanpair"
+	"vbench/internal/lint/statemachine"
 )
 
 // Analyzers returns every project analyzer, in the order they are
@@ -16,8 +20,12 @@ import (
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		detorder.Analyzer,
+		hotalloc.Analyzer,
+		leakgo.Analyzer,
 		lockflow.Analyzer,
+		locksafe.Analyzer,
 		metricname.Analyzer,
 		spanpair.Analyzer,
+		statemachine.Analyzer,
 	}
 }

@@ -64,13 +64,9 @@ type region struct {
 }
 
 func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
-	locks, maps := collectEvents(pass, body)
-	if len(locks) == 0 || len(maps) == 0 {
-		return
-	}
-	regions := buildRegions(locks, body.End())
-	checkRegions(pass, regions, maps)
-
+	// Nested literals are separate functions (observer closures,
+	// deferred cleanups) and are checked regardless of whether the
+	// enclosing body touches any lock itself.
 	ast.Inspect(body, func(n ast.Node) bool {
 		if lit, ok := n.(*ast.FuncLit); ok {
 			checkFunc(pass, lit.Body)
@@ -78,6 +74,13 @@ func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
 		}
 		return true
 	})
+
+	locks, maps := collectEvents(pass, body)
+	if len(locks) == 0 || len(maps) == 0 {
+		return
+	}
+	regions := buildRegions(locks, body.End())
+	checkRegions(pass, regions, maps)
 }
 
 // collectEvents gathers lock and map events directly inside body,

@@ -1,0 +1,67 @@
+// Package fleetq exercises lockflow on fleet-era shapes: the
+// Queue.OnTransition observer is a closure, and the check-then-act
+// hazard lives inside the closure body rather than a declared
+// function.
+package fleetq
+
+import "sync"
+
+type Job struct{ ID int }
+
+type Queue struct {
+	mu           sync.Mutex
+	OnTransition func(j Job, from, to, reason string)
+}
+
+type tracker struct {
+	mu   sync.Mutex
+	seen map[string]int
+}
+
+// EnableTracing installs an observer closure with the classic split
+// critical section: the miss check and the fill happen under separate
+// acquisitions, so two transitions can both miss.
+func EnableTracing(q *Queue, t *tracker) {
+	q.OnTransition = func(j Job, from, to, reason string) {
+		t.mu.Lock()
+		_, ok := t.seen[to]
+		t.mu.Unlock()
+		if !ok {
+			t.mu.Lock()
+			t.seen[to] = j.ID // want `map t.seen is checked in one critical section and filled in a later one without re-checking`
+			t.mu.Unlock()
+		}
+	}
+}
+
+// EnableCounts keeps the check and the fill in one critical section:
+// clean.
+func EnableCounts(q *Queue, t *tracker) {
+	q.OnTransition = func(j Job, from, to, reason string) {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		if _, ok := t.seen[to]; !ok {
+			t.seen[to] = 0
+		}
+		t.seen[to] = t.seen[to] + 1
+	}
+}
+
+// EnableDoubleChecked re-reads under the write lock inside the
+// closure: clean.
+func EnableDoubleChecked(q *Queue, t *tracker) {
+	q.OnTransition = func(j Job, from, to, reason string) {
+		t.mu.Lock()
+		_, ok := t.seen[to]
+		t.mu.Unlock()
+		if ok {
+			return
+		}
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		if _, ok := t.seen[to]; ok {
+			return
+		}
+		t.seen[to] = j.ID
+	}
+}

@@ -1,0 +1,374 @@
+// Package locksafe guards the fleet's locking discipline with a
+// must-hold dataflow analysis over each function's CFG. It reports
+// three families of findings:
+//
+//  1. Lock-order cycles: every acquisition of mutex B while mutex A is
+//     held contributes an A → B edge to a per-package order graph; an
+//     acquisition that completes a cycle in that graph is a potential
+//     ABBA deadlock, and is reported at the acquiring call. The edges
+//     themselves are exported as function facts ("acquires B while
+//     holding A") so tests can pin the derived model.
+//
+//  2. Self-deadlock: locking a mutex that the must-hold set says is
+//     already held on every path to the call. sync mutexes are not
+//     reentrant, so this blocks the goroutine forever.
+//
+//  3. Blocking operations inside critical sections: channel sends,
+//     bare channel receives, selects without a default, ranging over a
+//     channel, time.Sleep, WaitGroup.Wait, net/http round-trips, and
+//     syncx.CPUGate acquisition while any mutex is held. These stall
+//     every contender of the lock for the duration of the operation;
+//     the fix is to move the blocking step outside the critical
+//     section or hand off through a buffered channel.
+//
+// The held set is a Must (intersection) analysis, so joins keep only
+// mutexes held on every inbound path: a lock taken in one branch of an
+// if does not poison the code after the join. A deferred Unlock keeps
+// the mutex in the held set to the end of the function, which is the
+// truth the analysis cares about. The analysis is intraprocedural:
+// a callee that blocks or locks is invisible unless it is one of the
+// recognized blocking calls, so keep critical sections free of opaque
+// calls as a matter of style.
+package locksafe
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"vbench/internal/lint/analysis"
+)
+
+// Analyzer is the locksafe pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "locksafe",
+	Doc:  "detects lock-order cycles, self-deadlocks, and blocking operations inside mutex critical sections",
+	Run:  run,
+}
+
+// orderEdge is one observed "acquired to while holding from".
+type orderEdge struct {
+	from, to string
+	pos      token.Pos // the acquiring call
+}
+
+func run(pass *analysis.Pass) error {
+	var edges []orderEdge
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			edges = append(edges, checkFunc(pass, fn, fd.Body)...)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					// A literal runs on its own goroutine or call
+					// frame: fresh CFG, empty entry held set. Order
+					// edges it contributes are attributed to the
+					// enclosing declaration.
+					edges = append(edges, checkFunc(pass, fn, lit.Body)...)
+					return false
+				}
+				return true
+			})
+		}
+	}
+	reportCycles(pass, edges)
+	return nil
+}
+
+// checkFunc runs the must-hold analysis over one function body and
+// reports intra-function findings, returning the order edges observed.
+func checkFunc(pass *analysis.Pass, fn *types.Func, body *ast.BlockStmt) []orderEdge {
+	cfg := analysis.BuildCFG(body)
+	comm := commStmts(body)
+	flow := &analysis.Flow{
+		Join: analysis.Must,
+		Transfer: func(n ast.Node, in analysis.Set) analysis.Set {
+			out := in
+			mutated := false
+			analysis.WalkNode(n, func(x ast.Node) bool {
+				if _, ok := x.(*ast.DeferStmt); ok {
+					// A deferred Unlock releases at return; the mutex
+					// stays held for the rest of the body.
+					return false
+				}
+				call, ok := x.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				key, unlock, ok := lockCall(pass, call)
+				if !ok {
+					return true
+				}
+				if !mutated {
+					out = in.Clone()
+					mutated = true
+				}
+				if unlock {
+					delete(out, key)
+				} else {
+					out[key] = struct{}{}
+				}
+				return true
+			})
+			return out
+		},
+	}
+	in := flow.Run(cfg)
+
+	var edges []orderEdge
+	flow.Replay(cfg, in, func(n ast.Node, state analysis.Set) {
+		if comm[n] {
+			// A select comm statement: the select head already
+			// accounted for its blocking behaviour.
+			return
+		}
+		st := state.Clone()
+		checkBlockingNode(pass, n, st)
+		analysis.WalkNode(n, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.DeferStmt:
+				return false
+			case *ast.UnaryExpr:
+				if x.Op == token.ARROW && len(st) > 0 {
+					pass.Reportf(x.Pos(), "channel receive while holding %s", heldList(st))
+				}
+			case *ast.CallExpr:
+				if key, unlock, ok := lockCall(pass, x); ok {
+					if unlock {
+						delete(st, key)
+						return true
+					}
+					if st.Has(key) {
+						pass.Reportf(x.Pos(), "mutex %s is locked again while already held (self-deadlock)", key)
+					} else {
+						for _, held := range st.Sorted() {
+							edges = append(edges, orderEdge{from: held, to: key, pos: x.Pos()})
+							pass.ExportFunctionFact(fn, "acquires %s while holding %s", key, held)
+						}
+					}
+					st[key] = struct{}{}
+					return true
+				}
+				if bn := blockingCall(pass, x); bn != "" && len(st) > 0 {
+					pass.Reportf(x.Pos(), "call to %s may block while holding %s", bn, heldList(st))
+				}
+			}
+			return true
+		})
+	})
+	return edges
+}
+
+// checkBlockingNode handles the statement-shaped blocking constructs
+// that the CFG places as whole nodes.
+func checkBlockingNode(pass *analysis.Pass, n ast.Node, st analysis.Set) {
+	if len(st) == 0 {
+		return
+	}
+	switch n := n.(type) {
+	case *ast.SendStmt:
+		pass.Reportf(n.Pos(), "channel send while holding %s", heldList(st))
+	case *ast.SelectStmt:
+		for _, c := range n.Body.List {
+			if c.(*ast.CommClause).Comm == nil {
+				return // has a default: non-blocking
+			}
+		}
+		pass.Reportf(n.Pos(), "blocking select while holding %s", heldList(st))
+	case *ast.RangeStmt:
+		if tv, ok := pass.TypesInfo.Types[n.X]; ok {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				pass.Reportf(n.Pos(), "range over channel while holding %s", heldList(st))
+			}
+		}
+	}
+}
+
+// commStmts indexes every select comm statement in body so the replay
+// can skip them (their receives/sends are judged at the select head).
+func commStmts(body *ast.BlockStmt) map[ast.Node]bool {
+	comm := map[ast.Node]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectStmt); ok {
+			for _, c := range sel.Body.List {
+				if cc := c.(*ast.CommClause); cc.Comm != nil {
+					comm[cc.Comm] = true
+				}
+			}
+		}
+		return true
+	})
+	return comm
+}
+
+// lockCall classifies call as a sync mutex Lock/RLock (unlock=false)
+// or Unlock/RUnlock (unlock=true) and returns the mutex identity key.
+func lockCall(pass *analysis.Pass, call *ast.CallExpr) (key string, unlock, ok bool) {
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || !analysis.FromPath(fn, "sync") {
+		return "", false, false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		unlock = false
+	case "Unlock", "RUnlock":
+		unlock = true
+	default:
+		return "", false, false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	return mutexKey(pass, sel.X), unlock, true
+}
+
+// mutexKey names a mutex so the same lock reached from different
+// functions maps to the same order-graph node: struct fields key by
+// owning type and field name, package-level vars by package and name,
+// locals by declaration position (never shared across functions).
+func mutexKey(pass *analysis.Pass, expr ast.Expr) string {
+	expr = ast.Unparen(expr)
+	switch e := expr.(type) {
+	case *ast.SelectorExpr:
+		if s, ok := pass.TypesInfo.Selections[e]; ok {
+			if f, ok := s.Obj().(*types.Var); ok {
+				return typeName(s.Recv()) + "." + f.Name()
+			}
+		}
+		// Qualified package-level var: pkg.Mu.
+		if v, ok := pass.TypesInfo.Uses[e.Sel].(*types.Var); ok && v.Pkg() != nil {
+			return v.Pkg().Name() + "." + v.Name()
+		}
+	case *ast.Ident:
+		if v, ok := pass.TypesInfo.Uses[e].(*types.Var); ok {
+			if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return v.Pkg().Name() + "." + v.Name()
+			}
+			// A receiver or local of a type that embeds its mutex
+			// (q.Lock()) keys by the owning type.
+			if n := typeName(v.Type()); n != "" && !strings.HasPrefix(n, "sync.") && n != "Mutex" && n != "RWMutex" {
+				return n + ".(embedded)"
+			}
+			return fmt.Sprintf("%s@%s", v.Name(), pass.Fset.Position(v.Pos()))
+		}
+	}
+	return types.ExprString(expr)
+}
+
+// typeName renders the named type behind t (through pointers), or ""
+// for unnamed types.
+func typeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	if pkg := n.Obj().Pkg(); pkg != nil && pkg.Path() == "sync" {
+		return "sync." + n.Obj().Name()
+	}
+	return n.Obj().Name()
+}
+
+// blockingCall names a call known to block indefinitely or for a
+// scheduled duration, or returns "".
+func blockingCall(pass *analysis.Pass, call *ast.CallExpr) string {
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil {
+		return ""
+	}
+	name := fn.Name()
+	switch {
+	case analysis.FromPath(fn, "time") && name == "Sleep":
+		return "time.Sleep"
+	case analysis.FromPath(fn, "sync") && name == "Wait":
+		// Only WaitGroup.Wait: Cond.Wait is designed to be called
+		// with the lock held.
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil && typeName(sig.Recv().Type()) == "sync.WaitGroup" {
+			return "sync.WaitGroup.Wait"
+		}
+	case analysis.FromPath(fn, "net/http"):
+		switch name {
+		case "Do", "Get", "Post", "Head", "PostForm", "Serve", "ListenAndServe", "ListenAndServeTLS":
+			return "http." + name
+		}
+	case analysis.FromPackage(fn, "syncx"):
+		switch name {
+		case "Acquire", "AcquireOrQuit":
+			return "syncx." + name
+		}
+	}
+	return ""
+}
+
+// heldList renders the held set for a diagnostic.
+func heldList(st analysis.Set) string {
+	return strings.Join(st.Sorted(), ", ")
+}
+
+// reportCycles builds the package's acquisition-order graph and flags
+// every edge that sits on a cycle, rendering the shortest completing
+// path in the message.
+func reportCycles(pass *analysis.Pass, edges []orderEdge) {
+	adj := map[string]map[string]bool{}
+	for _, e := range edges {
+		if adj[e.from] == nil {
+			adj[e.from] = map[string]bool{}
+		}
+		adj[e.from][e.to] = true
+	}
+	reported := map[token.Pos]bool{}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].pos < edges[j].pos })
+	for _, e := range edges {
+		if reported[e.pos] {
+			continue
+		}
+		if path := findPath(adj, e.to, e.from); path != nil {
+			reported[e.pos] = true
+			cycle := append([]string{}, path...)
+			cycle = append(cycle, e.to)
+			pass.Reportf(e.pos, "acquiring %s while holding %s completes a lock-order cycle (%s)",
+				e.to, e.from, strings.Join(cycle, " -> "))
+		}
+	}
+}
+
+// findPath returns a shortest node path from src to dst in adj
+// (inclusive of both ends), or nil when unreachable.
+func findPath(adj map[string]map[string]bool, src, dst string) []string {
+	type item struct {
+		node string
+		path []string
+	}
+	seen := map[string]bool{src: true}
+	queue := []item{{src, []string{src}}}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		if it.node == dst {
+			return it.path
+		}
+		next := make([]string, 0, len(adj[it.node]))
+		for n := range adj[it.node] {
+			next = append(next, n)
+		}
+		sort.Strings(next)
+		for _, n := range next {
+			if seen[n] {
+				continue
+			}
+			seen[n] = true
+			queue = append(queue, item{n, append(append([]string{}, it.path...), n)})
+		}
+	}
+	return nil
+}

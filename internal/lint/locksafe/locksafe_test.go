@@ -1,0 +1,12 @@
+package locksafe_test
+
+import (
+	"testing"
+
+	"vbench/internal/lint/analysistest"
+	"vbench/internal/lint/locksafe"
+)
+
+func TestLocksafe(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), locksafe.Analyzer)
+}

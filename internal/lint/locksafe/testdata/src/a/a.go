@@ -1,0 +1,205 @@
+// Package a exercises locksafe: lock-order cycles across functions,
+// self-deadlocks, and blocking operations inside critical sections,
+// plus the negative shapes (select with default, must-join branches,
+// Cond.Wait) that must stay silent.
+package a
+
+import (
+	"net/http"
+	"sync"
+	"time"
+
+	"lint.test/syncx"
+)
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+	muC sync.Mutex
+	muD sync.Mutex
+)
+
+// ab and ba together put an ABBA cycle on the package order graph;
+// both acquisition sites are flagged.
+func ab() { // want locksafe:"acquires a.muB while holding a.muA"
+	muA.Lock()
+	muB.Lock() // want "acquiring a.muB while holding a.muA completes a lock-order cycle"
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func ba() { // want locksafe:"acquires a.muA while holding a.muB"
+	muB.Lock()
+	defer muB.Unlock()
+	muA.Lock() // want "acquiring a.muA while holding a.muB completes a lock-order cycle"
+	muA.Unlock()
+}
+
+// cd nests muD under muC and nothing orders them the other way: the
+// edge is exported as a fact but no cycle diagnostic fires.
+func cd() { // want locksafe:"acquires a.muD while holding a.muC"
+	muC.Lock()
+	muD.Lock()
+	muD.Unlock()
+	muC.Unlock()
+}
+
+func again() {
+	muC.Lock()
+	muC.Lock() // want `mutex a.muC is locked again while already held`
+	muC.Unlock()
+	muC.Unlock()
+}
+
+type Queue struct {
+	mu    sync.Mutex
+	out   chan int
+	items []int
+}
+
+func (q *Queue) send() {
+	q.mu.Lock()
+	q.out <- 1 // want "channel send while holding Queue.mu"
+	q.mu.Unlock()
+}
+
+func (q *Queue) recvHeld() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	<-q.out // want "channel receive while holding Queue.mu"
+}
+
+func (q *Queue) selectHeld(done chan struct{}) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select { // want "blocking select while holding Queue.mu"
+	case v := <-q.out:
+		q.items = append(q.items, v)
+	case <-done:
+	}
+}
+
+// selectDefault never blocks: the default clause makes the poll
+// non-blocking, so holding the mutex across it is fine.
+func (q *Queue) selectDefault() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select {
+	case v := <-q.out:
+		q.items = append(q.items, v)
+	default:
+	}
+}
+
+func (q *Queue) drainHeld() {
+	q.mu.Lock()
+	for v := range q.out { // want "range over channel while holding Queue.mu"
+		q.items = append(q.items, v)
+	}
+	q.mu.Unlock()
+}
+
+func (q *Queue) sleepHeld() {
+	q.mu.Lock()
+	time.Sleep(time.Millisecond) // want "call to time.Sleep may block while holding Queue.mu"
+	q.mu.Unlock()
+}
+
+func (q *Queue) fetchHeld() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	_, err := http.Get("http://example.com/manifest") // want "call to http.Get may block while holding Queue.mu"
+	return err
+}
+
+func (q *Queue) gateHeld(g *syncx.CPUGate) {
+	q.mu.Lock()
+	g.Acquire() // want "call to syncx.Acquire may block while holding Queue.mu"
+	q.mu.Unlock()
+	g.Release()
+}
+
+func (q *Queue) waitHeld(wg *sync.WaitGroup) {
+	q.mu.Lock()
+	wg.Wait() // want "call to sync.WaitGroup.Wait may block while holding Queue.mu"
+	q.mu.Unlock()
+}
+
+// unlockFirst releases before the handoff: clean.
+func (q *Queue) unlockFirst(v int) {
+	q.mu.Lock()
+	q.items = append(q.items, v)
+	q.mu.Unlock()
+	q.out <- v
+}
+
+// maybeHeld only locks on one path: the must-join drops the mutex at
+// the merge, so the send is not reported.
+func (q *Queue) maybeHeld(fast bool) {
+	if fast {
+		q.mu.Lock()
+	}
+	q.out <- 1
+	if fast {
+		q.mu.Unlock()
+	}
+}
+
+// goroutineBody gets its own CFG with an empty entry set; the lock it
+// takes itself is tracked.
+func launch(q *Queue) {
+	go func() {
+		q.mu.Lock()
+		q.out <- 1 // want "channel send while holding Queue.mu"
+		q.mu.Unlock()
+	}()
+}
+
+// deferredSend builds a closure under the lock but only calls it
+// after the unlock: the literal's body is judged with an empty entry
+// set, so nothing fires.
+func deferredSend(q *Queue) {
+	q.mu.Lock()
+	f := func() { q.out <- 1 }
+	q.mu.Unlock()
+	f()
+}
+
+func suppressed(q *Queue) {
+	q.mu.Lock()
+	//lint:ignore locksafe the queue is unexported and single-consumer here
+	q.out <- 1
+	q.mu.Unlock()
+}
+
+// condWait holds the lock across Cond.Wait by design; only
+// WaitGroup.Wait is a blocking finding.
+func condWait(c *sync.Cond) {
+	c.L.Lock()
+	c.Wait()
+	c.L.Unlock()
+}
+
+type Stats struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+// read uses the read-side of an RWMutex correctly: clean.
+func (s *Stats) read(k string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.m[k]
+}
+
+// Gauge embeds its mutex; the key falls back to the owning type.
+type Gauge struct {
+	sync.Mutex
+	v int
+}
+
+func (g *Gauge) bump(ch chan int) {
+	g.Lock()
+	ch <- g.v // want "channel send while holding Gauge"
+	g.Unlock()
+}

@@ -1,0 +1,11 @@
+// Package syncx is a stub of the repository's syncx package: the
+// analyzer matches it by package name, so this stands in for the real
+// one inside the self-contained testdata module.
+package syncx
+
+// CPUGate mimics the real token-bucket gate's blocking surface.
+type CPUGate struct{ tokens chan struct{} }
+
+func (g *CPUGate) Acquire()                                { g.tokens <- struct{}{} }
+func (g *CPUGate) AcquireOrQuit(quit <-chan struct{}) bool { return true }
+func (g *CPUGate) Release()                                { <-g.tokens }

@@ -1,0 +1,270 @@
+// Package statemachine enforces the fleet job lifecycle at lint time.
+// The fleet package declares its transition relation as data —
+//
+//	var stateNames = [numStates]string{"pending", "leased", ...}
+//	var validEdge  = [numStates][numStates]bool{Pending: {Leased: true}, ...}
+//
+// and funnels every mutation through Queue.setState, which panics on
+// an edge not in the table. The panic is a last line of defence; this
+// analyzer moves the check to lint time by parsing the two tables out
+// of the package source and verifying, in any package that declares
+// both:
+//
+//  1. every write to a .State field (assignment or ++/--) happens
+//     inside setState — the designated choke point;
+//  2. any pair of adjacent state-name string literals passed to a call
+//     (the record/observer idiom: `q.record(j, "none", "pending", ...)`)
+//     is an edge of validEdge, where "none" → stateNames[0] is the
+//     distinguished submission pseudo-edge;
+//  3. a string literal compared against State.String() names a real
+//     state — catching the silent typo ("leaseed") that a dynamic
+//     check can never reach.
+//
+// Packages that do not declare both tables are ignored, so the
+// analyzer is inert everywhere but the state-machine owner (and its
+// testdata mirrors).
+package statemachine
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"vbench/internal/lint/analysis"
+)
+
+// Analyzer is the statemachine pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "statemachine",
+	Doc:  "verifies fleet state mutations go through setState and literal transitions are valid edges",
+	Run:  run,
+}
+
+// machine is the transition relation parsed from package source.
+type machine struct {
+	names []string        // index → state name
+	index map[string]int  // state name → index
+	edge  map[[2]int]bool // valid transitions
+}
+
+func run(pass *analysis.Pass) error {
+	m := parseMachine(pass)
+	if m == nil {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, isFunc := decl.(*ast.FuncDecl)
+			inSetState := isFunc && fd.Name.Name == "setState"
+			ast.Inspect(decl, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						if !inSetState && isStateField(pass, lhs) {
+							pass.Reportf(lhs.Pos(), "job state must be mutated through setState, not assigned directly")
+						}
+					}
+				case *ast.IncDecStmt:
+					if !inSetState && isStateField(pass, n.X) {
+						pass.Reportf(n.Pos(), "job state must be mutated through setState, not assigned directly")
+					}
+				case *ast.CallExpr:
+					checkLiteralEdges(pass, m, n)
+				case *ast.BinaryExpr:
+					checkStateCompare(pass, m, n)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// isStateField reports whether expr selects a struct field named
+// State whose type is this package's State named type.
+func isStateField(pass *analysis.Pass, expr ast.Expr) bool {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "State" {
+		return false
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return false
+	}
+	return isStateType(pass, s.Obj().Type())
+}
+
+// isStateType reports whether t is the named type State declared in
+// the package under analysis.
+func isStateType(pass *analysis.Pass, t types.Type) bool {
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Name() == "State" && n.Obj().Pkg() == pass.Pkg
+}
+
+// checkLiteralEdges validates adjacent state-name literal pairs in a
+// call's arguments against the transition table.
+func checkLiteralEdges(pass *analysis.Pass, m *machine, call *ast.CallExpr) {
+	lits := make([]string, len(call.Args))
+	for i, a := range call.Args {
+		if bl, ok := ast.Unparen(a).(*ast.BasicLit); ok {
+			if v, err := strconv.Unquote(bl.Value); err == nil {
+				lits[i] = v
+			}
+		}
+	}
+	for i := 0; i+1 < len(lits); i++ {
+		from, to := lits[i], lits[i+1]
+		if !m.isState(from) || !m.isState(to) {
+			continue
+		}
+		if from == "none" {
+			if to != m.names[0] {
+				pass.Reportf(call.Args[i].Pos(), "transition %q -> %q is invalid: submission must enter at %q", from, to, m.names[0])
+			}
+			continue
+		}
+		if to == "none" {
+			pass.Reportf(call.Args[i].Pos(), "transition %q -> %q is invalid: %q is only a source (submission)", from, to, "none")
+			continue
+		}
+		if !m.edge[[2]int{m.index[from], m.index[to]}] {
+			pass.Reportf(call.Args[i].Pos(), "literal transition %q -> %q is not an edge of the state machine", from, to)
+		}
+	}
+}
+
+// isState reports whether s names a state or the submission source.
+func (m *machine) isState(s string) bool {
+	if s == "none" {
+		return true
+	}
+	_, ok := m.index[s]
+	return ok
+}
+
+// checkStateCompare flags a string literal compared against
+// State.String() that names no state.
+func checkStateCompare(pass *analysis.Pass, m *machine, b *ast.BinaryExpr) {
+	if b.Op != token.EQL && b.Op != token.NEQ {
+		return
+	}
+	for lit, other := range map[ast.Expr]ast.Expr{b.X: b.Y, b.Y: b.X} {
+		bl, ok := ast.Unparen(lit).(*ast.BasicLit)
+		if !ok {
+			continue
+		}
+		v, err := strconv.Unquote(bl.Value)
+		if err != nil || !isStateString(pass, other) {
+			continue
+		}
+		if v != "none" {
+			if _, ok := m.index[v]; !ok {
+				pass.Reportf(bl.Pos(), "unknown state name %q (states: %s)", v, strings.Join(m.names, ", "))
+			}
+		}
+	}
+}
+
+// isStateString reports whether expr is a String() call on the
+// package's State type.
+func isStateString(pass *analysis.Pass, expr ast.Expr) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Name() != "String" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return isStateType(pass, sig.Recv().Type())
+}
+
+// parseMachine extracts stateNames and validEdge from the package
+// source, or returns nil when either is absent or unparseable.
+func parseMachine(pass *analysis.Pass) *machine {
+	var namesLit, edgeLit *ast.CompositeLit
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Names) != 1 || len(vs.Values) != 1 {
+					continue
+				}
+				cl, ok := vs.Values[0].(*ast.CompositeLit)
+				if !ok {
+					continue
+				}
+				switch vs.Names[0].Name {
+				case "stateNames":
+					namesLit = cl
+				case "validEdge":
+					edgeLit = cl
+				}
+			}
+		}
+	}
+	if namesLit == nil || edgeLit == nil {
+		return nil
+	}
+	m := &machine{index: map[string]int{}, edge: map[[2]int]bool{}}
+	for i, elt := range namesLit.Elts {
+		idx, v := keyedElt(pass, i, elt)
+		bl, ok := ast.Unparen(v).(*ast.BasicLit)
+		if !ok {
+			return nil
+		}
+		name, err := strconv.Unquote(bl.Value)
+		if err != nil {
+			return nil
+		}
+		for len(m.names) <= idx {
+			m.names = append(m.names, "")
+		}
+		m.names[idx] = name
+		m.index[name] = idx
+	}
+	for i, elt := range edgeLit.Elts {
+		from, row := keyedElt(pass, i, elt)
+		rowLit, ok := ast.Unparen(row).(*ast.CompositeLit)
+		if !ok {
+			return nil
+		}
+		for j, cell := range rowLit.Elts {
+			to, v := keyedElt(pass, j, cell)
+			if tv, ok := pass.TypesInfo.Types[ast.Unparen(v)]; ok && tv.Value != nil &&
+				tv.Value.Kind() == constant.Bool && constant.BoolVal(tv.Value) {
+				m.edge[[2]int{from, to}] = true
+			}
+		}
+	}
+	return m
+}
+
+// keyedElt resolves one composite-literal element to its index:
+// keyed elements evaluate the constant key, positional ones use the
+// running position. (Mixed keyed/positional literals resolve the
+// positional entries by slice position, which is wrong in general Go
+// but does not occur in the table idiom this parses.)
+func keyedElt(pass *analysis.Pass, pos int, elt ast.Expr) (int, ast.Expr) {
+	kv, ok := elt.(*ast.KeyValueExpr)
+	if !ok {
+		return pos, elt
+	}
+	if tv, ok := pass.TypesInfo.Types[kv.Key]; ok && tv.Value != nil {
+		if n, ok := constant.Int64Val(constant.ToInt(tv.Value)); ok {
+			return int(n), kv.Value
+		}
+	}
+	return pos, kv.Value
+}

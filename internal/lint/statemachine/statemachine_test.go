@@ -1,0 +1,12 @@
+package statemachine_test
+
+import (
+	"testing"
+
+	"vbench/internal/lint/analysistest"
+	"vbench/internal/lint/statemachine"
+)
+
+func TestStatemachine(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), statemachine.Analyzer)
+}

@@ -1,0 +1,11 @@
+// Package plain declares no transition tables, so the analyzer stays
+// inert even on State-shaped writes.
+package plain
+
+type State int
+
+type Job struct{ State State }
+
+func set(j *Job) {
+	j.State = 7
+}

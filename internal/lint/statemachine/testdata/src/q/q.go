@@ -1,0 +1,106 @@
+// Package q mirrors the fleet state machine: a State enum, the
+// stateNames / validEdge tables, and a setState choke point. The
+// analyzer activates on the table declarations alone.
+package q
+
+type State int
+
+const (
+	Pending State = iota
+	Leased
+	Done
+	Failed
+	numStates
+)
+
+var stateNames = [numStates]string{"pending", "leased", "done", "failed"}
+
+var validEdge = [numStates][numStates]bool{
+	Pending: {Leased: true},
+	Leased:  {Done: true, Failed: true, Pending: true},
+}
+
+func (s State) String() string { return stateNames[s] }
+
+type Job struct {
+	State State
+	Tries int
+}
+
+type Queue struct{ jobs []*Job }
+
+// setState is the designated mutation point: direct writes here are
+// the one allowed place.
+func (q *Queue) setState(j *Job, to State, reason string) {
+	if !validEdge[j.State][to] {
+		panic("invalid edge")
+	}
+	j.State = to
+	q.record(j, j.State.String(), to.String(), reason)
+}
+
+func (q *Queue) record(j *Job, from, to, reason string) {}
+
+// submit records the distinguished submission pseudo-edge: clean.
+func (q *Queue) submit(j *Job) {
+	q.jobs = append(q.jobs, j)
+	q.record(j, "none", "pending", "submit")
+}
+
+// lease passes a literal pair that is a real edge: clean.
+func (q *Queue) lease(j *Job) {
+	q.setState(j, Leased, "lease")
+	q.record(j, "pending", "leased", "lease")
+}
+
+// resurrect writes a transition the table forbids.
+func (q *Queue) resurrect(j *Job) {
+	q.record(j, "done", "pending", "resurrect") // want `literal transition "done" -> "pending" is not an edge of the state machine`
+}
+
+// misSubmit enters the machine at the wrong state.
+func (q *Queue) misSubmit(j *Job) {
+	q.record(j, "none", "leased", "submit") // want `transition "none" -> "leased" is invalid: submission must enter at "pending"`
+}
+
+// unSubmit uses the submission source as a destination.
+func (q *Queue) unSubmit(j *Job) {
+	q.record(j, "failed", "none", "unsubmit") // want `transition "failed" -> "none" is invalid`
+}
+
+// directWrite bypasses setState.
+func (q *Queue) directWrite(j *Job) {
+	j.State = Done // want "job state must be mutated through setState"
+}
+
+// bump mutates the state arithmetically, which is still a bypass.
+func (q *Queue) bump(j *Job) {
+	j.State++ // want "job state must be mutated through setState"
+}
+
+// otherField writes a non-State field: clean.
+func (q *Queue) otherField(j *Job) {
+	j.Tries = 3
+}
+
+// read only observes the state: clean.
+func (q *Queue) read(j *Job) State {
+	from := j.State
+	return from
+}
+
+// typoCompare compares against a name that is not a state.
+func (q *Queue) typoCompare(j *Job) bool {
+	return j.State.String() == "leaseed" // want `unknown state name "leaseed"`
+}
+
+// okCompare uses a real name (either operand order): clean.
+func (q *Queue) okCompare(j *Job) bool {
+	return "done" == j.State.String() || j.State.String() != "failed"
+}
+
+// suppressed documents a deliberate bypass (test fixture setup).
+func (q *Queue) suppressed(j *Job) {
+	//lint:ignore statemachine fixture setup predates the queue
+	j.State = Failed
+}
