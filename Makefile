@@ -45,11 +45,13 @@ e2e:
 
 # bench runs the harness-grid scaling benchmark, the telemetry
 # overhead benchmark (acceptance budget: "on" < 5% over "off"), the
-# encode allocation benchmark (budget in ALLOC_BUDGET.json), and the
-# codec kernel micro-benchmarks (scalar vs SWAR, internal/codec/kern),
+# encode allocation benchmark with wavefront off and on (budget in
+# ALLOC_BUDGET.json), the wavefront row-parallel encode benchmark, and
+# the codec kernel micro-benchmarks (scalar vs SWAR,
+# internal/codec/kern),
 # and records the machine-readable report in BENCH_harness.json.
 bench:
-	$(GO) test -bench 'HarnessGrid|TelemetryOverhead|EncodeAllocs|SAD|SATD|DCT|Quant|Interp' -benchmem -run '^$$' . ./internal/codec/kern \
+	$(GO) test -bench 'HarnessGrid|TelemetryOverhead|EncodeAllocs|WavefrontEncode|SAD|SATD|DCT|Quant|Interp' -benchmem -run '^$$' . ./internal/codec/kern \
 		| $(GO) run ./cmd/benchjson -o BENCH_harness.json
 
 # benchall runs every benchmark in the repository.

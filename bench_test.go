@@ -253,14 +253,19 @@ func BenchmarkEncodeMedium(b *testing.B) {
 }
 
 // BenchmarkEncodeAllocs measures heap allocations per single-clip
-// encode and enforces the checked-in budget (ALLOC_BUDGET.json). The
-// per-macroblock encode path is allocation-free by design — level
-// arenas, candidate recycling, and pooled reconstruction frames (see
-// DESIGN.md, "Memory management in the encode hot path") — so
-// allocs/op scales with frame count, not macroblock count. A
+// encode and enforces the checked-in budget (ALLOC_BUDGET.json), with
+// wavefront row parallelism off (serial rows) and on (4 dedicated row
+// lanes). The per-macroblock encode path is allocation-free by design
+// — level arenas, candidate recycling, and pooled reconstruction
+// frames (see DESIGN.md, "Memory management in the encode hot path")
+// — and wavefront mode reuses per-lane arenas across frames, so both
+// variants' allocs/op scale with frame count, not macroblock count. A
 // regression that reintroduces per-MB allocation overshoots the budget
 // by orders of magnitude and fails this benchmark, which CI runs with
-// -benchtime=1x as a smoke gate.
+// -benchtime=1x as a smoke gate. The wave=on MB/s is also the
+// wavefront scoreboard: on a GOMAXPROCS≥4 host it must beat wave=off
+// (benchjson records GOMAXPROCS per result, so a 1-core CI number is
+// never mistaken for that comparison).
 func BenchmarkEncodeAllocs(b *testing.B) {
 	budget, err := readAllocBudget("ALLOC_BUDGET.json")
 	if err != nil {
@@ -275,25 +280,34 @@ func BenchmarkEncodeAllocs(b *testing.B) {
 		b.Fatal(err)
 	}
 	enc := X264(PresetMedium)
-	// Warm the scratch pools so the measurement reflects steady state.
-	if _, err := enc.Encode(seq, Config{RC: RCConstQP, QP: 28}); err != nil {
-		b.Fatal(err)
-	}
-	b.SetBytes(seq.PixelCount())
-	b.ReportAllocs()
-	b.ResetTimer()
-	var ms1, ms2 runtime.MemStats
-	runtime.ReadMemStats(&ms1)
-	for i := 0; i < b.N; i++ {
-		if _, err := enc.Encode(seq, Config{RC: RCConstQP, QP: 28}); err != nil {
-			b.Fatal(err)
-		}
-	}
-	runtime.ReadMemStats(&ms2)
-	perOp := float64(ms2.Mallocs-ms1.Mallocs) / float64(b.N)
-	b.ReportMetric(perOp, "mallocs/op")
-	if perOp > float64(budget) {
-		b.Fatalf("encode allocations %.0f/op exceed the ALLOC_BUDGET.json budget of %d/op", perOp, budget)
+	for _, wave := range []struct {
+		name string
+		rows int
+	}{{"off", 1}, {"on", 4}} {
+		cfg := Config{RC: RCConstQP, QP: 28, RowsParallel: wave.rows}
+		b.Run("wave="+wave.name, func(b *testing.B) {
+			// Warm the scratch pools so the measurement reflects
+			// steady state.
+			if _, err := enc.Encode(seq, cfg); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(seq.PixelCount())
+			b.ReportAllocs()
+			b.ResetTimer()
+			var ms1, ms2 runtime.MemStats
+			runtime.ReadMemStats(&ms1)
+			for i := 0; i < b.N; i++ {
+				if _, err := enc.Encode(seq, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			runtime.ReadMemStats(&ms2)
+			perOp := float64(ms2.Mallocs-ms1.Mallocs) / float64(b.N)
+			b.ReportMetric(perOp, "mallocs/op")
+			if perOp > float64(budget) {
+				b.Fatalf("encode allocations %.0f/op exceed the ALLOC_BUDGET.json budget of %d/op", perOp, budget)
+			}
+		})
 	}
 }
 
@@ -383,6 +397,34 @@ func BenchmarkSliceParallelEncode(b *testing.B) {
 			b.SetBytes(seq.PixelCount())
 			for i := 0; i < b.N; i++ {
 				if _, err := enc.Encode(seq, Config{RC: RCConstQP, QP: 28, Slices: slices}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWavefrontEncode measures the wall-clock effect of wavefront
+// row parallelism inside a single slice (see wavefront.go): the same
+// clip encoded with serial rows and with 4 dedicated row lanes. The
+// speedup tracks GOMAXPROCS exactly like the slice fan-out; on a
+// single-core host rows=4 shows only the coordination overhead, and
+// the bitstreams are byte-identical either way.
+func BenchmarkWavefrontEncode(b *testing.B) {
+	clip, err := corpus.ClipByName("hall")
+	if err != nil {
+		b.Fatal(err)
+	}
+	seq, err := clip.Generate(8, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc := X264(PresetMedium)
+	for _, rows := range []int{1, 4} {
+		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
+			b.SetBytes(seq.PixelCount())
+			for i := 0; i < b.N; i++ {
+				if _, err := enc.Encode(seq, Config{RC: RCConstQP, QP: 28, RowsParallel: rows}); err != nil {
 					b.Fatal(err)
 				}
 			}

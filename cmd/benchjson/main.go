@@ -24,9 +24,15 @@ import (
 	"bufio"
 )
 
-// result is one parsed benchmark line.
+// result is one parsed benchmark line. GOMAXPROCS and the key=value
+// sub-benchmark segments (e.g. wave=on) are split out of the name so a
+// report says what machine shape and feature configuration produced
+// each number — a 1-core CI host's MB/s must never be compared against
+// a multi-core local run without noticing.
 type result struct {
 	Name       string             `json:"name"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Params     map[string]string  `json:"params,omitempty"`
 	Iterations int64              `json:"iterations"`
 	Metrics    map[string]float64 `json:"metrics"`
 }
@@ -81,7 +87,14 @@ func parseBenchLine(line string) (result, bool) {
 	if err != nil {
 		return result{}, false
 	}
-	r := result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	name, procs := splitProcs(fields[0])
+	r := result{
+		Name:       name,
+		GOMAXPROCS: procs,
+		Params:     nameParams(name),
+		Iterations: iters,
+		Metrics:    map[string]float64{},
+	}
 	for i := 2; i+1 < len(fields); i += 2 {
 		v, err := strconv.ParseFloat(fields[i], 64)
 		if err != nil {
@@ -90,6 +103,39 @@ func parseBenchLine(line string) (result, bool) {
 		r.Metrics[fields[i+1]] = v
 	}
 	return r, true
+}
+
+// splitProcs strips the trailing -P GOMAXPROCS suffix that go test
+// appends to benchmark names when GOMAXPROCS != 1. Only the suffix
+// after the last dash is eaten, and only when it is a plain integer —
+// dashes inside the benchmark's own name survive.
+func splitProcs(name string) (string, int) {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name, 1
+	}
+	p, err := strconv.Atoi(name[i+1:])
+	if err != nil || p < 1 {
+		return name, 1
+	}
+	return name[:i], p
+}
+
+// nameParams extracts key=value sub-benchmark segments (the Go
+// convention for labeled sub-benchmarks, e.g. `wave=on` or
+// `slices=4`) so feature toggles travel through the report as
+// structured fields instead of buried name substrings.
+func nameParams(name string) map[string]string {
+	var params map[string]string
+	for _, seg := range strings.Split(name, "/") {
+		if k, v, ok := strings.Cut(seg, "="); ok && k != "" {
+			if params == nil {
+				params = map[string]string{}
+			}
+			params[k] = v
+		}
+	}
+	return params
 }
 
 func fatal(err error) {

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseBenchLine(t *testing.T) {
+	cases := []struct {
+		line string
+		want result
+		ok   bool
+	}{
+		{
+			line: "BenchmarkEncodeAllocs/wave=on-8   \t  12 \t 93312 ns/op \t 305 allocs/op",
+			want: result{
+				Name:       "BenchmarkEncodeAllocs/wave=on",
+				GOMAXPROCS: 8,
+				Params:     map[string]string{"wave": "on"},
+				Iterations: 12,
+				Metrics:    map[string]float64{"ns/op": 93312, "allocs/op": 305},
+			},
+			ok: true,
+		},
+		{
+			// GOMAXPROCS=1: go test appends no suffix.
+			line: "BenchmarkHarnessGrid 3 41690 ns/op",
+			want: result{
+				Name:       "BenchmarkHarnessGrid",
+				GOMAXPROCS: 1,
+				Iterations: 3,
+				Metrics:    map[string]float64{"ns/op": 41690},
+			},
+			ok: true,
+		},
+		{
+			// A dash inside the benchmark's own name survives; only a
+			// trailing integer suffix is the procs count.
+			line: "BenchmarkTwo-Pass/rc=2pass-4 7 100 ns/op",
+			want: result{
+				Name:       "BenchmarkTwo-Pass/rc=2pass",
+				GOMAXPROCS: 4,
+				Params:     map[string]string{"rc": "2pass"},
+				Iterations: 7,
+				Metrics:    map[string]float64{"ns/op": 100},
+			},
+			ok: true,
+		},
+		{line: "ok  \tvbench\t1.2s", ok: false},
+		{line: "goos: linux", ok: false},
+	}
+	for _, tc := range cases {
+		got, ok := parseBenchLine(tc.line)
+		if ok != tc.ok {
+			t.Errorf("parseBenchLine(%q) ok = %v, want %v", tc.line, ok, tc.ok)
+			continue
+		}
+		if ok && !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("parseBenchLine(%q) =\n %+v\nwant\n %+v", tc.line, got, tc.want)
+		}
+	}
+}

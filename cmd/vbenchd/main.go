@@ -227,6 +227,7 @@ func runWorker(args []string) error {
 	heartbeat := fs.Duration("heartbeat", 0, "lease renewal interval (0 = a third of the master's lease TTL)")
 	tracePath := fs.String("trace", "", "write a Chrome trace of execution spans here on drain")
 	noPush := fs.Bool("no-push", false, "do not piggyback worker metric snapshots on heartbeats")
+	rowsParallel := fs.Int("rows-parallel", 0, "wavefront rows per slice for encode jobs that don't set it: 0 = share the CPU gate, 1 = serial rows, 2..64 = dedicated row lanes")
 	fs.Parse(args)
 
 	if *id == "" {
@@ -249,14 +250,15 @@ func runWorker(args []string) error {
 	// line carries "[<id> +elapsed]".
 	lw := telemetry.NewLineWriter(os.Stderr)
 	w, err := fleet.NewWorker(fleet.WorkerOptions{
-		Master:      *master,
-		ID:          *id,
-		Concurrency: *concurrency,
-		Poll:        *poll,
-		Heartbeat:   *heartbeat,
-		Log:         lw.Labeled(*id),
-		Tracer:      tracer,
-		DisablePush: *noPush,
+		Master:       *master,
+		ID:           *id,
+		Concurrency:  *concurrency,
+		Poll:         *poll,
+		Heartbeat:    *heartbeat,
+		Log:          lw.Labeled(*id),
+		Tracer:       tracer,
+		DisablePush:  *noPush,
+		RowsParallel: *rowsParallel,
 	})
 	if err != nil {
 		return err
@@ -440,8 +442,12 @@ func runStatus(args []string) error {
 		if !w.Live {
 			live = "silent"
 		}
-		fmt.Printf("  %s %s (seen %.1fs ago): %d in flight, %d leases, %d heartbeats, %d completions, %d failures\n",
-			w.ID, live, w.LastSeenSeconds, w.InFlight, w.Leases, w.Heartbeats, w.Completions, w.Failures)
+		wave := ""
+		if w.WaveOccupancy > 0 {
+			wave = fmt.Sprintf(", wave occupancy %.1f", w.WaveOccupancy)
+		}
+		fmt.Printf("  %s %s (seen %.1fs ago): %d in flight, %d leases, %d heartbeats, %d completions, %d failures%s\n",
+			w.ID, live, w.LastSeenSeconds, w.InFlight, w.Leases, w.Heartbeats, w.Completions, w.Failures, wave)
 	}
 	return nil
 }

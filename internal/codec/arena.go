@@ -40,8 +40,13 @@ const levelArenaCap = 8 * candLevelInt32s
 // the winning candidate's levels are serialized before the next
 // macroblock resets the arena).
 type levelArena struct {
-	buf       []int32
-	off       int
+	buf []int32
+	off int
+	// capHint sizes the lazily created backing array; zero selects
+	// levelArenaCap. Wavefront row lanes use it to hold a whole row of
+	// winning candidates (mbW × candLevelInt32s) instead of one
+	// macroblock's trials.
+	capHint   int
 	overflows int64
 }
 
@@ -57,7 +62,11 @@ func (a *levelArena) take(n int) []int32 {
 		return make([]int32, n)
 	}
 	if a.buf == nil {
-		a.buf = make([]int32, levelArenaCap)
+		n := a.capHint
+		if n == 0 {
+			n = levelArenaCap
+		}
+		a.buf = make([]int32, n)
 	}
 	if a.off+n > len(a.buf) {
 		a.overflows++

@@ -126,28 +126,6 @@ func (e *Engine) Encode(src *video.Sequence, cfg Config) (*Result, error) {
 
 	res := &Result{}
 
-	// Two-pass: run the measurement pass with a cheap tool set but the
-	// same GOP structure, and charge its work to this encode.
-	var rc *rateControl
-	if cfg.RC == RCTwoPass {
-		fpTools := BaselineTools(PresetUltraFast)
-		fpTools.SceneCut = e.Tools.SceneCut
-		fp := &Engine{Tools: fpTools}
-		fpSpan := sp.Child("first-pass")
-		fpRes, err := fp.Encode(src, Config{RC: RCConstQP, QP: firstPassQP, KeyInterval: cfg.KeyInterval})
-		fpSpan.End()
-		if err != nil {
-			return nil, fmt.Errorf("codec: first pass: %w", err)
-		}
-		res.Counters.Add(&fpRes.Counters)
-		rc = newRateControl(cfg, src.Width()*src.Height(), src.FrameRate, len(src.Frames), fpRes.PerFrameBits, firstPassQP)
-		// Only the bit budget and counters outlive the first pass;
-		// recycle its reconstruction buffers for this pass.
-		video.PutSequence(fpRes.Recon)
-	} else {
-		rc = newRateControl(cfg, src.Width()*src.Height(), src.FrameRate, len(src.Frames), nil, 0)
-	}
-
 	hdr := &seqHeader{
 		width:         src.Width(),
 		height:        src.Height(),
@@ -172,10 +150,57 @@ func (e *Engine) Encode(src *video.Sequence, cfg Config) (*Result, error) {
 		nSlices = mbH
 	}
 	hdr.slices = nSlices
+
+	// Cross-frame pipelining (see pipeline.go): the source-side half of
+	// per-frame work — padding, denoise, scene-cut detection, AQ
+	// activity — runs ahead of the encode loop through a bounded
+	// hand-off, so frame N+1's analysis overlaps frame N's encode. The
+	// feeder is started before the measurement pass below so that in
+	// two-pass mode this pass's analysis also overlaps the first pass's
+	// encode; rate control itself cannot overlap, because two-pass QP
+	// planning needs every frame's measured bits before the first
+	// pass-2 QP is known (DESIGN.md, "Wavefront parallelism").
+	feeder := newFrameFeeder(e, cfg, src.Frames, mbW, mbH, hdr.adaptiveQuant)
+	feedQuit := make(chan struct{})
+	var feedWG sync.WaitGroup
+	if len(src.Frames) > 1 && cfg.RowsParallel != 1 {
+		feedWG.Add(1)
+		go func() {
+			defer feedWG.Done()
+			feeder.serve(feedQuit, cfg.RowsParallel == 0)
+		}()
+	}
+	defer func() {
+		feeder.stop()
+		close(feedQuit)
+		feedWG.Wait()
+	}()
+
+	// Two-pass: run the measurement pass with a cheap tool set but the
+	// same GOP structure, and charge its work to this encode.
+	var rc *rateControl
+	if cfg.RC == RCTwoPass {
+		fpTools := BaselineTools(PresetUltraFast)
+		fpTools.SceneCut = e.Tools.SceneCut
+		fp := &Engine{Tools: fpTools}
+		fpSpan := sp.Child("first-pass")
+		fpRes, err := fp.Encode(src, Config{RC: RCConstQP, QP: firstPassQP, KeyInterval: cfg.KeyInterval, RowsParallel: cfg.RowsParallel})
+		fpSpan.End()
+		if err != nil {
+			return nil, fmt.Errorf("codec: first pass: %w", err)
+		}
+		res.Counters.Add(&fpRes.Counters)
+		rc = newRateControl(cfg, src.Width()*src.Height(), src.FrameRate, len(src.Frames), fpRes.PerFrameBits, firstPassQP)
+		// Only the bit budget and counters outlive the first pass;
+		// recycle its reconstruction buffers for this pass.
+		video.PutSequence(fpRes.Recon)
+	} else {
+		rc = newRateControl(cfg, src.Width()*src.Height(), src.FrameRate, len(src.Frames), nil, 0)
+	}
+
 	out := hdr.marshal()
 
 	var refs []*video.Frame
-	var prevSrc *video.Frame
 	res.Recon = &video.Sequence{FrameRate: src.FrameRate}
 
 	// When the padded geometry differs from the display geometry,
@@ -194,36 +219,44 @@ func (e *Engine) Encode(src *video.Sequence, cfg Config) (*Result, error) {
 	qpGrid := make([]int, mbW*mbH) // every MB row is rewritten each frame
 	bounds := sliceBounds(mbH, nSlices)
 
-	// Scene-cut detection compares each frame's mean absolute
-	// difference against an exponential moving average of recent
-	// inter-frame differences; a sudden jump marks a cut.
-	madEMA := -1.0
+	// Wavefront row lanes (see wavefront.go), one set per slice. Lane
+	// counts are resolved once — slice geometry is fixed for the whole
+	// encode — and each lane's arenas and candidate pool are reused
+	// every frame, so wavefront mode adds only a per-encode constant to
+	// the allocation budget.
+	rowsPar := cfg.RowsParallel
+	waveLanes := make([][]waveLane, nSlices)
+	waveCoords := make([]*waveCoord, nSlices)
+	waveOn := false
+	if rowsPar != 1 {
+		for s := 0; s < nSlices; s++ {
+			rows := bounds[s+1] - bounds[s]
+			lanes := rows
+			if rowsPar == 0 {
+				if c := cpuGate.Capacity(); lanes > c {
+					lanes = c
+				}
+			} else if lanes > rowsPar {
+				lanes = rowsPar
+			}
+			if lanes < 2 {
+				continue
+			}
+			waveLanes[s] = newWaveLanes(lanes, mbW)
+			waveCoords[s] = newWaveCoord(rows)
+			waveOn = true
+		}
+	}
 
-	for i, f := range src.Frames {
+	for i := range src.Frames {
 		var fsp *telemetry.Span
 		if sp != nil {
 			fsp = sp.Child(fmt.Sprintf("frame %d", i))
 		}
-		srcP := padFrame(f)
-		if e.Tools.Denoise > 0 {
-			srcP = denoiseFrame(srcP, e.Tools.Denoise, &res.Counters)
-		}
-		ftype := frameP
-		switch {
-		case i == 0, cfg.KeyInterval > 0 && i%cfg.KeyInterval == 0:
-			ftype = frameI
-		case e.Tools.SceneCut:
-			mad := frameMAD(srcP, prevSrc, &res.Counters)
-			if madEMA >= 0 && mad > 3*madEMA+6 {
-				ftype = frameI
-			} else {
-				if madEMA < 0 {
-					madEMA = mad
-				} else {
-					madEMA = 0.7*madEMA + 0.3*mad
-				}
-			}
-		}
+		fa := feeder.next()
+		srcP := fa.src
+		ftype := fa.ftype
+		res.Counters.Add(&fa.c)
 		qpBase := rc.frameQP(i, ftype)
 		if g := e.Tools.QPGranularity; g > 1 {
 			qpBase = clampQP((qpBase + g/2) / g * g)
@@ -233,11 +266,7 @@ func (e *Engine) Encode(src *video.Sequence, cfg Config) (*Result, error) {
 		// grid, and (with AQ) the frame-level activity map. Slices
 		// write disjoint rows, so they encode concurrently.
 		recon := video.GetFrame(hdr.paddedWidth(), hdr.paddedHeight())
-		var varBits []int
-		avgVarBits := 0
-		if hdr.adaptiveQuant {
-			varBits, avgVarBits = computeActivity(srcP, mbW, mbH, &res.Counters)
-		}
+		varBits, avgVarBits := fa.varBits, fa.avgVarBits
 
 		payloads := make([][]byte, nSlices)
 		sliceCounters := make([]perf.Counters, nSlices)
@@ -252,6 +281,9 @@ func (e *Engine) Encode(src *video.Sequence, cfg Config) (*Result, error) {
 			fe := newFrameEncoder(e, hdr, srcP, recon, qpGrid, refs, mbW, ftype, qpBase, &sliceCounters[s], &scratches[s])
 			fe.rowStart, fe.rowEnd = bounds[s], bounds[s+1]
 			fe.varBits, fe.avgVarBits = varBits, avgVarBits
+			fe.lanes = waveLanes[s]
+			fe.wc = waveCoords[s]
+			fe.gateShared = rowsPar == 0
 			if stagesOn {
 				fe.tm = &sliceTimes[s]
 			}
@@ -360,7 +392,6 @@ func (e *Engine) Encode(src *video.Sequence, cfg Config) (*Result, error) {
 			refs = refs[:e.Tools.MaxRefs]
 		}
 		res.Recon.Frames = append(res.Recon.Frames, cropFrame(recon, src.Width(), src.Height()))
-		prevSrc = srcP
 
 		res.Counters.Frames++
 		res.Counters.Pixels += int64(srcP.PixelCount())
@@ -374,6 +405,17 @@ func (e *Engine) Encode(src *video.Sequence, cfg Config) (*Result, error) {
 			fsp.Arg("qp", qpBase)
 			fsp.Arg("slices", nSlices)
 			fsp.Arg("bits", frameBits)
+			if waveOn {
+				var ww, ws int64
+				for _, wc := range waveCoords {
+					if wc != nil {
+						ww += int64(wc.workers)
+						ws += wc.stalls
+					}
+				}
+				fsp.Arg("wave_workers", ww)
+				fsp.Arg("wave_stalls", ws)
+			}
 			fsp.End()
 		}
 	}
@@ -460,6 +502,14 @@ type frameEncoder struct {
 	// sc is the slice lane's persistent scratch memory (level arena,
 	// candidate free list, motion buffers); see arena.go.
 	sc *encScratch
+
+	// Wavefront state (see wavefront.go): the slice's row lanes and
+	// row coordinator, empty/nil when rows encode serially. gateShared
+	// selects whether row helpers must win a CPU-gate slot
+	// (RowsParallel=0) or are dedicated (explicit RowsParallel>1).
+	lanes      []waveLane
+	wc         *waveCoord
+	gateShared bool
 
 	scratch [MBSize * MBSize]uint8
 }
@@ -550,9 +600,13 @@ func (fe *frameEncoder) mbQP(mbx, mby int) (qp, delta int) {
 func (fe *frameEncoder) encodeFrame() []byte {
 	rows := fe.rowEnd - fe.rowStart
 	fe.grid = newMBGrid(fe.mbW, rows)
-	for local := 0; local < rows; local++ {
-		for mbx := 0; mbx < fe.mbW; mbx++ {
-			fe.encodeMB(mbx, local)
+	if len(fe.lanes) > 1 && rows > 1 {
+		fe.encodeRowsWave(rows)
+	} else {
+		for local := 0; local < rows; local++ {
+			for mbx := 0; mbx < fe.mbW; mbx++ {
+				fe.encodeMB(mbx, local)
+			}
 		}
 	}
 	var payload []byte
@@ -581,10 +635,26 @@ func chromaPlane(f *video.Frame, p int) motion.Plane {
 	return motion.Plane{Pix: f.Cr, W: f.ChromaWidth(), H: f.ChromaHeight()}
 }
 
-// encodeMB codes the macroblock at column mbx, slice-local row local.
+// encodeMB codes the macroblock at column mbx, slice-local row local:
+// the serial path — decide, serialize, recycle.
 func (fe *frameEncoder) encodeMB(mbx, local int) {
-	// The previous macroblock's levels were serialized by writeCand,
-	// so its arena storage is dead; rewind before the new trials.
+	cand, predMV := fe.decideMB(mbx, local)
+	fe.writeCand(cand, predMV)
+	fe.sc.cands.put(cand)
+}
+
+// decideMB performs every effect of coding one macroblock except
+// entropy serialization: mode decision, reconstruction commit, QP- and
+// MB-grid updates, and work accounting. Wavefront row workers run it
+// concurrently (on per-lane encoder views) while writeCand stays in
+// strict row order. The MV predictor is captured here because later
+// decisions overwrite the grid neighbourhood it reads.
+//
+//vbench:noalloc
+func (fe *frameEncoder) decideMB(mbx, local int) (*mbCand, motion.MV) {
+	// The previous macroblock's winner has been serialized (serial
+	// path) or compacted into the winner arena (wavefront path), so
+	// the trial arena storage is dead; rewind before the new trials.
 	fe.sc.levels.reset()
 	gRow := fe.rowStart + local
 	qp, qpDelta := fe.mbQP(mbx, gRow)
@@ -600,7 +670,6 @@ func (fe *frameEncoder) encodeMB(mbx, local int) {
 	}
 
 	predMV := fe.grid.predMV(mbx, local)
-	fe.writeCand(cand, predMV)
 	fe.applyCand(cand, mbx, local)
 	fe.qpGrid[gRow*fe.mbW+mbx] = cand.qp
 	switch cand.mode {
@@ -611,7 +680,7 @@ func (fe *frameEncoder) encodeMB(mbx, local int) {
 	case mbIntra:
 		fe.c.MBIntra++
 	}
-	fe.sc.cands.put(cand)
+	return cand, predMV
 }
 
 // decideIntraMB evaluates intra modes by SATD and returns the best

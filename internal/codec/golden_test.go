@@ -171,6 +171,26 @@ func TestGoldenDigests(t *testing.T) {
 				t.Fatalf("decode digest %s != recon digest %s", dd, d.Recon)
 			}
 
+			// Wavefront row parallelism is a scheduling knob, never a
+			// format change: re-encoding every golden cell with 2 and 8
+			// row lanes must land on the same digests (so the committed
+			// matrix pins the concurrent path too, including the
+			// multi-slice × wavefront combinations).
+			for _, rp := range []int{2, 8} {
+				cfg := gc.cfg
+				cfg.RowsParallel = rp
+				wres, err := eng.Encode(seq, cfg)
+				if err != nil {
+					t.Fatalf("encode (rows-parallel=%d): %v", rp, err)
+				}
+				if bd := bitstreamDigest(wres.Bitstream); bd != d.Bitstream {
+					t.Errorf("rows-parallel=%d bitstream digest %s != serial %s", rp, bd, d.Bitstream)
+				}
+				if rd := reconDigest(wres.Recon); rd != d.Recon {
+					t.Errorf("rows-parallel=%d recon digest %s != serial %s", rp, rd, d.Recon)
+				}
+			}
+
 			if !*updateGolden {
 				w, ok := want[gc.name]
 				if !ok {

@@ -1,0 +1,226 @@
+package codec
+
+import (
+	"sync"
+
+	"vbench/internal/perf"
+	"vbench/internal/video"
+)
+
+// Cross-frame pipelining: the source-side half of per-frame encode
+// work — padding, denoise, scene-cut classification, and adaptive-
+// quantization activity analysis — depends only on the source frames,
+// never on reconstructions or rate-control state. A frameFeeder runs
+// that half ahead of the encode loop through a bounded ring, so frame
+// N+1's analysis overlaps frame N's encode; in two-pass mode the
+// feeder is started before the measurement pass, so pass-2 analysis
+// overlaps pass-1 encoding as well.
+//
+// Determinism: analysis is consumed strictly in frame order, the
+// scene-cut EMA chain is produced strictly in frame order by a single
+// producer at a time, and each frame's perf.Counters are accumulated
+// privately and merged at consumption — so bitstream, reconstruction,
+// and counters are byte-identical to the serial path regardless of how
+// far ahead the feeder runs.
+//
+// Gate discipline (see syncx.CPUGate): the helper goroutine only
+// analyzes while holding a gate slot won via AcquireOrQuit, and always
+// releases the slot before waiting for ring space, so it never blocks
+// other gate users on the bounded hand-off. The consumer, which
+// represents its caller's already-granted execution context, never
+// touches the gate: when no helper is mid-frame it analyzes inline.
+
+// pipelineDepth bounds how many analyzed frames may wait between the
+// feeder and the encode loop. Depth 3 hides one frame of analysis
+// latency with slack without pinning more than a few padded source
+// frames.
+const pipelineDepth = 3
+
+// frameAnalysis is everything the encode loop needs from the source
+// side of one frame.
+type frameAnalysis struct {
+	src        *video.Frame // padded (and possibly denoised) source
+	ftype      int
+	varBits    []int
+	avgVarBits int
+	c          perf.Counters // analysis work, merged at consumption
+}
+
+// frameFeeder produces frameAnalysis values in frame order into a
+// bounded ring consumed by Engine.Encode's frame loop.
+type frameFeeder struct {
+	eng    *Engine
+	cfg    Config
+	frames []*video.Frame
+	mbW    int
+	mbH    int
+	aq     bool
+
+	mu   sync.Mutex
+	cond sync.Cond
+	ring [pipelineDepth]frameAnalysis
+	// produced/consumed index the next frame to produce/consume;
+	// produced-consumed slots are full. producing marks a goroutine
+	// mid-analysis (single-producer exclusivity: the EMA chain below is
+	// strictly ordered). closed stops production permanently.
+	produced  int
+	consumed  int
+	producing bool
+	closed    bool
+
+	// Producer-only state for the scene-cut signal: each frame's mean
+	// absolute difference against the previous source is compared to an
+	// exponential moving average of recent differences; a sudden jump
+	// marks a cut. Guarded by mu between producers (only ever one at a
+	// time).
+	prevSrc *video.Frame
+	madEMA  float64
+}
+
+func newFrameFeeder(e *Engine, cfg Config, frames []*video.Frame, mbW, mbH int, aq bool) *frameFeeder {
+	ff := &frameFeeder{eng: e, cfg: cfg, frames: frames, mbW: mbW, mbH: mbH, aq: aq, madEMA: -1}
+	ff.cond.L = &ff.mu
+	return ff
+}
+
+// analyze runs the source-side work for frame i. Called without mu
+// held; prevSrc/madEMA access is safe because the caller holds the
+// producing flag (single-producer exclusivity).
+func (ff *frameFeeder) analyze(i int) frameAnalysis {
+	var fa frameAnalysis
+	srcP := padFrame(ff.frames[i])
+	if ff.eng.Tools.Denoise > 0 {
+		srcP = denoiseFrame(srcP, ff.eng.Tools.Denoise, &fa.c)
+	}
+	fa.src = srcP
+	fa.ftype = frameP
+	switch {
+	case i == 0, ff.cfg.KeyInterval > 0 && i%ff.cfg.KeyInterval == 0:
+		fa.ftype = frameI
+	case ff.eng.Tools.SceneCut:
+		mad := frameMAD(srcP, ff.prevSrc, &fa.c)
+		if ff.madEMA >= 0 && mad > 3*ff.madEMA+6 {
+			fa.ftype = frameI
+		} else {
+			if ff.madEMA < 0 {
+				ff.madEMA = mad
+			} else {
+				ff.madEMA = 0.7*ff.madEMA + 0.3*mad
+			}
+		}
+	}
+	if ff.aq {
+		fa.varBits, fa.avgVarBits = computeActivity(srcP, ff.mbW, ff.mbH, &fa.c)
+	}
+	ff.prevSrc = srcP
+	return fa
+}
+
+// next returns frame analysis in strict frame order. If the helper has
+// run ahead, the value is ready; otherwise the consumer analyzes the
+// frame inline (unless a helper is mid-frame, in which case it waits
+// for that frame to land).
+func (ff *frameFeeder) next() frameAnalysis {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	for {
+		if ff.produced > ff.consumed {
+			slot := &ff.ring[ff.consumed%pipelineDepth]
+			fa := *slot
+			*slot = frameAnalysis{}
+			ff.consumed++
+			obsWaveDepth.Observe(float64(ff.produced - ff.consumed))
+			ff.cond.Broadcast()
+			return fa
+		}
+		if ff.producing {
+			// A helper is mid-analysis on exactly the frame we need;
+			// wait for it rather than racing the EMA chain.
+			ff.cond.Wait()
+			continue
+		}
+		i := ff.produced
+		ff.producing = true
+		ff.mu.Unlock()
+		fa := ff.analyze(i)
+		ff.mu.Lock()
+		ff.ring[i%pipelineDepth] = fa
+		ff.produced++
+		ff.producing = false
+		ff.cond.Broadcast()
+	}
+}
+
+// produceAhead analyzes frames while ring space is free. Returns false
+// when there is nothing left to produce (closed or all frames done),
+// true when it stopped for lack of space. Called without mu held.
+func (ff *frameFeeder) produceAhead() bool {
+	ff.mu.Lock()
+	for {
+		if ff.closed || ff.produced >= len(ff.frames) {
+			ff.mu.Unlock()
+			return false
+		}
+		if ff.produced-ff.consumed >= pipelineDepth || ff.producing {
+			ff.mu.Unlock()
+			return true
+		}
+		i := ff.produced
+		ff.producing = true
+		ff.mu.Unlock()
+		fa := ff.analyze(i)
+		ff.mu.Lock()
+		ff.ring[i%pipelineDepth] = fa
+		ff.produced++
+		ff.producing = false
+		ff.cond.Broadcast()
+	}
+}
+
+// waitSpace blocks until a ring slot frees up (and no other producer is
+// mid-frame). Returns false when production is finished. Called without
+// mu held and, critically, without a gate slot held.
+func (ff *frameFeeder) waitSpace() bool {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	for {
+		if ff.closed || ff.produced >= len(ff.frames) {
+			return false
+		}
+		if ff.produced-ff.consumed < pipelineDepth && !ff.producing {
+			return true
+		}
+		ff.cond.Wait()
+	}
+}
+
+// serve is the helper goroutine's loop: win a gate slot (when gated),
+// analyze ahead until the ring is full, release the slot, then wait for
+// space. quit aborts a pending gate acquire at encode teardown.
+func (ff *frameFeeder) serve(quit <-chan struct{}, gated bool) {
+	for {
+		if gated {
+			if !cpuGate.AcquireOrQuit(quit) {
+				return
+			}
+		}
+		more := ff.produceAhead()
+		if gated {
+			cpuGate.Release()
+		}
+		if !more {
+			return
+		}
+		if !ff.waitSpace() {
+			return
+		}
+	}
+}
+
+// stop ends production; any helper blocked on ring space returns.
+func (ff *frameFeeder) stop() {
+	ff.mu.Lock()
+	ff.closed = true
+	ff.cond.Broadcast()
+	ff.mu.Unlock()
+}

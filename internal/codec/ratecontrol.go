@@ -56,6 +56,16 @@ type Config struct {
 	// parallel encoding — the mechanism multi-core encoders and
 	// hardware pipelines use.
 	Slices int
+	// RowsParallel controls wavefront parallelism inside each slice:
+	// macroblock rows encode concurrently once the row above is two
+	// macroblocks ahead (see wavefront.go). 0 = auto: row workers
+	// share the process CPU gate (syncx.CPU) and engage only when
+	// spare capacity exists; 1 = strictly serial rows (wavefront
+	// off); 2..64 = exactly that many dedicated row lanes regardless
+	// of gate capacity, for tests and benchmarks that must exercise
+	// the concurrent path on any host. Every setting produces the
+	// identical bitstream — only scheduling changes.
+	RowsParallel int
 }
 
 // Validate checks the configuration.
@@ -77,6 +87,9 @@ func (c Config) Validate() error {
 	}
 	if c.Slices < 0 || c.Slices > 64 {
 		return fmt.Errorf("codec: slice count %d out of [0,64]", c.Slices)
+	}
+	if c.RowsParallel < 0 || c.RowsParallel > 64 {
+		return fmt.Errorf("codec: rows-parallel %d out of [0,64]", c.RowsParallel)
 	}
 	return nil
 }

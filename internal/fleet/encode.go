@@ -110,11 +110,12 @@ func executeEncode(spec JobSpec) (Result, error) {
 		return Result{}, Terminal(err)
 	}
 	ccfg := codec.Config{
-		RC:          rc,
-		QP:          spec.QP,
-		BitrateBPS:  spec.BitrateBPS,
-		KeyInterval: spec.KeyInterval,
-		Slices:      spec.Slices,
+		RC:           rc,
+		QP:           spec.QP,
+		BitrateBPS:   spec.BitrateBPS,
+		KeyInterval:  spec.KeyInterval,
+		Slices:       spec.Slices,
+		RowsParallel: spec.RowsParallel,
 	}
 	res, err := eng.Encode(seq, ccfg)
 	if err != nil {

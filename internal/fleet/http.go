@@ -271,7 +271,24 @@ func (s *Server) handleMetricsText(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, s.q.Status())
+	st := s.q.Status()
+	// Per-worker wavefront utilization comes from the last metric push
+	// (server-side state the queue never sees): the mean of the
+	// worker.wave_occupancy histogram.
+	s.pushMu.Lock()
+	for i := range st.Workers {
+		if he, ok := s.lastPush[st.Workers[i].ID].Histograms[metricWaveOccupancy]; ok {
+			var n int64
+			for _, c := range he.Counts {
+				n += c
+			}
+			if n > 0 {
+				st.Workers[i].WaveOccupancy = he.Sum / float64(n)
+			}
+		}
+	}
+	s.pushMu.Unlock()
+	writeJSON(w, st)
 }
 
 func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {

@@ -91,6 +91,10 @@ type JobSpec struct {
 	BitrateBPS  float64 `json:"bitrate_bps,omitempty"`
 	KeyInterval int     `json:"key_interval,omitempty"`
 	Slices      int     `json:"slices,omitempty"`
+	// RowsParallel selects wavefront row parallelism inside each slice
+	// (see codec.Config.RowsParallel); 0 lets the worker's own default
+	// apply.
+	RowsParallel int `json:"rows_parallel,omitempty"`
 
 	// Noop payload.
 	SleepMS int `json:"sleep_ms,omitempty"`

@@ -53,6 +53,12 @@ type WorkerStatus struct {
 	Heartbeats      int64   `json:"heartbeats"`
 	Completions     int64   `json:"completions"`
 	Failures        int64   `json:"failures"`
+	// WaveOccupancy is the mean of the worker.wave_occupancy histogram
+	// from the worker's last metric push — average row workers per
+	// wavefront-encoded slice-frame (0 = no wavefront frames reported,
+	// or the worker pushes no metrics). Filled by the HTTP server, not
+	// the queue, since pushes live on the server.
+	WaveOccupancy float64 `json:"wave_occupancy"`
 }
 
 // Status assembles a consistent ops snapshot.

@@ -208,3 +208,62 @@ func TestMetricPushAbsorbed(t *testing.T) {
 		}
 	}
 }
+
+// TestStatusWaveOccupancy walks the wavefront utilization surface end
+// to end: the codec's occupancy histogram is mirrored into the
+// worker's push as worker.wave_occupancy, absorbed by the master, and
+// reported on /status as the per-worker mean.
+func TestStatusWaveOccupancy(t *testing.T) {
+	q := NewQueue(Options{Metrics: telemetry.NewRegistry(), LeaseTTL: time.Minute})
+	srv := testMaster(t, q)
+	submitNoops(t, srv.URL, 1, 0)
+	var leased LeaseResponse
+	rawPost(t, srv.URL+"/api/v1/lease", &LeaseRequest{Worker: "wW"}, &leased)
+	if leased.Job == nil {
+		t.Fatal("lease granted no job")
+	}
+
+	// Stand in for a wavefront encode: the codec observes occupancy on
+	// the process-wide histogram the worker mirrors at push time.
+	telemetry.GetHistogram("codec.wave.occupancy", 1, 2, 4, 8, 16, 32).Observe(3)
+
+	w, err := NewWorker(WorkerOptions{
+		Master:  srv.URL,
+		ID:      "wW",
+		Metrics: telemetry.NewRegistry(), // see WorkerOptions.Metrics
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	push, seq := w.buildPush()
+	he, ok := push.Histograms["worker.wave_occupancy"]
+	if !ok {
+		t.Fatalf("push carries no worker.wave_occupancy: %+v", push.Histograms)
+	}
+	if he.Sum < 3 {
+		t.Fatalf("wave occupancy mirror sum = %v, want >= 3", he.Sum)
+	}
+	var resp AckResponse
+	rawPost(t, srv.URL+"/api/v1/heartbeat", &AckRequest{
+		Worker: "wW", JobID: leased.Job.ID, Attempt: leased.Job.Attempt,
+		Push: push, PushSeq: seq,
+	}, &resp)
+	if !resp.OK {
+		t.Fatal("heartbeat rejected")
+	}
+
+	_, body := httpGet(t, srv.URL+"/status")
+	var st Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	for _, ws := range st.Workers {
+		if ws.ID == "wW" {
+			if ws.WaveOccupancy <= 0 {
+				t.Errorf("worker wW wave_occupancy = %v, want > 0", ws.WaveOccupancy)
+			}
+			return
+		}
+	}
+	t.Fatal("/status lists no worker wW")
+}

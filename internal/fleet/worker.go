@@ -31,6 +31,10 @@ const (
 	metricStageTransform = "worker.stage.transform_ns"
 	metricStageEntropy   = "worker.stage.entropy_ns"
 	metricStageGateWait  = "worker.stage.slice_gate_wait_ns"
+	// worker.wave_occupancy mirrors the process-wide
+	// codec.wave.occupancy histogram the same way, so /status can show
+	// per-worker wavefront utilization.
+	metricWaveOccupancy = "worker.wave_occupancy"
 )
 
 // WorkerOptions configures a pull worker.
@@ -69,6 +73,11 @@ type WorkerOptions struct {
 	// DisablePush stops piggybacking metric snapshots on heartbeats
 	// and acks.
 	DisablePush bool
+	// RowsParallel is the default wavefront setting applied to encode
+	// jobs whose spec leaves it unset (see codec.Config.RowsParallel):
+	// 0 shares the process CPU gate, 1 disables row parallelism, 2..64
+	// forces dedicated row lanes.
+	RowsParallel int
 }
 
 // Worker pulls jobs from a master and runs them with real encoders.
@@ -242,8 +251,12 @@ func (w *Worker) execute(job *Job, trace traceCtx) (Result, time.Duration, error
 		child.Arg("clip", job.Spec.Clip)
 		child.Arg("encoder", job.Spec.Encoder)
 	}
+	spec := job.Spec
+	if spec.RowsParallel == 0 {
+		spec.RowsParallel = w.opt.RowsParallel
+	}
 	start := time.Now()
-	res, err := Execute(job.Spec, job.Attempt, time.Sleep)
+	res, err := Execute(spec, job.Attempt, time.Sleep)
 	elapsed := time.Since(start)
 	child.End()
 	if err != nil {
@@ -284,6 +297,13 @@ func (w *Worker) buildPush() (*telemetry.Export, int64) {
 	e.Counters[metricStageTransform] = telemetry.GetCounter("codec.stage.transform_ns").Value()
 	e.Counters[metricStageEntropy] = telemetry.GetCounter("codec.stage.entropy_ns").Value()
 	e.Counters[metricStageGateWait] = telemetry.GetCounter("codec.stage.slice_gate_wait_ns").Value()
+	// Mirror the wavefront occupancy histogram whole (bounds included)
+	// so the master can absorb it and /status can report its mean
+	// without re-registering the codec's bucket layout.
+	we := telemetry.Default.Export("codec.wave.occupancy")
+	if he, ok := we.Histograms["codec.wave.occupancy"]; ok {
+		e.Histograms[metricWaveOccupancy] = he
+	}
 	w.pushSeq++
 	return &e, w.pushSeq
 }

@@ -59,6 +59,31 @@ func ValueLiteral() int { // want hotalloc:"noalloc"
 	return buf[0]
 }
 
+// WaveRowLeaky is the wavefront anti-pattern: the row task buffers its
+// winners by appending, growing a fresh backing array every frame.
+//
+//vbench:noalloc
+func WaveRowLeaky(winners []*block, row []block) []*block { // want hotalloc:"noalloc"
+	for i := range row {
+		winners = append(winners, &row[i]) // want "append may grow its backing array"
+	}
+	return winners
+}
+
+// WaveRowLane is the correct shape: the lane's winner buffer and level
+// storage are preallocated once, and the row task only index-stores
+// into them.
+//
+//vbench:noalloc
+func WaveRowLane(winners []*block, levels []int, row []block) { // want hotalloc:"noalloc"
+	off := 0
+	for i := range row {
+		winners[i] = &row[i]
+		levels[off] = row[i].a
+		off++
+	}
+}
+
 // Unannotated may allocate freely.
 func Unannotated(n int) []int {
 	s := make([]int, n)

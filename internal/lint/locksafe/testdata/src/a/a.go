@@ -203,3 +203,34 @@ func (g *Gauge) bump(ch chan int) {
 	ch <- g.v // want "channel send while holding Gauge"
 	g.Unlock()
 }
+
+// rowCoord mimics the wavefront row coordinator: a mutex guarding
+// per-row progress that row workers consult constantly.
+type rowCoord struct {
+	mu       sync.Mutex
+	progress []int
+}
+
+// waveJoinHeld is the wavefront anti-pattern: a row goroutine joins
+// the CPU gate while holding the row-progress mutex, stalling every
+// other row worker behind a token it may never win.
+func waveJoinHeld(rc *rowCoord, g *syncx.CPUGate, quit chan struct{}) {
+	rc.mu.Lock()
+	if g.AcquireOrQuit(quit) { // want "call to syncx.AcquireOrQuit may block while holding rowCoord.mu"
+		defer g.Release()
+	}
+	rc.progress[0]++
+	rc.mu.Unlock()
+}
+
+// waveJoinFirst is the correct shape: win the gate slot first, touch
+// the coordinator only inside short unlocked-at-the-end sections.
+func waveJoinFirst(rc *rowCoord, g *syncx.CPUGate, quit chan struct{}) {
+	if !g.AcquireOrQuit(quit) {
+		return
+	}
+	defer g.Release()
+	rc.mu.Lock()
+	rc.progress[0]++
+	rc.mu.Unlock()
+}
