@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet lint build test race bench benchall e2e
+.PHONY: check fmt vet lint build test race bench benchall e2e fingerprint
 
 check: fmt vet lint build race e2e
 
@@ -46,13 +46,20 @@ e2e:
 # bench runs the harness-grid scaling benchmark, the telemetry
 # overhead benchmark (acceptance budget: "on" < 5% over "off"), the
 # encode allocation benchmark with wavefront off and on (budget in
-# ALLOC_BUDGET.json), the wavefront row-parallel encode benchmark, and
-# the codec kernel micro-benchmarks (scalar vs SWAR,
-# internal/codec/kern),
+# ALLOC_BUDGET.json), the wavefront row-parallel encode benchmark,
+# the transcode-cache hit/miss benchmarks (internal/cas), and the
+# codec kernel micro-benchmarks (scalar vs SWAR, internal/codec/kern),
 # and records the machine-readable report in BENCH_harness.json.
 bench:
-	$(GO) test -bench 'HarnessGrid|TelemetryOverhead|EncodeAllocs|WavefrontEncode|SAD|SATD|DCT|Quant|Interp' -benchmem -run '^$$' . ./internal/codec/kern \
+	$(GO) test -bench 'HarnessGrid|TelemetryOverhead|EncodeAllocs|WavefrontEncode|CacheHit|CacheMiss|SAD|SATD|DCT|Quant|Interp' -benchmem -run '^$$' . ./internal/codec/kern \
 		| $(GO) run ./cmd/benchjson -o BENCH_harness.json
+
+# fingerprint regenerates the codec-version fingerprint baked into
+# every cache key (internal/cas/fingerprint_gen.go). Run after any
+# change under the fingerprinted trees (internal/{codec,corpus,
+# metrics,perf,video}); TestFingerprintCurrent fails until you do.
+fingerprint:
+	$(GO) run ./internal/cas/gen
 
 # benchall runs every benchmark in the repository.
 benchall:

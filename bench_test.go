@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"vbench/internal/cas"
 	"vbench/internal/codec"
 	"vbench/internal/corpus"
 	"vbench/internal/harness"
@@ -514,6 +515,100 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 			encode(b)
 		}
 	})
+}
+
+// benchCacheEntry builds one real cache entry: the "girl" clip at
+// bench scale, encoded once, measured into the cas.Outcome a store
+// would hold for it.
+func benchCacheEntry(b *testing.B) (*Encoder, *cas.Outcome, Config) {
+	b.Helper()
+	clip, err := corpus.ClipByName("girl")
+	if err != nil {
+		b.Fatal(err)
+	}
+	seq, err := clip.Generate(benchScale, benchDuration)
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc := X264(PresetMedium)
+	cfg := Config{RC: RCConstQP, QP: 28}
+	out, err := cas.Compute(enc, seq, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return enc, out, cfg
+}
+
+// BenchmarkCacheHit measures the two hit tiers of the content-
+// addressed transcode cache (internal/cas) against a real encoded
+// entry: "mem" is the singleflight map in front, "disk" re-reads the
+// sharded entry file and re-verifies its SHA-256 trailer on every
+// lookup (the integrity check is deliberately on the hot path). The
+// per-op throughput is the serving rate of a warm cache; compare
+// BenchmarkEncodeMedium for what each hit avoids.
+func BenchmarkCacheHit(b *testing.B) {
+	enc, out, cfg := benchCacheEntry(b)
+	key := cas.KeyParts{
+		Content:     "bench:girl",
+		Tools:       enc.Tools,
+		Config:      cfg,
+		Fingerprint: cas.Fingerprint(),
+	}.Key()
+	store, err := cas.Open(b.TempDir(), telemetry.NewRegistry())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := store.Put(key, out); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("mem", func(b *testing.B) {
+		if _, ok := store.Get(key); !ok { // promote disk -> mem once
+			b.Fatal("warmup lookup missed")
+		}
+		b.ReportAllocs()
+		b.SetBytes(out.SizeBytes())
+		for i := 0; i < b.N; i++ {
+			if _, ok := store.Get(key); !ok {
+				b.Fatal("mem tier missed")
+			}
+		}
+	})
+	b.Run("disk", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(out.SizeBytes())
+		for i := 0; i < b.N; i++ {
+			store.EvictMem()
+			if _, ok := store.Get(key); !ok {
+				b.Fatal("disk tier missed")
+			}
+		}
+	})
+}
+
+// BenchmarkCacheMiss measures the full miss path minus the encode: a
+// unique key per iteration falls through both tiers, runs the compute
+// closure (a no-op returning the prebuilt outcome, so the encode cost
+// is excluded), and persists the entry with an atomic tmp+rename
+// write. This is the overhead the cache adds to a cold run.
+func BenchmarkCacheMiss(b *testing.B) {
+	enc, out, cfg := benchCacheEntry(b)
+	store, err := cas.Open(b.TempDir(), telemetry.NewRegistry())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(out.SizeBytes())
+	for i := 0; i < b.N; i++ {
+		key := cas.KeyParts{
+			Content:     fmt.Sprintf("bench-miss:%d", i),
+			Tools:       enc.Tools,
+			Config:      cfg,
+			Fingerprint: cas.Fingerprint(),
+		}.Key()
+		if _, err := store.GetOrCompute(key, func() (*cas.Outcome, error) { return out, nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkServiceSimulation measures the discrete-event service

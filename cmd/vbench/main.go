@@ -22,6 +22,7 @@ import (
 	"os"
 	"runtime"
 
+	"vbench/internal/cas"
 	"vbench/internal/harness"
 	"vbench/internal/scoring"
 	"vbench/internal/tables"
@@ -36,12 +37,22 @@ func main() {
 	listScenarios := flag.Bool("scenarios", false, "print the scoring functions and constraints (Table 1)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	workers := flag.Int("j", runtime.GOMAXPROCS(0), "benchmark-grid worker count (output is identical at any -j)")
+	cacheDir := flag.String("cache-dir", "", "content-addressed transcode cache directory: re-runs serve unchanged encodes from disk instead of recomputing them")
+	cachePolicy := flag.String("cache-policy", "", "sweep cache retention policies over a simulated popularity-driven request stream instead of running scenarios: \"default\" or \"keep-all,lru:<bytes>,cost-aware\"")
+	cacheRequests := flag.Int("cache-requests", 200000, "request-stream length for -cache-policy")
+	cacheSeed := flag.Int64("cache-seed", 1, "request-stream seed for -cache-policy")
 	var topts telemetry.Options
 	topts.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *listScenarios {
 		printTable1()
+		return
+	}
+	if *cachePolicy != "" {
+		if err := runPolicySweep(*cachePolicy, *cacheRequests, *cacheSeed, *csv); err != nil {
+			fatal(err)
+		}
 		return
 	}
 
@@ -53,6 +64,13 @@ func main() {
 	r := harness.NewRunner(*scale, *duration)
 	r.Workers = *workers
 	r.RegisterMetrics(telemetry.Default)
+	if *cacheDir != "" {
+		store, err := cas.Open(*cacheDir, telemetry.Default)
+		if err != nil {
+			fatal(fmt.Errorf("opening cache %s: %w", *cacheDir, err))
+		}
+		r.Cache = store
+	}
 	if *verbose {
 		r.Progress = telemetry.NewLineWriter(os.Stderr)
 	}

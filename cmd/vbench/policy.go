@@ -1,0 +1,91 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"vbench/internal/cas/policy"
+	"vbench/internal/corpus"
+	"vbench/internal/tables"
+)
+
+// runPolicySweep evaluates cache retention policies over the modeled
+// rendition catalogue and a deterministic popularity-driven request
+// stream, and renders one comparison table: the storage-vs-compute
+// policy surface of the content-addressed cache.
+func runPolicySweep(spec string, requests int, seed int64, csv bool) error {
+	policies, err := parsePolicies(spec)
+	if err != nil {
+		return err
+	}
+	w := policy.Workload{
+		// 100 popularity ranks over the corpus × a 4-rung ladder at the
+		// paper's 5-second clip length: a 6000-rendition catalogue.
+		Renditions: policy.DefaultCatalogue(100, 5),
+		Model:      corpus.DefaultPopularity(),
+		Requests:   requests,
+		// A few requests per hour: the sparse-library regime where the
+		// storage-vs-compute trade actually bites (a busy head is
+		// always worth storing).
+		RequestsPerSec: 1e-3,
+		Seed:           seed,
+	}
+	reports, err := policy.Sweep(w, policies...)
+	if err != nil {
+		return err
+	}
+	t := tables.New(fmt.Sprintf("Cache retention policy sweep (%d renditions, %d requests, seed %d)",
+		len(w.Renditions), requests, seed),
+		"policy", "hit ratio", "recompute h", "peak GiB", "avg GiB", "end GiB")
+	for _, r := range reports {
+		t.AddRow(r.Policy,
+			fmt.Sprintf("%.4f", r.HitRatio),
+			fmt.Sprintf("%.1f", r.RecomputeSeconds/3600),
+			fmt.Sprintf("%.2f", float64(r.PeakBytes)/(1<<30)),
+			fmt.Sprintf("%.2f", r.AvgBytes/(1<<30)),
+			fmt.Sprintf("%.2f", float64(r.EndBytes)/(1<<30)))
+	}
+	if csv {
+		return t.RenderCSV(os.Stdout)
+	}
+	fmt.Println(t)
+	return nil
+}
+
+// parsePolicies maps the -cache-policy spec to policies: "default"
+// expands to one of each, otherwise a comma-separated list of
+// "keep-all", "lru:<bytes>", and "cost-aware".
+func parsePolicies(spec string) ([]policy.Policy, error) {
+	if spec == "default" {
+		return []policy.Policy{
+			policy.KeepAll{},
+			policy.LRUBytes{Cap: 8 << 30},
+			policy.LRUBytes{Cap: 32 << 30},
+			policy.DefaultCostAware(),
+		}, nil
+	}
+	var out []policy.Policy
+	for _, f := range strings.Split(spec, ",") {
+		f = strings.TrimSpace(f)
+		switch {
+		case f == "keep-all":
+			out = append(out, policy.KeepAll{})
+		case f == "cost-aware":
+			out = append(out, policy.DefaultCostAware())
+		case strings.HasPrefix(f, "lru:"):
+			n, err := strconv.ParseInt(strings.TrimPrefix(f, "lru:"), 10, 64)
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("bad lru cap in %q (want lru:<bytes>)", f)
+			}
+			out = append(out, policy.LRUBytes{Cap: n})
+		default:
+			return nil, fmt.Errorf("unknown cache policy %q (want keep-all, lru:<bytes>, or cost-aware)", f)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no cache policies in %q", spec)
+	}
+	return out, nil
+}

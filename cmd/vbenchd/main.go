@@ -33,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"vbench/internal/cas"
 	"vbench/internal/corpus"
 	"vbench/internal/fleet"
 	"vbench/internal/harness"
@@ -100,6 +101,7 @@ func runMaster(args []string) error {
 	logTransitions := fs.Bool("log-transitions", false, "record the job-state transition log and dump it on shutdown")
 	tracePath := fs.String("trace", "", "write a Chrome trace of master-side lease spans here on shutdown")
 	debugAddr := fs.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address (e.g. localhost:6060)")
+	cacheDir := fs.String("cache-dir", "", "content-addressed transcode cache directory: submissions with a stored result complete instantly, duplicate in-flight submissions dedup onto one job")
 	fs.Parse(args)
 
 	opt := fleet.Options{
@@ -109,6 +111,15 @@ func runMaster(args []string) error {
 		BackoffMax:  *backoffMax,
 		Metrics:     telemetry.Default,
 		RecordLog:   *logTransitions,
+	}
+	if *cacheDir != "" {
+		store, err := cas.Open(*cacheDir, telemetry.Default)
+		if err != nil {
+			return fmt.Errorf("opening cache %s: %w", *cacheDir, err)
+		}
+		opt.Cache = store
+		fmt.Fprintf(os.Stderr, "vbenchd master: transcode cache at %s (%d entries)\n",
+			*cacheDir, store.Stats().DiskEntries)
 	}
 	q, err := bootQueue(*state, opt)
 	if err != nil {
@@ -228,6 +239,7 @@ func runWorker(args []string) error {
 	tracePath := fs.String("trace", "", "write a Chrome trace of execution spans here on drain")
 	noPush := fs.Bool("no-push", false, "do not piggyback worker metric snapshots on heartbeats")
 	rowsParallel := fs.Int("rows-parallel", 0, "wavefront rows per slice for encode jobs that don't set it: 0 = share the CPU gate, 1 = serial rows, 2..64 = dedicated row lanes")
+	cacheDir := fs.String("cache-dir", "", "shared content-addressed transcode cache directory (serve cached encodes, store fresh ones)")
 	fs.Parse(args)
 
 	if *id == "" {
@@ -249,6 +261,14 @@ func runWorker(args []string) error {
 	// goroutines of one worker) never interleave mid-line and every
 	// line carries "[<id> +elapsed]".
 	lw := telemetry.NewLineWriter(os.Stderr)
+	var store *cas.Store
+	if *cacheDir != "" {
+		s, err := cas.Open(*cacheDir, telemetry.Default)
+		if err != nil {
+			return fmt.Errorf("opening cache %s: %w", *cacheDir, err)
+		}
+		store = s
+	}
 	w, err := fleet.NewWorker(fleet.WorkerOptions{
 		Master:       *master,
 		ID:           *id,
@@ -259,6 +279,7 @@ func runWorker(args []string) error {
 		Tracer:       tracer,
 		DisablePush:  *noPush,
 		RowsParallel: *rowsParallel,
+		Cache:        store,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,42 @@
+package cas
+
+import (
+	"vbench/internal/codec"
+	"vbench/internal/metrics"
+	"vbench/internal/video"
+)
+
+// Compute runs one real encode and measures it into an Outcome — the
+// single definition of "what a cache entry contains", used by both
+// the cold path of cached callers and uncached callers, so a warm
+// cache hit is byte-for-byte what the cold run produced.
+func Compute(eng *codec.Engine, seq *video.Sequence, cfg codec.Config) (*Outcome, error) {
+	res, err := eng.Encode(seq, cfg)
+	if err != nil {
+		return nil, err
+	}
+	psnr, err := metrics.SequencePSNR(seq, res.Recon)
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{
+		Bitstream:    res.Bitstream,
+		PerFrameBits: res.PerFrameBits,
+		FrameTypes:   res.FrameTypes,
+		Counters:     res.Counters,
+		Seconds:      res.Seconds,
+		PSNR:         psnr,
+		InputBytes:   seq.PixelCount() * 3 / 2,
+	}, nil
+}
+
+// SeqKey derives the cache key for encoding seq with eng under cfg,
+// using the pixel-content digest as the content identity.
+func SeqKey(eng *codec.Engine, seq *video.Sequence, cfg codec.Config) Key {
+	return KeyParts{
+		Content:     ContentDigest(seq),
+		Tools:       eng.Tools,
+		Config:      cfg,
+		Fingerprint: Fingerprint(),
+	}.Key()
+}

@@ -1,0 +1,117 @@
+package cas
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+
+	"vbench/internal/codec"
+	"vbench/internal/perf"
+)
+
+// Outcome is everything a transcode produces that downstream
+// consumers need: the bitstream plus the measurements that would
+// otherwise require re-running the encoder or decoder. The encoder's
+// reconstruction is deliberately not stored — quality is kept as the
+// measured PSNR, so a cache hit never has to materialize pixels.
+type Outcome struct {
+	Bitstream    []byte        `json:"-"`
+	PerFrameBits []int64       `json:"per_frame_bits"`
+	FrameTypes   []int         `json:"frame_types"`
+	Counters     perf.Counters `json:"counters"`
+	// Seconds is the modeled encode time under the engine's cost model.
+	Seconds float64 `json:"seconds"`
+	// PSNR is the sequence reconstruction quality in dB.
+	PSNR float64 `json:"psnr"`
+	// InputBytes is the raw 4:2:0 input size (fleet workers derive
+	// throughput histograms from it).
+	InputBytes int64 `json:"input_bytes"`
+}
+
+// Result reconstructs the codec-level result a cache hit stands in
+// for. Recon is nil: callers that need quality use Outcome.PSNR, and
+// callers that need pixels decode the bitstream.
+func (o *Outcome) Result() *codec.Result {
+	return &codec.Result{
+		Bitstream:    o.Bitstream,
+		PerFrameBits: o.PerFrameBits,
+		FrameTypes:   o.FrameTypes,
+		Counters:     o.Counters,
+		Seconds:      o.Seconds,
+	}
+}
+
+// SizeBytes approximates the retained size of the outcome; the
+// in-memory tier's byte accounting uses it.
+func (o *Outcome) SizeBytes() int64 {
+	return int64(len(o.Bitstream)) + int64(len(o.PerFrameBits))*8 +
+		int64(len(o.FrameTypes))*8 + 512 // counters + struct overhead
+}
+
+// On-disk entry layout (see docs/FORMAT.md):
+//
+//	magic "vbcas1\n"
+//	uint32 BE  meta length
+//	meta JSON  (the Outcome minus the bitstream)
+//	uint32 BE  bitstream length
+//	bitstream bytes
+//	32-byte SHA-256 over everything above
+//
+// The trailing digest is re-verified on every read; a mismatch (torn
+// write that survived rename, bit rot, truncation) deletes the entry
+// and reads as a miss, never as wrong data.
+
+var entryMagic = []byte("vbcas1\n")
+
+// encodeEntry serializes an outcome to the on-disk entry format.
+func encodeEntry(o *Outcome) ([]byte, error) {
+	meta, err := json.Marshal(o)
+	if err != nil {
+		return nil, fmt.Errorf("cas: encoding entry meta: %w", err)
+	}
+	var buf bytes.Buffer
+	buf.Grow(len(entryMagic) + 8 + len(meta) + len(o.Bitstream) + sha256.Size)
+	buf.Write(entryMagic)
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(meta)))
+	buf.Write(n[:])
+	buf.Write(meta)
+	binary.BigEndian.PutUint32(n[:], uint32(len(o.Bitstream)))
+	buf.Write(n[:])
+	buf.Write(o.Bitstream)
+	sum := sha256.Sum256(buf.Bytes())
+	buf.Write(sum[:])
+	return buf.Bytes(), nil
+}
+
+// decodeEntry parses and integrity-checks an on-disk entry.
+func decodeEntry(b []byte) (*Outcome, error) {
+	if len(b) < len(entryMagic)+8+sha256.Size || !bytes.HasPrefix(b, entryMagic) {
+		return nil, fmt.Errorf("cas: entry too short or bad magic")
+	}
+	payload, tail := b[:len(b)-sha256.Size], b[len(b)-sha256.Size:]
+	sum := sha256.Sum256(payload)
+	if !bytes.Equal(sum[:], tail) {
+		return nil, fmt.Errorf("cas: entry integrity digest mismatch")
+	}
+	p := payload[len(entryMagic):]
+	metaLen := binary.BigEndian.Uint32(p)
+	p = p[4:]
+	if uint32(len(p)) < metaLen+4 {
+		return nil, fmt.Errorf("cas: entry meta length %d overruns entry", metaLen)
+	}
+	var o Outcome
+	if err := json.Unmarshal(p[:metaLen], &o); err != nil {
+		return nil, fmt.Errorf("cas: decoding entry meta: %w", err)
+	}
+	p = p[metaLen:]
+	bsLen := binary.BigEndian.Uint32(p)
+	p = p[4:]
+	if uint32(len(p)) != bsLen {
+		return nil, fmt.Errorf("cas: entry bitstream length %d != %d", bsLen, len(p))
+	}
+	o.Bitstream = append([]byte(nil), p...)
+	return &o, nil
+}

@@ -1,0 +1,99 @@
+package cas
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// fingerprintTrees are the packages whose source determines encode
+// outcomes: the codec itself (profiles, motion, kernels, hardware
+// models included), the synthesized inputs, the quality/bitrate
+// metrics, and the perf cost model. Any edit under these trees changes
+// the fingerprint, which changes every cache key, which turns every
+// existing entry into a guaranteed miss — the mechanism that makes
+// stale cache hits impossible across encoder versions.
+var fingerprintTrees = []string{
+	"internal/codec",
+	"internal/corpus",
+	"internal/metrics",
+	"internal/perf",
+	"internal/video",
+}
+
+// Fingerprint returns the baked-in codec-version fingerprint. It is
+// refreshed by `make fingerprint` (go run ./internal/cas/gen) and
+// guarded by a golden test that recomputes it from source.
+func Fingerprint() string { return codecFingerprint }
+
+// ComputeFingerprint hashes the encode-affecting source trees under
+// the module root: every non-test .go file (testdata excluded),
+// sorted by slash path, digested as path + content. The result is
+// what the generator bakes into fingerprint_gen.go.
+func ComputeFingerprint(moduleRoot string) (string, error) {
+	h := sha256.New()
+	io.WriteString(h, "fingerprint/v1\n")
+	var files []string
+	for _, tree := range fingerprintTrees {
+		root := filepath.Join(moduleRoot, filepath.FromSlash(tree))
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				if d.Name() == "testdata" {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			rel, err := filepath.Rel(moduleRoot, path)
+			if err != nil {
+				return err
+			}
+			files = append(files, filepath.ToSlash(rel))
+			return nil
+		})
+		if err != nil {
+			return "", fmt.Errorf("cas: walking %s: %w", tree, err)
+		}
+	}
+	sort.Strings(files)
+	for _, rel := range files {
+		data, err := os.ReadFile(filepath.Join(moduleRoot, filepath.FromSlash(rel)))
+		if err != nil {
+			return "", fmt.Errorf("cas: fingerprinting %s: %w", rel, err)
+		}
+		fmt.Fprintf(h, "%s %d\n", rel, len(data))
+		h.Write(data)
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16], nil
+}
+
+// FindModuleRoot walks up from dir to the directory containing
+// go.mod. The generator and the golden test both use it so the
+// fingerprint is always computed against the same tree layout.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("cas: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

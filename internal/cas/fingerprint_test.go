@@ -1,0 +1,31 @@
+package cas
+
+import "testing"
+
+// TestFingerprintCurrent is the golden guard on the baked fingerprint:
+// it recomputes the digest from the encode-affecting source trees and
+// compares it to the generated constant. It fails after any edit under
+// those trees until the constant is regenerated — which is the point:
+// a stale fingerprint would let entries from the previous encoder
+// version hit.
+func TestFingerprintCurrent(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ComputeFingerprint(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Fingerprint(); got != want {
+		t.Errorf("baked codec fingerprint %q is stale (source digests to %q): run make fingerprint", got, want)
+	}
+}
+
+// TestFingerprintShape pins the format contract other tests and the
+// key serialization rely on.
+func TestFingerprintShape(t *testing.T) {
+	if len(Fingerprint()) != 16 {
+		t.Errorf("fingerprint %q is not 16 hex chars", Fingerprint())
+	}
+}

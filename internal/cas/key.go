@@ -1,0 +1,174 @@
+// Package cas is the content-addressed transcode cache: every encode
+// is keyed by a canonical digest of (input pixel content, full
+// codec.Config, encoder tool set, codec-version fingerprint) and its
+// outcome — bitstream bytes, decoded quality, perf counters, modeled
+// time — is stored in an in-memory tier backed by a sharded on-disk
+// store. Identical transcodes then cost one lookup instead of one
+// encode: harness re-runs become incremental, and the fleet master
+// collapses duplicate submissions without granting a worker lease.
+//
+// Keys are strictly conservative: any difference that could change
+// the outcome — one pixel, one Config field, one encoder tool, or the
+// version fingerprint of the encode-affecting packages — produces a
+// different key, so stale entries can never resurface.
+package cas
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"strconv"
+
+	"vbench/internal/codec"
+	"vbench/internal/video"
+)
+
+// Key is the cache identity of one transcode: a SHA-256 over the
+// canonical serialization of its KeyParts. It is comparable and used
+// directly as a map key; String is its hex form (also the on-disk
+// file name).
+type Key [sha256.Size]byte
+
+// String returns the full hex form of the key.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// Short returns an abbreviated hex form for logs and span args.
+func (k Key) Short() string { return hex.EncodeToString(k[:6]) }
+
+// ParseKey parses the hex form produced by String.
+func ParseKey(s string) (Key, error) {
+	var k Key
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != len(k) {
+		return Key{}, fmt.Errorf("cas: %q is not a cache key", s)
+	}
+	copy(k[:], b)
+	return k, nil
+}
+
+// KeyParts is everything that determines a transcode outcome. Key()
+// serializes the parts canonically — fixed field order, explicit
+// names, one line per field — and digests the result, so two
+// processes (or two releases with the same fingerprint) derive the
+// same key for the same work.
+type KeyParts struct {
+	// Content identifies the input pixels: ContentDigest(seq) for
+	// materialized sequences, or a deterministic surrogate such as the
+	// fleet's "spec:clip/scale/duration" for synthesized clips.
+	Content string
+	// Tools is the encoder configuration (family, preset tool set).
+	Tools codec.Tools
+	// Config is the per-transcode rate-control configuration.
+	Config codec.Config
+	// Scope namespaces keys that would otherwise collide, e.g. when an
+	// embedder caches a derived artifact of the same encode. Usually
+	// empty.
+	Scope string
+	// Fingerprint is the codec-version fingerprint (Fingerprint());
+	// entries written by a different encoder version can never match.
+	Fingerprint string
+}
+
+// keyVersion bumps every key when the serialization itself changes.
+const keyVersion = "vbcas/v1"
+
+// configKeyFields and toolsKeyFields list the struct fields the
+// canonical serialization covers, in serialization order. The
+// reflection test in key_test.go fails when a field is added to
+// codec.Config or codec.Tools but not listed here — the guard that a
+// new encode-affecting knob cannot silently alias cache entries.
+var configKeyFields = []string{"RC", "QP", "BitrateBPS", "KeyInterval", "Slices", "RowsParallel"}
+
+var toolsKeyFields = []string{
+	"Name", "Search", "SearchRange", "SubPel", "MaxRefs",
+	"Transform8x8", "AdaptiveQuant", "Trellis", "Entropy", "RichContexts",
+	"Deblock", "RDMode", "SceneCut", "SharpInterp", "Intra4x4",
+	"Denoise", "QPGranularity",
+}
+
+// Key digests the parts canonically.
+func (p KeyParts) Key() Key {
+	h := sha256.New()
+	io.WriteString(h, keyVersion+"\n")
+	writeField(h, "content", p.Content)
+	writeField(h, "scope", p.Scope)
+	writeField(h, "fingerprint", p.Fingerprint)
+	appendTools(h, p.Tools)
+	appendConfig(h, p.Config)
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+func writeField(w io.Writer, name, val string) {
+	// Length-prefixed values make the serialization injective even for
+	// values containing newlines or "=".
+	fmt.Fprintf(w, "%s=%d:%s\n", name, len(val), val)
+}
+
+func writeInt(w io.Writer, name string, v int64) {
+	writeField(w, name, strconv.FormatInt(v, 10))
+}
+
+func writeBool(w io.Writer, name string, v bool) {
+	writeField(w, name, strconv.FormatBool(v))
+}
+
+func writeFloat(w io.Writer, name string, v float64) {
+	writeField(w, name, strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+// appendConfig serializes every exported codec.Config field, in
+// configKeyFields order.
+func appendConfig(w io.Writer, c codec.Config) {
+	writeInt(w, "config.RC", int64(c.RC))
+	writeInt(w, "config.QP", int64(c.QP))
+	writeFloat(w, "config.BitrateBPS", c.BitrateBPS)
+	writeInt(w, "config.KeyInterval", int64(c.KeyInterval))
+	writeInt(w, "config.Slices", int64(c.Slices))
+	writeInt(w, "config.RowsParallel", int64(c.RowsParallel))
+}
+
+// appendTools serializes every exported codec.Tools field, in
+// toolsKeyFields order.
+func appendTools(w io.Writer, t codec.Tools) {
+	writeField(w, "tools.Name", t.Name)
+	writeInt(w, "tools.Search", int64(t.Search))
+	writeInt(w, "tools.SearchRange", int64(t.SearchRange))
+	writeInt(w, "tools.SubPel", int64(t.SubPel))
+	writeInt(w, "tools.MaxRefs", int64(t.MaxRefs))
+	writeBool(w, "tools.Transform8x8", t.Transform8x8)
+	writeBool(w, "tools.AdaptiveQuant", t.AdaptiveQuant)
+	writeBool(w, "tools.Trellis", t.Trellis)
+	writeInt(w, "tools.Entropy", int64(t.Entropy))
+	writeBool(w, "tools.RichContexts", t.RichContexts)
+	writeBool(w, "tools.Deblock", t.Deblock)
+	writeBool(w, "tools.RDMode", t.RDMode)
+	writeBool(w, "tools.SceneCut", t.SceneCut)
+	writeBool(w, "tools.SharpInterp", t.SharpInterp)
+	writeBool(w, "tools.Intra4x4", t.Intra4x4)
+	writeInt(w, "tools.Denoise", int64(t.Denoise))
+	writeInt(w, "tools.QPGranularity", int64(t.QPGranularity))
+}
+
+// ContentDigest returns the content identity of a sequence: a digest
+// over its geometry, framerate, and every luma and chroma sample.
+// Flipping a single pixel changes the digest (and so the cache key).
+func ContentDigest(seq *video.Sequence) string {
+	h := sha256.New()
+	io.WriteString(h, "content/v1\n")
+	var hdr [32]byte
+	binary.BigEndian.PutUint64(hdr[0:], uint64(seq.Width()))
+	binary.BigEndian.PutUint64(hdr[8:], uint64(seq.Height()))
+	binary.BigEndian.PutUint64(hdr[16:], uint64(len(seq.Frames)))
+	binary.BigEndian.PutUint64(hdr[24:], uint64(int64(seq.FrameRate*1000+0.5)))
+	h.Write(hdr[:])
+	for _, f := range seq.Frames {
+		h.Write(f.Y)
+		h.Write(f.Cb)
+		h.Write(f.Cr)
+	}
+	return "pix:" + hex.EncodeToString(h.Sum(nil))
+}

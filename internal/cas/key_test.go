@@ -1,0 +1,195 @@
+package cas
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"vbench/internal/codec"
+	"vbench/internal/codec/profiles"
+	"vbench/internal/corpus"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/keys.golden from the current serialization")
+
+// TestConfigFieldsCovered pins the cache-key serialization to the
+// shape of codec.Config and codec.Tools: adding a field to either
+// struct without teaching appendConfig/appendTools about it fails
+// here, because an unkeyed encode-affecting knob would alias cache
+// entries.
+func TestConfigFieldsCovered(t *testing.T) {
+	cases := []struct {
+		typ    reflect.Type
+		keyed  []string
+		target string
+	}{
+		{reflect.TypeOf(codec.Config{}), configKeyFields, "appendConfig"},
+		{reflect.TypeOf(codec.Tools{}), toolsKeyFields, "appendTools"},
+	}
+	for _, c := range cases {
+		covered := map[string]bool{}
+		for _, name := range c.keyed {
+			covered[name] = true
+		}
+		for i := 0; i < c.typ.NumField(); i++ {
+			f := c.typ.Field(i)
+			if !f.IsExported() {
+				continue
+			}
+			if !covered[f.Name] {
+				t.Errorf("%s.%s is not covered by the cache key: add it to %s and its field list",
+					c.typ.Name(), f.Name, c.target)
+			}
+			delete(covered, f.Name)
+		}
+		for name := range covered {
+			t.Errorf("%s keys unknown field %s (removed from %s?)", c.target, name, c.typ.Name())
+		}
+	}
+}
+
+// baseParts is a fully populated key input with a fixed fingerprint,
+// so perturbation and golden tests are insulated from codec edits
+// (the real fingerprint exists to change on those).
+func baseParts() KeyParts {
+	return KeyParts{
+		Content:     "pix:test-content",
+		Tools:       profiles.X264(codec.PresetMedium).Tools,
+		Config:      codec.Config{RC: codec.RCConstQP, QP: 30, KeyInterval: 12, Slices: 2, RowsParallel: 1},
+		Scope:       "",
+		Fingerprint: "fixed-test-fingerprint",
+	}
+}
+
+// TestEveryFieldChangesKey perturbs each exported Config and Tools
+// field in turn and asserts the key moves — the other half of the
+// coverage guarantee (listed AND actually serialized).
+func TestEveryFieldChangesKey(t *testing.T) {
+	base := baseParts().Key()
+	check := func(what string, p KeyParts) {
+		t.Helper()
+		if p.Key() == base {
+			t.Errorf("perturbing %s did not change the cache key", what)
+		}
+	}
+	perturbStruct := func(name string, pick func(p *KeyParts) reflect.Value) {
+		typ := pick(&KeyParts{}).Type()
+		for i := 0; i < typ.NumField(); i++ {
+			f := typ.Field(i)
+			if !f.IsExported() {
+				continue
+			}
+			p := baseParts()
+			perturb(t, pick(&p).Field(i))
+			check(name+"."+f.Name, p)
+		}
+	}
+	perturbStruct("Config", func(p *KeyParts) reflect.Value { return reflect.ValueOf(&p.Config).Elem() })
+	perturbStruct("Tools", func(p *KeyParts) reflect.Value { return reflect.ValueOf(&p.Tools).Elem() })
+
+	p := baseParts()
+	p.Content = "pix:other-content"
+	check("Content", p)
+	p = baseParts()
+	p.Scope = "other-scope"
+	check("Scope", p)
+	p = baseParts()
+	p.Fingerprint = "other-fingerprint"
+	check("Fingerprint", p)
+}
+
+// perturb sets v to a value different from its current one.
+func perturb(t *testing.T, v reflect.Value) {
+	t.Helper()
+	switch v.Kind() {
+	case reflect.Bool:
+		v.SetBool(!v.Bool())
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		v.SetInt(v.Int() + 1)
+	case reflect.Float32, reflect.Float64:
+		v.SetFloat(v.Float() + 1.5)
+	case reflect.String:
+		v.SetString(v.String() + "+x")
+	default:
+		t.Fatalf("perturb: unsupported kind %v — extend the cache key tests", v.Kind())
+	}
+}
+
+// TestFlipOnePixelChangesKey is the tentpole correctness pin at the
+// content layer: a single-sample difference in the input forces a
+// different key (and so a cache miss).
+func TestFlipOnePixelChangesKey(t *testing.T) {
+	clip, err := corpus.ClipByName("girl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := clip.Generate(32, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := profiles.X264(codec.PresetFast)
+	cfg := codec.Config{RC: codec.RCConstQP, QP: 30}
+	k1 := SeqKey(eng, seq, cfg)
+	seq2 := seq.Clone()
+	seq2.Frames[0].Y[0] ^= 1
+	if k2 := SeqKey(eng, seq2, cfg); k1 == k2 {
+		t.Fatal("flipping one pixel did not change the cache key")
+	}
+	if ContentDigest(seq) == ContentDigest(seq2) {
+		t.Fatal("flipping one pixel did not change the content digest")
+	}
+}
+
+// TestKeyStabilityGolden pins the canonical serialization: these keys
+// must never change for existing inputs, or every deployed store
+// silently loses its entries. If this fails you changed the key
+// derivation — bump keyVersion and regenerate testdata/keys.golden
+// (see the writeGolden helper below) only if that was intentional.
+func TestKeyStabilityGolden(t *testing.T) {
+	var b strings.Builder
+	for _, c := range goldenCases() {
+		fmt.Fprintf(&b, "%s %s\n", c.name, c.parts.Key())
+	}
+	got := b.String()
+	path := filepath.Join("testdata", "keys.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading %s: %v (regenerate with go test -run TestKeyStabilityGolden -update-golden)", path, err)
+	}
+	if got != string(want) {
+		t.Errorf("cache keys drifted from %s:\n got:\n%s\nwant:\n%s", path, got, want)
+	}
+}
+
+type goldenCase struct {
+	name  string
+	parts KeyParts
+}
+
+func goldenCases() []goldenCase {
+	abr := baseParts()
+	abr.Config = codec.Config{RC: codec.RCBitrate, BitrateBPS: 1.25e6}
+	twoPass := baseParts()
+	twoPass.Config = codec.Config{RC: codec.RCTwoPass, BitrateBPS: 4e6, KeyInterval: 48}
+	twoPass.Tools = profiles.X265(codec.PresetVerySlow).Tools
+	scoped := baseParts()
+	scoped.Scope = "entropy"
+	return []goldenCase{
+		{"cqp-x264-medium", baseParts()},
+		{"abr-x264-medium", abr},
+		{"2pass-x265-veryslow", twoPass},
+		{"scoped-entropy", scoped},
+	}
+}

@@ -1,0 +1,63 @@
+package policy
+
+import (
+	"fmt"
+
+	"vbench/internal/corpus"
+)
+
+// rung is one step of the modeled delivery ladder: the resolution
+// scale it is encoded at and a bits-per-pixel budget for its size.
+type rung struct {
+	name string
+	// pixelShare scales the clip's native pixel count (ladder rungs
+	// downscale: 1.0, 0.44, 0.25, 0.11 track 1080p→720p→540p→360p
+	// area ratios).
+	pixelShare float64
+	// bitsPerPixel models the compressed size at that rung.
+	bitsPerPixel float64
+	// secondsPerMPix models the encode cost at that rung.
+	secondsPerMPix float64
+}
+
+var ladder = []rung{
+	{name: "high", pixelShare: 1.00, bitsPerPixel: 0.120, secondsPerMPix: 9.0},
+	{name: "mid", pixelShare: 0.44, bitsPerPixel: 0.150, secondsPerMPix: 6.0},
+	{name: "low", pixelShare: 0.25, bitsPerPixel: 0.180, secondsPerMPix: 4.0},
+	{name: "tiny", pixelShare: 0.11, bitsPerPixel: 0.240, secondsPerMPix: 2.5},
+}
+
+// DefaultCatalogue models a rendition catalogue from the vbench corpus
+// crossed with a four-rung delivery ladder, sized analytically (no
+// real encodes): entropy-heavier clips compress worse and cost more to
+// encode. Ranks follow corpus order repeated Replicas times, so a
+// replica factor of 100 models a 1500-rendition catalogue whose
+// popularity curve still spans head to tail.
+func DefaultCatalogue(replicas int, seconds float64) []Rendition {
+	if replicas < 1 {
+		replicas = 1
+	}
+	clips := corpus.VBenchClips()
+	var out []Rendition
+	rank := 0
+	for rep := 0; rep < replicas; rep++ {
+		for _, c := range clips {
+			rank++
+			mpix := float64(c.Width*c.Height) / 1e6
+			// PaperEntropy ∈ [0.2, 7.7] scales both size and cost:
+			// 0.5×..1.5× around the ladder's nominal budget.
+			hard := 0.5 + c.PaperEntropy/7.7
+			for _, r := range ladder {
+				frames := c.FrameRate * seconds
+				pixels := mpix * r.pixelShare * frames
+				out = append(out, Rendition{
+					ID:            fmt.Sprintf("%s#%d/%s", c.Name, rep, r.name),
+					Bytes:         int64(pixels * 1e6 * r.bitsPerPixel * hard / 8),
+					EncodeSeconds: pixels * r.secondsPerMPix * hard,
+					Rank:          rank,
+				})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,178 @@
+// Package policy is the storage-vs-compute decision layer over the
+// content-addressed transcode cache: given a catalogue of cached
+// renditions and the power-law popularity of their source videos, a
+// retention policy decides which entries are worth their bytes and
+// which are cheaper to re-transcode on the next request.
+//
+// The trade is the one Darwich et al. (arXiv:2012.00597) price out for
+// cloud video: storing a rendition costs bytes × $/byte·s for as long
+// as it sits idle, re-transcoding costs encode-seconds × $/CPU·s every
+// time it is requested uncached. Popular renditions are requested so
+// often that storage always wins; deep-tail renditions may see their
+// next request months out, and the storage rent until then exceeds one
+// re-encode. The break-even rank depends on the popularity curve —
+// which the corpus package already models after Cha et al.
+//
+// Policies are evaluated offline by a deterministic request-stream
+// simulator (Simulate), so `vbench -cache-policy` sweeps report
+// reproducible hit ratios, re-transcode compute, and storage
+// footprints without touching a real store.
+package policy
+
+import (
+	"fmt"
+
+	"vbench/internal/corpus"
+)
+
+// Rendition is one cacheable transcode output in the catalogue: a
+// (video, ladder rung) pair with its storage and recompute costs.
+type Rendition struct {
+	// ID names the rendition, e.g. "girl/720p-x264-medium".
+	ID string
+	// Bytes is the stored bitstream size.
+	Bytes int64
+	// EncodeSeconds is the compute cost of regenerating it.
+	EncodeSeconds float64
+	// Rank is the source video's popularity rank (1 = most watched);
+	// every rung of one video shares its rank.
+	Rank int
+}
+
+// Policy decides what the cache retains. The simulator consults Admit
+// after every miss (store the fresh result, or serve-and-drop?) and
+// enforces CapBytes by least-recently-used eviction.
+type Policy interface {
+	Name() string
+	// Admit reports whether r is worth storing at all.
+	Admit(r Rendition, w Workload) bool
+	// CapBytes bounds total stored bytes; 0 means unbounded.
+	CapBytes() int64
+}
+
+// KeepAll stores every rendition forever: the hit-ratio upper bound
+// and the storage-cost worst case.
+type KeepAll struct{}
+
+// Name implements Policy.
+func (KeepAll) Name() string { return "keep-all" }
+
+// Admit implements Policy: everything is stored.
+func (KeepAll) Admit(Rendition, Workload) bool { return true }
+
+// CapBytes implements Policy: unbounded.
+func (KeepAll) CapBytes() int64 { return 0 }
+
+// LRUBytes stores everything under a byte budget, evicting the least
+// recently used rendition when the budget overflows.
+type LRUBytes struct {
+	// Cap is the storage budget in bytes.
+	Cap int64
+}
+
+// Name implements Policy.
+func (p LRUBytes) Name() string { return fmt.Sprintf("lru-%s", humanBytes(p.Cap)) }
+
+// Admit implements Policy: admission is unconditional; the cap does
+// the filtering.
+func (LRUBytes) Admit(Rendition, Workload) bool { return true }
+
+// CapBytes implements Policy.
+func (p LRUBytes) CapBytes() int64 { return p.Cap }
+
+// CostAware prices each rendition's retention against its recompute,
+// following the Darwich et al. model: a rendition at popularity rank k
+// is requested on average every Δ(k) = 1/(rate·share(k)) seconds, so
+// keeping it rents Bytes·StoragePrice·Δ(k) between requests, while
+// dropping it costs EncodeSeconds·ComputePrice per request. Store iff
+// the rent is cheaper.
+type CostAware struct {
+	// StoragePricePerByteSecond is the storage rent ($/byte·s).
+	StoragePricePerByteSecond float64
+	// ComputePricePerSecond is the encode cost ($/CPU·s).
+	ComputePricePerSecond float64
+}
+
+// Name implements Policy.
+func (CostAware) Name() string { return "cost-aware" }
+
+// Admit implements Policy: keep iff storage-until-next-request costs
+// less than one re-transcode.
+func (p CostAware) Admit(r Rendition, w Workload) bool {
+	share := w.share(r.Rank)
+	if share <= 0 || w.RequestsPerSec <= 0 {
+		return false // never requested again: storing is pure rent
+	}
+	interval := 1 / (w.RequestsPerSec * share)
+	storageCost := float64(r.Bytes) * p.StoragePricePerByteSecond * interval
+	recomputeCost := r.EncodeSeconds * p.ComputePricePerSecond
+	return storageCost < recomputeCost
+}
+
+// CapBytes implements Policy: the cost model is the only bound.
+func (CostAware) CapBytes() int64 { return 0 }
+
+// DefaultCostAware prices storage and compute at ratios resembling
+// public-cloud object storage ($0.02/GB·month) against on-demand CPU
+// ($0.05/CPU·hour) — the regime the paper's economics discussion and
+// Darwich et al. both consider, where the head of the catalogue is
+// always stored and the deep tail is always recomputed.
+func DefaultCostAware() CostAware {
+	const gbMonth = 0.02
+	const cpuHour = 0.05
+	return CostAware{
+		StoragePricePerByteSecond: gbMonth / 1e9 / (30 * 24 * 3600),
+		ComputePricePerSecond:     cpuHour / 3600,
+	}
+}
+
+// Workload is the request stream a policy is judged against.
+type Workload struct {
+	// Renditions is the catalogue, each carrying its popularity rank.
+	Renditions []Rendition
+	// Model shapes the request distribution over ranks.
+	Model corpus.PopularityModel
+	// Requests is the stream length.
+	Requests int
+	// RequestsPerSec converts the stream to virtual time (storage
+	// rent and inter-request intervals need a clock).
+	RequestsPerSec float64
+	// Seed makes the sampled stream reproducible.
+	Seed int64
+
+	// Lazily computed popularity normalization.
+	rankCount   map[int]int
+	totalWeight float64
+}
+
+// share returns the fraction of requests hitting one rendition at the
+// given popularity rank: a video draws Weight(rank) of the watch mass
+// and its ladder rungs split that evenly.
+func (w *Workload) share(rank int) float64 {
+	if w.rankCount == nil {
+		w.rankCount = map[int]int{}
+		for _, r := range w.Renditions {
+			w.rankCount[r.Rank]++
+		}
+		for rk := range w.rankCount {
+			w.totalWeight += w.Model.Weight(rk)
+		}
+	}
+	n := w.rankCount[rank]
+	if n == 0 || w.totalWeight == 0 {
+		return 0
+	}
+	return w.Model.Weight(rank) / w.totalWeight / float64(n)
+}
+
+func humanBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%dGiB", n>>30)
+	case n >= 1<<20:
+		return fmt.Sprintf("%dMiB", n>>20)
+	case n >= 1<<10:
+		return fmt.Sprintf("%dKiB", n>>10)
+	}
+	return fmt.Sprintf("%dB", n)
+}

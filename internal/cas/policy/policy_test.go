@@ -1,0 +1,150 @@
+package policy
+
+import (
+	"reflect"
+	"testing"
+
+	"vbench/internal/corpus"
+)
+
+func testWorkload(requests int) Workload {
+	// The request rate is deliberately sparse (a few per hour): at
+	// public-cloud prices storage rent only overtakes re-transcoding
+	// when the next request is months out, so a busy stream would have
+	// the cost model store everything and the orderings below would
+	// degenerate.
+	return Workload{
+		Renditions:     DefaultCatalogue(20, 5),
+		Model:          corpus.DefaultPopularity(),
+		Requests:       requests,
+		RequestsPerSec: 1e-3,
+		Seed:           42,
+	}
+}
+
+// TestSimulateDeterministic: same workload, same seed, same policy —
+// byte-identical report, the property the sweep flag's output rests on.
+func TestSimulateDeterministic(t *testing.T) {
+	for _, p := range []Policy{KeepAll{}, LRUBytes{Cap: 256 << 20}, DefaultCostAware()} {
+		a, err := Simulate(testWorkload(5000), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Simulate(testWorkload(5000), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: two identical simulations diverged:\n%+v\n%+v", p.Name(), a, b)
+		}
+	}
+}
+
+// premiumCost prices storage high enough (a replicated low-latency
+// tier, ~600× cold object storage) that the break-even rank falls
+// inside the test catalogue; at default cold-storage prices the model
+// correctly stores nearly everything, which pins nothing.
+func premiumCost() CostAware {
+	p := DefaultCostAware()
+	p.StoragePricePerByteSecond *= 600
+	return p
+}
+
+// TestPolicyOrderings pins the qualitative shape of the trade-off
+// space: keep-all has the best hit ratio and the worst footprint, a
+// byte cap trades hits for bytes, and the cost model lands between.
+func TestPolicyOrderings(t *testing.T) {
+	w := testWorkload(20000)
+	keep, err := Simulate(w, KeepAll{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lru, err := Simulate(w, LRUBytes{Cap: keep.PeakBytes / 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, err := Simulate(w, premiumCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if keep.HitRatio <= 0.1 || keep.HitRatio >= 1 {
+		t.Errorf("keep-all hit ratio out of range: %+v", keep)
+	}
+	if keep.RecomputeSeconds <= 0 {
+		t.Errorf("keep-all shows no cold misses: %+v", keep)
+	}
+	if lru.HitRatio > keep.HitRatio {
+		t.Errorf("capped LRU beats keep-all on hits: lru=%+v keep=%+v", lru, keep)
+	}
+	if lru.PeakBytes > keep.PeakBytes/4+(64<<20) {
+		t.Errorf("LRU exceeded its cap: %+v", lru)
+	}
+	if lru.RecomputeSeconds < keep.RecomputeSeconds {
+		t.Errorf("capped LRU recomputes less than keep-all: lru=%+v keep=%+v", lru, keep)
+	}
+	// The cost model drops tail renditions: smaller footprint than
+	// keep-all, at some hit-ratio cost, but it must still store the
+	// popular head (nonzero footprint, nonzero hits).
+	if cost.EndBytes >= keep.EndBytes || cost.EndBytes == 0 {
+		t.Errorf("cost-aware footprint not between 0 and keep-all: cost=%+v keep=%+v", cost, keep)
+	}
+	if cost.HitRatio > keep.HitRatio || cost.Hits == 0 {
+		t.Errorf("cost-aware hit ratio out of range: cost=%+v keep=%+v", cost, keep)
+	}
+}
+
+// TestCostAwareAdmission checks the break-even directly: a popular
+// rendition is stored, a deep-tail one with the same size/cost is not.
+func TestCostAwareAdmission(t *testing.T) {
+	w := testWorkload(1)
+	p := premiumCost()
+	head := Rendition{Bytes: 50 << 20, EncodeSeconds: 30000, Rank: 1}
+	tail := head
+	tail.Rank = 20 * 15 // deepest rank in the catalogue
+	if !p.Admit(head, w) {
+		t.Error("cost-aware dropped the most popular rendition")
+	}
+	if p.Admit(tail, w) {
+		t.Error("cost-aware stored the least popular rendition")
+	}
+}
+
+// TestSweepSharedStream: every policy in one sweep sees the same
+// request stream, so their Requests agree and hit counts are
+// comparable.
+func TestSweepSharedStream(t *testing.T) {
+	reps, err := Sweep(testWorkload(3000), KeepAll{}, LRUBytes{Cap: 128 << 20}, DefaultCostAware())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 3 {
+		t.Fatalf("got %d reports", len(reps))
+	}
+	names := map[string]bool{}
+	for _, r := range reps {
+		if r.Requests != 3000 {
+			t.Errorf("%s saw %d requests", r.Policy, r.Requests)
+		}
+		names[r.Policy] = true
+	}
+	if len(names) != 3 {
+		t.Errorf("duplicate policy names: %v", names)
+	}
+}
+
+// TestSimulateRejectsBadWorkloads: the validation errors, not NaNs.
+func TestSimulateRejectsBadWorkloads(t *testing.T) {
+	if _, err := Simulate(Workload{Requests: 10, RequestsPerSec: 1}, KeepAll{}); err == nil {
+		t.Error("empty catalogue accepted")
+	}
+	w := testWorkload(0)
+	if _, err := Simulate(w, KeepAll{}); err == nil {
+		t.Error("zero requests accepted")
+	}
+	w = testWorkload(10)
+	w.RequestsPerSec = 0
+	if _, err := Simulate(w, KeepAll{}); err == nil {
+		t.Error("zero request rate accepted")
+	}
+}

@@ -1,0 +1,135 @@
+package policy
+
+import (
+	"container/list"
+	"fmt"
+
+	"vbench/internal/rng"
+)
+
+// Report is one policy's simulated outcome over a workload. All
+// fields are deterministic in (workload, policy): the request stream
+// is drawn from a seeded generator and the simulator holds no other
+// state.
+type Report struct {
+	// Policy is the policy's display name.
+	Policy string `json:"policy"`
+	// Requests and Hits count the stream and its cache hits.
+	Requests int `json:"requests"`
+	Hits     int `json:"hits"`
+	// HitRatio is Hits / Requests.
+	HitRatio float64 `json:"hit_ratio"`
+	// RecomputeSeconds is the total re-transcode compute the misses
+	// cost (the compute side of the storage-vs-compute trade).
+	RecomputeSeconds float64 `json:"recompute_seconds"`
+	// PeakBytes and EndBytes are the high-water and final storage
+	// footprints; AvgBytes is the time-weighted mean footprint (the
+	// storage side of the trade — rent is paid on bytes × time).
+	PeakBytes int64   `json:"peak_bytes"`
+	EndBytes  int64   `json:"end_bytes"`
+	AvgBytes  float64 `json:"avg_bytes"`
+}
+
+// Simulate replays a popularity-driven request stream against one
+// retention policy and reports the resulting hit ratio, re-transcode
+// compute, and storage footprint. The clock is virtual: requests
+// arrive every 1/RequestsPerSec seconds, so runs are exactly
+// reproducible for a fixed seed.
+func Simulate(w Workload, p Policy) (Report, error) {
+	if len(w.Renditions) == 0 {
+		return Report{}, fmt.Errorf("policy: workload has no renditions")
+	}
+	if w.Requests <= 0 {
+		return Report{}, fmt.Errorf("policy: workload needs Requests > 0 (got %d)", w.Requests)
+	}
+	if w.RequestsPerSec <= 0 {
+		return Report{}, fmt.Errorf("policy: workload needs RequestsPerSec > 0 (got %g)", w.RequestsPerSec)
+	}
+
+	// Cumulative per-rendition request probabilities for inverse-CDF
+	// sampling (index order is catalogue order: deterministic).
+	cum := make([]float64, len(w.Renditions))
+	var total float64
+	for i, r := range w.Renditions {
+		total += w.share(r.Rank)
+		cum[i] = total
+	}
+
+	rep := Report{Policy: p.Name(), Requests: w.Requests}
+	rand := rng.New(uint64(w.Seed))
+	dt := 1 / w.RequestsPerSec
+	makespan := float64(w.Requests) * dt
+
+	// The cache: an LRU list of catalogue indices plus a byte total.
+	type entry struct {
+		idx  int
+		elem *list.Element
+	}
+	lru := list.New() // front = most recently used; values are catalogue indices
+	cached := map[int]*entry{}
+	var bytes, byteSeconds float64
+
+	for req := 0; req < w.Requests; req++ {
+		// Storage rent accrues over the interval ending at this
+		// request; footprint changes below take effect afterward.
+		byteSeconds += bytes * dt
+
+		x := rand.Float64() * total
+		idx := len(w.Renditions) - 1
+		for i, c := range cum {
+			if x < c {
+				idx = i
+				break
+			}
+		}
+		r := w.Renditions[idx]
+
+		if e, ok := cached[idx]; ok {
+			rep.Hits++
+			lru.MoveToFront(e.elem)
+			continue
+		}
+		rep.RecomputeSeconds += r.EncodeSeconds
+		if !p.Admit(r, w) {
+			continue // serve and drop
+		}
+		e := &entry{idx: idx}
+		e.elem = lru.PushFront(idx)
+		cached[idx] = e
+		bytes += float64(r.Bytes)
+		if cap := p.CapBytes(); cap > 0 {
+			for int64(bytes) > cap && lru.Len() > 1 {
+				back := lru.Back()
+				victim := back.Value.(int)
+				if victim == idx {
+					break // never evict the entry just served
+				}
+				lru.Remove(back)
+				delete(cached, victim)
+				bytes -= float64(w.Renditions[victim].Bytes)
+			}
+		}
+		if int64(bytes) > rep.PeakBytes {
+			rep.PeakBytes = int64(bytes)
+		}
+	}
+
+	rep.HitRatio = float64(rep.Hits) / float64(rep.Requests)
+	rep.EndBytes = int64(bytes)
+	rep.AvgBytes = byteSeconds / makespan
+	return rep, nil
+}
+
+// Sweep simulates every policy over the same workload (same seed,
+// same stream) and returns the reports in argument order.
+func Sweep(w Workload, policies ...Policy) ([]Report, error) {
+	out := make([]Report, 0, len(policies))
+	for _, p := range policies {
+		rep, err := Simulate(w, p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}

@@ -1,0 +1,331 @@
+package cas
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"vbench/internal/syncx"
+	"vbench/internal/telemetry"
+)
+
+// Store is a two-tier content-addressed cache: a per-process
+// in-memory tier (a syncx.Memo, which doubles as the singleflight
+// layer so concurrent misses compute once) in front of a sharded
+// on-disk store shared across processes.
+//
+// Disk layout: <dir>/<first-2-hex>/<keyhex>.vbc, one entry per file.
+// Writes go through a temp file in the same shard followed by an
+// atomic rename, so a reader never observes a partial entry and a
+// crash leaves at worst an orphaned temp file (swept on Open). Every
+// read re-verifies the entry's trailing SHA-256; corrupt entries are
+// deleted and read as misses.
+//
+// Locking discipline: the index mutex guards only the in-memory
+// index map and byte accounting. All disk I/O happens outside it —
+// the pattern the locksafe analyzer enforces.
+type Store struct {
+	dir string
+	mem syncx.Memo[Key, *Outcome]
+
+	mu        sync.Mutex
+	index     map[Key]int64 // disk entries known to this process: key -> file bytes
+	diskBytes int64
+
+	tmpSeq atomic.Int64
+
+	mMemHits, mDiskHits, mMisses *telemetry.Counter
+	mBytesRead, mBytesWritten    *telemetry.Counter
+	mReadErrors, mWriteErrors    *telemetry.Counter
+	gMemEntries, gMemBytes       *telemetry.Gauge
+	gDiskEntries, gDiskBytes     *telemetry.Gauge
+}
+
+// Stats is a point-in-time view of the store's traffic counters.
+type Stats struct {
+	MemHits, DiskHits, Misses int64
+	BytesRead, BytesWritten   int64
+	ReadErrors, WriteErrors   int64
+	MemEntries, DiskEntries   int64
+	MemBytes, DiskBytes       int64
+}
+
+// Open opens (creating if needed) the store rooted at dir and
+// rebuilds the disk index by scanning the shard directories — entry
+// files contribute (key, size) pairs, orphaned temp files from
+// crashed writers are removed. Metrics register in reg (nil selects
+// telemetry.Default).
+func Open(dir string, reg *telemetry.Registry) (*Store, error) {
+	if reg == nil {
+		reg = telemetry.Default
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cas: opening store: %w", err)
+	}
+	s := &Store{dir: dir, index: map[Key]int64{}}
+	s.mem.Size = func(o *Outcome) int64 { return o.SizeBytes() }
+	s.mMemHits = reg.Counter("cas.mem_hits")
+	s.mDiskHits = reg.Counter("cas.disk_hits")
+	s.mMisses = reg.Counter("cas.misses")
+	s.mBytesRead = reg.Counter("cas.bytes_read")
+	s.mBytesWritten = reg.Counter("cas.bytes_written")
+	s.mReadErrors = reg.Counter("cas.read_errors")
+	s.mWriteErrors = reg.Counter("cas.write_errors")
+	s.gMemEntries = reg.Gauge("cas.mem_entries")
+	s.gMemBytes = reg.Gauge("cas.mem_bytes")
+	s.gDiskEntries = reg.Gauge("cas.disk_entries")
+	s.gDiskBytes = reg.Gauge("cas.disk_bytes")
+	if err := s.rebuildIndex(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// rebuildIndex scans the shard directories into a fresh index. The
+// scan reads only directory entries (names and sizes), never file
+// contents — integrity is checked lazily on each read — so reopening
+// a large store is cheap and safe after any crash.
+func (s *Store) rebuildIndex() error {
+	shards, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("cas: scanning store: %w", err)
+	}
+	index := map[Key]int64{}
+	var total int64
+	for _, sh := range shards {
+		if !sh.IsDir() || len(sh.Name()) != 2 {
+			continue
+		}
+		entries, err := os.ReadDir(filepath.Join(s.dir, sh.Name()))
+		if err != nil {
+			return fmt.Errorf("cas: scanning shard %s: %w", sh.Name(), err)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if strings.HasPrefix(name, ".tmp-") {
+				// A writer died between temp write and rename; the
+				// entry it was producing will be recomputed on demand.
+				_ = os.Remove(filepath.Join(s.dir, sh.Name(), name))
+				continue
+			}
+			hexKey, ok := strings.CutSuffix(name, ".vbc")
+			if !ok {
+				continue
+			}
+			key, err := ParseKey(hexKey)
+			if err != nil || key.String()[:2] != sh.Name() {
+				continue
+			}
+			info, err := e.Info()
+			if err != nil {
+				continue
+			}
+			index[key] = info.Size()
+			total += info.Size()
+		}
+	}
+	s.mu.Lock()
+	s.index = index
+	s.diskBytes = total
+	s.publishDiskGaugesLocked()
+	s.mu.Unlock()
+	return nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// path returns the sharded entry path for a key.
+func (s *Store) path(key Key) string {
+	hexKey := key.String()
+	return filepath.Join(s.dir, hexKey[:2], hexKey+".vbc")
+}
+
+// Stats returns the current traffic counters and tier sizes.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	diskN, diskB := int64(len(s.index)), s.diskBytes
+	s.mu.Unlock()
+	return Stats{
+		MemHits:      s.mMemHits.Value(),
+		DiskHits:     s.mDiskHits.Value(),
+		Misses:       s.mMisses.Value(),
+		BytesRead:    s.mBytesRead.Value(),
+		BytesWritten: s.mBytesWritten.Value(),
+		ReadErrors:   s.mReadErrors.Value(),
+		WriteErrors:  s.mWriteErrors.Value(),
+		MemEntries:   int64(s.mem.Len()),
+		MemBytes:     s.mem.Bytes(),
+		DiskEntries:  diskN,
+		DiskBytes:    diskB,
+	}
+}
+
+// GetOrCompute returns the outcome for key, looking through the
+// in-memory tier and then the disk tier before running compute.
+// Concurrent callers for one key share a single lookup/compute
+// (singleflight); a computed outcome is persisted to disk best-effort
+// before being returned.
+func (s *Store) GetOrCompute(key Key, compute func() (*Outcome, error)) (*Outcome, error) {
+	sp := telemetry.StartSpan("cas lookup")
+	defer sp.End()
+	sp.Arg("key", key.Short())
+	if o, ok := s.mem.Get(key); ok {
+		s.mMemHits.Inc()
+		s.finishSpan(sp, "mem_hit", o)
+		return o, nil
+	}
+	tier := "join" // overwritten by the caller that runs the closure
+	o, err := s.mem.Do(key, func() (*Outcome, error) {
+		if o, ok := s.readDisk(key); ok {
+			s.mDiskHits.Inc()
+			tier = "disk_hit"
+			return o, nil
+		}
+		o, err := compute()
+		if err != nil {
+			return nil, err
+		}
+		s.mMisses.Inc()
+		tier = "miss"
+		s.writeDisk(key, o)
+		return o, nil
+	})
+	s.publishMemGauges()
+	if err != nil {
+		sp.Arg("outcome", "error")
+		return nil, err
+	}
+	s.finishSpan(sp, tier, o)
+	return o, nil
+}
+
+// Get returns the outcome for key if either tier holds it, promoting
+// disk hits into the in-memory tier. It never computes.
+func (s *Store) Get(key Key) (*Outcome, bool) {
+	if o, ok := s.mem.Get(key); ok {
+		s.mMemHits.Inc()
+		return o, true
+	}
+	o, ok := s.readDisk(key)
+	if !ok {
+		return nil, false
+	}
+	s.mDiskHits.Inc()
+	promoted, err := s.mem.Do(key, func() (*Outcome, error) { return o, nil })
+	if err != nil {
+		return o, true
+	}
+	s.publishMemGauges()
+	return promoted, true
+}
+
+// Put persists an outcome for key to the disk tier (the shared tier;
+// the writer's in-memory tier is left alone so long-running workers
+// do not retain every bitstream they ever produced).
+func (s *Store) Put(key Key, o *Outcome) error {
+	return s.writeDisk(key, o)
+}
+
+// EvictMem drops every completed entry from the in-memory tier,
+// returning the number evicted. The disk tier is untouched; evicted
+// keys read back as disk hits.
+func (s *Store) EvictMem() int {
+	n := s.mem.EvictAll()
+	s.publishMemGauges()
+	return n
+}
+
+func (s *Store) finishSpan(sp *telemetry.Span, tier string, o *Outcome) {
+	sp.Arg("outcome", tier)
+	sp.Arg("bytes", len(o.Bitstream))
+}
+
+// readDisk loads and verifies one entry. Any failure — missing file,
+// torn or corrupt entry — reads as a miss; corrupt entries are
+// deleted so they are recomputed rather than re-reported. The index
+// learns entries written by other processes here.
+func (s *Store) readDisk(key Key) (*Outcome, bool) {
+	b, err := os.ReadFile(s.path(key))
+	if err != nil {
+		return nil, false
+	}
+	s.mBytesRead.Add(int64(len(b)))
+	o, err := decodeEntry(b)
+	if err != nil {
+		s.mReadErrors.Inc()
+		_ = os.Remove(s.path(key))
+		s.forgetIndex(key)
+		return nil, false
+	}
+	s.noteIndex(key, int64(len(b)))
+	return o, true
+}
+
+// writeDisk persists one entry atomically: temp file in the target
+// shard, then rename. Failures are counted and reported but callers
+// treat them as best-effort — a cache that cannot persist still
+// serves from memory.
+func (s *Store) writeDisk(key Key, o *Outcome) error {
+	b, err := encodeEntry(o)
+	if err != nil {
+		s.mWriteErrors.Inc()
+		return err
+	}
+	hexKey := key.String()
+	shard := filepath.Join(s.dir, hexKey[:2])
+	if err := os.MkdirAll(shard, 0o755); err != nil {
+		s.mWriteErrors.Inc()
+		return fmt.Errorf("cas: creating shard: %w", err)
+	}
+	tmp := filepath.Join(shard, fmt.Sprintf(".tmp-%s-%d-%d", hexKey[:8], os.Getpid(), s.tmpSeq.Add(1)))
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		s.mWriteErrors.Inc()
+		return fmt.Errorf("cas: writing entry: %w", err)
+	}
+	if err := os.Rename(tmp, s.path(key)); err != nil {
+		_ = os.Remove(tmp)
+		s.mWriteErrors.Inc()
+		return fmt.Errorf("cas: publishing entry: %w", err)
+	}
+	s.mBytesWritten.Add(int64(len(b)))
+	s.noteIndex(key, int64(len(b)))
+	return nil
+}
+
+// noteIndex records a disk entry's existence. Pure accounting; no
+// I/O happens under the index lock.
+func (s *Store) noteIndex(key Key, size int64) {
+	s.mu.Lock()
+	if old, ok := s.index[key]; ok {
+		s.diskBytes -= old
+	}
+	s.index[key] = size
+	s.diskBytes += size
+	s.publishDiskGaugesLocked()
+	s.mu.Unlock()
+}
+
+// forgetIndex drops a disk entry from the accounting.
+func (s *Store) forgetIndex(key Key) {
+	s.mu.Lock()
+	if old, ok := s.index[key]; ok {
+		s.diskBytes -= old
+		delete(s.index, key)
+	}
+	s.publishDiskGaugesLocked()
+	s.mu.Unlock()
+}
+
+func (s *Store) publishDiskGaugesLocked() {
+	s.gDiskEntries.Set(float64(len(s.index)))
+	s.gDiskBytes.Set(float64(s.diskBytes))
+}
+
+func (s *Store) publishMemGauges() {
+	s.gMemEntries.Set(float64(s.mem.Len()))
+	s.gMemBytes.Set(float64(s.mem.Bytes()))
+}

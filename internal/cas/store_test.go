@@ -1,0 +1,208 @@
+package cas
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"vbench/internal/telemetry"
+)
+
+func testOutcome(payload byte, n int) *Outcome {
+	bs := bytes.Repeat([]byte{payload}, n)
+	return &Outcome{
+		Bitstream:    bs,
+		PerFrameBits: []int64{int64(n) * 8},
+		FrameTypes:   []int{0},
+		Seconds:      0.5,
+		PSNR:         38.25,
+		InputBytes:   int64(n) * 10,
+	}
+}
+
+func testKey(s string) Key {
+	return KeyParts{Content: s, Fingerprint: "t"}.Key()
+}
+
+func openStore(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir, telemetry.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestStoreRoundTrip: compute once, then hit from memory, then (after
+// eviction) from disk, then from a fresh Store over the same
+// directory — all byte-identical.
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	key := testKey("round-trip")
+	want := testOutcome(0xAB, 1000)
+
+	computes := 0
+	got, err := s.GetOrCompute(key, func() (*Outcome, error) { computes++; return want, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if computes != 1 || !reflect.DeepEqual(got, want) {
+		t.Fatalf("cold path: computes=%d, outcome mismatch=%v", computes, !reflect.DeepEqual(got, want))
+	}
+
+	got, err = s.GetOrCompute(key, func() (*Outcome, error) { computes++; return nil, nil })
+	if err != nil || computes != 1 {
+		t.Fatalf("mem hit recomputed (computes=%d, err=%v)", computes, err)
+	}
+	if !bytes.Equal(got.Bitstream, want.Bitstream) {
+		t.Fatal("mem hit returned different bitstream")
+	}
+
+	if n := s.EvictMem(); n != 1 {
+		t.Fatalf("EvictMem evicted %d entries, want 1", n)
+	}
+	got, err = s.GetOrCompute(key, func() (*Outcome, error) { computes++; return nil, nil })
+	if err != nil || computes != 1 {
+		t.Fatalf("disk hit recomputed (computes=%d, err=%v)", computes, err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("disk hit returned different outcome")
+	}
+
+	s2 := openStore(t, dir)
+	got2, ok := s2.Get(key)
+	if !ok || !reflect.DeepEqual(got2, want) {
+		t.Fatalf("fresh store over same dir: ok=%v, equal=%v", ok, reflect.DeepEqual(got2, want))
+	}
+	st := s2.Stats()
+	if st.DiskEntries != 1 || st.DiskBytes <= 0 {
+		t.Fatalf("rebuilt index: entries=%d bytes=%d", st.DiskEntries, st.DiskBytes)
+	}
+}
+
+// TestStoreIntegrityRehash corrupts an entry on disk and verifies the
+// read path detects it, deletes the file, and reports a miss instead
+// of wrong data.
+func TestStoreIntegrityRehash(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	key := testKey("corrupt-me")
+	if err := s.Put(key, testOutcome(0x5C, 500)); err != nil {
+		t.Fatal(err)
+	}
+	path := s.path(key)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0xFF
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openStore(t, dir)
+	if _, ok := s2.Get(key); ok {
+		t.Fatal("corrupt entry served as a hit")
+	}
+	if st := s2.Stats(); st.ReadErrors != 1 {
+		t.Fatalf("read_errors=%d, want 1", st.ReadErrors)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("corrupt entry not deleted: %v", err)
+	}
+}
+
+// TestStoreCrashLeftoverTemp simulates a writer that died between
+// temp write and rename: Open must sweep the orphan and the entry
+// must read as a miss.
+func TestStoreCrashLeftoverTemp(t *testing.T) {
+	dir := t.TempDir()
+	shard := filepath.Join(dir, "ab")
+	if err := os.MkdirAll(shard, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	orphan := filepath.Join(shard, ".tmp-deadbeef-123-1")
+	if err := os.WriteFile(orphan, []byte("partial entry"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := openStore(t, dir)
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatalf("orphaned temp file survived Open: %v", err)
+	}
+	if st := s.Stats(); st.DiskEntries != 0 {
+		t.Fatalf("orphan counted as an entry: %+v", st)
+	}
+}
+
+// TestStoreSingleflight hammers one key from many goroutines and
+// asserts the compute ran exactly once (run under -race in make
+// check).
+func TestStoreSingleflight(t *testing.T) {
+	s := openStore(t, t.TempDir())
+	key := testKey("singleflight")
+	var computes atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out, err := s.GetOrCompute(key, func() (*Outcome, error) {
+				computes.Add(1)
+				return testOutcome(0x11, 2000), nil
+			})
+			if err != nil || len(out.Bitstream) != 2000 {
+				t.Errorf("GetOrCompute: err=%v len=%d", err, len(out.Bitstream))
+			}
+		}()
+	}
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times, want 1", n)
+	}
+	st := s.Stats()
+	if st.Misses != 1 {
+		t.Fatalf("misses=%d, want 1", st.Misses)
+	}
+}
+
+// TestStoreKeyIsolation: different keys never alias.
+func TestStoreKeyIsolation(t *testing.T) {
+	s := openStore(t, t.TempDir())
+	a, b := testKey("a"), testKey("b")
+	if err := s.Put(a, testOutcome(0xAA, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(b); ok {
+		t.Fatal("key b hit entry stored under key a")
+	}
+	got, ok := s.Get(a)
+	if !ok || got.Bitstream[0] != 0xAA {
+		t.Fatalf("key a lookup: ok=%v", ok)
+	}
+}
+
+// TestEntryRoundTrip pins the on-disk entry codec itself, including
+// the empty-bitstream edge.
+func TestEntryRoundTrip(t *testing.T) {
+	for _, o := range []*Outcome{testOutcome(0x42, 333), {PSNR: 1, Seconds: 2}} {
+		b, err := encodeEntry(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := decodeEntry(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.PSNR != o.PSNR || got.Seconds != o.Seconds || !bytes.Equal(got.Bitstream, o.Bitstream) {
+			t.Fatalf("entry round trip mismatch: %+v vs %+v", got, o)
+		}
+		if _, err := decodeEntry(b[:len(b)-1]); err == nil {
+			t.Fatal("truncated entry decoded without error")
+		}
+	}
+}

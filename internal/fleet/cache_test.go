@@ -1,0 +1,294 @@
+package fleet
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"vbench/internal/cas"
+	"vbench/internal/telemetry"
+)
+
+// encSpec is a small cacheable encode spec; variations flip QP.
+func encSpec(qp int) JobSpec {
+	return JobSpec{Clip: "girl", Encoder: "x264-fast", Scale: 16, Duration: 0.2, QP: qp}
+}
+
+func cacheQueue(t *testing.T, opt Options) (*Queue, *cas.Store, *SimClock) {
+	t.Helper()
+	store, err := cas.Open(t.TempDir(), telemetry.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Cache = store
+	q, clk := simQueue(opt)
+	return q, store, clk
+}
+
+func TestSpecCacheKey(t *testing.T) {
+	base := encSpec(30)
+	key, ok := SpecCacheKey(base)
+	if !ok {
+		t.Fatal("cacheable encode spec rejected")
+	}
+	again, _ := SpecCacheKey(base)
+	if key != again {
+		t.Error("same spec produced different keys")
+	}
+	for name, s := range map[string]JobSpec{
+		"qp":       encSpec(31),
+		"clip":     {Clip: "cat", Encoder: "x264-fast", Scale: 16, Duration: 0.2, QP: 30},
+		"scale":    {Clip: "girl", Encoder: "x264-fast", Scale: 32, Duration: 0.2, QP: 30},
+		"duration": {Clip: "girl", Encoder: "x264-fast", Scale: 16, Duration: 0.4, QP: 30},
+		"encoder":  {Clip: "girl", Encoder: "x265-fast", Scale: 16, Duration: 0.2, QP: 30},
+		"rc":       {Clip: "girl", Encoder: "x264-fast", Scale: 16, Duration: 0.2, QP: 30, RC: "abr", BitrateBPS: 1e5},
+	} {
+		k2, ok := SpecCacheKey(s)
+		if !ok {
+			t.Fatalf("%s variant rejected", name)
+		}
+		if k2 == key {
+			t.Errorf("changing %s did not change the cache key", name)
+		}
+	}
+	for name, s := range map[string]JobSpec{
+		"noop":        {Kind: KindNoop},
+		"fail-first":  {Clip: "girl", Encoder: "x264-fast", Scale: 16, Duration: 0.2, FailFirst: 1},
+		"bad-encoder": {Clip: "girl", Encoder: "nope", Scale: 16, Duration: 0.2},
+		"bad-rc":      {Clip: "girl", Encoder: "x264-fast", Scale: 16, Duration: 0.2, RC: "nope"},
+	} {
+		if _, ok := SpecCacheKey(s); ok {
+			t.Errorf("%s spec reported cacheable", name)
+		}
+	}
+}
+
+// TestSubmitServedFromCache: a submission whose result is already in
+// the store completes instantly — no lease ever happens.
+func TestSubmitServedFromCache(t *testing.T) {
+	q, store, _ := cacheQueue(t, Options{})
+	spec := encSpec(30)
+	key, _ := SpecCacheKey(spec)
+	if err := store.Put(key, &cas.Outcome{Bitstream: []byte("bits"), PSNR: 40, Seconds: 1.5, InputBytes: 99}); err != nil {
+		t.Fatal(err)
+	}
+	id, err := q.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := q.Job(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.State != Done || j.Result == nil {
+		t.Fatalf("cached submission: %+v", j)
+	}
+	if j.Result.Worker != "cache" || j.Result.Bytes != 4 || j.Result.PSNR != 40 {
+		t.Errorf("cached result: %+v", j.Result)
+	}
+	if _, ok := q.Lease("w1"); ok {
+		t.Error("cache-served job was leasable")
+	}
+	st := q.Stats()
+	if st.CacheDedupHits != 1 || st.Completions != 1 || st.Leases != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestDedupFollowersSettle: duplicate submissions of one in-flight key
+// park behind the leader; only the leader is leased, and the leader's
+// completion settles every follower with a copied result.
+func TestDedupFollowersSettle(t *testing.T) {
+	q, _, _ := cacheQueue(t, Options{})
+	lead, err := q.Submit(encSpec(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fids []int
+	for i := 0; i < 3; i++ {
+		id, err := q.Submit(encSpec(30))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fids = append(fids, id)
+	}
+	other, err := q.Submit(encSpec(31)) // different key: independent
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	j1, ok := q.Lease("w1")
+	if !ok || j1.ID != lead {
+		t.Fatalf("first lease = %+v (want leader %d)", j1, lead)
+	}
+	j2, ok := q.Lease("w1")
+	if !ok || j2.ID != other {
+		t.Fatalf("second lease = %+v (want %d, followers must not lease)", j2, other)
+	}
+	if _, ok := q.Lease("w1"); ok {
+		t.Fatal("a parked follower was leased")
+	}
+
+	res := Result{Bytes: 7, PSNR: 35, Seconds: 2, InputBytes: 50}
+	if applied, err := q.Complete(lead, j1.Attempt, "w1", res); err != nil || !applied {
+		t.Fatalf("complete leader: %v %v", applied, err)
+	}
+	for _, id := range fids {
+		f, err := q.Job(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.State != Done || f.Result == nil || f.Result.Bytes != 7 || f.Result.Worker != "cache" {
+			t.Fatalf("follower %d after settle: %+v res=%+v", id, f, f.Result)
+		}
+		if f.DedupOf != lead {
+			t.Errorf("follower %d lost dedup provenance: DedupOf=%d", id, f.DedupOf)
+		}
+		if f.Attempt != 0 {
+			t.Errorf("follower %d has attempts: %d", id, f.Attempt)
+		}
+	}
+	st := q.Stats()
+	if st.CacheDedupHits != 3 || st.Completions != 4 || st.Leases != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestDedupPromoteOnLeaderFailure: a terminally failed leader hands
+// leadership to its oldest follower, which then executes normally; the
+// remaining follower settles from the promoted job's result.
+func TestDedupPromoteOnLeaderFailure(t *testing.T) {
+	q, _, _ := cacheQueue(t, Options{MaxAttempts: 1})
+	lead, _ := q.Submit(encSpec(30))
+	f1, _ := q.Submit(encSpec(30))
+	f2, _ := q.Submit(encSpec(30))
+
+	j, ok := q.Lease("w1")
+	if !ok || j.ID != lead {
+		t.Fatalf("lease = %+v", j)
+	}
+	if err := q.Fail(lead, j.Attempt, "w1", true, "boom"); err != nil {
+		t.Fatal(err)
+	}
+
+	jp, ok := q.Lease("w1")
+	if !ok || jp.ID != f1 {
+		t.Fatalf("post-failure lease = %+v (want promoted follower %d)", jp, f1)
+	}
+	if jp.DedupOf != 0 {
+		t.Errorf("promoted follower still marked DedupOf=%d", jp.DedupOf)
+	}
+	if _, ok := q.Lease("w1"); ok {
+		t.Fatal("re-parked follower was leased")
+	}
+	if applied, err := q.Complete(f1, jp.Attempt, "w1", Result{Bytes: 3}); err != nil || !applied {
+		t.Fatalf("complete promoted: %v %v", applied, err)
+	}
+	last, err := q.Job(f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last.State != Done || last.Result == nil || last.Result.Bytes != 3 || last.DedupOf != f1 {
+		t.Fatalf("re-parked follower after settle: %+v res=%+v", last, last.Result)
+	}
+	st := q.Stats()
+	if st.Failed != 1 || st.Done != 2 || st.CacheDedupHits != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestDedupSurvivesRestore: followers stay parked and the leader's key
+// stays registered across a snapshot/restore cycle.
+func TestDedupSurvivesRestore(t *testing.T) {
+	q, store, _ := cacheQueue(t, Options{})
+	lead, _ := q.Submit(encSpec(30))
+	fol, _ := q.Submit(encSpec(30))
+	j, ok := q.Lease("w1")
+	if !ok || j.ID != lead {
+		t.Fatalf("lease = %+v", j)
+	}
+
+	var buf bytes.Buffer
+	if err := q.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Resume the clock inside the lease TTL so the restored lease is
+	// still live (an expired lease is the requeue path, not this test).
+	clk := NewSimClock(time.Unix(5, 0).UTC())
+	q2, err := Restore(&buf, Options{Clock: clk, Metrics: telemetry.NewRegistry(), Cache: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The follower must not be leasable, and a fresh duplicate must
+	// park behind the restored leader rather than enter the heap.
+	if _, ok := q2.Lease("w2"); ok {
+		t.Fatal("restored follower was leasable")
+	}
+	dup, err := q2.Submit(encSpec(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dj, _ := q2.Job(dup); dj.DedupOf != lead {
+		t.Fatalf("post-restore duplicate not parked: %+v", dj)
+	}
+	if applied, err := q2.Complete(lead, j.Attempt, "w1", Result{Bytes: 9}); err != nil || !applied {
+		t.Fatalf("complete restored leader: %v %v", applied, err)
+	}
+	for _, id := range []int{fol, dup} {
+		got, err := q2.Job(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.State != Done || got.Result == nil || got.Result.Bytes != 9 {
+			t.Fatalf("job %d after restored settle: %+v", id, got)
+		}
+	}
+	if st := q2.Stats(); st.CacheDedupHits != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestExecutorCache: the worker-side executor serves a cached encode
+// without re-encoding and populates the store on a miss.
+func TestExecutorCache(t *testing.T) {
+	store, err := cas.Open(t.TempDir(), telemetry.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := &Executor{Cache: store}
+	spec := encSpec(30)
+	cold, err := x.Execute(spec, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	written := store.Stats().BytesWritten
+	if written == 0 {
+		t.Fatal("miss did not populate the store")
+	}
+	store.EvictMem()
+	warm, err := x.Execute(spec, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm != cold {
+		t.Errorf("cached result %+v != computed result %+v", warm, cold)
+	}
+	if st := store.Stats(); st.DiskHits != 1 {
+		t.Errorf("store stats after warm execute: %+v", st)
+	}
+
+	// A worker wavefront default must not change the key: a second
+	// executor with a different default still hits.
+	x2 := &Executor{Cache: store, DefaultRowsParallel: 4}
+	again, err := x2.Execute(spec, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != cold {
+		t.Errorf("worker default changed the cached result: %+v vs %+v", again, cold)
+	}
+	if st := store.Stats(); st.BytesWritten != written {
+		t.Errorf("worker default forced a re-encode and re-populate: %+v", st)
+	}
+}

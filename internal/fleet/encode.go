@@ -6,10 +6,10 @@ import (
 	"strings"
 	"time"
 
+	"vbench/internal/cas"
 	"vbench/internal/codec"
 	"vbench/internal/codec/profiles"
 	"vbench/internal/corpus"
-	"vbench/internal/metrics"
 )
 
 // terminalError marks failures that retrying cannot fix: malformed
@@ -70,11 +70,40 @@ func parseRC(s string) (codec.RCMode, error) {
 	return 0, fmt.Errorf("fleet: unknown rate-control mode %q (want cqp, abr, or 2pass)", s)
 }
 
+// specConfig maps an encode spec's transcode parameters onto the
+// codec configuration. It is the single place spec fields become
+// Config fields, shared by execution and by cache-key derivation —
+// a field added to one but not the other would silently poison the
+// cache.
+func specConfig(spec JobSpec, rc codec.RCMode) codec.Config {
+	return codec.Config{
+		RC:           rc,
+		QP:           spec.QP,
+		BitrateBPS:   spec.BitrateBPS,
+		KeyInterval:  spec.KeyInterval,
+		Slices:       spec.Slices,
+		RowsParallel: spec.RowsParallel,
+	}
+}
+
+// Executor runs job attempts, optionally serving and populating a
+// shared content-addressed transcode cache.
+type Executor struct {
+	// Cache, when non-nil, is consulted before every encode and
+	// populated after; a hit skips the transcode entirely.
+	Cache *cas.Store
+	// DefaultRowsParallel applies the worker's wavefront default to
+	// encode specs that leave RowsParallel unset. It affects only the
+	// execution schedule, never the bitstream, so the cache key is
+	// derived from the original spec.
+	DefaultRowsParallel int
+}
+
 // Execute runs one job attempt and returns its result. Errors are
 // classified: IsTerminal(err) means the job must not be retried.
 // sleep implements noop-job waiting (time.Sleep in workers; the sim
 // twin models execution instead of calling Execute).
-func Execute(spec JobSpec, attempt int, sleep func(time.Duration)) (Result, error) {
+func (x *Executor) Execute(spec JobSpec, attempt int, sleep func(time.Duration)) (Result, error) {
 	if attempt <= spec.FailFirst {
 		return Result{}, fmt.Errorf("fleet: injected transient failure (attempt %d/%d)", attempt, spec.FailFirst)
 	}
@@ -86,13 +115,29 @@ func Execute(spec JobSpec, attempt int, sleep func(time.Duration)) (Result, erro
 		}
 		return Result{Seconds: d.Seconds()}, nil
 	case "", KindEncode:
-		return executeEncode(spec)
+		return x.executeEncode(spec)
 	}
 	return Result{}, Terminal(fmt.Errorf("fleet: worker cannot execute job kind %q", spec.Kind))
 }
 
-// executeEncode runs a real codec transcode for an encode job.
-func executeEncode(spec JobSpec) (Result, error) {
+// Execute runs one job attempt without a cache or worker defaults;
+// shorthand kept for tests and embedders that predate Executor.
+func Execute(spec JobSpec, attempt int, sleep func(time.Duration)) (Result, error) {
+	return (&Executor{}).Execute(spec, attempt, sleep)
+}
+
+// executeEncode runs a real codec transcode for an encode job,
+// serving it from the transcode cache when possible.
+func (x *Executor) executeEncode(spec JobSpec) (Result, error) {
+	key, cacheable := cas.Key{}, false
+	if x.Cache != nil {
+		key, cacheable = SpecCacheKey(spec)
+		if cacheable {
+			if o, ok := x.Cache.Get(key); ok {
+				return resultFromOutcome(o), nil
+			}
+		}
+	}
 	clip, err := corpus.ClipByName(spec.Clip)
 	if err != nil {
 		return Result{}, Terminal(err)
@@ -109,27 +154,19 @@ func executeEncode(spec JobSpec) (Result, error) {
 	if err != nil {
 		return Result{}, Terminal(err)
 	}
-	ccfg := codec.Config{
-		RC:           rc,
-		QP:           spec.QP,
-		BitrateBPS:   spec.BitrateBPS,
-		KeyInterval:  spec.KeyInterval,
-		Slices:       spec.Slices,
-		RowsParallel: spec.RowsParallel,
+	ccfg := specConfig(spec, rc)
+	if ccfg.RowsParallel == 0 {
+		ccfg.RowsParallel = x.DefaultRowsParallel
 	}
-	res, err := eng.Encode(seq, ccfg)
+	out, err := cas.Compute(eng, seq, ccfg)
 	if err != nil {
 		// The encoder is deterministic: what failed once fails again.
 		return Result{}, Terminal(err)
 	}
-	psnr, err := metrics.SequencePSNR(seq, res.Recon)
-	if err != nil {
-		return Result{}, Terminal(err)
+	if x.Cache != nil && cacheable {
+		// Best effort: a full disk or unwritable store must not fail
+		// the job; the store's write_errors counter records it.
+		_ = x.Cache.Put(key, out)
 	}
-	return Result{
-		Bytes:      int64(len(res.Bitstream)),
-		PSNR:       psnr,
-		Seconds:    res.Seconds,
-		InputBytes: int64(seq.PixelCount()) * 3 / 2, // 4:2:0 bytes in
-	}, nil
+	return resultFromOutcome(out), nil
 }

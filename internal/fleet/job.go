@@ -59,7 +59,11 @@ func (s *State) UnmarshalText(b []byte) error {
 // edge not listed here — an invalid transition is a scheduler bug,
 // never a recoverable condition.
 var validEdge = [numStates][numStates]bool{
-	Pending: {Leased: true},
+	// Done = served from the transcode cache, no lease needed;
+	// Pending self-edge = a dedup role change (parked as follower,
+	// promoted to leader) recorded on the timeline without the job
+	// leaving the pending state.
+	Pending: {Pending: true, Leased: true, Done: true},
 	Leased:  {Done: true, Failed: true, Pending: true}, // Pending = expiry or transient retry
 }
 
@@ -178,6 +182,12 @@ type Job struct {
 	Expiries int `json:"expiries,omitempty"`
 	// Retries counts requeues (transient failures and expiries).
 	Retries int `json:"retries,omitempty"`
+	// DedupOf, while the job is pending, names the in-flight leader
+	// job computing the same cache key; this job is parked (never
+	// leased) and completes from the leader's result. It is retained
+	// after completion as provenance ("this result was deduplicated
+	// from job N").
+	DedupOf int `json:"dedup_of,omitempty"`
 
 	Result  *Result `json:"result,omitempty"`
 	LastErr string  `json:"last_err,omitempty"`

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"vbench/internal/cas"
 	"vbench/internal/telemetry"
 )
 
@@ -38,6 +39,12 @@ type Options struct {
 	// and must not call back into the queue. Server.EnableTracing uses
 	// it to open and close master-side lease spans.
 	OnTransition func(j Job, from, to, reason string)
+	// Cache, when non-nil, is the shared content-addressed transcode
+	// store. Submissions whose result is already stored complete
+	// instantly without a lease, and concurrent submissions of the
+	// same cache key collapse onto one leader job (the rest park as
+	// followers and settle from the leader's result).
+	Cache *cas.Store
 }
 
 func (o Options) withDefaults() Options {
@@ -79,6 +86,10 @@ type Stats struct {
 	LeaseExpiries int `json:"lease_expiries"`
 	DuplicateAcks int `json:"duplicate_acks"`
 	StaleAcks     int `json:"stale_acks"`
+	// CacheDedupHits counts jobs completed without a worker lease:
+	// submissions served straight from the transcode cache plus
+	// followers settled from a deduplicated leader's result.
+	CacheDedupHits int `json:"cache_dedup_hits"`
 }
 
 // Queue is the scheduler core: a durable in-memory job queue whose
@@ -97,9 +108,16 @@ type Queue struct {
 	eventSeq int64 // queue-wide timeline sequence
 	workers  map[string]*workerAccount
 
+	// Dedup index: while a leader job for a cache key is in flight
+	// (pending or leased, not yet terminal), later submissions of the
+	// same key park as followers instead of entering the ready heap.
+	dedupLeader map[cas.Key]int // key -> in-flight leader job ID
+	dedupKey    map[int]cas.Key // leader job ID -> its key
+	followers   map[int][]int   // leader job ID -> parked follower IDs
+
 	mSubmitted, mLeases, mCompletions, mFailures *telemetry.Counter
 	mRetries, mExpiries, mDupAcks, mStaleAcks    *telemetry.Counter
-	mHeartbeats, mTimelineEvents                 *telemetry.Counter
+	mHeartbeats, mTimelineEvents, mCacheDedup    *telemetry.Counter
 	gPending, gLeased, gDone, gFailed, gDepth    *telemetry.Gauge
 	gWorkersSeen                                 *telemetry.Gauge
 }
@@ -116,7 +134,14 @@ type workerAccount struct {
 // NewQueue returns an empty queue.
 func NewQueue(opt Options) *Queue {
 	opt = opt.withDefaults()
-	q := &Queue{opt: opt, start: opt.Clock.Now(), workers: map[string]*workerAccount{}}
+	q := &Queue{
+		opt:         opt,
+		start:       opt.Clock.Now(),
+		workers:     map[string]*workerAccount{},
+		dedupLeader: map[cas.Key]int{},
+		dedupKey:    map[int]cas.Key{},
+		followers:   map[int][]int{},
+	}
 	q.bindMetrics()
 	return q
 }
@@ -133,6 +158,7 @@ func (q *Queue) bindMetrics() {
 	q.mStaleAcks = r.Counter("fleet.stale_acks")
 	q.mHeartbeats = r.Counter("fleet.heartbeats")
 	q.mTimelineEvents = r.Counter("fleet.timeline_events")
+	q.mCacheDedup = r.Counter("fleet.cache_dedup_hits")
 	q.gWorkersSeen = r.Gauge("fleet.workers_seen")
 	q.gPending = r.Gauge("fleet.jobs_pending")
 	q.gLeased = r.Gauge("fleet.jobs_leased")
@@ -241,10 +267,27 @@ func (q *Queue) TransitionLog() string {
 }
 
 // Submit validates and enqueues a job, returning its ID (IDs are
-// dense, 1-based, in submission order).
+// dense, 1-based, in submission order). With a transcode cache
+// configured, a submission whose result is already stored completes
+// immediately (no lease is ever granted), and a submission whose key
+// matches an in-flight job parks as a follower and settles when that
+// leader resolves.
 func (q *Queue) Submit(spec JobSpec) (int, error) {
 	if err := spec.Validate(); err != nil {
 		return 0, err
+	}
+	// Consult the cache before taking the queue lock: the disk tier
+	// does real I/O and must never run under q.mu.
+	var key cas.Key
+	var cached *cas.Outcome
+	keyed := false
+	if q.opt.Cache != nil {
+		if k, ok := SpecCacheKey(spec); ok {
+			key, keyed = k, true
+			if o, ok := q.opt.Cache.Get(k); ok {
+				cached = o
+			}
+		}
 	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -261,8 +304,102 @@ func (q *Queue) Submit(spec JobSpec) (int, error) {
 	q.mSubmitted.Inc()
 	q.countState(Pending, +1)
 	q.record(j, "none", "pending", "submit")
-	heap.Push(&q.ready, readyEntry{at: j.ReadyAt, id: j.ID})
+	switch {
+	case cached != nil:
+		res := resultFromOutcome(cached)
+		q.completeUnleasedLocked(j, res, "cache_hit")
+	case keyed:
+		if leader, ok := q.dedupLeader[key]; ok {
+			j.DedupOf = leader
+			q.followers[leader] = append(q.followers[leader], j.ID)
+			q.record(j, "pending", "pending", "dedup_follower")
+			break // parked: never enters the ready heap
+		}
+		q.dedupLeader[key] = j.ID
+		q.dedupKey[j.ID] = key
+		heap.Push(&q.ready, readyEntry{at: j.ReadyAt, id: j.ID})
+	default:
+		heap.Push(&q.ready, readyEntry{at: j.ReadyAt, id: j.ID})
+	}
 	return j.ID, nil
+}
+
+// completeUnleasedLocked finishes a pending job from a cached result,
+// without a lease. Callers hold q.mu.
+func (q *Queue) completeUnleasedLocked(j *Job, res Result, reason string) {
+	res.Worker = "cache"
+	res.Attempt = 0
+	j.Result = &res
+	j.Worker = "cache"
+	j.DoneAt = q.now()
+	q.setState(j, Done, reason)
+	j.Completions++
+	q.stats.Completions++
+	q.mCompletions.Inc()
+	q.stats.CacheDedupHits++
+	q.mCacheDedup.Inc()
+}
+
+// dropLeaderLocked removes a resolved leader from the dedup index and
+// returns its still-pending followers. A leader may have followers
+// without a registered key (a snapshot restored without a cache);
+// the followers still resolve through it. Callers hold q.mu.
+func (q *Queue) dropLeaderLocked(leader *Job) []int {
+	if key, ok := q.dedupKey[leader.ID]; ok {
+		delete(q.dedupKey, leader.ID)
+		if q.dedupLeader[key] == leader.ID {
+			delete(q.dedupLeader, key)
+		}
+	}
+	ids := q.followers[leader.ID]
+	delete(q.followers, leader.ID)
+	live := ids[:0]
+	for _, id := range ids {
+		if q.jobs[id-1].State == Pending {
+			live = append(live, id)
+		}
+	}
+	return live
+}
+
+// settleFollowersLocked completes every follower parked behind a
+// just-completed leader, copying its result. Callers hold q.mu.
+func (q *Queue) settleFollowersLocked(leader *Job) {
+	if leader.Result == nil {
+		q.dropLeaderLocked(leader)
+		return
+	}
+	for _, id := range q.dropLeaderLocked(leader) {
+		f := q.jobs[id-1]
+		res := *leader.Result
+		q.completeUnleasedLocked(f, res, "cache_dedup")
+	}
+}
+
+// promoteFollowerLocked reacts to a leader failing terminally: the
+// oldest pending follower becomes the new leader (its own attempts
+// start fresh) and re-enters the ready heap; the rest re-park behind
+// it. Callers hold q.mu.
+func (q *Queue) promoteFollowerLocked(leader *Job) {
+	key, hasKey := q.dedupKey[leader.ID]
+	ids := q.dropLeaderLocked(leader)
+	if len(ids) == 0 {
+		return
+	}
+	next := q.jobs[ids[0]-1]
+	next.DedupOf = 0
+	next.ReadyAt = q.now()
+	if hasKey {
+		q.dedupLeader[key] = next.ID
+		q.dedupKey[next.ID] = key
+	}
+	rest := append([]int(nil), ids[1:]...)
+	q.followers[next.ID] = rest
+	for _, id := range rest {
+		q.jobs[id-1].DedupOf = next.ID
+	}
+	heap.Push(&q.ready, readyEntry{at: next.ReadyAt, id: next.ID})
+	q.record(next, "pending", "pending", "dedup_promoted")
 }
 
 // get returns the job record or an error for an unknown ID. Callers
@@ -365,6 +502,7 @@ func (q *Queue) Complete(id, attempt int, worker string, res Result) (applied bo
 		j.Completions++
 		q.stats.Completions++
 		q.mCompletions.Inc()
+		q.settleFollowersLocked(j)
 		return true, nil
 	default:
 		j.StaleAcks++
@@ -402,6 +540,7 @@ func (q *Queue) Fail(id, attempt int, worker string, terminal bool, msg string) 
 	if terminal {
 		q.setState(j, Failed, "terminal_error")
 		q.mFailures.Inc()
+		q.promoteFollowerLocked(j)
 		return nil
 	}
 	q.requeueLocked(j, "transient_error")
@@ -414,6 +553,7 @@ func (q *Queue) requeueLocked(j *Job, reason string) {
 	if j.Attempt >= q.opt.MaxAttempts {
 		q.setState(j, Failed, reason+"_retries_exhausted")
 		q.mFailures.Inc()
+		q.promoteFollowerLocked(j)
 		return
 	}
 	j.ReadyAt = q.now().Add(q.backoff(j.Attempt))

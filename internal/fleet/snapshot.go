@@ -78,9 +78,34 @@ func Restore(r io.Reader, opt Options) (*Queue, error) {
 		}
 		switch j.State {
 		case Pending:
+			if j.DedupOf != 0 {
+				// A parked dedup follower: it re-parks behind its
+				// leader instead of re-entering the ready heap.
+				q.followers[j.DedupOf] = append(q.followers[j.DedupOf], j.ID)
+				break
+			}
 			heap.Push(&q.ready, readyEntry{at: j.ReadyAt, id: j.ID})
 		case Leased:
 			heap.Push(&q.exp, expiryEntry{at: j.LeaseExpiry, id: j.ID, attempt: j.Attempt})
+		}
+	}
+	// Re-register dedup leaders so post-restore submissions of a key
+	// already in flight keep parking. Keys are recomputed from specs —
+	// they are content-addressed, not snapshot state. First in-flight
+	// job per key wins, matching submission order.
+	if q.opt.Cache != nil {
+		for _, j := range q.jobs {
+			if (j.State != Pending && j.State != Leased) || j.DedupOf != 0 {
+				continue
+			}
+			key, ok := SpecCacheKey(j.Spec)
+			if !ok {
+				continue
+			}
+			if _, taken := q.dedupLeader[key]; !taken {
+				q.dedupLeader[key] = j.ID
+				q.dedupKey[j.ID] = key
+			}
 		}
 	}
 	// Re-derive the counter metrics and per-state gauges from the
@@ -93,6 +118,7 @@ func Restore(r io.Reader, opt Options) (*Queue, error) {
 	q.mExpiries.Add(int64(q.stats.LeaseExpiries))
 	q.mDupAcks.Add(int64(q.stats.DuplicateAcks))
 	q.mStaleAcks.Add(int64(q.stats.StaleAcks))
+	q.mCacheDedup.Add(int64(q.stats.CacheDedupHits))
 	q.mTimelineEvents.Add(q.eventSeq)
 	q.gPending.Set(float64(q.stats.Pending))
 	q.gLeased.Set(float64(q.stats.Leased))

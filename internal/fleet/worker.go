@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"vbench/internal/cas"
 	"vbench/internal/syncx"
 	"vbench/internal/telemetry"
 )
@@ -78,6 +79,11 @@ type WorkerOptions struct {
 	// 0 shares the process CPU gate, 1 disables row parallelism, 2..64
 	// forces dedicated row lanes.
 	RowsParallel int
+	// Cache, when non-nil, is the shared content-addressed transcode
+	// store: encode jobs whose result is already cached complete
+	// without encoding, and fresh encodes populate the store for the
+	// rest of the fleet.
+	Cache *cas.Store
 }
 
 // Worker pulls jobs from a master and runs them with real encoders.
@@ -251,12 +257,9 @@ func (w *Worker) execute(job *Job, trace traceCtx) (Result, time.Duration, error
 		child.Arg("clip", job.Spec.Clip)
 		child.Arg("encoder", job.Spec.Encoder)
 	}
-	spec := job.Spec
-	if spec.RowsParallel == 0 {
-		spec.RowsParallel = w.opt.RowsParallel
-	}
+	x := Executor{Cache: w.opt.Cache, DefaultRowsParallel: w.opt.RowsParallel}
 	start := time.Now()
-	res, err := Execute(spec, job.Attempt, time.Sleep)
+	res, err := x.Execute(job.Spec, job.Attempt, time.Sleep)
 	elapsed := time.Since(start)
 	child.End()
 	if err != nil {

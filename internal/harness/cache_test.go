@@ -1,0 +1,114 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+
+	"vbench/internal/cas"
+	"vbench/internal/codec"
+	"vbench/internal/codec/profiles"
+	"vbench/internal/corpus"
+	"vbench/internal/telemetry"
+)
+
+// TestWarmRunZeroEncodes is the incremental-run acceptance pin: a
+// second identical study over the same cache directory performs zero
+// real encodes (every lookup hits the disk tier written by the first
+// run) yet renders byte-identical output.
+func TestWarmRunZeroEncodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real (small) study twice")
+	}
+	dir := t.TempDir()
+
+	run := func() (string, int64, cas.Stats) {
+		store, err := cas.Open(dir, telemetry.NewRegistry())
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := NewRunner(32, 0.2)
+		r.Cache = store
+		tbl, err := r.AblationStudy("girl")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tbl.String(), r.Encodes(), store.Stats()
+	}
+
+	coldOut, coldEncodes, coldStats := run()
+	if coldEncodes == 0 || coldStats.Misses == 0 {
+		t.Fatalf("cold run did no work: encodes=%d stats=%+v", coldEncodes, coldStats)
+	}
+	warmOut, warmEncodes, warmStats := run()
+	if warmEncodes != 0 {
+		t.Errorf("warm run performed %d encodes, want 0", warmEncodes)
+	}
+	if warmStats.Misses != 0 {
+		t.Errorf("warm run missed the cache %d times, want 0 (stats %+v)", warmStats.Misses, warmStats)
+	}
+	if warmStats.DiskHits == 0 {
+		t.Errorf("warm run should hit the disk tier (stats %+v)", warmStats)
+	}
+	if warmOut != coldOut {
+		t.Errorf("warm output differs from cold output:\ncold:\n%s\nwarm:\n%s", coldOut, warmOut)
+	}
+}
+
+// TestMeasureCachedMatchesUncached: with a cache installed, both the
+// populating (miss) and the serving (hit) measurement are identical —
+// bitstream bytes included — to an uncached Runner's measurement.
+func TestMeasureCachedMatchesUncached(t *testing.T) {
+	clip, err := corpus.ClipByName("girl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := profiles.X264(codec.PresetFast)
+	cfg := codec.Config{RC: codec.RCConstQP, QP: 32}
+
+	plain := NewRunner(32, 0.2)
+	seq, err := plain.Sequence(clip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := plain.Measure(eng, seq, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	store, err := cas.Open(t.TempDir(), telemetry.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached := NewRunner(32, 0.2)
+	cached.Cache = store
+	cseq, err := cached.Sequence(clip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pass, label := range []string{"miss", "mem hit"} {
+		got, err := cached.Measure(eng, cseq, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Measurement != want.Measurement {
+			t.Errorf("%s (pass %d): measurement %+v != uncached %+v", label, pass, got.Measurement, want.Measurement)
+		}
+		if !bytes.Equal(got.Result.Bitstream, want.Result.Bitstream) {
+			t.Errorf("%s (pass %d): bitstream differs from uncached encode", label, pass)
+		}
+	}
+	if n := cached.Encodes(); n != 1 {
+		t.Errorf("cached runner performed %d encodes, want 1", n)
+	}
+
+	// A flipped Config field must miss: same sequence, different key.
+	before := store.Stats().Misses
+	cfg2 := cfg
+	cfg2.QP = 33
+	if _, err := cached.Measure(eng, cseq, cfg2); err != nil {
+		t.Fatal(err)
+	}
+	if store.Stats().Misses != before+1 {
+		t.Errorf("changed Config did not force a cache miss")
+	}
+}

@@ -15,11 +15,15 @@
 //
 //  3. Blocking operations inside critical sections: channel sends,
 //     bare channel receives, selects without a default, ranging over a
-//     channel, time.Sleep, WaitGroup.Wait, net/http round-trips, and
-//     syncx.CPUGate acquisition while any mutex is held. These stall
-//     every contender of the lock for the duration of the operation;
-//     the fix is to move the blocking step outside the critical
-//     section or hand off through a buffered channel.
+//     channel, time.Sleep, WaitGroup.Wait, net/http round-trips,
+//     syncx.CPUGate acquisition, and os package disk I/O
+//     (ReadFile/WriteFile/Rename/ReadDir and friends) while any mutex
+//     is held. These stall every contender of the lock for the
+//     duration of the operation; the fix is to move the blocking step
+//     outside the critical section or hand off through a buffered
+//     channel. The disk rule is the cas.Store discipline: an index
+//     lock orders map mutations, never I/O — stage the write first,
+//     lock only to publish the entry.
 //
 // The held set is a Must (intersection) analysis, so joins keep only
 // mutexes held on every inbound path: a lock taken in one branch of an
@@ -305,6 +309,17 @@ func blockingCall(pass *analysis.Pass, call *ast.CallExpr) string {
 		switch name {
 		case "Acquire", "AcquireOrQuit":
 			return "syncx." + name
+		}
+	case analysis.FromPath(fn, "os"):
+		// Package-level disk I/O only (sig.Recv() == nil): methods such
+		// as File.Name or FileInfo.Size are cheap accessors and share
+		// these names.
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil {
+			switch name {
+			case "ReadFile", "WriteFile", "Open", "OpenFile", "Create",
+				"Rename", "Remove", "RemoveAll", "ReadDir", "Mkdir", "MkdirAll":
+				return "os." + name
+			}
 		}
 	}
 	return ""

@@ -121,13 +121,22 @@ func docsFor(path string) docTable {
 		dir = parent
 	}
 	docMu.Lock()
-	defer docMu.Unlock()
-	if t, ok := docCache[dir]; ok {
+	t, ok := docCache[dir]
+	docMu.Unlock()
+	if ok {
 		return t
 	}
-	var t docTable
+	// Read and parse outside the lock (its own discipline: the lock
+	// orders the cache map, never disk I/O). Racing parses of the same
+	// file produce identical tables; the re-check below keeps the
+	// first one.
 	if data, err := os.ReadFile(filepath.Join(dir, "docs", "FORMAT.md")); err == nil {
 		t = parseDocTable(string(data))
+	}
+	docMu.Lock()
+	defer docMu.Unlock()
+	if prior, ok := docCache[dir]; ok {
+		return prior
 	}
 	docCache[dir] = t
 	return t

@@ -32,6 +32,19 @@ func undocumented(r *telemetry.Registry) {
 	r.Counter("service.anything") // want `is not documented`
 }
 
+// cache exercises the transcode-cache rows: brace families expand,
+// slash-separated families in one row all count, and a cas name
+// outside the documented families is still an error.
+func cache(r *telemetry.Registry) {
+	r.Counter("cas.mem_hits")
+	r.Counter("cas.disk_hits")
+	r.Counter("cas.misses")
+	r.Gauge("cas.mem_entries")
+	r.Gauge("cas.disk_bytes")
+	r.Counter("fleet.cache_dedup_hits")
+	r.Counter("cas.evictions") // want `metric name "cas.evictions" is not documented`
+}
+
 func dynamic(base string, r *telemetry.Registry) {
 	// Dynamically built names are out of scope for the checker.
 	telemetry.GetCounter(base + ".hits")

@@ -24,12 +24,20 @@ type memoEntry[V any] struct {
 // forever; failed computations are forgotten so a later call can
 // retry. The zero value is ready to use.
 type Memo[K comparable, V any] struct {
+	// Size, when set before the Memo's first use, reports the retained
+	// size of a completed value; the Memo then maintains Bytes() as
+	// values are cached and evicted. Leave nil when byte accounting is
+	// not needed.
+	Size func(V) int64
+
 	mu      sync.Mutex
 	entries map[K]*memoEntry[V]
 
-	hits     atomic.Int64
-	misses   atomic.Int64
-	inflight atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	inflight  atomic.Int64
+	bytes     atomic.Int64
+	evictions atomic.Int64
 }
 
 // MemoStats is a point-in-time view of a Memo's access counters, the
@@ -46,14 +54,17 @@ type MemoStats struct {
 	// Inflight counts Do calls that joined another caller's
 	// in-progress computation and blocked for its result.
 	Inflight int64
+	// Evictions counts completed entries dropped by EvictAll.
+	Evictions int64
 }
 
 // Stats returns the Memo's current access counters.
 func (m *Memo[K, V]) Stats() MemoStats {
 	return MemoStats{
-		Hits:     m.hits.Load(),
-		Misses:   m.misses.Load(),
-		Inflight: m.inflight.Load(),
+		Hits:      m.hits.Load(),
+		Misses:    m.misses.Load(),
+		Inflight:  m.inflight.Load(),
+		Evictions: m.evictions.Load(),
 	}
 }
 
@@ -90,9 +101,41 @@ func (m *Memo[K, V]) Do(key K, fn func() (V, error)) (V, error) {
 		m.mu.Lock()
 		delete(m.entries, key)
 		m.mu.Unlock()
+	} else if m.Size != nil {
+		// Account before publishing completion, so an entry EvictAll
+		// observes as completed has always been counted.
+		m.bytes.Add(m.Size(e.val))
 	}
 	close(e.done)
 	return e.val, e.err
+}
+
+// Bytes returns the total retained size of completed entries, as
+// reported by Size. Always 0 when Size is nil.
+func (m *Memo[K, V]) Bytes() int64 { return m.bytes.Load() }
+
+// EvictAll drops every completed entry, returning the number evicted.
+// In-flight computations are kept — their waiters still resolve and
+// their results are cached as usual — so EvictAll is safe to call
+// concurrently with Do.
+func (m *Memo[K, V]) EvictAll() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for key, e := range m.entries {
+		select {
+		case <-e.done:
+		default:
+			continue // in-flight: the computing goroutine owns it
+		}
+		if m.Size != nil {
+			m.bytes.Add(-m.Size(e.val))
+		}
+		delete(m.entries, key)
+		n++
+	}
+	m.evictions.Add(int64(n))
+	return n
 }
 
 // Get returns the cached value for key, if a completed successful

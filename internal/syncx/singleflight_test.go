@@ -148,3 +148,115 @@ func TestMemoGet(t *testing.T) {
 		t.Errorf("Get = %d, %v; want 9, true", v, ok)
 	}
 }
+
+func TestMemoBytesAccounting(t *testing.T) {
+	var m Memo[string, string]
+	m.Size = func(v string) int64 { return int64(len(v)) }
+	for i := 0; i < 4; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if _, err := m.Do(key, func() (string, error) { return "0123456789", nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.Bytes(); got != 40 {
+		t.Fatalf("Bytes() = %d, want 40", got)
+	}
+	if n := m.EvictAll(); n != 4 {
+		t.Fatalf("EvictAll() = %d, want 4", n)
+	}
+	if got := m.Bytes(); got != 0 {
+		t.Fatalf("Bytes() after EvictAll = %d, want 0", got)
+	}
+	if got := m.Len(); got != 0 {
+		t.Fatalf("Len() after EvictAll = %d, want 0", got)
+	}
+	if got := m.Stats().Evictions; got != 4 {
+		t.Fatalf("Stats().Evictions = %d, want 4", got)
+	}
+	// Evicted keys recompute (a second miss, not a hit).
+	if _, err := m.Do("k0", func() (string, error) { return "x", nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Stats().Misses; got != 5 {
+		t.Fatalf("Misses after evict+recompute = %d, want 5", got)
+	}
+}
+
+// TestMemoEvictAllKeepsInflight: an eviction racing a computation must
+// not orphan the in-flight entry — its waiters resolve and the result
+// lands in the cache.
+func TestMemoEvictAllKeepsInflight(t *testing.T) {
+	var m Memo[string, int]
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan int)
+	go func() {
+		v, _ := m.Do("slow", func() (int, error) {
+			close(started)
+			<-release
+			return 42, nil
+		})
+		done <- v
+	}()
+	<-started
+	if n := m.EvictAll(); n != 0 {
+		t.Fatalf("EvictAll() evicted an in-flight entry (n=%d)", n)
+	}
+	close(release)
+	if v := <-done; v != 42 {
+		t.Fatalf("in-flight result = %d, want 42", v)
+	}
+	if v, ok := m.Get("slow"); !ok || v != 42 {
+		t.Fatalf("in-flight entry not cached after EvictAll race: %d, %v", v, ok)
+	}
+}
+
+// TestMemoCountersUnderConcurrency pins the stats invariant the
+// harness gauges report, with EvictAll mixed in, under -race: every
+// Do call is classified exactly once (hit, miss, or inflight join),
+// and bytes accounting nets out against evictions.
+func TestMemoCountersUnderConcurrency(t *testing.T) {
+	var m Memo[int, []byte]
+	m.Size = func(v []byte) int64 { return int64(len(v)) }
+	const (
+		goroutines = 8
+		rounds     = 200
+		keys       = 10
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				key := i % keys
+				v, err := m.Do(key, func() ([]byte, error) { return make([]byte, 100+key), nil })
+				if err != nil || len(v) != 100+key {
+					t.Errorf("Do(%d): len=%d err=%v", key, len(v), err)
+				}
+				if g == 0 && i%50 == 25 {
+					m.EvictAll()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := m.Stats()
+	if st.Hits+st.Misses+st.Inflight != goroutines*rounds {
+		t.Fatalf("hits(%d)+misses(%d)+inflight(%d) != %d calls",
+			st.Hits, st.Misses, st.Inflight, goroutines*rounds)
+	}
+	if st.Misses < keys {
+		t.Fatalf("misses=%d < %d unique keys", st.Misses, keys)
+	}
+	// Whatever survived the final eviction is exactly what Bytes sees.
+	var live int64
+	for k := 0; k < keys; k++ {
+		if v, ok := m.Get(k); ok {
+			live += int64(len(v))
+		}
+	}
+	if got := m.Bytes(); got != live {
+		t.Fatalf("Bytes()=%d != %d bytes of live entries", got, live)
+	}
+}

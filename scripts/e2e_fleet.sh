@@ -38,6 +38,7 @@ VBD="$WORK/vbenchd"
 echo "e2e: starting master"
 "$VBD" master -addr 127.0.0.1:0 -addr-file "$WORK/addr" \
     -lease-ttl 2s -backoff 100ms -sweep 200ms -max-attempts 5 \
+    -cache-dir "$WORK/cache" \
     -trace "$WORK/master-trace.json" \
     2>"$WORK/master.log" &
 MASTER_PID=$!
@@ -49,10 +50,12 @@ echo "e2e: master at $MASTER"
 # Both workers trace; workerB is SIGKILLed below, so only workerA's
 # trace file ever appears — the merge asserts on exactly 2 processes.
 "$VBD" worker -master "$MASTER" -id workerA -poll 25ms -heartbeat 500ms \
+    -cache-dir "$WORK/cache" \
     -trace "$WORK/workerA-trace.json" \
     2>"$WORK/workerA.log" &
 WA_PID=$!
 "$VBD" worker -master "$MASTER" -id workerB -poll 25ms -heartbeat 500ms \
+    -cache-dir "$WORK/cache" \
     -trace "$WORK/workerB-trace.json" \
     2>"$WORK/workerB.log" &
 WB_PID=$!
@@ -101,6 +104,27 @@ case "$OUT" in
     *" 0 duplicate acks, 0 stale acks"*) ;;
     *) echo "e2e: FAIL — unexpected duplicate or stale acks"; exit 1;;
 esac
+
+# Duplicate-submission wave: resubmit the exact encode specs. Their
+# results sit in the shared cache, so the master completes them at
+# submission — zero new worker leases, zero new encodes — and the
+# fleet.cache_dedup_hits counter records the dedup. (Wave 1 already
+# deduped its 4 identical encodes onto one leader, so the counter is
+# nonzero before the wave; the lease count is the hard assertion.)
+metric() { curl -fsS "$MASTER/metrics" | awk -v m="$1" '$1 == m {print $2}'; }
+LEASES_BEFORE=$(metric fleet.leases)
+echo "e2e: duplicate-submission wave ($ENCODES cached encodes, $LEASES_BEFORE leases so far)"
+"$VBD" submit -master "$MASTER" -n $ENCODES -clip girl -encoder x264-veryfast \
+    -scale 16 -duration 0.2 -qp 30 -tag encode-rerun
+OUT2=$("$VBD" wait -master "$MASTER" -expect $((JOBS + ENCODES)) -timeout 60s)
+echo "$OUT2"
+LEASES_AFTER=$(metric fleet.leases)
+DEDUP_HITS=$(metric fleet.cache_dedup_hits)
+[ "$LEASES_AFTER" = "$LEASES_BEFORE" ] \
+    || { echo "e2e: FAIL — duplicate wave took worker leases ($LEASES_BEFORE -> $LEASES_AFTER)"; exit 1; }
+[ "${DEDUP_HITS:-0}" -gt 0 ] \
+    || { echo "e2e: FAIL — fleet.cache_dedup_hits is ${DEDUP_HITS:-unset}"; exit 1; }
+echo "e2e: duplicate wave served from cache ($DEDUP_HITS dedup hits, leases still $LEASES_AFTER)"
 
 echo "e2e: draining workerA and master"
 kill -TERM "$WA_PID"; wait "$WA_PID"
